@@ -1,0 +1,97 @@
+"""Baselines roundup: every recommender on one table.
+
+Not a single paper figure but the cross-cutting sanity sweep behind all
+of them: every implemented recommender (the paper's comparators plus the
+related-work baselines of §7) replays the Figure 3 square wave, and the
+table shows where each lands on the slack/throttling plane. The asserted
+shape: CaaSPER is Pareto-non-dominated among all deployable (non-oracle)
+schemes, and every scheme's structural signature shows up — the oracle's
+near-zero everything, Autopilot's burst reaction, the step scaler's slow
+climbs, OpenShift's starvation.
+"""
+
+from repro.analysis.tables import metrics_table
+from repro.baselines import (
+    AutopilotRecommender,
+    FixedRecommender,
+    MovingAverageRecommender,
+    OpenShiftVpaRecommender,
+    OracleRecommender,
+    StepwiseRecommender,
+    VpaRecommender,
+)
+from repro.core import CaasperRecommender
+from repro.experiments import fig3
+from repro.sim import SimulatorConfig, simulate_trace
+from repro.tuning.pareto import pareto_frontier
+from repro.workloads import square_wave
+
+
+def _config() -> SimulatorConfig:
+    return SimulatorConfig(
+        initial_cores=14,
+        min_cores=2,
+        max_cores=16,
+        decision_interval_minutes=10,
+        resize_delay_minutes=10,
+    )
+
+
+def test_baselines_roundup(once):
+    def run_all():
+        demand = square_wave()
+        recommenders = [
+            FixedRecommender(14),
+            OracleRecommender(
+                demand, lookahead_minutes=20, min_cores=2, max_cores=16
+            ),
+            CaasperRecommender(fig3.caasper_config(proactive=True)),
+            CaasperRecommender(fig3.caasper_config(proactive=False)),
+            VpaRecommender(safety_margin=1.0, min_cores=2, max_cores=16),
+            OpenShiftVpaRecommender(min_cores=2, max_cores=16),
+            MovingAverageRecommender(margin=1.5, min_cores=2, max_cores=16),
+            AutopilotRecommender(min_cores=2, max_cores=16),
+            StepwiseRecommender(min_cores=2, max_cores=16),
+        ]
+        results = []
+        for index, recommender in enumerate(recommenders):
+            if index == 3:
+                recommender.name = "caasper-reactive"
+            results.append(simulate_trace(demand, recommender, _config()))
+        return demand, results
+
+    demand, results = once(run_all)
+    print()
+    print("Baselines roundup (Figure 3 square wave)")
+    print(metrics_table(results))
+
+    by_name = {result.name: result for result in results}
+    total = float(demand.samples.sum())
+
+    def served(name):
+        return 1 - by_name[name].metrics.total_insufficient_cpu / total
+
+    # The oracle is the reference: (almost) nothing unserved.
+    assert served("oracle") > 0.995
+
+    # CaaSPER (proactive) is Pareto-non-dominated among deployables.
+    deployables = [
+        r for r in results if r.name not in ("oracle", "control")
+    ]
+    slack = [r.metrics.total_slack for r in deployables]
+    throttle = [r.metrics.total_insufficient_cpu for r in deployables]
+    frontier = pareto_frontier(slack, throttle)
+    caasper_index = next(
+        i for i, r in enumerate(deployables) if r.name == "caasper-proactive"
+    )
+    assert caasper_index in frontier
+
+    # Structural signatures.
+    assert served("openshift-vpa") < 0.7            # starvation lock-in
+    assert served("autopilot") > 0.95               # peak-reactive
+    assert by_name["stepwise"].metrics.num_scalings > (
+        by_name["caasper-proactive"].metrics.num_scalings
+    )                                               # 1-core crawling
+    assert by_name["control"].metrics.total_slack == max(
+        r.metrics.total_slack for r in results
+    )

@@ -1,0 +1,45 @@
+"""Figure 11 + Table 2: balancing customer preferences.
+
+Paper claims: on the recreated customer trace (6-core cap, no client
+retries), the performance-tuned run completes the control's throughput
+at 0.74× the price; the savings-tuned run completes ~10% fewer
+transactions at 0.49× the price with higher average (but flat median)
+latency.
+"""
+
+from repro.experiments import fig11
+
+
+def test_fig11_table2_preferences(once):
+    result = once(fig11.run)
+    print()
+    print(fig11.render(result, charts=False))
+
+    perf = result.prefer_performance
+    savings = result.prefer_savings
+
+    # Performance run: control-level throughput, cheaper than control.
+    assert result.throughput_ratio(perf) > 0.95
+    assert result.price_ratio(perf) < 1.0
+
+    # Savings run: meaningfully cheaper than the performance run, paying
+    # with throughput (paper: 90% of control).
+    assert result.price_ratio(savings) < result.price_ratio(perf)
+    assert 0.80 < result.throughput_ratio(savings) < result.throughput_ratio(perf)
+
+    # Latency shape: averages rise with savings pressure, medians stay
+    # flat (most minutes are uncontended).
+    control_txn = result.control.detail["transactions"]
+    savings_txn = savings.detail["transactions"]
+    perf_txn = perf.detail["transactions"]
+    assert savings_txn["avg_latency_ms"] > perf_txn["avg_latency_ms"]
+    assert savings_txn["avg_latency_ms"] > control_txn["avg_latency_ms"]
+    medians = [
+        control_txn["median_latency_ms"],
+        perf_txn["median_latency_ms"],
+        savings_txn["median_latency_ms"],
+    ]
+    assert max(medians) < 1.25 * min(medians)
+
+    # No retries in this experiment: drops are real losses.
+    assert savings_txn["total_dropped"] > 0

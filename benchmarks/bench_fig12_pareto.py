@@ -1,0 +1,53 @@
+"""Figure 12: slack-vs-throttling scatter over the parameter search.
+
+Paper shape: a clear trade-off — "higher slack reduces the likelihood of
+throttling, and vice versa" — with a Pareto frontier (red ×s), and
+"predictive runs have higher slack, as expected, as they allow for
+upfront scaling and lower throttling values".
+
+The paper sweeps 5000 combinations; the benchmark uses a smaller
+population on a 5×-coarsened trace (the trade-off shape is unchanged;
+pass --trials via fig12.run for bigger sweeps).
+"""
+
+import numpy as np
+
+from repro.experiments import fig12
+
+TRIALS = 150
+
+
+def test_fig12_pareto_frontier(once):
+    result = once(fig12.run, trials=TRIALS, seed=0, resample_minutes=5)
+    print()
+    print(fig12.render(result))
+
+    outcome = result.outcome
+    assert len(outcome.trials) == TRIALS
+    slack = outcome.slack_values()
+    throttle = outcome.throttle_values()
+
+    # A genuine frontier exists.
+    frontier = result.pareto_indices
+    assert 2 <= len(frontier) < TRIALS
+
+    # Trade-off along the frontier: slack strictly down => throttling up.
+    ordered = sorted(frontier, key=lambda i: slack[i])
+    frontier_throttle = [throttle[i] for i in ordered]
+    assert frontier_throttle[0] >= frontier_throttle[-1]
+    assert all(
+        b <= a + 1e-9 for a, b in zip(frontier_throttle, frontier_throttle[1:])
+    )
+
+    # Population-level negative association between K and C.
+    correlation = np.corrcoef(slack, throttle)[0, 1]
+    assert correlation < 0.1
+
+    # Proactive combinations carry more slack / less throttling on average.
+    proactive = [t for t in outcome.trials if t.is_proactive]
+    reactive = [t for t in outcome.trials if not t.is_proactive]
+    assert proactive and reactive
+    assert result.proactive_mean_slack() > result.reactive_mean_slack()
+    mean_c_proactive = np.mean([t.total_insufficient_cpu for t in proactive])
+    mean_c_reactive = np.mean([t.total_insufficient_cpu for t in reactive])
+    assert mean_c_proactive < mean_c_reactive

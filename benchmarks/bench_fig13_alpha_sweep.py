@@ -1,0 +1,34 @@
+"""Figure 13: drill-down over α, the slack-penalty weight.
+
+Paper shape: replaying the G-optimal configuration (Eq. 5) at the four
+sampled α values (0.0, 0.063, 0.447, 2.28) shows slack diminishing and
+throttling rising monotonically with α.
+"""
+
+from repro.experiments import fig13
+
+
+def test_fig13_alpha_sweep(once):
+    result = once(fig13.run, trials=150, seed=0, resample_minutes=5)
+    print()
+    print(fig13.render(result))
+
+    alphas = sorted(result.best_by_alpha)
+    assert alphas == sorted(fig13.PAPER_ALPHAS)
+
+    slacks = [result.best_by_alpha[a].total_slack for a in alphas]
+    throttles = [
+        result.best_by_alpha[a].total_insufficient_cpu for a in alphas
+    ]
+
+    # As alpha increases: slack non-increasing, throttling non-decreasing.
+    assert all(b <= a + 1e-9 for a, b in zip(slacks, slacks[1:]))
+    assert all(b >= a - 1e-9 for a, b in zip(throttles, throttles[1:]))
+
+    # The extremes genuinely differ (the sweep moves the operating point).
+    assert slacks[0] > slacks[-1]
+    assert throttles[-1] > throttles[0]
+
+    # alpha = 0 ignores slack entirely: it picks the minimum-C trial.
+    min_c = min(t.total_insufficient_cpu for t in result.outcome.trials)
+    assert result.best_by_alpha[0.0].total_insufficient_cpu == min_c

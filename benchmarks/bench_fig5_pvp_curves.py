@@ -1,0 +1,27 @@
+"""Figure 5: PvP-curves for a throttled and a right-sized workload.
+
+Paper shape: the workload pinned at its 8-core limit shows a steep slope
+at the allocation (lower-left panel); the right-sized 32-core workload
+shows a moderate slope — "a throttled workload is usually associated
+with a steep slope".
+"""
+
+from repro.experiments import fig5
+
+
+def test_fig5_pvp_curve_shapes(once):
+    result = once(fig5.run)
+    print()
+    print(fig5.render(result))
+
+    # Workload A (pinned at 8): steep slope at the limit.
+    assert result.slope_a > 3.0
+    # Workload B (right-sized at 32): neither steep nor exactly flat...
+    assert result.slope_b < 2.0
+    # ...and the contrast between them is stark.
+    assert result.slope_a > 3 * max(result.slope_b, 0.1)
+
+    # Curve sanity: A's curve saturates just above its limit; B's curve
+    # climbs gradually across its usage range.
+    assert result.curve_a.performance_at(9) > 0.95
+    assert 0.3 < result.curve_b.performance_at(20) < 1.0

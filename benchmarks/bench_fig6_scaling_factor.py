@@ -1,0 +1,35 @@
+"""Figure 6: the logarithmic scaling-factor function SF(s, skew).
+
+Paper shape: SF grows monotonically in the slope, with diminishing
+increments (logarithmic decay), and a higher skew multiplies the
+aggressiveness — "scale-ups happen more aggressively for large s".
+"""
+
+import numpy as np
+
+from repro.experiments import fig6
+
+
+def test_fig6_scaling_factor_shape(once):
+    result = once(fig6.run)
+    print()
+    print(fig6.render(result))
+
+    for skew in result.skews:
+        values = result.values[skew]
+        increments = np.diff(values)
+        # Monotone non-decreasing...
+        assert (increments >= -1e-12).all()
+        # ...with logarithmic decay: late increments smaller than early.
+        early = increments[: len(increments) // 4].mean()
+        late = increments[-len(increments) // 4 :].mean()
+        assert late < early
+
+    # Higher skew -> uniformly larger SF for any positive slope.
+    low, mid, high = sorted(result.skews)
+    positive = result.slopes > 0.1
+    assert (result.values[high][positive] > result.values[low][positive]).all()
+
+    # At slope 0 the function collapses to ln(c_min) regardless of skew.
+    at_zero = {skew: result.values[skew][0] for skew in result.skews}
+    assert max(at_zero.values()) - min(at_zero.values()) < 1e-9

@@ -1,0 +1,31 @@
+"""Figure 7: typical vs flat PvP-curve placements.
+
+Paper shape: a positive slope at the allocation triggers a slope-driven
+scale-up; a zero slope on the flat right tail triggers the walk-down,
+"scaling down by almost 8 cores" for the grossly over-provisioned
+customer at 12 cores.
+"""
+
+from repro.experiments import fig7
+
+
+def test_fig7_walk_down(once):
+    result = once(fig7.run)
+    print()
+    print(fig7.render(result))
+
+    under = result.under_decision
+    over = result.over_decision
+
+    # (a) under-provisioned: positive slope, scale up.
+    assert under.branch == "scale_up"
+    assert under.slope > 0.5
+    assert under.delta > 0
+
+    # (b) over-provisioned: flat top, deep single-step walk-down.
+    assert over.branch == "walk_down"
+    assert over.slope == 0.0
+    assert over.delta <= -6           # paper: "almost 8 cores" from 12
+    assert over.target_cores >= result.over_walk_down_target
+    # The walk-down target still covers the observed workload (~3.2 cores).
+    assert result.over_walk_down_target >= 4

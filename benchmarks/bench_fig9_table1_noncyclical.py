@@ -1,0 +1,34 @@
+"""Figure 9 + Table 1 (non-cyclical): right-sizing without history.
+
+Paper claims: on the 12-hour Database A workday, reactive-only CaaSPER
+reduces total slack by 39.6% and price to 0.85× with latency and
+throughput "within the margin of error" of the 6-core control, resizing
+three times (~0h, ~3h, ~9h).
+"""
+
+from repro.experiments import fig9
+
+
+def test_fig9_table1_noncyclical(once):
+    result = once(fig9.run)
+    print()
+    print(fig9.render(result, charts=False))
+
+    # Slack reduction near the paper's 39.6%.
+    assert 0.25 <= result.slack_reduction <= 0.55
+
+    # Cheaper than the control (paper 0.85x).
+    assert result.price_ratio < 1.0
+
+    # Throughput preserved; latency within margin.
+    assert result.throughput_ratio > 0.97
+    control_txn = result.control.detail["transactions"]
+    caasper_txn = result.caasper.detail["transactions"]
+    assert caasper_txn["avg_latency_ms"] < 1.3 * control_txn["avg_latency_ms"]
+    assert caasper_txn["median_latency_ms"] < 1.2 * (
+        control_txn["median_latency_ms"]
+    )
+
+    # A handful of resizings (paper: 3), each costing one retried txn.
+    assert 2 <= result.caasper.metrics.num_scalings <= 10
+    assert caasper_txn["total_retried"] >= result.caasper.metrics.num_scalings

@@ -1,0 +1,38 @@
+"""§5 simulator correctness: paired t-test against the live path.
+
+Paper procedure: "the decision values produced by the simulator and the
+real runs (at each time point) are statistically equivalent on average.
+We maintain an alpha value of 0.05 for statistical significance across
+all scenarios considered."
+
+Here the "real run" is the closed-loop cluster simulation; the test is
+applied across multiple workloads, mirroring "the consistency in our
+findings across all tested workloads".
+"""
+
+from repro.experiments import correctness
+from repro.workloads import cyclical_days, square_wave, workday
+
+
+def test_simulator_correctness_workday(once):
+    result = once(correctness.run)
+    print()
+    print(correctness.render(result))
+    assert result.equivalent
+    assert abs(result.ttest.mean_difference) < 1.0
+
+
+def test_simulator_correctness_across_workloads(once):
+    def run_all():
+        return {
+            "workday": correctness.run(workday(sigma=0.08)),
+            "square-wave": correctness.run(square_wave(total_hours=24)),
+            "cyclical": correctness.run(cyclical_days(days=1)),
+        }
+
+    results = once(run_all)
+    print()
+    for name, result in results.items():
+        print(f"--- {name} ---")
+        print(correctness.render(result))
+        assert result.equivalent, name

@@ -1,0 +1,32 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one paper table/figure (see DESIGN.md §4):
+it times the experiment via pytest-benchmark, prints the same rows or
+series the paper reports, and asserts the paper's *shape* claims (who
+wins, by roughly what factor) without pinning absolute numbers.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to see the rendered tables/figures inline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` exactly once (experiments are heavy and deterministic)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture-ified :func:`run_once`."""
+
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

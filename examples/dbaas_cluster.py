@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Live DBaaS simulation: a 3-replica database on a Kubernetes cluster.
+
+Runs the full closed-loop substrate (§2/§3.1): a Database-A-style
+stateful set (3 replicas, primary-last rolling updates, failovers) on the
+paper's "small cluster" (6 VMs × 8 CPUs), driven by a TPC-C-flavoured
+BenchBase workload whose terminal count follows a workday shape. CaaSPER
+resizes the set while transactions are counted, queued, and occasionally
+dropped during restarts.
+
+Run:  python examples/dbaas_cluster.py
+"""
+
+from repro import CaasperConfig, CaasperRecommender
+from repro.analysis import render_series
+from repro.cluster import ControlLoopConfig, EventKind, ScalerConfig
+from repro.db import DbServiceConfig
+from repro.sim.live import LiveSystemConfig, simulate_live
+from repro.workloads import BenchBaseWorkload, TERMINAL_PROFILES
+
+
+def terminals_schedule(minute: int) -> int:
+    """A 12-hour workday: ramp in, lunch dip, afternoon peak, ramp out."""
+    hour = minute / 60.0
+    if hour < 2:
+        return 12
+    if hour < 5:
+        return 40
+    if hour < 6:
+        return 24  # lunch dip
+    if hour < 10:
+        return 52  # afternoon peak
+    return 14
+
+
+def main() -> None:
+    profile = TERMINAL_PROFILES["tpcc"]
+    workload = BenchBaseWorkload(
+        profile, terminals_schedule, minutes=12 * 60, seed=7
+    )
+
+    config = LiveSystemConfig(
+        cluster_factory="small",
+        service=DbServiceConfig(
+            name="database-a",
+            replicas=3,
+            initial_cores=6,
+            restart_minutes_per_pod=4,
+            resync_minutes=2,
+        ),
+        control=ControlLoopConfig(
+            decision_interval_minutes=10,
+            scaler=ScalerConfig(min_cores=2, max_cores=8),
+        ),
+        txns_per_core_minute=profile.txns_per_terminal_minute
+        / profile.cores_per_terminal,
+        base_latency_ms=profile.base_latency_ms,
+    )
+
+    recommender = CaasperRecommender(
+        CaasperConfig(max_cores=8, c_min=2, quantile=0.90, m_high=0.05)
+    )
+    result = simulate_live(workload, recommender, config)
+
+    txn = result.detail["transactions"]
+    events = result.detail["events"]
+    print("=== live run summary ===")
+    print(f"transactions completed: {txn['total_completed']:,.0f}")
+    print(f"  dropped: {txn['total_dropped']:,.0f}   "
+          f"retried: {txn['total_retried']:,.0f}")
+    print(f"latency: avg {txn['avg_latency_ms']:.0f} ms, "
+          f"median {txn['median_latency_ms']:.0f} ms")
+    print(f"price: ${result.metrics.price:.0f}  "
+          f"(peak-per-hour, whole cores)")
+    print(f"scalings: {result.metrics.num_scalings}   "
+          f"failovers: {result.detail['failovers']}")
+    print()
+    print("=== rolling updates ===")
+    for event in events.of_kind(EventKind.ROLLING_UPDATE_FINISHED):
+        print(f"  minute {event.minute:4d}: {event.message}")
+    print()
+    print(render_series(result.usage, result.limits,
+                        title="primary usage * / client-visible limits #"))
+
+
+if __name__ == "__main__":
+    main()

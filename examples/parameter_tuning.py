@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Parameter tuning with the simulator (§5): Pareto frontier + presets.
+
+Random-searches CaaSPER's parameter space against a cyclical workload
+trace, extracts the slack-vs-throttling Pareto frontier (Figure 12), and
+shows how the Eq. 5 objective G(α, p) = α·K + C selects different
+operating points as the slack penalty α varies (Figure 13). Finally it
+prints the three ready-made preference presets (R2).
+
+Run:  python examples/parameter_tuning.py
+"""
+
+from repro import CaasperConfig, SimulatorConfig
+from repro.analysis import render_scatter
+from repro.tuning import ParameterSpace, RandomSearch
+from repro.tuning.preferences import Preference, preference_config
+from repro.workloads import cyclical_days
+
+
+def main() -> None:
+    # Coarsen the trace 5x: parameter sweeps need hundreds of runs, and
+    # the trade-off shape survives resampling.
+    demand = cyclical_days().resampled(5)
+
+    search = RandomSearch(
+        demand,
+        SimulatorConfig(
+            initial_cores=14,
+            min_cores=2,
+            max_cores=16,
+            decision_interval_minutes=2,
+            resize_delay_minutes=1,
+        ),
+        ParameterSpace(
+            base=CaasperConfig(
+                max_cores=16, c_min=2, seasonal_period_minutes=288
+            ),
+            include_proactive=True,
+        ),
+    )
+    outcome = search.run(trials=150, seed=1)
+
+    frontier = outcome.pareto_indices()
+    print(f"evaluated {len(outcome.trials)} parameter combinations; "
+          f"{len(frontier)} on the Pareto frontier")
+    print()
+    print(render_scatter(
+        outcome.throttle_values(),
+        outcome.slack_values(),
+        highlight=frontier,
+        groups=[1 if t.is_proactive else 0 for t in outcome.trials],
+        x_label="Sum Insufficient CPU",
+        y_label="Sum Slack",
+        title="slack vs throttling (o=reactive +=proactive X=Pareto)",
+    ))
+    print()
+
+    print("G-optimal configuration per alpha (Eq. 5):")
+    for alpha in (0.0, 0.063, 0.447, 2.28):
+        best = outcome.best_for_alpha(alpha)
+        print(f"  alpha={alpha:<6}: K={best.total_slack:8.0f}  "
+              f"C={best.total_insufficient_cpu:7.1f}  "
+              f"N={best.num_scalings:3d}  "
+              f"(c_min={best.config.c_min}, SF_h={best.config.sf_max_up}, "
+              f"window={best.config.window_minutes}m, "
+              f"{'proactive' if best.is_proactive else 'reactive'})")
+    print()
+
+    print("preference presets (R2):")
+    for preference in Preference:
+        config = preference_config(preference, max_cores=16)
+        print(f"  {preference.value:12s} c_min={config.c_min} "
+              f"m_h={config.m_high:.2f} m_l={config.m_low:.2f} "
+              f"SF_h={config.sf_max_up} SF_l={config.sf_max_down} "
+              f"window={config.window_minutes}m "
+              f"headroom={config.scale_down_headroom:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: autoscale a cyclical workload with CaaSPER.
+
+Builds a 3-day cyclical CPU demand trace (the shape of the paper's
+Figure 10 experiment), runs the CaaSPER recommender through the §5 trace
+simulator against a fixed-limits control, and prints the cost/slack/
+throttling comparison plus an ASCII chart of the scaling behaviour.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CaasperConfig, CaasperRecommender, SimulatorConfig, simulate_trace
+from repro.analysis import metrics_table, render_series
+from repro.baselines import FixedRecommender
+from repro.workloads import cyclical_days
+
+
+def main() -> None:
+    # A 3-day demand trace: daily cycle between ~1.5 and ~6 cores with a
+    # 12-core spike every day at 13:00.
+    demand = cyclical_days()
+
+    # The deployment: starts over-provisioned at 14 cores (a typical
+    # customer setup), bounded to [2, 16] whole cores, decisions every
+    # 10 minutes, resizes take effect 5 minutes later.
+    environment = SimulatorConfig(
+        initial_cores=14,
+        min_cores=2,
+        max_cores=16,
+        decision_interval_minutes=10,
+        resize_delay_minutes=5,
+    )
+
+    # Control: what the customer pays without autoscaling.
+    control = simulate_trace(demand, FixedRecommender(14), environment)
+
+    # CaaSPER in proactive mode: reactive PvP-slope decisions plus a
+    # naive seasonal forecast with a one-hour scale-ahead horizon.
+    config = CaasperConfig(
+        max_cores=16,
+        c_min=2,
+        proactive=True,
+        seasonal_period_minutes=24 * 60,
+        forecast_horizon_minutes=60,
+    )
+    caasper = simulate_trace(demand, CaasperRecommender(config), environment)
+
+    print(metrics_table([control, caasper]))
+    print()
+    reduction = caasper.metrics.slack_reduction_vs(control.metrics)
+    savings = 1.0 - caasper.metrics.price / control.metrics.price
+    print(f"slack reduction vs control: {reduction:.1%}")
+    print(f"cost savings vs control:    {savings:.1%}")
+    print()
+    print(render_series(caasper.usage, caasper.limits, title="CaaSPER (usage * / limits #)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works on
+environments whose setuptools predates the bundled ``bdist_wheel``
+command (PEP 660 editable installs need it; the legacy code path does
+not). All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

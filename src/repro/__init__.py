@@ -1,0 +1,86 @@
+"""CaaSPER reproduction: vertical autoscaling for monolithic applications.
+
+A from-scratch Python implementation of the system described in
+"Vertically Autoscaling Monolithic Applications with CaaSPER" (Pavlenko
+et al., SIGMOD 2024): the CaaSPER reactive+proactive recommender, the
+baselines it is evaluated against, a Kubernetes/DBaaS substrate, the §5
+trace simulator, and the parameter-tuning harness.
+
+Quickstart::
+
+    from repro import CaasperConfig, CaasperRecommender
+    from repro import SimulatorConfig, simulate_trace
+    from repro.workloads import cyclical_days
+
+    demand = cyclical_days()
+    recommender = CaasperRecommender(CaasperConfig(max_cores=16))
+    result = simulate_trace(
+        demand, recommender, SimulatorConfig(initial_cores=14, max_cores=16)
+    )
+    print(result.metrics.total_slack, result.metrics.num_scalings)
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from .core import (
+    CaasperConfig,
+    CaasperRecommender,
+    ProactiveWindowBuilder,
+    PvPCurve,
+    ReactiveDecision,
+    ReactivePolicy,
+    RoundingMode,
+)
+from .errors import (
+    ClusterStateError,
+    ConfigError,
+    ForecastError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    TraceError,
+    TuningError,
+)
+from .sim import (
+    BillingModel,
+    SimulationMetrics,
+    SimulationResult,
+    SimulatorConfig,
+    simulate_trace,
+)
+from .sim.live import LiveSystemConfig, simulate_live
+from .trace import CpuTrace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "CaasperConfig",
+    "CaasperRecommender",
+    "ReactivePolicy",
+    "ReactiveDecision",
+    "ProactiveWindowBuilder",
+    "PvPCurve",
+    "RoundingMode",
+    # simulation
+    "BillingModel",
+    "SimulationMetrics",
+    "SimulationResult",
+    "SimulatorConfig",
+    "simulate_trace",
+    "LiveSystemConfig",
+    "simulate_live",
+    # traces
+    "CpuTrace",
+    # errors
+    "ReproError",
+    "ConfigError",
+    "TraceError",
+    "ForecastError",
+    "SchedulingError",
+    "ClusterStateError",
+    "SimulationError",
+    "TuningError",
+]

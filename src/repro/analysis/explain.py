@@ -1,0 +1,108 @@
+"""Decision audit trail rendering (R6: interpretability).
+
+"When using ML to help customers select optimal configurations, it is
+important that the model is interpretable so that they understand
+trade-offs and can make an informed decision."
+
+Every CaaSPER decision carries its complete derivation
+(:class:`~repro.core.reactive.ReactiveDecision`). This module renders a
+recommender's retained decisions as a human-readable audit log — the
+slope, skew, scaling factor, branch and reason behind each resize — and
+summarizes which branches drove the run.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from ..core.reactive import ReactiveDecision
+from ..core.recommender import CaasperRecommender
+from ..errors import SimulationError
+
+__all__ = ["explain_decisions", "decision_log", "branch_summary"]
+
+
+def decision_log(
+    decisions: Sequence[ReactiveDecision],
+    only_scaling: bool = False,
+    limit: int | None = None,
+) -> str:
+    """Render a sequence of decisions as an aligned audit log.
+
+    Parameters
+    ----------
+    decisions:
+        The decision trail, in time order.
+    only_scaling:
+        Skip ``hold`` decisions (the usual view).
+    limit:
+        Keep only the most recent ``limit`` entries.
+    """
+    if not decisions:
+        raise SimulationError("no decisions to explain")
+    entries = [
+        decision
+        for decision in decisions
+        if not only_scaling or decision.is_scaling
+    ]
+    if limit is not None:
+        entries = entries[-limit:]
+    if not entries:
+        return "(no scaling decisions)"
+
+    lines = [
+        f"{'#':>4}  {'cores':>11}  {'slope':>6}  {'skew':>6}  "
+        f"{'SF':>5}  {'P-usage':>8}  branch      reason",
+    ]
+    for index, decision in enumerate(entries):
+        transition = f"{decision.current_cores}->{decision.target_cores}"
+        lines.append(
+            f"{index:>4}  {transition:>11}  {decision.slope:>6.2f}  "
+            f"{decision.skew:>6.2f}  {decision.raw_scaling_factor:>5.2f}  "
+            f"{decision.usage_quantile:>8.2f}  {decision.branch:<10}  "
+            f"{decision.reason}"
+        )
+    return "\n".join(lines)
+
+
+def branch_summary(decisions: Sequence[ReactiveDecision]) -> dict[str, int]:
+    """Count decisions per Algorithm 1 branch."""
+    if not decisions:
+        raise SimulationError("no decisions to summarize")
+    return dict(Counter(decision.branch for decision in decisions))
+
+
+def explain_decisions(
+    recommender: CaasperRecommender,
+    only_scaling: bool = True,
+    limit: int | None = 40,
+) -> str:
+    """Full R6 report for one recommender's retained decision trail.
+
+    Raises
+    ------
+    SimulationError
+        When the recommender kept no decisions (constructed with
+        ``keep_decisions=False``, or never consulted).
+    """
+    decisions = recommender.decisions
+    if not decisions:
+        raise SimulationError(
+            f"{recommender.name}: no retained decisions — construct with "
+            "keep_decisions=True and run at least one recommendation"
+        )
+    counts = branch_summary(decisions)
+    scaling = sum(1 for decision in decisions if decision.is_scaling)
+    header = [
+        f"decision audit for {recommender.name!r}: "
+        f"{len(decisions)} decisions, {scaling} scalings",
+        "branches: "
+        + ", ".join(
+            f"{branch}={count}" for branch, count in sorted(counts.items())
+        ),
+        "",
+    ]
+    return "\n".join(header) + decision_log(
+        decisions, only_scaling=only_scaling, limit=limit
+    )

@@ -1,0 +1,165 @@
+"""k-means clustering for representative-trace selection (§6.3).
+
+"We selected 9 representative runs from the Alibaba data set using
+k-means clustering." This module provides the same workflow: featurize
+each candidate trace (scale, variability, seasonality, burstiness),
+cluster with Lloyd's algorithm (from scratch, k-means++ seeding), and
+pick the member closest to each centroid as the cluster representative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import TuningError
+from ..forecast.seasonal import seasonal_strength
+from ..trace import MINUTES_PER_DAY, CpuTrace
+
+__all__ = ["kmeans", "KMeansResult", "trace_features", "select_representatives"]
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Clustering outcome.
+
+    Attributes
+    ----------
+    centroids:
+        ``(k, d)`` centroid matrix (in standardized feature space).
+    labels:
+        Cluster assignment per input row.
+    inertia:
+        Sum of squared distances to assigned centroids.
+    iterations:
+        Lloyd iterations performed.
+    """
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    iterations: int
+
+
+def _kmeans_pp_init(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids by D² sampling."""
+    n = points.shape[0]
+    centroids = np.empty((k, points.shape[1]), dtype=float)
+    centroids[0] = points[int(rng.integers(0, n))]
+    distances = np.full(n, np.inf)
+    for index in range(1, k):
+        new_d = np.sum((points - centroids[index - 1]) ** 2, axis=1)
+        distances = np.minimum(distances, new_d)
+        total = distances.sum()
+        if total <= 0:
+            centroids[index:] = centroids[index - 1]
+            break
+        probabilities = distances / total
+        choice = int(rng.choice(n, p=probabilities))
+        centroids[index] = points[choice]
+    return centroids
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    seed: int = 0,
+    max_iterations: int = 100,
+    tolerance: float = 1e-8,
+) -> KMeansResult:
+    """Lloyd's algorithm with k-means++ initialization.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` data matrix.
+    k:
+        Cluster count (``1 <= k <= n``).
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.size == 0:
+        raise TuningError("points must be a non-empty (n, d) matrix")
+    n = points.shape[0]
+    if not 1 <= k <= n:
+        raise TuningError(f"k must be in [1, {n}], got {k}")
+
+    rng = np.random.default_rng(seed)
+    centroids = _kmeans_pp_init(points, k, rng)
+    labels = np.zeros(n, dtype=int)
+    for iteration in range(1, max_iterations + 1):
+        distances = np.linalg.norm(
+            points[:, None, :] - centroids[None, :, :], axis=2
+        )
+        labels = np.argmin(distances, axis=1)
+        new_centroids = centroids.copy()
+        for cluster in range(k):
+            members = points[labels == cluster]
+            if members.size:
+                new_centroids[cluster] = members.mean(axis=0)
+        shift = float(np.linalg.norm(new_centroids - centroids))
+        centroids = new_centroids
+        if shift < tolerance:
+            break
+    inertia = float(
+        np.sum(
+            (points - centroids[labels]) ** 2
+        )
+    )
+    return KMeansResult(
+        centroids=centroids,
+        labels=labels,
+        inertia=inertia,
+        iterations=iteration,
+    )
+
+
+def trace_features(trace: CpuTrace) -> np.ndarray:
+    """Feature vector for one trace: the axes clusters separate on.
+
+    Features: mean level, standard deviation, peak, P95, coefficient of
+    variation, and daily seasonal strength (0 when the trace is shorter
+    than two days).
+    """
+    mean = trace.mean()
+    std = trace.std()
+    cov = std / mean if mean > 1e-9 else 0.0
+    if trace.minutes >= 2 * MINUTES_PER_DAY:
+        season = seasonal_strength(trace, MINUTES_PER_DAY)
+    else:
+        season = 0.0
+    return np.array(
+        [mean, std, trace.peak(), trace.quantile(0.95), cov, season]
+    )
+
+
+def select_representatives(
+    traces: Sequence[CpuTrace], k: int, seed: int = 0
+) -> list[int]:
+    """Pick ``k`` representative trace indices via k-means (§6.3).
+
+    Features are z-score standardized, clustered, and the member nearest
+    each centroid is returned (sorted by index).
+    """
+    if not traces:
+        raise TuningError("no traces supplied")
+    features = np.vstack([trace_features(trace) for trace in traces])
+    means = features.mean(axis=0)
+    stds = features.std(axis=0)
+    stds[stds < 1e-12] = 1.0
+    standardized = (features - means) / stds
+
+    result = kmeans(standardized, k, seed=seed)
+    representatives: list[int] = []
+    for cluster in range(k):
+        member_indices = np.flatnonzero(result.labels == cluster)
+        if member_indices.size == 0:
+            continue
+        distances = np.linalg.norm(
+            standardized[member_indices] - result.centroids[cluster], axis=1
+        )
+        representatives.append(int(member_indices[int(np.argmin(distances))]))
+    return sorted(set(representatives))

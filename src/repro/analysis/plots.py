@@ -1,0 +1,135 @@
+"""ASCII rendering of the paper's figure types.
+
+No plotting library is assumed; benchmarks and examples render figures as
+terminal charts — a usage/limits time series (Figures 3, 9, 10, 11, 13,
+14) and a slack-vs-throttling scatter (Figure 12).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = ["render_series", "render_scatter"]
+
+
+def render_series(
+    usage: Sequence[float],
+    limits: Sequence[float] | None = None,
+    height: int = 12,
+    width: int = 80,
+    title: str = "",
+) -> str:
+    """Render usage (``*``) and limits (``#``) as an ASCII chart.
+
+    Series are mean-downsampled to ``width`` columns. The y-axis is
+    labelled in cores.
+    """
+    usage_arr = np.asarray(usage, dtype=float)
+    if usage_arr.ndim != 1 or usage_arr.size == 0:
+        raise SimulationError("usage must be a non-empty 1-D series")
+    limit_arr = None
+    if limits is not None:
+        limit_arr = np.asarray(limits, dtype=float)
+        if limit_arr.shape != usage_arr.shape:
+            raise SimulationError("limits must match usage length")
+    if height < 2 or width < 2:
+        raise SimulationError("chart must be at least 2x2")
+
+    def downsample(series: np.ndarray) -> np.ndarray:
+        if series.size <= width:
+            return series
+        edges = np.linspace(0, series.size, width + 1).astype(int)
+        return np.array(
+            [series[edges[i] : edges[i + 1]].mean() for i in range(width)]
+        )
+
+    u = downsample(usage_arr)
+    l = downsample(limit_arr) if limit_arr is not None else None
+    top = max(
+        float(u.max()), float(l.max()) if l is not None else 0.0, 1e-9
+    )
+    columns = u.size
+    grid = [[" "] * columns for _ in range(height)]
+
+    def row_of(value: float) -> int:
+        fraction = min(max(value / top, 0.0), 1.0)
+        return height - 1 - int(round(fraction * (height - 1)))
+
+    if l is not None:
+        for col in range(columns):
+            grid[row_of(float(l[col]))][col] = "#"
+    for col in range(columns):
+        grid[row_of(float(u[col]))][col] = "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        value = top * (height - 1 - row_index) / (height - 1)
+        lines.append(f"{value:6.1f} |" + "".join(row))
+    lines.append(" " * 7 + "+" + "-" * columns)
+    legend = "        * usage" + ("   # limits" if l is not None else "")
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def render_scatter(
+    x: Sequence[float],
+    y: Sequence[float],
+    highlight: Sequence[int] = (),
+    groups: Sequence[int] | None = None,
+    height: int = 16,
+    width: int = 60,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render a scatter plot (Figure 12 style).
+
+    Points render as ``o`` (group 0) / ``+`` (group 1); ``highlight``
+    indices render as ``X`` (the Pareto frontier's red ×s).
+    """
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if x_arr.shape != y_arr.shape or x_arr.ndim != 1 or x_arr.size == 0:
+        raise SimulationError("x and y must be equal-length non-empty 1-D")
+    group_arr = (
+        np.asarray(groups, dtype=int)
+        if groups is not None
+        else np.zeros(x_arr.size, dtype=int)
+    )
+    if group_arr.shape != x_arr.shape:
+        raise SimulationError("groups must match point count")
+
+    x_min, x_max = float(x_arr.min()), float(x_arr.max())
+    y_min, y_max = float(y_arr.min()), float(y_arr.max())
+    x_span = max(x_max - x_min, 1e-9)
+    y_span = max(y_max - y_min, 1e-9)
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(px: float, py: float) -> tuple[int, int]:
+        col = int(round((px - x_min) / x_span * (width - 1)))
+        row = height - 1 - int(round((py - y_min) / y_span * (height - 1)))
+        return row, col
+
+    markers = {0: "o", 1: "+"}
+    for index in range(x_arr.size):
+        row, col = cell(float(x_arr[index]), float(y_arr[index]))
+        grid[row][col] = markers.get(int(group_arr[index]), "o")
+    for index in highlight:
+        row, col = cell(float(x_arr[index]), float(y_arr[index]))
+        grid[row][col] = "X"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} (top={y_max:.0f}, bottom={y_min:.0f})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"{x_label}: {x_min:.0f} .. {x_max:.0f}   X=Pareto")
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints the same rows the paper's tables report;
+these helpers keep that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from ..errors import SimulationError
+from ..sim.results import SimulationResult
+
+__all__ = ["format_table", "metrics_table"]
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]]
+) -> str:
+    """Render an aligned plain-text table.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    rows:
+        Row cell values (numbers are compact-formatted).
+    """
+    if not headers:
+        raise SimulationError("table needs headers")
+    formatted = [[_format_cell(cell) for cell in row] for row in rows]
+    for index, row in enumerate(formatted):
+        if len(row) != len(headers):
+            raise SimulationError(
+                f"row {index} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(header), *(len(row[col]) for row in formatted))
+        if formatted
+        else len(header)
+        for col, header in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in formatted:
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def metrics_table(
+    results: Sequence[SimulationResult],
+    extra_columns: Mapping[str, Mapping[str, Any]] | None = None,
+) -> str:
+    """Standard comparison table over simulation results.
+
+    Parameters
+    ----------
+    results:
+        Runs to compare (one row each).
+    extra_columns:
+        Optional ``{column_title: {result_name: value}}`` additions
+        (e.g. price ratios, txn counts).
+    """
+    if not results:
+        raise SimulationError("no results to tabulate")
+    headers = [
+        "run",
+        "total_slack (K)",
+        "insuff_cpu (C)",
+        "scalings (N)",
+        "throttled_obs_%",
+        "price",
+    ]
+    extras = dict(extra_columns or {})
+    headers.extend(extras)
+    rows = []
+    for result in results:
+        metrics = result.metrics
+        row: list[Any] = [
+            result.name,
+            metrics.total_slack,
+            metrics.total_insufficient_cpu,
+            metrics.num_scalings,
+            metrics.throttled_observation_pct,
+            metrics.price,
+        ]
+        for column in extras.values():
+            row.append(column.get(result.name, ""))
+        rows.append(row)
+    return format_table(headers, rows)

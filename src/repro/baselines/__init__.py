@@ -1,0 +1,41 @@
+"""Baseline recommenders the paper compares CaaSPER against (§3.3, §6).
+
+Exports:
+
+- :class:`~repro.baselines.base.Recommender` — the pluggable recommender
+  contract of Figure 1 (step 3).
+- :class:`~repro.baselines.fixed.FixedRecommender` — the control runs.
+- :class:`~repro.baselines.oracle.OracleRecommender` — the "ideal oracle"
+  of §6.1 rule (3).
+- :class:`~repro.baselines.vpa.VpaRecommender` — the default K8s VPA
+  decaying-histogram P90 algorithm (Figure 3b).
+- :class:`~repro.baselines.openshift.OpenShiftVpaRecommender` — the
+  predictive, forecast-driven VPA variant (Figure 3c).
+- :class:`~repro.baselines.moving_average.MovingAverageRecommender` —
+  SMA/EMA rightsizing from the "tiny autoscalers" family.
+- :class:`~repro.baselines.stepwise.StepwiseRecommender` — a classic
+  threshold rule scaler.
+"""
+
+from .autopilot import AutopilotRecommender
+from .base import Recommender, WindowedRecommender
+from .fixed import FixedRecommender
+from .histogram import DecayingHistogram
+from .moving_average import MovingAverageRecommender
+from .openshift import OpenShiftVpaRecommender
+from .oracle import OracleRecommender
+from .stepwise import StepwiseRecommender
+from .vpa import VpaRecommender
+
+__all__ = [
+    "Recommender",
+    "WindowedRecommender",
+    "AutopilotRecommender",
+    "FixedRecommender",
+    "OracleRecommender",
+    "DecayingHistogram",
+    "VpaRecommender",
+    "OpenShiftVpaRecommender",
+    "MovingAverageRecommender",
+    "StepwiseRecommender",
+]

@@ -1,0 +1,80 @@
+"""Autopilot-style recommender (§7: Rzadca et al., EuroSys 2020).
+
+"In Autopilot, they use vertical scaling to reduce slack and prevent
+throttling in their workloads." Google's Autopilot sizes limits from a
+*decayed peak* of recent usage: the maximum observed sample, with older
+samples discounted exponentially, times a safety margin. Compared to the
+VPA's P90 histogram it reacts to bursts instantly (the peak jumps) but
+scales down only as fast as the decay lets the old peak fade.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigError
+from .base import WindowedRecommender
+
+__all__ = ["AutopilotRecommender"]
+
+
+class AutopilotRecommender(WindowedRecommender):
+    """Decayed-peak limits recommender.
+
+    Parameters
+    ----------
+    window_minutes:
+        How much history the peak considers.
+    half_life_minutes:
+        A sample's weight halves every this many minutes; the effective
+        peak is ``max_j usage_j × 0.5^(age_j / half_life)``.
+    margin:
+        Multiplicative safety margin over the decayed peak.
+    min_cores, max_cores:
+        Service guardrails.
+    """
+
+    name = "autopilot"
+
+    def __init__(
+        self,
+        window_minutes: int = 4 * 60,
+        half_life_minutes: float = 12 * 60,
+        margin: float = 1.1,
+        min_cores: int = 1,
+        max_cores: int = 64,
+    ) -> None:
+        super().__init__(window_minutes=window_minutes)
+        if half_life_minutes <= 0:
+            raise ConfigError(
+                f"half_life_minutes must be > 0, got {half_life_minutes}"
+            )
+        if margin < 1.0:
+            raise ConfigError(f"margin must be >= 1, got {margin}")
+        if min_cores < 1 or max_cores < min_cores:
+            raise ConfigError(
+                f"invalid guardrails: min={min_cores}, max={max_cores}"
+            )
+        self.half_life_minutes = half_life_minutes
+        self.margin = margin
+        self.min_cores = min_cores
+        self.max_cores = max_cores
+
+    def decayed_peak(self) -> float:
+        """The Autopilot signal: age-discounted maximum usage."""
+        usage = self.usage_window
+        n = usage.size
+        if n == 0:
+            return 0.0
+        peak = 0.0
+        for index in range(n):
+            age = n - 1 - index
+            weight = math.pow(0.5, age / self.half_life_minutes)
+            peak = max(peak, float(usage[index]) * weight)
+        return peak
+
+    def recommend(self, minute: int, current_limit: int) -> int:
+        if self.sample_count == 0:
+            return max(self.min_cores, min(self.max_cores, current_limit))
+        target = math.ceil(self.decayed_peak() * self.margin)
+        return max(self.min_cores, min(self.max_cores, target))

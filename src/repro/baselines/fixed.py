@@ -1,0 +1,34 @@
+"""The control recommender: fixed limits, no scaling (Figure 3a).
+
+The paper's "control" runs fix the limits at (roughly) the workload's
+expected peak — "an ideal oracle where no throttling or scaling occurs"
+(§6.1 rule 3) when the peak estimate is right, and the over-provisioned
+customer baseline when it is generous.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from .base import Recommender
+
+__all__ = ["FixedRecommender"]
+
+
+class FixedRecommender(Recommender):
+    """Always recommends the same whole-core allocation.
+
+    Parameters
+    ----------
+    cores:
+        The fixed ``limits`` (== ``requests``) value, in whole cores.
+    """
+
+    name = "control"
+
+    def __init__(self, cores: int) -> None:
+        if cores < 1:
+            raise ConfigError(f"fixed cores must be >= 1, got {cores}")
+        self.cores = int(cores)
+
+    def recommend(self, minute: int, current_limit: int) -> int:
+        return self.cores

@@ -1,0 +1,142 @@
+"""Exponentially-decaying histogram — the data structure inside K8s VPA.
+
+The default VPA recommender "uses a decaying histogram of weighted CPU
+samples collected at one-minute intervals to determine the new requests
+target based on the 90th percentile of observed usage within the
+configured history length" (§3.3). This is a from-scratch implementation
+of that structure, matching the upstream design:
+
+- exponentially growing bucket widths (each bucket ``ratio``× the last),
+  so resolution is fine at low usage and coarse at high usage;
+- sample weights decay with a configurable half-life, so old peaks fade;
+- percentile queries walk the cumulative weights.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["DecayingHistogram"]
+
+
+class DecayingHistogram:
+    """Decayed-weight histogram over CPU usage values.
+
+    Parameters
+    ----------
+    max_value:
+        Upper bound of the histogram domain (cores). Samples above it
+        land in the last bucket.
+    first_bucket_size:
+        Width of the first bucket, in cores.
+    bucket_growth_ratio:
+        Multiplicative width growth per bucket (upstream VPA uses 1.05).
+    half_life_minutes:
+        Sample weight halves every this many minutes (upstream default:
+        24 hours).
+    """
+
+    def __init__(
+        self,
+        max_value: float = 64.0,
+        first_bucket_size: float = 0.1,
+        bucket_growth_ratio: float = 1.05,
+        half_life_minutes: float = 24 * 60,
+    ) -> None:
+        if max_value <= 0:
+            raise ConfigError(f"max_value must be > 0, got {max_value}")
+        if first_bucket_size <= 0:
+            raise ConfigError(
+                f"first_bucket_size must be > 0, got {first_bucket_size}"
+            )
+        if bucket_growth_ratio < 1.0:
+            raise ConfigError(
+                f"bucket_growth_ratio must be >= 1, got {bucket_growth_ratio}"
+            )
+        if half_life_minutes <= 0:
+            raise ConfigError(
+                f"half_life_minutes must be > 0, got {half_life_minutes}"
+            )
+        self.max_value = max_value
+        self.half_life_minutes = half_life_minutes
+
+        # Precompute bucket upper boundaries: b0 = first, b_{i+1} grows.
+        boundaries: list[float] = []
+        upper = 0.0
+        width = first_bucket_size
+        while upper < max_value:
+            upper += width
+            boundaries.append(min(upper, max_value))
+            width *= bucket_growth_ratio
+        self._boundaries = np.asarray(boundaries)
+        self._weights = np.zeros(len(boundaries), dtype=float)
+        self._reference_minute = 0.0
+
+    # -- internals ----------------------------------------------------------------
+
+    def _bucket_index(self, value: float) -> int:
+        index = int(np.searchsorted(self._boundaries, value, side="left"))
+        return min(index, len(self._boundaries) - 1)
+
+    def _decay_factor(self, minute: float) -> float:
+        """Relative weight of a sample at ``minute`` vs the reference."""
+        age = minute - self._reference_minute
+        return math.pow(2.0, age / self.half_life_minutes)
+
+    # -- public API ------------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no effective weight has been recorded."""
+        return float(self._weights.sum()) <= 0.0
+
+    @property
+    def bucket_count(self) -> int:
+        """Number of buckets in the histogram."""
+        return len(self._boundaries)
+
+    def add_sample(self, value: float, minute: float, weight: float = 1.0) -> None:
+        """Record a usage sample observed at ``minute``.
+
+        Newer samples carry exponentially more weight. To keep weights in
+        a numerically safe range the histogram is renormalized whenever
+        the decay factor grows large.
+        """
+        if value < 0:
+            raise ConfigError(f"sample value must be >= 0, got {value}")
+        if weight < 0:
+            raise ConfigError(f"sample weight must be >= 0, got {weight}")
+        factor = self._decay_factor(minute)
+        if factor > 1e6:
+            # Renormalize: fold the accumulated decay into the stored
+            # weights and move the reference point to `minute`.
+            self._weights /= factor
+            self._reference_minute = minute
+            factor = 1.0
+        self._weights[self._bucket_index(value)] += weight * factor
+
+    def percentile(self, fraction: float) -> float:
+        """Smallest usage value covering ``fraction`` of the total weight.
+
+        Returns the *upper boundary* of the bucket where the cumulative
+        weight crosses the threshold (matching upstream VPA, which errs
+        high by design). Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigError(f"fraction must be in (0, 1], got {fraction}")
+        total = float(self._weights.sum())
+        if total <= 0.0:
+            return 0.0
+        cumulative = np.cumsum(self._weights)
+        index = int(np.searchsorted(cumulative, fraction * total, side="left"))
+        index = min(index, len(self._boundaries) - 1)
+        return float(self._boundaries[index])
+
+    def reset(self) -> None:
+        """Drop all recorded weight."""
+        self._weights[:] = 0.0
+        self._reference_minute = 0.0

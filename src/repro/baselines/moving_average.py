@@ -1,0 +1,75 @@
+"""Moving-average rightsizing recommender.
+
+The "tiny autoscalers" approach (§7, Zhao & Uta 2022): size limits at a
+margin above a simple or exponential moving average of recent usage.
+Cheap, history-light, and a useful middle-ground baseline between the
+control and the full CaaSPER algorithm in ablations.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigError
+from .base import WindowedRecommender
+
+__all__ = ["MovingAverageRecommender"]
+
+
+class MovingAverageRecommender(WindowedRecommender):
+    """Sizes limits at ``margin ×`` a moving average of observed usage.
+
+    Parameters
+    ----------
+    window_minutes:
+        Averaging window length.
+    margin:
+        Multiplicative headroom over the average (e.g. 1.5 → 50% slack).
+    exponential:
+        Use an exponential (rather than simple) moving average.
+    alpha:
+        EMA smoothing factor, used only when ``exponential`` is True.
+    min_cores, max_cores:
+        Service guardrails.
+    """
+
+    name = "moving-average"
+
+    def __init__(
+        self,
+        window_minutes: int = 30,
+        margin: float = 1.5,
+        exponential: bool = False,
+        alpha: float = 0.2,
+        min_cores: int = 1,
+        max_cores: int = 64,
+    ) -> None:
+        super().__init__(window_minutes=window_minutes)
+        if margin < 1.0:
+            raise ConfigError(f"margin must be >= 1, got {margin}")
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigError(f"alpha must be in (0, 1], got {alpha}")
+        if min_cores < 1 or max_cores < min_cores:
+            raise ConfigError(
+                f"invalid guardrails: min={min_cores}, max={max_cores}"
+            )
+        self.margin = margin
+        self.exponential = exponential
+        self.alpha = alpha
+        self.min_cores = min_cores
+        self.max_cores = max_cores
+
+    def _average(self) -> float:
+        usage = self.usage_window
+        if not self.exponential:
+            return float(usage.mean())
+        level = float(usage[0])
+        for value in usage[1:]:
+            level = self.alpha * float(value) + (1.0 - self.alpha) * level
+        return level
+
+    def recommend(self, minute: int, current_limit: int) -> int:
+        if self.sample_count == 0:
+            return max(self.min_cores, min(self.max_cores, current_limit))
+        target = math.ceil(self._average() * self.margin)
+        return max(self.min_cores, min(self.max_cores, target))

@@ -1,0 +1,96 @@
+"""OpenShift-style predictive VPA (Figure 3c).
+
+Reproduces the failure mode the paper demonstrates (§3.3): a recommender
+that *forecasts observed usage* and sets limits from the prediction.
+
+"Initially, the recommender component predicts low CPU utilization,
+resulting in the scaler component setting low limits. Consequently,
+container throttling occurs [...] due to the ongoing low CPU metrics
+resulting from the previous limits setting, the recommender continues to
+forecast low CPU usage in the future, exacerbating the throttling issue."
+
+The feedback loop arises because the recommender only ever sees *usage*
+(capped by its own limits), never demand. Any forecaster plugged in here
+inherits the problem; the default is a trailing-window quantile of a
+linear-trend forecast, echoing OpenShift's model-selection flavour without
+its (paper-noted, costly) retrain-at-prediction-time machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError, ForecastError
+from ..forecast.base import Forecaster
+from ..forecast.linear import LinearTrendForecaster
+from .base import WindowedRecommender
+
+__all__ = ["OpenShiftVpaRecommender"]
+
+
+class OpenShiftVpaRecommender(WindowedRecommender):
+    """Forecast-driven limits recommender with the §3.3 feedback loop.
+
+    Parameters
+    ----------
+    forecaster:
+        Predictor applied to the observed-usage window (default: linear
+        trend, the most OpenShift-like of the bundled forecasters).
+    horizon_minutes:
+        Forecast horizon whose quantile sets the next limits.
+    quantile:
+        Quantile of the forecast horizon used as the requests target.
+    history_minutes:
+        Length of the observed-usage window fed to the forecaster.
+    min_cores, max_cores:
+        Service guardrails (the paper's 2-core floor shows up as the
+        "limits oscillate between 2 and 3 cores" behaviour).
+    """
+
+    name = "openshift-vpa"
+
+    def __init__(
+        self,
+        forecaster: Forecaster | None = None,
+        horizon_minutes: int = 30,
+        quantile: float = 0.90,
+        history_minutes: int = 120,
+        min_cores: int = 2,
+        max_cores: int = 64,
+    ) -> None:
+        super().__init__(window_minutes=history_minutes)
+        if horizon_minutes < 1:
+            raise ConfigError(
+                f"horizon_minutes must be >= 1, got {horizon_minutes}"
+            )
+        if not 0.0 < quantile <= 1.0:
+            raise ConfigError(f"quantile must be in (0, 1], got {quantile}")
+        if min_cores < 1 or max_cores < min_cores:
+            raise ConfigError(
+                f"invalid guardrails: min={min_cores}, max={max_cores}"
+            )
+        self.forecaster = forecaster or LinearTrendForecaster(
+            window_minutes=history_minutes
+        )
+        self.horizon_minutes = horizon_minutes
+        self.quantile = quantile
+        self.min_cores = min_cores
+        self.max_cores = max_cores
+
+    def recommend(self, minute: int, current_limit: int) -> int:
+        if self.sample_count < 2:
+            return max(self.min_cores, min(self.max_cores, current_limit))
+        try:
+            horizon = self.forecaster.forecast(
+                self.window_trace(), self.horizon_minutes
+            )
+        except ForecastError:
+            return max(self.min_cores, min(self.max_cores, current_limit))
+        predicted = float(np.quantile(horizon, self.quantile))
+        # Limits are set directly *at* the usage forecast — the core flaw:
+        # for a throttled workload the forecast "does not align with the
+        # true amount of resources required" (§1). Rounding to nearest
+        # (not up) is what closes the feedback loop: usage pinned at L
+        # forecasts L, which recommends L again.
+        limits = int(round(predicted))
+        return max(self.min_cores, min(self.max_cores, limits))

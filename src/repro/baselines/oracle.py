@@ -1,0 +1,73 @@
+"""Oracle recommender: clairvoyant right-sizing.
+
+Knows the *demand* trace ahead of time (something no deployable
+recommender can) and allocates exactly the rounded-up peak demand of the
+upcoming look-ahead window plus a configurable buffer. Used as the
+lower-bound-cost / zero-throttling reference in ablations: no real
+algorithm should beat the oracle on both slack and throttling at once.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigError
+from ..trace import CpuTrace
+from .base import Recommender
+
+__all__ = ["OracleRecommender"]
+
+
+class OracleRecommender(Recommender):
+    """Clairvoyant recommender sized to future peak demand.
+
+    Parameters
+    ----------
+    demand:
+        The full future demand trace (in cores).
+    lookahead_minutes:
+        How far ahead the oracle peeks; should cover at least the resize
+        delay so scale-ups land before the demand does.
+    headroom_cores:
+        Extra whole cores kept above the look-ahead peak.
+    min_cores, max_cores:
+        Service guardrails applied to the output.
+    """
+
+    name = "oracle"
+
+    def __init__(
+        self,
+        demand: CpuTrace,
+        lookahead_minutes: int = 15,
+        headroom_cores: int = 0,
+        min_cores: int = 1,
+        max_cores: int = 128,
+    ) -> None:
+        if lookahead_minutes < 1:
+            raise ConfigError(
+                f"lookahead_minutes must be >= 1, got {lookahead_minutes}"
+            )
+        if headroom_cores < 0:
+            raise ConfigError(
+                f"headroom_cores must be >= 0, got {headroom_cores}"
+            )
+        if min_cores < 1 or max_cores < min_cores:
+            raise ConfigError(
+                f"invalid guardrails: min={min_cores}, max={max_cores}"
+            )
+        self.demand = demand
+        self.lookahead_minutes = lookahead_minutes
+        self.headroom_cores = headroom_cores
+        self.min_cores = min_cores
+        self.max_cores = max_cores
+
+    def recommend(self, minute: int, current_limit: int) -> int:
+        start = max(0, min(minute, self.demand.minutes - 1))
+        end = min(self.demand.minutes, minute + self.lookahead_minutes)
+        upcoming = self.demand.samples[start:end]
+        peak = float(upcoming.max()) if upcoming.size else float(
+            self.demand.samples[-1]
+        )
+        target = math.ceil(peak) + self.headroom_cores
+        return max(self.min_cores, min(self.max_cores, target))

@@ -1,0 +1,77 @@
+"""Classic threshold rule scaler.
+
+The rule-based family the paper's related work surveys (§7): scale up one
+step when recent utilization exceeds a high-water mark, scale down one
+step when it falls below a low-water mark. No curves, no forecasts — the
+simplest deployable reactive policy, and the clearest contrast to
+CaaSPER's severity-aware single-step corrections: a step scaler needs many
+intervals to climb out of deep throttling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from .base import WindowedRecommender
+
+__all__ = ["StepwiseRecommender"]
+
+
+class StepwiseRecommender(WindowedRecommender):
+    """±1-core-per-decision threshold scaler.
+
+    Parameters
+    ----------
+    window_minutes:
+        Utilization evaluation window.
+    high_utilization:
+        Scale up when mean utilization (usage / limit) exceeds this.
+    low_utilization:
+        Scale down when mean utilization falls below this.
+    step_cores:
+        Whole cores added/removed per decision.
+    min_cores, max_cores:
+        Service guardrails.
+    """
+
+    name = "stepwise"
+
+    def __init__(
+        self,
+        window_minutes: int = 15,
+        high_utilization: float = 0.80,
+        low_utilization: float = 0.40,
+        step_cores: int = 1,
+        min_cores: int = 1,
+        max_cores: int = 64,
+    ) -> None:
+        super().__init__(window_minutes=window_minutes)
+        if not 0.0 < low_utilization < high_utilization <= 1.0:
+            raise ConfigError(
+                "need 0 < low_utilization < high_utilization <= 1, got "
+                f"low={low_utilization}, high={high_utilization}"
+            )
+        if step_cores < 1:
+            raise ConfigError(f"step_cores must be >= 1, got {step_cores}")
+        if min_cores < 1 or max_cores < min_cores:
+            raise ConfigError(
+                f"invalid guardrails: min={min_cores}, max={max_cores}"
+            )
+        self.high_utilization = high_utilization
+        self.low_utilization = low_utilization
+        self.step_cores = step_cores
+        self.min_cores = min_cores
+        self.max_cores = max_cores
+
+    def recommend(self, minute: int, current_limit: int) -> int:
+        if self.sample_count == 0:
+            return max(self.min_cores, min(self.max_cores, current_limit))
+        limits = np.maximum(self.limit_window, 1.0)
+        utilization = float(np.mean(self.usage_window / limits))
+        target = current_limit
+        if utilization >= self.high_utilization:
+            target = current_limit + self.step_cores
+        elif utilization <= self.low_utilization:
+            target = current_limit - self.step_cores
+        return max(self.min_cores, min(self.max_cores, target))

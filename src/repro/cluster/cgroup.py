@@ -1,0 +1,61 @@
+"""cgroup-style CPU enforcement (§2.1).
+
+"Once the containers are running on the nodes, their specifications are
+enforced using the Linux cgroups subsystem [...] For CPU resources,
+allocation typically refers to CPU time rather than specific cores."
+
+In a discrete-minute model the CFS quota reduces to a hard cap: a
+container demanding ``d`` core-minutes in a minute receives
+``min(d, limit)`` and is throttled for the remainder. This single capping
+rule is what creates every feedback effect the paper studies — observed
+usage of a throttled container *is* its limit, hiding true demand from
+any usage-driven recommender.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["enforce_cpu", "CpuEnforcementResult"]
+
+
+@dataclass(frozen=True)
+class CpuEnforcementResult:
+    """Outcome of one minute of cgroup CPU enforcement.
+
+    Attributes
+    ----------
+    usage_cores:
+        CPU actually consumed (== what a metrics server reports).
+    throttled_cores:
+        Demand denied this minute (``demand − usage``).
+    """
+
+    usage_cores: float
+    throttled_cores: float
+
+    @property
+    def was_throttled(self) -> bool:
+        return self.throttled_cores > 1e-9
+
+
+def enforce_cpu(demand_cores: float, limit_cores: float) -> CpuEnforcementResult:
+    """Apply the CFS quota for one minute.
+
+    Parameters
+    ----------
+    demand_cores:
+        CPU the container would consume unthrottled (>= 0).
+    limit_cores:
+        The cgroup ceiling (> 0).
+    """
+    if demand_cores < 0:
+        raise ConfigError(f"demand must be >= 0, got {demand_cores}")
+    if limit_cores <= 0:
+        raise ConfigError(f"limit must be > 0, got {limit_cores}")
+    usage = min(demand_cores, limit_cores)
+    return CpuEnforcementResult(
+        usage_cores=usage, throttled_cores=demand_cores - usage
+    )

@@ -1,0 +1,72 @@
+"""Cluster facade: a node pool plus its scheduler and event log.
+
+Convenience layer for building the paper's two test environments:
+
+- the "small cluster": 6 VMs × 8 CPUs / 32 GB,
+- the "large cluster": 6 VMs × 16 CPUs / 56 GB (§6.2).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from .events import EventLog
+from .node import Node
+from .scheduler import Scheduler
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A named node pool with one scheduler and one event log."""
+
+    def __init__(self, name: str, nodes: list[Node]) -> None:
+        if not nodes:
+            raise ConfigError("cluster needs at least one node")
+        self.name = name
+        self.nodes = nodes
+        self.scheduler = Scheduler(nodes)
+        self.events = EventLog()
+
+    @classmethod
+    def uniform(
+        cls,
+        name: str,
+        node_count: int,
+        cpu_cores_per_node: int,
+        memory_gb_per_node: int,
+    ) -> "Cluster":
+        """A pool of identical VMs."""
+        if node_count < 1:
+            raise ConfigError(f"node_count must be >= 1, got {node_count}")
+        nodes = [
+            Node(
+                name=f"{name}-node-{index}",
+                cpu_cores=cpu_cores_per_node,
+                memory_mb=memory_gb_per_node * 1024,
+            )
+            for index in range(node_count)
+        ]
+        return cls(name, nodes)
+
+    @classmethod
+    def small(cls) -> "Cluster":
+        """The paper's small cluster: 6 VMs, 8 CPUs / 32 GB each."""
+        return cls.uniform("small", 6, 8, 32)
+
+    @classmethod
+    def large(cls) -> "Cluster":
+        """The paper's large cluster: 6 VMs, 16 CPUs / 56 GB each."""
+        return cls.uniform("large", 6, 16, 56)
+
+    @property
+    def total_cores(self) -> int:
+        """Aggregate CPU capacity, in cores."""
+        return sum(
+            node.cpu_capacity_millicores // 1000 for node in self.nodes
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Cluster(name={self.name!r}, nodes={len(self.nodes)}, "
+            f"total_cores={self.total_cores})"
+        )

@@ -1,0 +1,90 @@
+"""The end-to-end control loop of Figure 1.
+
+Wires the numbered components together for one managed database:
+
+  target application (0) → controller/operator (1) → metrics server (2)
+  → recommender (3) → decision (4) → scaler (5) → enactment (6)
+
+One :meth:`ControlLoop.step` call advances everything by one minute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.base import Recommender
+from ..db.service import DBaaSService, ServiceMinute
+from ..errors import ConfigError
+from .events import EventLog
+from .metrics import MetricsServer
+from .scaler import Scaler, ScalerConfig
+
+__all__ = ["ControlLoop", "ControlLoopConfig"]
+
+
+@dataclass(frozen=True)
+class ControlLoopConfig:
+    """Control-loop cadence and guardrails.
+
+    Parameters
+    ----------
+    decision_interval_minutes:
+        How often the recommender is consulted.
+    scaler:
+        Scaler guardrails (min/max cores, cooldown).
+    """
+
+    decision_interval_minutes: int = 10
+    scaler: ScalerConfig = ScalerConfig()
+
+    def __post_init__(self) -> None:
+        if self.decision_interval_minutes < 1:
+            raise ConfigError("decision_interval_minutes must be >= 1")
+
+
+class ControlLoop:
+    """One autoscaled database deployment, stepped minute by minute."""
+
+    def __init__(
+        self,
+        service: DBaaSService,
+        recommender: Recommender,
+        config: ControlLoopConfig,
+        metrics: MetricsServer | None = None,
+        events: EventLog | None = None,
+    ) -> None:
+        self.service = service
+        self.recommender = recommender
+        self.config = config
+        self.metrics = metrics or MetricsServer()
+        self.events = events if events is not None else service.events
+        self.scaler = Scaler(service.operator, service.scheduler, config.scaler)
+        self._target_name = service.stateful_set.name
+
+    def step(self, minute: int, demand_cores: float) -> ServiceMinute:
+        """Advance the loop by one minute under the given client demand."""
+        outcome = self.service.step(minute, demand_cores)
+
+        # (1)→(2): the controller publishes primary usage + allocation.
+        self.metrics.publish(
+            self._target_name,
+            minute,
+            outcome.primary_usage_cores,
+            outcome.client_limit_cores,
+        )
+        # (2)→(3): the recommender reads the fresh sample.
+        self.recommender.observe(
+            minute,
+            outcome.primary_usage_cores,
+            int(round(outcome.client_limit_cores)),
+        )
+
+        # (3)→(6): periodic decision, safety-checked and enacted.
+        if minute > 0 and minute % self.config.decision_interval_minutes == 0:
+            current = int(round(outcome.client_limit_cores))
+            target = int(
+                self.recommender.recommend(minute, max(current, 1))
+            )
+            self.scaler.try_enact(target, minute, self.events)
+
+        return outcome

@@ -1,0 +1,82 @@
+"""Structured event log for cluster simulations.
+
+Everything observable about a run — resizes, restarts, failovers,
+scheduling outcomes, throttling onsets — is recorded as typed events so
+tests and benchmarks can assert on behaviour without scraping strings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["Event", "EventKind", "EventLog"]
+
+
+class EventKind(enum.Enum):
+    """Categories of cluster events."""
+
+    POD_SCHEDULED = "pod_scheduled"
+    POD_UNSCHEDULABLE = "pod_unschedulable"
+    POD_RESTART_STARTED = "pod_restart_started"
+    POD_RESTART_FINISHED = "pod_restart_finished"
+    ROLLING_UPDATE_STARTED = "rolling_update_started"
+    ROLLING_UPDATE_FINISHED = "rolling_update_finished"
+    FAILOVER = "failover"
+    RESIZE_DECIDED = "resize_decided"
+    RESIZE_REJECTED = "resize_rejected"
+    RESIZE_ENACTED = "resize_enacted"
+    THROTTLING_STARTED = "throttling_started"
+    THROTTLING_STOPPED = "throttling_stopped"
+    TXN_DROPPED = "txn_dropped"
+    NODE_PRESSURE = "node_pressure"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped cluster event."""
+
+    minute: int
+    kind: EventKind
+    subject: str
+    message: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+class EventLog:
+    """Append-only event collection with typed queries."""
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+
+    def record(
+        self,
+        minute: int,
+        kind: EventKind,
+        subject: str,
+        message: str,
+        **data: Any,
+    ) -> Event:
+        """Append an event and return it."""
+        event = Event(minute, kind, subject, message, data)
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def of_kind(self, kind: EventKind) -> list[Event]:
+        """All events of one kind, in time order."""
+        return [event for event in self._events if event.kind is kind]
+
+    def count(self, kind: EventKind) -> int:
+        """Number of events of one kind."""
+        return sum(1 for event in self._events if event.kind is kind)
+
+    def for_subject(self, subject: str) -> list[Event]:
+        """All events about one subject (pod/set name)."""
+        return [event for event in self._events if event.subject == subject]

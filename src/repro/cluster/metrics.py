@@ -1,0 +1,109 @@
+"""Metrics server (Figure 1, step 2).
+
+"The controller also publishes metrics, such as the current CPU usage and
+allocation for the application, which are stored in a metrics server.
+These metrics can be accessed by the recommender algorithm."
+
+Stores bounded per-target time series of ``(usage, limit)`` samples at
+one-minute resolution and serves window queries.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..trace import CpuTrace
+
+__all__ = ["MetricsServer", "MetricSample"]
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One stored observation."""
+
+    minute: int
+    usage_cores: float
+    limit_cores: float
+
+
+class MetricsServer:
+    """Bounded in-memory metrics store keyed by target name.
+
+    Parameters
+    ----------
+    retention_minutes:
+        Samples older than this are evicted (mirrors the configured
+        history length of real metrics pipelines).
+    """
+
+    def __init__(self, retention_minutes: int = 14 * 24 * 60) -> None:
+        if retention_minutes < 1:
+            raise ConfigError(
+                f"retention_minutes must be >= 1, got {retention_minutes}"
+            )
+        self.retention_minutes = retention_minutes
+        self._series: dict[str, deque[MetricSample]] = {}
+
+    def publish(
+        self, target: str, minute: int, usage_cores: float, limit_cores: float
+    ) -> None:
+        """Store one sample for ``target``."""
+        if usage_cores < 0:
+            raise ConfigError(f"usage must be >= 0, got {usage_cores}")
+        series = self._series.setdefault(
+            target, deque(maxlen=self.retention_minutes)
+        )
+        series.append(MetricSample(minute, usage_cores, limit_cores))
+
+    def targets(self) -> list[str]:
+        """All target names with stored samples."""
+        return sorted(self._series)
+
+    def sample_count(self, target: str) -> int:
+        """Number of retained samples for ``target``."""
+        return len(self._series.get(target, ()))
+
+    def latest(self, target: str) -> MetricSample | None:
+        """Most recent sample, or None."""
+        series = self._series.get(target)
+        return series[-1] if series else None
+
+    def usage_window(self, target: str, window_minutes: int | None = None) -> CpuTrace:
+        """Usage samples for ``target`` as a trace (optionally trailing window).
+
+        Raises
+        ------
+        ConfigError
+            When no samples exist for ``target``.
+        """
+        series = self._series.get(target)
+        if not series:
+            raise ConfigError(f"no metrics stored for target {target!r}")
+        samples = list(series)
+        if window_minutes is not None:
+            if window_minutes < 1:
+                raise ConfigError(
+                    f"window_minutes must be >= 1, got {window_minutes}"
+                )
+            samples = samples[-window_minutes:]
+        return CpuTrace(
+            np.asarray([sample.usage_cores for sample in samples]),
+            name=target,
+            start_minute=samples[0].minute,
+        )
+
+    def limits_window(
+        self, target: str, window_minutes: int | None = None
+    ) -> np.ndarray:
+        """Limits in force per retained sample (trailing window)."""
+        series = self._series.get(target)
+        if not series:
+            raise ConfigError(f"no metrics stored for target {target!r}")
+        samples = list(series)
+        if window_minutes is not None:
+            samples = samples[-window_minutes:]
+        return np.asarray([sample.limit_cores for sample in samples])

@@ -1,0 +1,112 @@
+"""Cluster nodes: capacity, allocatable resources, and pod placement."""
+
+from __future__ import annotations
+
+from ..errors import ClusterStateError, ConfigError
+from .pod import Pod
+from .resources import MILLICORES_PER_CORE, ResourceSpec
+
+__all__ = ["Node"]
+
+
+class Node:
+    """A cluster node (VM or bare metal, §2.1 footnote 2).
+
+    Parameters
+    ----------
+    name:
+        Unique node name.
+    cpu_cores:
+        Total CPU capacity in cores (e.g. the paper's small cluster uses
+        6 VMs with 8 CPUs each).
+    memory_mb:
+        Total memory.
+    system_reserved_millicores:
+        CPU held back for the kubelet/OS; subtracted from allocatable.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        cpu_cores: int,
+        memory_mb: int = 32 * 1024,
+        system_reserved_millicores: int = 200,
+    ) -> None:
+        if cpu_cores < 1:
+            raise ConfigError(f"node needs >= 1 core, got {cpu_cores}")
+        if memory_mb <= 0:
+            raise ConfigError(f"memory_mb must be positive, got {memory_mb}")
+        if system_reserved_millicores < 0:
+            raise ConfigError("system_reserved_millicores must be >= 0")
+        self.name = name
+        self.cpu_capacity_millicores = cpu_cores * MILLICORES_PER_CORE
+        self.memory_mb = memory_mb
+        self.system_reserved_millicores = system_reserved_millicores
+        self.pods: list[Pod] = []
+
+    # -- capacity accounting ---------------------------------------------------------
+
+    @property
+    def allocatable_millicores(self) -> int:
+        """CPU available to pods (capacity minus system reservation)."""
+        return self.cpu_capacity_millicores - self.system_reserved_millicores
+
+    @property
+    def requested_millicores(self) -> int:
+        """Sum of requests of pods currently bound here."""
+        return sum(pod.spec.cpu_request_millicores for pod in self.pods)
+
+    @property
+    def requested_memory_mb(self) -> int:
+        """Sum of memory requests of pods currently bound here."""
+        return sum(pod.spec.memory_mb for pod in self.pods)
+
+    @property
+    def free_millicores(self) -> int:
+        """Unreserved allocatable CPU."""
+        return self.allocatable_millicores - self.requested_millicores
+
+    def can_fit(self, spec: ResourceSpec, ignore_pod: Pod | None = None) -> bool:
+        """Whether a pod with ``spec`` fits (optionally ignoring one pod).
+
+        ``ignore_pod`` supports in-place resize checks: "would the
+        resized pod still fit if its current reservation were released?"
+        """
+        requested = self.requested_millicores
+        memory = self.requested_memory_mb
+        if ignore_pod is not None and ignore_pod in self.pods:
+            requested -= ignore_pod.spec.cpu_request_millicores
+            memory -= ignore_pod.spec.memory_mb
+        fits_cpu = requested + spec.cpu_request_millicores <= (
+            self.allocatable_millicores
+        )
+        fits_memory = memory + spec.memory_mb <= self.memory_mb
+        return fits_cpu and fits_memory
+
+    # -- placement ----------------------------------------------------------------
+
+    def add_pod(self, pod: Pod) -> None:
+        """Bind a pod to this node (capacity must already be verified)."""
+        if not self.can_fit(pod.spec):
+            raise ClusterStateError(
+                f"node {self.name}: pod {pod.name} does not fit "
+                f"({pod.spec.cpu_request_millicores}m requested, "
+                f"{self.free_millicores}m free)"
+            )
+        pod.bind(self.name)
+        self.pods.append(pod)
+
+    def remove_pod(self, pod: Pod) -> None:
+        """Release a pod's reservation."""
+        if pod not in self.pods:
+            raise ClusterStateError(
+                f"node {self.name}: pod {pod.name} is not bound here"
+            )
+        self.pods.remove(pod)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Node(name={self.name!r}, "
+            f"free={self.free_millicores}m/{self.allocatable_millicores}m, "
+            f"pods={len(self.pods)})"
+        )

@@ -1,0 +1,119 @@
+"""Pods and containers: the K8s scheduling unit (§2.1).
+
+A pod carries one container (the database engine process); its lifecycle
+matters to the autoscaler through one path only: resizing a stateful set
+deallocates and reschedules each pod — "rolling updates with restart"
+(§2.2) — during which the replica serves nothing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import ClusterStateError
+from .resources import ResourceSpec
+
+__all__ = ["Container", "Pod", "PodPhase"]
+
+
+class PodPhase(enum.Enum):
+    """Pod lifecycle phases (the subset the model needs)."""
+
+    PENDING = "Pending"
+    RUNNING = "Running"
+    RESTARTING = "Restarting"
+    TERMINATED = "Terminated"
+
+
+@dataclass
+class Container:
+    """One container: a name plus its resource specification."""
+
+    name: str
+    spec: ResourceSpec
+
+
+@dataclass
+class Pod:
+    """A pod hosting one container of a stateful-set replica.
+
+    Attributes
+    ----------
+    name:
+        Stable identity (``<set>-<ordinal>``, stateful-set style).
+    ordinal:
+        Replica index within the set.
+    container:
+        The single application container.
+    phase:
+        Current lifecycle phase.
+    node_name:
+        Name of the node the pod is bound to (None while Pending).
+    restart_remaining_minutes:
+        Minutes left before a restarting pod is Running again.
+    """
+
+    name: str
+    ordinal: int
+    container: Container
+    phase: PodPhase = PodPhase.PENDING
+    node_name: str | None = None
+    restart_remaining_minutes: int = 0
+    _restart_total_minutes: int = field(default=0, repr=False)
+
+    @property
+    def spec(self) -> ResourceSpec:
+        """The container's resource spec."""
+        return self.container.spec
+
+    @property
+    def is_serving(self) -> bool:
+        """True when the pod can serve load (Running, not mid-restart)."""
+        return self.phase is PodPhase.RUNNING
+
+    def bind(self, node_name: str) -> None:
+        """Bind a Pending pod to a node and mark it Running."""
+        if self.phase is not PodPhase.PENDING:
+            raise ClusterStateError(
+                f"pod {self.name}: cannot bind from phase {self.phase.value}"
+            )
+        self.node_name = node_name
+        self.phase = PodPhase.RUNNING
+
+    def begin_restart(self, new_spec: ResourceSpec, duration_minutes: int) -> None:
+        """Start a resize restart: the pod stops serving for the duration.
+
+        K8s enacts a stateful-set spec change by deallocating and
+        rescheduling the pod; the model keeps the node binding (the
+        scheduler "may assign the pod to the same node", §2.2) and
+        charges the restart time.
+        """
+        if self.phase is not PodPhase.RUNNING:
+            raise ClusterStateError(
+                f"pod {self.name}: cannot restart from phase {self.phase.value}"
+            )
+        if duration_minutes < 1:
+            raise ClusterStateError(
+                f"restart duration must be >= 1 minute, got {duration_minutes}"
+            )
+        self.container.spec = new_spec
+        self.phase = PodPhase.RESTARTING
+        self.restart_remaining_minutes = duration_minutes
+        self._restart_total_minutes = duration_minutes
+
+    def tick_restart(self) -> bool:
+        """Advance a restart by one minute; returns True when it completes."""
+        if self.phase is not PodPhase.RESTARTING:
+            return False
+        self.restart_remaining_minutes -= 1
+        if self.restart_remaining_minutes <= 0:
+            self.phase = PodPhase.RUNNING
+            self.restart_remaining_minutes = 0
+            return True
+        return False
+
+    def terminate(self) -> None:
+        """Permanently stop the pod (set deletion / scale-in)."""
+        self.phase = PodPhase.TERMINATED
+        self.node_name = None

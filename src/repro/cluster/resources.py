@@ -1,0 +1,79 @@
+"""Resource specifications: ``requests`` and ``limits`` (§2.1).
+
+K8s expresses CPU in millicores; the paper's service invariant R1 demands
+``limits == requests`` at whole-core granularity, which
+:meth:`ResourceSpec.whole_cores` constructs and
+:meth:`ResourceSpec.satisfies_service_invariants` verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["ResourceSpec", "MILLICORES_PER_CORE"]
+
+MILLICORES_PER_CORE = 1000
+
+
+@dataclass(frozen=True)
+class ResourceSpec:
+    """CPU (and nominal memory) specification of one container.
+
+    Attributes
+    ----------
+    cpu_request_millicores:
+        Guaranteed CPU used for scheduling (node fit).
+    cpu_limit_millicores:
+        cgroup enforcement ceiling.
+    memory_mb:
+        Carried for node-fit realism; never billed (§3.1: "memory usage
+        is not billed") and never scaled in this reproduction.
+    """
+
+    cpu_request_millicores: int
+    cpu_limit_millicores: int
+    memory_mb: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.cpu_request_millicores <= 0:
+            raise ConfigError(
+                f"cpu_request must be positive, got {self.cpu_request_millicores}m"
+            )
+        if self.cpu_limit_millicores < self.cpu_request_millicores:
+            raise ConfigError(
+                f"cpu_limit ({self.cpu_limit_millicores}m) must be >= "
+                f"cpu_request ({self.cpu_request_millicores}m)"
+            )
+        if self.memory_mb <= 0:
+            raise ConfigError(f"memory_mb must be positive, got {self.memory_mb}")
+
+    @classmethod
+    def whole_cores(cls, cores: int, memory_mb: int = 1024) -> "ResourceSpec":
+        """The R1-conforming spec: ``limits == requests``, integer cores."""
+        if cores < 1:
+            raise ConfigError(f"cores must be >= 1, got {cores}")
+        millicores = cores * MILLICORES_PER_CORE
+        return cls(millicores, millicores, memory_mb)
+
+    @property
+    def limit_cores(self) -> float:
+        """Limits in cores (possibly fractional)."""
+        return self.cpu_limit_millicores / MILLICORES_PER_CORE
+
+    @property
+    def request_cores(self) -> float:
+        """Requests in cores (possibly fractional)."""
+        return self.cpu_request_millicores / MILLICORES_PER_CORE
+
+    def satisfies_service_invariants(self) -> bool:
+        """R1: limits == requests, whole-core aligned."""
+        return (
+            self.cpu_limit_millicores == self.cpu_request_millicores
+            and self.cpu_limit_millicores % MILLICORES_PER_CORE == 0
+        )
+
+    def with_cores(self, cores: int) -> "ResourceSpec":
+        """Copy resized to ``cores`` whole cores (memory preserved)."""
+        return ResourceSpec.whole_cores(cores, self.memory_mb)

@@ -1,0 +1,80 @@
+"""Pod scheduler: requests-based bin packing (§2.1).
+
+"The K8s scheduler uses requests specifications [...] to define minimum
+guaranteed resource allocations for scheduling pods onto nodes."
+
+Placement uses best-fit-decreasing on free CPU: among nodes that fit,
+pick the one with the *least* free capacity, consolidating load — the
+strategy that matters to vertical scaling because right-sized pods free
+nodes for other tenants (§7: "optimization of pod instance sizes is
+critical in enabling K8s to make adequate decisions about pod placement").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import SchedulingError
+from .node import Node
+from .pod import Pod
+from .resources import ResourceSpec
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler:
+    """Best-fit scheduler over a fixed node pool."""
+
+    def __init__(self, nodes: Sequence[Node]) -> None:
+        if not nodes:
+            raise SchedulingError("scheduler needs at least one node")
+        names = [node.name for node in nodes]
+        if len(set(names)) != len(names):
+            raise SchedulingError(f"duplicate node names: {names}")
+        self.nodes = list(nodes)
+
+    def node_by_name(self, name: str) -> Node:
+        """Look up a node by name."""
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise SchedulingError(f"unknown node {name!r}")
+
+    def find_node_for(
+        self, spec: ResourceSpec, ignore_pod: Pod | None = None
+    ) -> Node | None:
+        """Best-fit node for ``spec``, or None when nothing fits."""
+        candidates = [
+            node for node in self.nodes if node.can_fit(spec, ignore_pod)
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda node: node.free_millicores)
+
+    def schedule(self, pod: Pod) -> Node:
+        """Place a Pending pod; raises :class:`SchedulingError` if impossible."""
+        node = self.find_node_for(pod.spec)
+        if node is None:
+            raise SchedulingError(
+                f"pod {pod.name}: no node can satisfy "
+                f"{pod.spec.cpu_request_millicores}m CPU / "
+                f"{pod.spec.memory_mb}MB"
+            )
+        node.add_pod(pod)
+        return node
+
+    def can_resize(self, pod: Pod, new_spec: ResourceSpec) -> bool:
+        """Safety check used by the scaler before enacting a resize.
+
+        True when the pod's current node (or any node, if it must move)
+        could host the new spec once the pod's old reservation is freed.
+        """
+        if pod.node_name is not None:
+            current = self.node_by_name(pod.node_name)
+            if current.can_fit(new_spec, ignore_pod=pod):
+                return True
+        return self.find_node_for(new_spec, ignore_pod=pod) is not None
+
+    def total_free_millicores(self) -> int:
+        """Aggregate free allocatable CPU across the pool."""
+        return sum(node.free_millicores for node in self.nodes)

@@ -1,0 +1,82 @@
+"""Stateful sets: identical replicas with stable identity (§2.1).
+
+"Pods can be part of a stateful set for stateful applications [...] This
+ensures that a specified number of identical pod instances, referred to
+as replicas, are running at any given time." Resource specs are declared
+on the set and applied to every replica; changing the spec is what a
+vertical resize *is*, and the operator turns that declaration into a
+rolling update.
+"""
+
+from __future__ import annotations
+
+from ..errors import ClusterStateError, ConfigError
+from .pod import Container, Pod
+from .resources import ResourceSpec
+
+__all__ = ["StatefulSet"]
+
+
+class StatefulSet:
+    """A set of identically-specced replicas with ordinal identities.
+
+    Parameters
+    ----------
+    name:
+        Set name; pods are named ``<name>-<ordinal>``.
+    replicas:
+        Number of replicas (the paper's Database A runs 3, B runs 2).
+    spec:
+        Initial per-replica resource specification.
+    """
+
+    def __init__(self, name: str, replicas: int, spec: ResourceSpec) -> None:
+        if replicas < 1:
+            raise ConfigError(f"replicas must be >= 1, got {replicas}")
+        self.name = name
+        self.spec = spec
+        self.pods: list[Pod] = [
+            Pod(
+                name=f"{name}-{ordinal}",
+                ordinal=ordinal,
+                container=Container(name="db", spec=spec),
+            )
+            for ordinal in range(replicas)
+        ]
+
+    @property
+    def replicas(self) -> int:
+        """Number of replicas in the set."""
+        return len(self.pods)
+
+    @property
+    def limit_cores(self) -> float:
+        """Declared per-replica CPU limits, in cores."""
+        return self.spec.limit_cores
+
+    def pod(self, ordinal: int) -> Pod:
+        """Replica pod by ordinal."""
+        if not 0 <= ordinal < len(self.pods):
+            raise ClusterStateError(
+                f"{self.name}: no replica with ordinal {ordinal}"
+            )
+        return self.pods[ordinal]
+
+    def declare_spec(self, new_spec: ResourceSpec) -> bool:
+        """Update the declared spec; returns True when it changed.
+
+        Declaring the spec does not itself touch pods — K8s
+        configurations are declarative (§2.2); the operator reconciles
+        running pods to the declaration via a rolling update.
+        """
+        changed = new_spec != self.spec
+        self.spec = new_spec
+        return changed
+
+    def pods_needing_update(self) -> list[Pod]:
+        """Pods whose container spec differs from the declared spec."""
+        return [pod for pod in self.pods if pod.spec != self.spec]
+
+    def all_serving(self) -> bool:
+        """True when every replica is Running."""
+        return all(pod.is_serving for pod in self.pods)

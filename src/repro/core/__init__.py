@@ -1,0 +1,34 @@
+"""The CaaSPER algorithm (§4): the paper's primary contribution.
+
+The package is layered exactly like the paper's exposition:
+
+- :mod:`repro.core.pvp` — price-vs-performance curves (§4.1, Eq. 1).
+- :mod:`repro.core.scaling_factor` — the logarithmic scaling-factor
+  function ``SF(s, skew)`` (§4.2, Eq. 3) and guardrails.
+- :mod:`repro.core.config` — every tunable of Algorithm 1.
+- :mod:`repro.core.preprocess` — the ``Preprocess CPU`` step of Algorithm 1.
+- :mod:`repro.core.reactive` — Algorithm 1 itself (§4.2).
+- :mod:`repro.core.proactive` — the Eq. 4 window combination (§4.3).
+- :mod:`repro.core.recommender` — :class:`CaasperRecommender`, the
+  pluggable recommender tying it all together.
+"""
+
+from .config import CaasperConfig, RoundingMode
+from .proactive import ProactiveWindowBuilder
+from .pvp import PvPCurve
+from .reactive import ReactiveDecision, ReactivePolicy
+from .recommender import CaasperRecommender
+from .scaling_factor import apply_guardrails, scaling_factor, slope_skewness
+
+__all__ = [
+    "CaasperConfig",
+    "RoundingMode",
+    "PvPCurve",
+    "ReactivePolicy",
+    "ReactiveDecision",
+    "ProactiveWindowBuilder",
+    "CaasperRecommender",
+    "scaling_factor",
+    "slope_skewness",
+    "apply_guardrails",
+]

@@ -1,0 +1,277 @@
+"""Configuration for the CaaSPER algorithm.
+
+:class:`CaasperConfig` collects every ``Require:`` input of Algorithm 1
+plus the proactive-mode window sizes of Figure 8 and the interpretation
+knobs documented in DESIGN.md §5. All parameters are validated eagerly so a
+bad tuning-search sample fails loudly instead of producing silent nonsense.
+
+The parameter-to-preference mapping (R2) lives in
+:mod:`repro.tuning.preferences`; this module only defines the raw knobs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from ..errors import ConfigError
+
+__all__ = ["CaasperConfig", "RoundingMode"]
+
+
+class RoundingMode(enum.Enum):
+    """How a fractional scaling factor is converted to whole cores (R1).
+
+    The paper rounds the Figure 4 recommendation of +3.73 cores *down* to
+    +3 ("configurable"), so ``FLOOR`` (toward zero) is the default:
+    conservative in both directions — it never over-buys on a scale-up and
+    never over-cuts on a scale-down.
+    """
+
+    FLOOR = "floor"
+    NEAREST = "nearest"
+    CEIL = "ceil"
+
+    def apply(self, value: float) -> int:
+        """Round ``value`` (a signed core delta) to an integer."""
+        import math
+
+        if self is RoundingMode.FLOOR:
+            return math.floor(value) if value >= 0 else math.ceil(value)
+        if self is RoundingMode.NEAREST:
+            return int(round(value))
+        return math.ceil(value) if value >= 0 else math.floor(value)
+
+
+@dataclass(frozen=True)
+class CaasperConfig:
+    """All tunables of the CaaSPER algorithm.
+
+    Attributes mirror Algorithm 1's ``Require:`` block:
+
+    Attributes
+    ----------
+    s_high:
+        High slope threshold ``s_h``: a PvP slope at or above this signals
+        throttling severe enough to force the scale-up branch.
+    s_low:
+        Low slope threshold ``s_l``: a slope at or below this (with slack)
+        allows the scale-down branch.
+    m_high:
+        High slack threshold ``m_h`` as a fraction of capacity: if the
+        usage quantile exceeds ``(1 - m_high) * cores`` the workload is
+        running too close to its limit (insufficient headroom) and the
+        scale-up branch fires.
+    m_low:
+        Low slack threshold ``m_l`` as a fraction of capacity: if the
+        usage quantile is below ``m_low * cores`` the allocation is mostly
+        idle and the scale-down branch fires.
+    sf_max_up:
+        ``SF_h``: maximum cores added in a single scale-up step.
+    sf_max_down:
+        ``SF_l``: maximum cores removed in a single scale-down step.
+    c_min:
+        Minimum core count guardrail (also the additive constant inside
+        the Eq. 3 logarithm, which makes ``SF(0) = ln(c_min)``).
+    max_cores:
+        System input ``R``: upper bound from the instance/SKU family.
+    quantile:
+        Which usage quantile the threshold tests use. The paper's VPA
+        discussion centres on P90; CaaSPER's guardrail tests default to
+        P95 for a slightly more burst-sensitive signal.
+    window_minutes:
+        Length of the reactive observation window (the paper's example:
+        "the last 40 minutes of CPU usage", §4.3).
+    slope_scale:
+        Multiplier converting the discrete PvP probability-per-core slope
+        into the paper's 0–10ish slope units (DESIGN.md §5).
+    rounding:
+        Fractional-core rounding behaviour (R1).
+    scale_down_headroom:
+        Extra fractional headroom kept above the walk-down target when the
+        flat-curve branch (Algorithm 1 line 12) fires, so a scale-down
+        still leaves a small buffer.
+    decision_interval_minutes:
+        How often the recommender is consulted. Resizes take 5–15 minutes
+        (§3.1), which "influences how frequently scaling algorithms should
+        adjust resources".
+    cooldown_minutes:
+        Minimum minutes between two enacted scalings (availability
+        guardrail; frequent scaling is penalized via metric ``N``).
+    proactive:
+        Whether to run the Eq. 4 proactive window combination.
+    forecaster:
+        Name of the forecaster in :mod:`repro.forecast.registry`
+        (paper default: ``"naive"``).
+    forecast_horizon_minutes:
+        Length ``o_f`` of the forecast horizon appended to the window.
+    seasonal_period_minutes:
+        Seasonality period; proactive mode waits one full period of
+        history before activating (Figure 8). ``None`` auto-detects via
+        the ACF (extension, DESIGN.md §6).
+    history_tail_minutes:
+        How much *observed* history is kept in the combined window
+        (``o_n - o_f`` in Eq. 4); lets users "give less weight to
+        historical data and rely more on predictions".
+    forecast_confidence:
+        When set (e.g. 0.9), proactive mode requests a prediction
+        interval and feeds the *upper* band into Algorithm 1 — the
+        conservative variant of the paper's future-work direction of
+        "ML predictors that provide confidence intervals" (§8). None
+        keeps the paper's point-estimate behaviour.
+    forecast_quality_gate:
+        Maximum tolerated relative interval width (band width / mean
+        level). A wider band means the model does not know; the window
+        builder then falls back to reactive for that decision — the §8
+        "prefilter" idea. Requires ``forecast_confidence``.
+    """
+
+    s_high: float = 3.0
+    s_low: float = 0.3
+    m_high: float = 0.15
+    m_low: float = 0.35
+    sf_max_up: int = 8
+    sf_max_down: int = 4
+    c_min: int = 2
+    max_cores: int = 32
+    quantile: float = 0.95
+    window_minutes: int = 40
+    slope_scale: float = 10.0
+    rounding: RoundingMode = RoundingMode.FLOOR
+    scale_down_headroom: float = 0.10
+    decision_interval_minutes: int = 10
+    cooldown_minutes: int = 10
+    proactive: bool = False
+    forecaster: str = "naive"
+    forecast_horizon_minutes: int = 60
+    seasonal_period_minutes: int | None = 24 * 60
+    history_tail_minutes: int = 40
+    forecast_confidence: float | None = None
+    forecast_quality_gate: float | None = None
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        checks: list[tuple[bool, str]] = [
+            (self.s_high > 0, f"s_high must be > 0, got {self.s_high}"),
+            (self.s_low >= 0, f"s_low must be >= 0, got {self.s_low}"),
+            (
+                self.s_low < self.s_high,
+                f"s_low ({self.s_low}) must be < s_high ({self.s_high})",
+            ),
+            (
+                0 <= self.m_high < 1,
+                f"m_high must be in [0, 1), got {self.m_high}",
+            ),
+            (
+                0 <= self.m_low < 1,
+                f"m_low must be in [0, 1), got {self.m_low}",
+            ),
+            (self.sf_max_up >= 1, f"sf_max_up must be >= 1, got {self.sf_max_up}"),
+            (
+                self.sf_max_down >= 1,
+                f"sf_max_down must be >= 1, got {self.sf_max_down}",
+            ),
+            (self.c_min >= 1, f"c_min must be >= 1, got {self.c_min}"),
+            (
+                self.max_cores >= self.c_min,
+                f"max_cores ({self.max_cores}) must be >= c_min ({self.c_min})",
+            ),
+            (
+                0 < self.quantile <= 1,
+                f"quantile must be in (0, 1], got {self.quantile}",
+            ),
+            (
+                self.window_minutes >= 2,
+                f"window_minutes must be >= 2, got {self.window_minutes}",
+            ),
+            (
+                self.slope_scale > 0,
+                f"slope_scale must be > 0, got {self.slope_scale}",
+            ),
+            (
+                self.scale_down_headroom >= 0,
+                f"scale_down_headroom must be >= 0, got {self.scale_down_headroom}",
+            ),
+            (
+                self.decision_interval_minutes >= 1,
+                "decision_interval_minutes must be >= 1, "
+                f"got {self.decision_interval_minutes}",
+            ),
+            (
+                self.cooldown_minutes >= 0,
+                f"cooldown_minutes must be >= 0, got {self.cooldown_minutes}",
+            ),
+            (
+                self.forecast_horizon_minutes >= 1,
+                "forecast_horizon_minutes must be >= 1, "
+                f"got {self.forecast_horizon_minutes}",
+            ),
+            (
+                self.seasonal_period_minutes is None
+                or self.seasonal_period_minutes >= 2,
+                "seasonal_period_minutes must be None or >= 2, "
+                f"got {self.seasonal_period_minutes}",
+            ),
+            (
+                self.history_tail_minutes >= 1,
+                f"history_tail_minutes must be >= 1, got {self.history_tail_minutes}",
+            ),
+            (
+                self.forecast_confidence is None
+                or 0.0 < self.forecast_confidence < 1.0,
+                "forecast_confidence must be None or in (0, 1), got "
+                f"{self.forecast_confidence}",
+            ),
+            (
+                self.forecast_quality_gate is None
+                or self.forecast_quality_gate > 0,
+                "forecast_quality_gate must be None or positive, got "
+                f"{self.forecast_quality_gate}",
+            ),
+            (
+                self.forecast_quality_gate is None
+                or self.forecast_confidence is not None,
+                "forecast_quality_gate requires forecast_confidence",
+            ),
+        ]
+        for is_valid, message in checks:
+            if not is_valid:
+                raise ConfigError(message)
+
+    # -- convenience -----------------------------------------------------------
+
+    def with_updates(self, **updates: Any) -> "CaasperConfig":
+        """A validated copy with some fields replaced."""
+        return replace(self, **updates)
+
+    def reactive_only(self) -> "CaasperConfig":
+        """Copy with proactive mode disabled."""
+        return self.with_updates(proactive=False)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat dict representation (used by the tuning search log)."""
+        return {
+            "s_high": self.s_high,
+            "s_low": self.s_low,
+            "m_high": self.m_high,
+            "m_low": self.m_low,
+            "sf_max_up": self.sf_max_up,
+            "sf_max_down": self.sf_max_down,
+            "c_min": self.c_min,
+            "max_cores": self.max_cores,
+            "quantile": self.quantile,
+            "window_minutes": self.window_minutes,
+            "slope_scale": self.slope_scale,
+            "rounding": self.rounding.value,
+            "scale_down_headroom": self.scale_down_headroom,
+            "decision_interval_minutes": self.decision_interval_minutes,
+            "cooldown_minutes": self.cooldown_minutes,
+            "proactive": self.proactive,
+            "forecaster": self.forecaster,
+            "forecast_horizon_minutes": self.forecast_horizon_minutes,
+            "seasonal_period_minutes": self.seasonal_period_minutes,
+            "history_tail_minutes": self.history_tail_minutes,
+            "forecast_confidence": self.forecast_confidence,
+            "forecast_quality_gate": self.forecast_quality_gate,
+        }

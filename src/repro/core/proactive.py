@@ -1,0 +1,163 @@
+"""Proactive window combination (§4.3, Figure 8, Eq. 4).
+
+Proactive CaaSPER does not change Algorithm 1; it changes the algorithm's
+*input*. The observed reactive window (e.g. the last 40 minutes) is
+combined with a forecast horizon of length ``o_f`` to form the new window
+of length ``o_n``:
+
+    a(t) = AUTOSCALE(CoreCount_cur,
+                     {X_{T-(o_n - o_f)} .. X_{T-1}},    # observed tail
+                     {X̂_T .. X̂_{T + o_f - 1}})          # forecast horizon
+
+Activation rules (Figure 8):
+
+- period 1 (no full seasonal period of history yet) → reactive only;
+- from period 2 on, the forecaster has enough history and its horizon is
+  appended; the observed tail can be shortened (``history_tail_minutes``)
+  to "give less weight to historical data and rely more on predictions".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ForecastError
+from ..forecast.base import Forecaster
+from ..forecast.registry import make_forecaster
+from ..forecast.seasonal import detect_period
+from ..trace import CpuTrace
+from .config import CaasperConfig
+
+__all__ = ["ProactiveWindowBuilder", "CombinedWindow"]
+
+
+@dataclass(frozen=True, eq=False)
+class CombinedWindow:
+    """The Eq. 4 input window plus its provenance (for interpretability).
+
+    Attributes
+    ----------
+    window:
+        The combined trace handed to Algorithm 1.
+    observed_minutes:
+        Length of the observed tail included.
+    forecast_minutes:
+        Length of the appended forecast horizon (0 when reactive).
+    used_forecast:
+        True when a forecast actually contributed.
+    """
+
+    window: CpuTrace
+    observed_minutes: int
+    forecast_minutes: int
+    used_forecast: bool
+
+
+class ProactiveWindowBuilder:
+    """Builds Algorithm 1 inputs, appending forecasts when possible.
+
+    Parameters
+    ----------
+    config:
+        Supplies the forecaster name, horizon ``o_f``, observed tail
+        length ``o_n − o_f`` and the seasonal-period activation gate.
+    forecaster:
+        Optional pre-built forecaster (overrides the registry lookup);
+        used by tests and by callers plugging custom predictors.
+    """
+
+    def __init__(
+        self,
+        config: CaasperConfig,
+        forecaster: Forecaster | None = None,
+    ) -> None:
+        self.config = config
+        self._forecaster = forecaster
+        self._detected_period: int | None = None
+
+    def _resolve_period(self, history: CpuTrace) -> int | None:
+        """Seasonal period: configured value, else ACF auto-detection."""
+        if self.config.seasonal_period_minutes is not None:
+            return self.config.seasonal_period_minutes
+        if self._detected_period is None:
+            self._detected_period = detect_period(history)
+        return self._detected_period
+
+    def _resolve_forecaster(self, period: int | None) -> Forecaster:
+        if self._forecaster is not None:
+            return self._forecaster
+        kwargs = {}
+        if self.config.forecaster in ("naive", "holt_winters", "fourier"):
+            kwargs["period_minutes"] = period
+        self._forecaster = make_forecaster(self.config.forecaster, **kwargs)
+        return self._forecaster
+
+    def ready(self, history: CpuTrace) -> bool:
+        """True once one full seasonal period of history is available."""
+        if not self.config.proactive:
+            return False
+        period = self._resolve_period(history)
+        if period is None:
+            return False
+        return history.minutes >= period
+
+    def build(self, history: CpuTrace) -> CombinedWindow:
+        """Produce the Algorithm 1 input window from the full history.
+
+        Falls back to the plain reactive window whenever proactive mode is
+        off, the seasonality gate is closed, or the forecaster declines
+        (insufficient history) — never fails the decision itself.
+        """
+        config = self.config
+        observed_tail = min(history.minutes, config.window_minutes)
+
+        if not self.ready(history):
+            return CombinedWindow(
+                window=history.window(-observed_tail),
+                observed_minutes=observed_tail,
+                forecast_minutes=0,
+                used_forecast=False,
+            )
+
+        period = self._resolve_period(history)
+        forecaster = self._resolve_forecaster(period)
+        try:
+            if config.forecast_confidence is not None:
+                interval = forecaster.forecast_interval(
+                    history,
+                    config.forecast_horizon_minutes,
+                    confidence=config.forecast_confidence,
+                )
+                gate = config.forecast_quality_gate
+                if gate is not None and interval.relative_width() > gate:
+                    # §8 prefilter: the model's band is too wide to
+                    # trust — stay reactive for this decision.
+                    return CombinedWindow(
+                        window=history.window(-observed_tail),
+                        observed_minutes=observed_tail,
+                        forecast_minutes=0,
+                        used_forecast=False,
+                    )
+                # Conservative: feed the upper band into Algorithm 1 so
+                # uncertain forecasts err toward capacity.
+                horizon = interval.upper
+            else:
+                horizon = forecaster.forecast(
+                    history, config.forecast_horizon_minutes
+                )
+        except ForecastError:
+            return CombinedWindow(
+                window=history.window(-observed_tail),
+                observed_minutes=observed_tail,
+                forecast_minutes=0,
+                used_forecast=False,
+            )
+
+        tail = min(history.minutes, config.history_tail_minutes)
+        combined = history.window(-tail).extend(horizon)
+        return CombinedWindow(
+            window=combined,
+            observed_minutes=tail,
+            forecast_minutes=int(horizon.size),
+            used_forecast=True,
+        )

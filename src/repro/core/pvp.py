@@ -1,0 +1,230 @@
+"""Price-vs-performance curves (§4.1, Eq. 1, refactored per §4.2).
+
+Doppler's PvP-curves plot, for every candidate SKU, the monthly price
+against ``1 − Prob(throttling)``. CaaSPER refactors the multi-dimensional
+Eq. 1 down to the single CPU dimension because each K8s resource scales
+independently (§4.2): for a candidate core count ``k``,
+
+    P_throttle(k) = P(r_CPU > k)
+
+estimated empirically from the observation window ``{X_t}`` as the fraction
+of samples at or above ``k``. The performance proxy is then
+
+    perf(k) = 1 − P_throttle(k)
+
+which is the empirical CDF of the usage distribution evaluated at whole
+core counts. Two properties the algorithm exploits fall out directly:
+
+- a workload *pinned at its current limit* L has a large mass of samples in
+  ``(L − 1, L]``, so the discrete slope at ``L`` is steep → throttled
+  (Figure 5a/5c);
+- a workload far below its limit has ``perf ≈ 1`` over a long flat tail at
+  and right of its allocation → over-provisioned (Figure 7b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError, TraceError
+from ..trace import CpuTrace
+
+__all__ = ["PvPCurve"]
+
+
+@dataclass(frozen=True, eq=False)
+class PvPCurve:
+    """An empirical CPU price-vs-performance curve.
+
+    Parameters
+    ----------
+    core_counts:
+        Candidate whole core counts, ``1..max_cores`` inclusive.
+    performance:
+        ``1 − Prob(throttling)`` per candidate (empirical CDF values).
+    price_per_core:
+        Linear price coefficient; prices are ``price_per_core * k``.
+        Only relative prices matter to the algorithm.
+    slope_scale:
+        Multiplier applied to the discrete probability-per-core slope to
+        land in the paper's slope units (DESIGN.md §5).
+    """
+
+    core_counts: np.ndarray
+    performance: np.ndarray
+    price_per_core: float = 1.0
+    slope_scale: float = 10.0
+
+    def __post_init__(self) -> None:
+        cores = np.asarray(self.core_counts, dtype=int)
+        perf = np.asarray(self.performance, dtype=float)
+        if cores.ndim != 1 or perf.ndim != 1 or cores.size != perf.size:
+            raise ConfigError("core_counts and performance must be 1-D, same size")
+        if cores.size == 0:
+            raise ConfigError("PvP curve needs at least one candidate core count")
+        if np.any(np.diff(cores) <= 0):
+            raise ConfigError("core_counts must be strictly increasing")
+        if np.any(perf < 0) or np.any(perf > 1):
+            raise ConfigError("performance values must be in [0, 1]")
+        if np.any(np.diff(perf) < -1e-12):
+            raise ConfigError("performance must be non-decreasing in cores")
+        if self.price_per_core <= 0:
+            raise ConfigError("price_per_core must be positive")
+        if self.slope_scale <= 0:
+            raise ConfigError("slope_scale must be positive")
+        cores.setflags(write=False)
+        perf.setflags(write=False)
+        object.__setattr__(self, "core_counts", cores)
+        object.__setattr__(self, "performance", perf)
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_trace(
+        cls,
+        trace: CpuTrace,
+        max_cores: int,
+        price_per_core: float = 1.0,
+        slope_scale: float = 10.0,
+    ) -> "PvPCurve":
+        """Estimate the curve from an observation window (Eq. 1, CPU only).
+
+        ``perf(k)`` is the fraction of window samples strictly below ``k``
+        — i.e. minutes in which a ``k``-core SKU would *not* have throttled
+        the observed usage. Samples exactly at ``k`` count as throttled:
+        usage pinned at the limit is the throttling signature the curve
+        must surface (§4.2).
+        """
+        if max_cores < 1:
+            raise ConfigError(f"max_cores must be >= 1, got {max_cores}")
+        samples = trace.samples
+        cores = np.arange(1, max_cores + 1)
+        # For each k: fraction of samples with usage < k.
+        perf = np.array([float(np.mean(samples < k)) for k in cores])
+        return cls(cores, perf, price_per_core, slope_scale)
+
+    # -- lookups ----------------------------------------------------------------
+
+    @property
+    def max_cores(self) -> int:
+        """Largest candidate core count on the curve."""
+        return int(self.core_counts[-1])
+
+    @property
+    def min_cores(self) -> int:
+        """Smallest candidate core count on the curve."""
+        return int(self.core_counts[0])
+
+    def _index_of(self, cores: int) -> int:
+        index = int(np.searchsorted(self.core_counts, cores))
+        if index >= len(self.core_counts) or self.core_counts[index] != cores:
+            raise TraceError(
+                f"core count {cores} is not a candidate on this curve "
+                f"({self.min_cores}..{self.max_cores})"
+            )
+        return index
+
+    def performance_at(self, cores: int) -> float:
+        """``1 − Prob(throttling)`` at a candidate core count."""
+        return float(self.performance[self._index_of(cores)])
+
+    def price_at(self, cores: int) -> float:
+        """Price of the ``cores``-sized SKU."""
+        self._index_of(cores)
+        return self.price_per_core * cores
+
+    def throttling_probability(self, cores: int) -> float:
+        """``Prob(throttling)`` at a candidate core count."""
+        return 1.0 - self.performance_at(cores)
+
+    # -- slope machinery (§4.2) --------------------------------------------------
+
+    def slopes(self) -> np.ndarray:
+        """Discrete slope at each candidate core count, in paper units.
+
+        The slope at ``k`` is the *forward* difference
+        ``perf(k+1) − perf(k)`` scaled by :attr:`slope_scale` — how much
+        performance the next core would buy. A workload pinned exactly at
+        its limit ``L`` has all its CDF mass in ``(L, L+1]``, so the
+        forward difference is what surfaces the steep slope *at the
+        current allocation* that Figures 4/5 show for throttled
+        workloads; the backward difference would misattribute it to
+        ``L+1``. Beyond the last candidate ``perf := 1`` (usage cannot
+        exceed the largest SKU).
+        """
+        padded = np.concatenate([self.performance, [1.0]])
+        return np.diff(padded) * self.slope_scale
+
+    def slope_at(self, cores: int) -> float:
+        """Slope at a specific candidate core count (clamped to the curve).
+
+        Allocations above ``max_cores`` sit on the flat far-right tail and
+        report slope 0; allocations below ``min_cores`` report the first
+        candidate's slope.
+        """
+        if cores > self.max_cores:
+            return 0.0
+        if cores < self.min_cores:
+            cores = self.min_cores
+        return float(self.slopes()[self._index_of(cores)])
+
+    def is_flat_top(self, cores: int, tolerance: float = 1e-9) -> bool:
+        """True when ``cores`` sits on the saturated right tail of the curve.
+
+        This is Algorithm 1 line 12's "``x_c`` at top of PvP curve": the
+        performance at the allocation is already (numerically) 1.0, so
+        every core between the workload's true requirement and ``cores``
+        is pure slack.
+        """
+        if cores > self.max_cores:
+            return True
+        if cores < self.min_cores:
+            return False
+        return self.performance_at(cores) >= 1.0 - tolerance
+
+    def walk_down_target(self, cores: int, tolerance: float = 1e-9) -> int:
+        """Cheapest core count that still meets the workload at 100%.
+
+        Implements §4.2's flat-curve scale-down: "walk down the curve (to
+        the left) to identify the cheapest CoreCount_next that can meet
+        the workload requirements at 100% utilization" — the smallest
+        candidate whose performance matches the performance at ``cores``
+        (both effectively 1.0 on the flat tail).
+        """
+        reference = 1.0 if cores > self.max_cores else self.performance_at(
+            max(cores, self.min_cores)
+        )
+        target = min(cores, self.max_cores)
+        for candidate, perf in zip(
+            self.core_counts.tolist(), self.performance.tolist()
+        ):
+            if perf >= reference - tolerance:
+                target = candidate
+                break
+        return int(target)
+
+    # -- presentation -----------------------------------------------------------
+
+    def as_rows(self) -> list[tuple[int, float, float, float]]:
+        """``(cores, price, performance, slope)`` rows for tables/figures."""
+        slopes = self.slopes()
+        return [
+            (
+                int(cores),
+                self.price_per_core * float(cores),
+                float(perf),
+                float(slope),
+            )
+            for cores, perf, slope in zip(
+                self.core_counts, self.performance, slopes
+            )
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PvPCurve(cores={self.min_cores}..{self.max_cores}, "
+            f"perf[{self.min_cores}]={self.performance[0]:.2f}, "
+            f"perf[{self.max_cores}]={self.performance[-1]:.2f})"
+        )

@@ -1,0 +1,222 @@
+"""Algorithm 1: the reactive CaaSPER autoscaling decision (§4.2).
+
+Given the current allocation ``x_c`` and an observation window ``{X_t}``,
+the policy:
+
+1. preprocesses the window,
+2. builds the PvP-curve (the refactored "SKU Recommendation Tool"),
+3. computes per-core slopes, their skewness, and the slope ``s`` at ``x_c``,
+4. evaluates the raw scaling factor ``SF(s, skew)`` (Eq. 3),
+5. branches:
+   - *scale up* when ``s >= s_h`` or the usage quantile exceeds
+     ``(1 − m_h) · x_c`` (insufficient headroom),
+   - *scale down* when ``s <= s_l`` and the usage quantile is below
+     ``m_l · x_c`` (mostly idle),
+   - *walk down* when the slope is 0 and ``x_c`` sits on the flat top of
+     the curve (gross over-provisioning, Figure 7b),
+6. applies guardrails (caps, rounding, ``c_min``/``max_cores`` clamps).
+
+Every decision carries its full derivation in :class:`ReactiveDecision`
+for interpretability (R6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import TraceError
+from ..trace import CpuTrace
+from .config import CaasperConfig
+from .preprocess import preprocess_window
+from .pvp import PvPCurve
+from .scaling_factor import apply_guardrails, scaling_factor, slope_skewness
+
+__all__ = ["ReactivePolicy", "ReactiveDecision"]
+
+
+@dataclass(frozen=True)
+class ReactiveDecision:
+    """A fully-derived Algorithm 1 decision (interpretable per R6).
+
+    Attributes
+    ----------
+    current_cores:
+        ``CoreCount_cur`` at decision time.
+    target_cores:
+        Recommended whole-core allocation after guardrails.
+    delta:
+        ``target_cores − current_cores``.
+    slope:
+        PvP slope ``s`` at the current allocation.
+    skew:
+        Skewness of the slope distribution (Eq. 3 multiplier).
+    raw_scaling_factor:
+        Unclamped ``SF(s, skew)`` magnitude.
+    usage_quantile:
+        The configured usage quantile of the window, in cores.
+    branch:
+        Which Algorithm 1 branch fired: ``"scale_up"``, ``"scale_down"``,
+        ``"walk_down"`` or ``"hold"``.
+    reason:
+        Human-readable explanation of the decision.
+    curve:
+        The PvP-curve the decision was derived from.
+    """
+
+    current_cores: int
+    target_cores: int
+    delta: int
+    slope: float
+    skew: float
+    raw_scaling_factor: float
+    usage_quantile: float
+    branch: str
+    reason: str
+    curve: PvPCurve
+
+    @property
+    def is_scaling(self) -> bool:
+        """True when the decision changes the allocation."""
+        return self.delta != 0
+
+
+class ReactivePolicy:
+    """Stateless implementation of Algorithm 1.
+
+    The policy is a pure function of ``(x_c, {X_t})`` given its
+    configuration — the paper's "clean-slate, history-independent reactive
+    algorithm" (§1). All state (windows, cooldowns) lives in
+    :class:`~repro.core.recommender.CaasperRecommender`.
+    """
+
+    def __init__(self, config: CaasperConfig | None = None) -> None:
+        self.config = config or CaasperConfig()
+
+    def build_curve(self, window: CpuTrace) -> PvPCurve:
+        """Estimate the PvP-curve for a preprocessed window."""
+        return PvPCurve.from_trace(
+            window,
+            max_cores=self.config.max_cores,
+            slope_scale=self.config.slope_scale,
+        )
+
+    def decide(
+        self,
+        current_cores: int,
+        window: CpuTrace,
+        truncate_window: bool = True,
+    ) -> ReactiveDecision:
+        """Run Algorithm 1 once.
+
+        Parameters
+        ----------
+        current_cores:
+            ``CoreCount_cur`` — the allocation in force (whole cores).
+        window:
+            Observation window ``{X_t}`` (observed and/or predicted usage;
+            proactive mode passes the Eq. 4 combined window here).
+        truncate_window:
+            When True (default), trim the window to the configured
+            reactive length. The recommender passes False for Eq. 4
+            combined windows, whose length is set by the window builder.
+        """
+        if current_cores < 1:
+            raise TraceError(
+                f"current_cores must be >= 1, got {current_cores}"
+            )
+        config = self.config
+        window = preprocess_window(
+            window,
+            window_minutes=config.window_minutes if truncate_window else None,
+        )
+
+        curve = self.build_curve(window)
+        slopes = curve.slopes()
+        skew = slope_skewness(slopes)
+        slope = curve.slope_at(current_cores)
+        raw_sf = scaling_factor(slope, skew, config.c_min)
+        quantile_cores = window.quantile(config.quantile)
+
+        headroom_breached = quantile_cores >= (1.0 - config.m_high) * current_cores
+        mostly_idle = quantile_cores <= config.m_low * current_cores
+
+        if slope >= config.s_high or headroom_breached:
+            branch = "scale_up"
+            # Eq. 3 supplies the step when the window mass is pinned at
+            # the current allocation (positive local slope). When the
+            # window — typically a forecast horizon — shows demand far
+            # *above* the allocation, the local slope is 0, so the step
+            # is floored at the gap to the quantile-implied requirement
+            # (quantile / (1 − m_h)). This is what lets proactive
+            # CaaSPER jump straight to spike capacity (Figure 10b).
+            required = quantile_cores / max(1.0 - config.m_high, 1e-9)
+            step = max(raw_sf, required - current_cores)
+            reason = (
+                f"scale up: slope {slope:.2f} >= s_h {config.s_high:.2f}"
+                if slope >= config.s_high
+                else (
+                    f"scale up: P{config.quantile * 100:.0f} usage "
+                    f"{quantile_cores:.2f} >= (1-m_h)*{current_cores} = "
+                    f"{(1.0 - config.m_high) * current_cores:.2f}"
+                )
+            )
+        elif slope <= config.s_low and (
+            mostly_idle or curve.is_flat_top(current_cores)
+        ):
+            # Scale-down magnitude: Eq. 3 yields ~ln(c_min) for the
+            # near-zero slopes that accompany over-provisioning, which
+            # floor rounding would erase. The walk-down of §4.2 supplies
+            # the magnitude instead: step toward the cheapest core count
+            # that meets the window at 100% utilization (plus headroom),
+            # capped by SF_l. In reactive mode the observation window
+            # drains of peak samples gradually, so the walk-down target
+            # falls gradually — the paper's "slowly scaling back down over
+            # the course of an hour". In proactive mode a low forecast
+            # empties the window at once, producing the fast 14→2 drop of
+            # Figure 10b.
+            target = curve.walk_down_target(current_cores)
+            buffered = math.ceil(target * (1.0 + config.scale_down_headroom))
+            gap = current_cores - min(buffered, current_cores)
+            if gap > 0:
+                branch = "walk_down" if curve.is_flat_top(current_cores) else (
+                    "scale_down"
+                )
+                step = -max(raw_sf, float(gap))
+                reason = (
+                    f"{branch.replace('_', ' ')}: slope {slope:.2f} <= s_l "
+                    f"{config.s_low:.2f}; cheapest candidate meeting the "
+                    f"window is {target} cores "
+                    f"(+{config.scale_down_headroom:.0%} headroom -> {buffered})"
+                )
+            else:
+                branch = "hold"
+                step = 0.0
+                reason = (
+                    f"hold: slope {slope:.2f} is low but the walk-down "
+                    f"target ({buffered} cores) already matches the "
+                    f"current allocation"
+                )
+        else:
+            branch = "hold"
+            step = 0.0
+            reason = (
+                f"hold: slope {slope:.2f} in ({config.s_low:.2f}, "
+                f"{config.s_high:.2f}) and usage within slack band"
+            )
+
+        delta = apply_guardrails(step, current_cores, config)
+        if delta == 0 and branch != "hold":
+            reason += " (guardrails reduced the step to 0)"
+        return ReactiveDecision(
+            current_cores=current_cores,
+            target_cores=current_cores + delta,
+            delta=delta,
+            slope=slope,
+            skew=skew,
+            raw_scaling_factor=raw_sf,
+            usage_quantile=quantile_cores,
+            branch=branch,
+            reason=reason,
+            curve=curve,
+        )

@@ -1,0 +1,140 @@
+"""CaasperRecommender: the deployable recommender (Figure 1, step 3).
+
+Ties the pieces together behind the generic
+:class:`~repro.baselines.base.Recommender` contract so the simulator, the
+live-cluster control loop and the tuning search all drive CaaSPER exactly
+like they drive every baseline:
+
+- accumulates usage history (bounded to what forecasting needs),
+- at each decision point builds the Algorithm 1 input window — reactive,
+  or Eq. 4 combined when proactive mode is enabled and ready,
+- runs :class:`~repro.core.reactive.ReactivePolicy`,
+- records the fully-derived :class:`~repro.core.reactive.ReactiveDecision`
+  trail for interpretability (R6).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..baselines.base import Recommender
+from ..errors import ConfigError
+from ..forecast.base import Forecaster
+from ..trace import CpuTrace
+from .config import CaasperConfig
+from .proactive import ProactiveWindowBuilder
+from .reactive import ReactiveDecision, ReactivePolicy
+
+__all__ = ["CaasperRecommender"]
+
+#: How many seasonal periods of history the recommender retains; the naïve
+#: forecaster needs one, Holt-Winters needs two, so two plus slack.
+_HISTORY_PERIODS = 3
+
+
+class CaasperRecommender(Recommender):
+    """The CaaSPER vertical autoscaler as a pluggable recommender.
+
+    Parameters
+    ----------
+    config:
+        Full algorithm configuration; defaults to the paper-flavoured
+        defaults of :class:`~repro.core.config.CaasperConfig`.
+    forecaster:
+        Optional custom forecaster instance (otherwise resolved from
+        ``config.forecaster`` via the registry).
+    keep_decisions:
+        Retain the full derivation of every decision in
+        :attr:`decisions`. Disable for large tuning sweeps.
+    """
+
+    name = "caasper"
+
+    def __init__(
+        self,
+        config: CaasperConfig | None = None,
+        forecaster: Forecaster | None = None,
+        keep_decisions: bool = True,
+    ) -> None:
+        self.config = config or CaasperConfig()
+        self.policy = ReactivePolicy(self.config)
+        self._window_builder = ProactiveWindowBuilder(self.config, forecaster)
+        self._keep_decisions = keep_decisions
+        self.decisions: list[ReactiveDecision] = []
+
+        history_cap = self._history_capacity()
+        self._usage: deque[float] = deque(maxlen=history_cap)
+        self._first_minute: int | None = None
+        self._last_minute: int | None = None
+        if self.config.proactive:
+            self.name = "caasper-proactive"
+
+    def _history_capacity(self) -> int:
+        """Bound history retention to what the configuration can use."""
+        period = self.config.seasonal_period_minutes
+        if not self.config.proactive:
+            return self.config.window_minutes
+        if period is None:
+            # Auto-detection needs enough signal; keep a week of minutes.
+            return 7 * 24 * 60
+        return max(_HISTORY_PERIODS * period, self.config.window_minutes)
+
+    # -- Recommender interface ---------------------------------------------------
+
+    def observe(self, minute: int, usage: float, limit: int) -> None:
+        if usage < 0:
+            raise ConfigError(f"usage must be >= 0, got {usage}")
+        if self._last_minute is not None and minute < self._last_minute:
+            raise ConfigError(
+                f"observations must be time-ordered ({minute} after "
+                f"{self._last_minute})"
+            )
+        if self._last_minute is not None and minute == self._last_minute:
+            self._usage[-1] = float(usage)
+            return
+        if self._first_minute is None:
+            self._first_minute = minute
+        if len(self._usage) == self._usage.maxlen:
+            self._first_minute = (self._first_minute or 0) + 1
+        self._last_minute = minute
+        self._usage.append(float(usage))
+
+    def recommend(self, minute: int, current_limit: int) -> int:
+        if not self._usage:
+            # Nothing observed yet: keep the current allocation.
+            return max(current_limit, self.config.c_min)
+        decision = self.decide(current_limit)
+        return decision.target_cores
+
+    def reset(self) -> None:
+        self._usage.clear()
+        self._first_minute = None
+        self._last_minute = None
+        self.decisions.clear()
+
+    # -- CaaSPER-specific API ------------------------------------------------------
+
+    def history(self) -> CpuTrace:
+        """The retained usage history as a trace."""
+        return CpuTrace(
+            np.asarray(self._usage, dtype=float),
+            name="history",
+            start_minute=self._first_minute or 0,
+        )
+
+    def decide(self, current_cores: int) -> ReactiveDecision:
+        """Run one full CaaSPER decision against the retained history."""
+        combined = self._window_builder.build(self.history())
+        decision = self.policy.decide(
+            current_cores, combined.window, truncate_window=False
+        )
+        if self._keep_decisions:
+            self.decisions.append(decision)
+        return decision
+
+    @property
+    def last_decision(self) -> ReactiveDecision | None:
+        """Most recent decision, if any were retained."""
+        return self.decisions[-1] if self.decisions else None

@@ -1,0 +1,96 @@
+"""The scaling-factor function and guardrails (§4.2, Eq. 3).
+
+The paper correlates PvP slopes with the number of cores sophisticated
+customers scaled by, and finds "a simple logarithmic decay function
+suffices":
+
+    SF(s, skew) = ln(skew · s + c_min)            (Eq. 3)
+
+where ``s`` is the slope at the current allocation, ``skew`` is the
+asymmetry of the distribution of the curve's slopes, and ``c_min`` is the
+minimum-cores guardrail. Large slopes (severe throttling) produce large
+single-step corrections; small slopes produce micro-adjustments (Figure 6).
+
+Guardrails (Algorithm 1 line 14) cap the step at ``SF_h``/``SF_l``, keep
+the result within ``[c_min, max_cores]`` and round fractional cores per
+the configured :class:`~repro.core.config.RoundingMode` (R1).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ConfigError
+from .config import CaasperConfig
+
+__all__ = ["scaling_factor", "slope_skewness", "apply_guardrails"]
+
+
+def scaling_factor(slope: float, skew: float, c_min: int) -> float:
+    """Evaluate Eq. 3: ``SF(s, skew) = ln(skew * s + c_min)``.
+
+    Returns the *unsigned magnitude* of the recommended core change; the
+    caller (Algorithm 1) decides direction. Negative slopes cannot occur
+    on a CDF-based curve, but the guard keeps the log argument valid even
+    for adversarial inputs.
+    """
+    if c_min < 1:
+        raise ConfigError(f"c_min must be >= 1, got {c_min}")
+    argument = max(skew * max(slope, 0.0) + c_min, 1.0)
+    return math.log(argument)
+
+
+def slope_skewness(slopes: np.ndarray, floor: float = 1.0) -> float:
+    """Fisher–Pearson sample skewness of the slope distribution.
+
+    "When the distribution has a higher skew, indicating concentration
+    towards lower/higher end of the usage, we scale up/down more
+    aggressively" (§4.2). A throttled workload's slopes are near zero
+    everywhere except a spike at the pin point, which yields a strongly
+    right-skewed distribution and hence an aggressive multiplier.
+
+    The result is floored at ``floor`` (default 1.0) so that symmetric or
+    degenerate distributions never *dampen* the raw slope signal — Eq. 3
+    then degrades gracefully to ``ln(s + c_min)``.
+    """
+    values = np.asarray(slopes, dtype=float)
+    if values.size == 0:
+        return floor
+    std = float(values.std())
+    if std < 1e-12:
+        return floor
+    mean = float(values.mean())
+    skew = float(np.mean(((values - mean) / std) ** 3))
+    return max(skew, floor)
+
+
+def apply_guardrails(
+    step: float, current_cores: int, config: CaasperConfig
+) -> int:
+    """Algorithm 1 line 14: bound, round and clamp a raw scaling step.
+
+    Parameters
+    ----------
+    step:
+        Signed fractional core delta proposed by the decision branches.
+    current_cores:
+        ``CoreCount_cur``, the allocation in force.
+    config:
+        Supplies ``SF_h``/``SF_l`` caps, ``c_min``, ``max_cores`` and the
+        rounding mode.
+
+    Returns
+    -------
+    int
+        The final whole-core delta to apply (may be 0).
+    """
+    if step > 0:
+        step = min(step, float(config.sf_max_up))
+    elif step < 0:
+        step = max(step, -float(config.sf_max_down))
+    delta = config.rounding.apply(step)
+    target = current_cores + delta
+    target = max(config.c_min, min(config.max_cores, target))
+    return target - current_cores

@@ -1,0 +1,24 @@
+"""DBaaS substrate (§3.1): the application being autoscaled.
+
+Models the paper's managed-database case study — a primary replica
+serving client load, optional secondaries, backlog-driven latency, and
+transaction accounting — closing the loop the trace simulator leaves
+open: throttled work queues up, inflates latency, and eventually drops,
+which is where Table 1/2's throughput and latency numbers come from.
+"""
+
+from .engine import DbEngine, EngineMinute
+from .replica import Replica, ReplicaRole
+from .service import DBaaSService, DbServiceConfig
+from .transactions import TxnAccounting, TxnMinute
+
+__all__ = [
+    "DbEngine",
+    "EngineMinute",
+    "Replica",
+    "ReplicaRole",
+    "DBaaSService",
+    "DbServiceConfig",
+    "TxnAccounting",
+    "TxnMinute",
+]

@@ -1,0 +1,134 @@
+"""Database engine capacity model.
+
+Closed-loop CPU dynamics for one database instance, one minute at a time:
+
+- incoming *demand* (core-minutes of work) joins any queued backlog;
+- the cgroup limit caps how much of it is served this minute;
+- unserved work stays queued up to a timeout bound, beyond which it is
+  shed (transactions time out);
+- latency is approximated as the uncontended baseline times a mild
+  utilization term plus a backlog-delay term that dominates while
+  throttled — enough to reproduce the paper's qualitative latency
+  behaviour: right-sized runs stay "within the margin of error" of the
+  control (Table 1), while the savings-tuned run of Table 2 pays ~40ms of
+  average latency during its throttled stretches and medians stay flat
+  because most minutes are uncontended.
+
+This closed loop is what makes under-provisioning expensive in the live
+experiments: a capped engine keeps falling behind, so throughput loss
+compounds far beyond the per-minute CPU deficit (the paper's "73%
+reduction in throughput" for OpenShift's VPA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["DbEngine", "EngineMinute"]
+
+#: Coefficient of the mild utilization latency term: at 100% utilization
+#: (no backlog yet) mean latency rises by this fraction of the baseline.
+_UTILIZATION_LATENCY_GAIN = 0.3
+
+#: Upper bound on the latency factor, so a deep backlog cannot produce
+#: unbounded per-minute latencies (clients time out instead — that work
+#: is shed by the backlog bound).
+_MAX_LATENCY_FACTOR = 12.0
+
+
+@dataclass(frozen=True)
+class EngineMinute:
+    """Outcome of one engine-minute.
+
+    Attributes
+    ----------
+    served_cores:
+        Work served (== CPU usage observed by the metrics server).
+    queued_cores:
+        Backlog remaining after this minute.
+    shed_cores:
+        Work dropped this minute (timeouts / lost transactions).
+    latency_factor:
+        Mean-latency multiplier vs the uncontended baseline.
+    """
+
+    served_cores: float
+    queued_cores: float
+    shed_cores: float
+    latency_factor: float
+
+    @property
+    def was_throttled(self) -> bool:
+        """True when any demand went unserved this minute."""
+        return self.queued_cores > 1e-9 or self.shed_cores > 1e-9
+
+
+class DbEngine:
+    """Work-conserving engine with bounded backlog.
+
+    Parameters
+    ----------
+    backlog_timeout_minutes:
+        How many minutes of queued work are retained before shedding;
+        models client transaction timeouts. The bound is expressed in
+        minutes of *current capacity* (a bigger instance retains a
+        proportionally bigger queue).
+    """
+
+    def __init__(self, backlog_timeout_minutes: float = 3.0) -> None:
+        if backlog_timeout_minutes < 0:
+            raise ConfigError(
+                "backlog_timeout_minutes must be >= 0, got "
+                f"{backlog_timeout_minutes}"
+            )
+        self.backlog_timeout_minutes = backlog_timeout_minutes
+        self.backlog_cores = 0.0
+
+    def reset(self) -> None:
+        """Drop all queued work (fresh instance)."""
+        self.backlog_cores = 0.0
+
+    def step(
+        self, demand_cores: float, limit_cores: float, serving: bool = True
+    ) -> EngineMinute:
+        """Advance the engine by one minute.
+
+        Parameters
+        ----------
+        demand_cores:
+            New work arriving this minute.
+        limit_cores:
+            cgroup ceiling in force.
+        serving:
+            False while the instance is restarting — nothing is served
+            and all arriving work queues (clients waiting on a down
+            primary).
+        """
+        if demand_cores < 0:
+            raise ConfigError(f"demand must be >= 0, got {demand_cores}")
+        if limit_cores <= 0:
+            raise ConfigError(f"limit must be > 0, got {limit_cores}")
+
+        total_work = self.backlog_cores + demand_cores
+        served = min(total_work, limit_cores) if serving else 0.0
+        remaining = total_work - served
+
+        max_backlog = self.backlog_timeout_minutes * limit_cores
+        shed = max(0.0, remaining - max_backlog)
+        self.backlog_cores = remaining - shed
+
+        utilization = served / limit_cores if serving else 1.0
+        backlog_delay = self.backlog_cores / limit_cores
+        latency_factor = min(
+            _MAX_LATENCY_FACTOR,
+            1.0 + _UTILIZATION_LATENCY_GAIN * utilization**3 + backlog_delay,
+        )
+
+        return EngineMinute(
+            served_cores=served,
+            queued_cores=self.backlog_cores,
+            shed_cores=shed,
+            latency_factor=latency_factor,
+        )

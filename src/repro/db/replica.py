@@ -1,0 +1,92 @@
+"""Database replicas: roles, restarts and re-synchronization (§3.1).
+
+Each replica pairs a pod (placement + lifecycle) with a database engine
+(work + backlog). Secondaries that finish a restart re-synchronize from
+the primary for a few minutes before serving reads again — part of why a
+full rolling update lands in the paper's 5–15 minute window.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..cluster.pod import Pod
+from ..errors import ConfigError
+from .engine import DbEngine
+
+__all__ = ["Replica", "ReplicaRole"]
+
+
+class ReplicaRole(enum.Enum):
+    """Database role of a replica."""
+
+    PRIMARY = "primary"
+    SECONDARY = "secondary"
+
+
+class Replica:
+    """One database replica: pod + engine + role bookkeeping.
+
+    Parameters
+    ----------
+    pod:
+        The hosting pod (restart state comes from here).
+    resync_minutes:
+        Minutes of re-synchronization after a restart completes before a
+        secondary serves reads again.
+    backlog_timeout_minutes:
+        Passed through to the engine's backlog bound.
+    """
+
+    def __init__(
+        self,
+        pod: Pod,
+        resync_minutes: int = 2,
+        backlog_timeout_minutes: float = 3.0,
+    ) -> None:
+        if resync_minutes < 0:
+            raise ConfigError(f"resync_minutes must be >= 0, got {resync_minutes}")
+        self.pod = pod
+        self.engine = DbEngine(backlog_timeout_minutes=backlog_timeout_minutes)
+        self.resync_minutes = resync_minutes
+        self._resync_remaining = 0
+        self._was_serving = pod.is_serving
+
+    @property
+    def ordinal(self) -> int:
+        """Replica index within the stateful set."""
+        return self.pod.ordinal
+
+    @property
+    def limit_cores(self) -> float:
+        """The replica's enacted CPU limits."""
+        return self.pod.spec.limit_cores
+
+    @property
+    def in_resync(self) -> bool:
+        """True while re-synchronizing after a restart."""
+        return self._resync_remaining > 0
+
+    def is_available(self, as_role: ReplicaRole) -> bool:
+        """Whether the replica can serve in the given role right now.
+
+        A primary serves as soon as its pod runs (clients block on it, it
+        cannot hide behind resync); a secondary additionally waits out
+        re-synchronization.
+        """
+        if not self.pod.is_serving:
+            return False
+        if as_role is ReplicaRole.SECONDARY and self.in_resync:
+            return False
+        return True
+
+    def tick(self) -> None:
+        """Advance one minute of replica state (detect restart completion)."""
+        serving_now = self.pod.is_serving
+        if serving_now and not self._was_serving:
+            # Restart just completed: start re-sync and drop stale queue.
+            self._resync_remaining = self.resync_minutes
+            self.engine.reset()
+        elif self._resync_remaining > 0:
+            self._resync_remaining -= 1
+        self._was_serving = serving_now

@@ -1,0 +1,207 @@
+"""The DBaaS service: a stateful set of database replicas (§3.1).
+
+Ties the cluster substrate (stateful set, operator, scheduler) to the
+database model (replicas, engines, transactions):
+
+- client demand routes to the *primary* ("a single writable primary
+  instance that handles most user requests"); secondaries carry a
+  replication-overhead load proportional to primary work;
+- the recommender's metrics target is the primary only, matching the
+  paper's adaptation ("we modified the existing algorithms to target the
+  primary instance only since its metrics patterns differentiate from
+  secondary replicas", §3.3);
+- while the primary restarts with no failover target, demand queues and
+  transactions drop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.events import EventKind, EventLog
+from ..cluster.operator_ import DbOperator
+from ..cluster.scheduler import Scheduler
+from ..cluster.statefulset import StatefulSet
+from ..cluster.resources import ResourceSpec
+from ..errors import ConfigError
+from .engine import EngineMinute
+from .replica import Replica, ReplicaRole
+
+__all__ = ["DBaaSService", "DbServiceConfig", "ServiceMinute"]
+
+
+@dataclass(frozen=True)
+class DbServiceConfig:
+    """Shape of one managed database deployment.
+
+    Parameters
+    ----------
+    name:
+        Stateful-set name.
+    replicas:
+        Replica count (Database A: 3; Database B: 2).
+    initial_cores:
+        Starting whole-core allocation per replica.
+    restart_minutes_per_pod:
+        Per-pod restart duration (drives total resize latency).
+    resync_minutes:
+        Secondary re-synchronization time after a restart.
+    replication_overhead:
+        Fraction of primary served work mirrored onto each secondary
+        (log apply / redo).
+    backlog_timeout_minutes:
+        Engine backlog bound, in minutes of capacity.
+    memory_mb:
+        Per-replica memory request (node fit only).
+    in_place_resize:
+        Use the restart-free in-place resize path (§8 future work; K8s
+        "In-Place Update of Pod Resources") instead of rolling updates.
+    """
+
+    name: str = "db"
+    replicas: int = 3
+    initial_cores: int = 4
+    restart_minutes_per_pod: int = 4
+    resync_minutes: int = 2
+    replication_overhead: float = 0.15
+    backlog_timeout_minutes: float = 3.0
+    memory_mb: int = 8 * 1024
+    in_place_resize: bool = False
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ConfigError(f"replicas must be >= 1, got {self.replicas}")
+        if self.initial_cores < 1:
+            raise ConfigError(
+                f"initial_cores must be >= 1, got {self.initial_cores}"
+            )
+        if not 0.0 <= self.replication_overhead <= 1.0:
+            raise ConfigError(
+                "replication_overhead must be in [0, 1], got "
+                f"{self.replication_overhead}"
+            )
+
+
+@dataclass(frozen=True)
+class ServiceMinute:
+    """Client-visible outcome of one service-minute.
+
+    Attributes
+    ----------
+    primary_usage_cores:
+        CPU the primary consumed (what the metrics server reports).
+    client_limit_cores:
+        The primary's enacted limits (what clients experience).
+    primary:
+        The primary engine's full minute outcome.
+    primary_serving:
+        False while the primary was down with no failover target.
+    restarts_completed:
+        Pod restarts that finished this minute (for drop accounting).
+    """
+
+    primary_usage_cores: float
+    client_limit_cores: float
+    primary: EngineMinute
+    primary_serving: bool
+    restarts_completed: int
+
+
+class DBaaSService:
+    """A managed database deployment on the cluster substrate."""
+
+    def __init__(
+        self,
+        config: DbServiceConfig,
+        scheduler: Scheduler,
+        events: EventLog,
+    ) -> None:
+        self.config = config
+        self.events = events
+        self.scheduler = scheduler
+        spec = ResourceSpec.whole_cores(config.initial_cores, config.memory_mb)
+        self.stateful_set = StatefulSet(config.name, config.replicas, spec)
+        self.operator = DbOperator(
+            self.stateful_set,
+            restart_minutes_per_pod=config.restart_minutes_per_pod,
+            in_place_resize=config.in_place_resize,
+        )
+        # Schedule pods before wrapping them in replicas: a Replica
+        # snapshots its pod's serving state at construction, and a pod
+        # only serves once bound to a node.
+        for pod in self.stateful_set.pods:
+            scheduler.schedule(pod)
+            events.record(
+                0,
+                EventKind.POD_SCHEDULED,
+                pod.name,
+                f"scheduled on {pod.node_name}",
+                node=pod.node_name,
+            )
+        self.replicas = [
+            Replica(
+                pod,
+                resync_minutes=config.resync_minutes,
+                backlog_timeout_minutes=config.backlog_timeout_minutes,
+            )
+            for pod in self.stateful_set.pods
+        ]
+
+    # -- lookups -----------------------------------------------------------------
+
+    def replica_by_ordinal(self, ordinal: int) -> Replica:
+        """Replica by stateful-set ordinal."""
+        return self.replicas[ordinal]
+
+    @property
+    def primary_replica(self) -> Replica:
+        """The replica currently holding the primary role."""
+        return self.replica_by_ordinal(self.operator.primary_ordinal)
+
+    @property
+    def client_visible_cores(self) -> float:
+        """The limits clients experience (the primary's enacted spec)."""
+        return self.operator.client_visible_limit_cores
+
+    # -- simulation step -----------------------------------------------------------
+
+    def step(self, minute: int, demand_cores: float) -> ServiceMinute:
+        """Advance the whole service by one minute under client demand."""
+        restarts_before = {
+            replica.ordinal: replica.pod.is_serving for replica in self.replicas
+        }
+        self.operator.tick(minute, self.events)
+        restarts_completed = 0
+        for replica in self.replicas:
+            replica.tick()
+            if replica.pod.is_serving and not restarts_before[replica.ordinal]:
+                restarts_completed += 1
+
+        primary = self.primary_replica
+        primary_serving = primary.is_available(ReplicaRole.PRIMARY)
+        primary_minute = primary.engine.step(
+            demand_cores,
+            max(primary.limit_cores, 1e-9),
+            serving=primary_serving,
+        )
+
+        # Secondaries replay a fraction of the primary's served work.
+        secondary_demand = (
+            primary_minute.served_cores * self.config.replication_overhead
+        )
+        for replica in self.replicas:
+            if replica is primary:
+                continue
+            replica.engine.step(
+                secondary_demand,
+                max(replica.limit_cores, 1e-9),
+                serving=replica.is_available(ReplicaRole.SECONDARY),
+            )
+
+        return ServiceMinute(
+            primary_usage_cores=primary_minute.served_cores,
+            client_limit_cores=self.client_visible_cores,
+            primary=primary_minute,
+            primary_serving=primary_serving,
+            restarts_completed=restarts_completed,
+        )

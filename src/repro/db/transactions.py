@@ -1,0 +1,209 @@
+"""Transaction accounting for the live experiments (Tables 1 and 2).
+
+Converts engine-minute outcomes into the quantities the paper reports:
+total throughput (#txns), average and median latency, dropped/retried
+transactions around restarts, and price per transaction.
+
+Work ↔ transaction conversion uses a per-workload factor
+``txns_per_core_minute`` (how many transactions one core-minute of served
+CPU completes), supplied by the BenchBase profile driving the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError, SimulationError
+
+__all__ = ["TxnAccounting", "TxnMinute"]
+
+
+@dataclass(frozen=True)
+class TxnMinute:
+    """Per-minute transaction outcome.
+
+    Attributes
+    ----------
+    minute:
+        Simulation minute.
+    offered:
+        Transactions the clients attempted.
+    completed:
+        Transactions served.
+    dropped:
+        Transactions lost (timeouts or restart disconnections).
+    latency_ms:
+        Mean latency of this minute's completed transactions.
+    """
+
+    minute: int
+    offered: float
+    completed: float
+    dropped: float
+    latency_ms: float
+
+
+class TxnAccounting:
+    """Accumulates transaction outcomes over a run.
+
+    Parameters
+    ----------
+    base_latency_ms:
+        Uncontended mean transaction latency (scaled by the engine's
+        per-minute latency factor).
+    retry_dropped:
+        When True (the paper's default customer behaviour), transactions
+        dropped during restarts are retried and only counted as extra
+        latency; when False (the Table 2 experiment: "we did not retry
+        throttled transactions after a timeout window"), drops reduce
+        total throughput.
+    """
+
+    def __init__(self, base_latency_ms: float, retry_dropped: bool = True) -> None:
+        if base_latency_ms <= 0:
+            raise ConfigError(
+                f"base_latency_ms must be positive, got {base_latency_ms}"
+            )
+        self.base_latency_ms = base_latency_ms
+        self.retry_dropped = retry_dropped
+        self.minutes: list[TxnMinute] = []
+        self._retried = 0.0
+        self._restart_dropped = 0.0
+
+    def record_minute(
+        self,
+        minute: int,
+        offered_txns: float,
+        served_txns: float,
+        shed_txns: float,
+        latency_factor: float,
+        restart_drops: float = 0.0,
+    ) -> TxnMinute:
+        """Record one minute of transaction outcomes.
+
+        ``shed_txns`` are work-timeout losses from the engine backlog;
+        ``restart_drops`` are connection drops from pod restarts (the
+        paper: "during each of the 3 resizings, one transaction is
+        dropped and retried").
+        """
+        if min(offered_txns, served_txns, shed_txns, restart_drops) < 0:
+            raise SimulationError("transaction counts must be non-negative")
+        self._restart_dropped += restart_drops
+        dropped = shed_txns + restart_drops
+        completed = served_txns
+        if self.retry_dropped:
+            # Retried transactions eventually complete; count them and
+            # track the retry volume separately.
+            completed += dropped
+            self._retried += dropped
+            dropped = 0.0
+        entry = TxnMinute(
+            minute=minute,
+            offered=offered_txns,
+            completed=completed,
+            dropped=dropped,
+            latency_ms=self.base_latency_ms * max(latency_factor, 1.0),
+        )
+        self.minutes.append(entry)
+        return entry
+
+    # -- aggregates -----------------------------------------------------------------
+
+    def _require_data(self) -> None:
+        if not self.minutes:
+            raise SimulationError("no transaction minutes recorded")
+
+    @property
+    def total_offered(self) -> float:
+        """Total transactions attempted."""
+        self._require_data()
+        return float(sum(entry.offered for entry in self.minutes))
+
+    @property
+    def total_completed(self) -> float:
+        """Total throughput (Table 2's "Total Thrpt")."""
+        self._require_data()
+        return float(sum(entry.completed for entry in self.minutes))
+
+    @property
+    def total_dropped(self) -> float:
+        """Transactions lost for good."""
+        self._require_data()
+        return float(sum(entry.dropped for entry in self.minutes))
+
+    @property
+    def total_retried(self) -> float:
+        """Transactions that needed a retry (when retries are enabled)."""
+        return self._retried
+
+    @property
+    def total_restart_dropped(self) -> float:
+        """Connection drops caused by pod restarts specifically.
+
+        Counted regardless of the retry policy — this is the quantity
+        the in-place resize feature eliminates (§8, footnote 10).
+        """
+        return self._restart_dropped
+
+    def average_latency_ms(self) -> float:
+        """Completion-weighted mean latency."""
+        self._require_data()
+        weights = np.array([entry.completed for entry in self.minutes])
+        latencies = np.array([entry.latency_ms for entry in self.minutes])
+        total = weights.sum()
+        if total <= 0:
+            return float(latencies.mean())
+        return float(np.average(latencies, weights=weights))
+
+    def median_latency_ms(self) -> float:
+        """Completion-weighted median latency."""
+        self._require_data()
+        weights = np.array([entry.completed for entry in self.minutes])
+        latencies = np.array([entry.latency_ms for entry in self.minutes])
+        order = np.argsort(latencies)
+        weights = weights[order]
+        latencies = latencies[order]
+        total = weights.sum()
+        if total <= 0:
+            return float(np.median(latencies))
+        cumulative = np.cumsum(weights)
+        index = int(np.searchsorted(cumulative, total / 2.0))
+        return float(latencies[min(index, len(latencies) - 1)])
+
+    def latency_percentile_ms(self, q: float) -> float:
+        """Completion-weighted latency percentile (``0 < q <= 1``)."""
+        if not 0.0 < q <= 1.0:
+            raise ConfigError(f"q must be in (0, 1], got {q}")
+        self._require_data()
+        weights = np.array([entry.completed for entry in self.minutes])
+        latencies = np.array([entry.latency_ms for entry in self.minutes])
+        order = np.argsort(latencies)
+        weights = weights[order]
+        latencies = latencies[order]
+        total = weights.sum()
+        if total <= 0:
+            return float(np.quantile(latencies, q))
+        cumulative = np.cumsum(weights)
+        index = int(np.searchsorted(cumulative, q * total))
+        return float(latencies[min(index, len(latencies) - 1)])
+
+    def summary(self, price: float | None = None) -> dict[str, float]:
+        """Table-ready aggregate row (optionally with price-per-txn)."""
+        row = {
+            "total_offered": self.total_offered,
+            "total_completed": self.total_completed,
+            "total_dropped": self.total_dropped,
+            "total_retried": self.total_retried,
+            "restart_dropped": self.total_restart_dropped,
+            "avg_latency_ms": self.average_latency_ms(),
+            "median_latency_ms": self.median_latency_ms(),
+        }
+        if price is not None:
+            row["price"] = price
+            completed = row["total_completed"]
+            row["price_per_txn"] = price / completed if completed > 0 else float(
+                "inf"
+            )
+        return row

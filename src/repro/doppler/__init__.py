@@ -1,0 +1,31 @@
+"""Doppler: multi-dimensional SKU recommendation (§4.1's substrate).
+
+CaaSPER's PvP-curves are a CPU-only refactoring of Doppler [Cahoon et
+al., VLDB 2022], which estimates, for every candidate SKU, the joint
+probability of throttling across *all* resource dimensions:
+
+    P_n(SKU_i) = P(r_CPU > R_CPU_i ∪ r_RAM > R_RAM_i ∪ ... ∪ r_IOPS > R_IOPS_i)
+
+This package implements that general machinery — multi-dimensional usage
+profiles, SKU catalogs, the Eq. 1 estimator and price-vs-performance
+curves over catalogs — both as the historical substrate of §4.1 and as
+the foundation for the paper's future-work direction of scaling
+additional resource types (memory, disk; §8).
+
+:class:`~repro.core.pvp.PvPCurve` is exactly the specialization of this
+machinery to a single CPU dimension with a whole-core SKU ladder.
+"""
+
+from .catalog import Sku, SkuCatalog
+from .curves import SkuPvPCurve, sku_pvp_curve
+from .profile import ResourceUsageProfile
+from .throttling import throttling_probability
+
+__all__ = [
+    "Sku",
+    "SkuCatalog",
+    "ResourceUsageProfile",
+    "throttling_probability",
+    "SkuPvPCurve",
+    "sku_pvp_curve",
+]

@@ -1,0 +1,125 @@
+"""SKU catalogs: the discrete cloud offerings of Eq. 1.
+
+A :class:`Sku` fixes the maximum capacity ``R_d`` of every performance
+dimension; a :class:`SkuCatalog` is the ordered menu a customer chooses
+from ("a large number of cloud offerings", §1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..errors import ConfigError
+
+__all__ = ["Sku", "SkuCatalog"]
+
+
+@dataclass(frozen=True)
+class Sku:
+    """One stock-keeping unit.
+
+    Attributes
+    ----------
+    name:
+        SKU identifier (e.g. ``"E8s_v5"``).
+    monthly_price:
+        Price used on the PvP x-axis. Normalized units.
+    capacities:
+        Dimension name → maximum capacity ``R_d`` (cores, GB, kIOPS...).
+    """
+
+    name: str
+    monthly_price: float
+    capacities: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.monthly_price <= 0:
+            raise ConfigError(
+                f"SKU {self.name!r}: price must be positive, got "
+                f"{self.monthly_price}"
+            )
+        if not self.capacities:
+            raise ConfigError(f"SKU {self.name!r}: needs >= 1 dimension")
+        for dimension, capacity in self.capacities.items():
+            if capacity <= 0:
+                raise ConfigError(
+                    f"SKU {self.name!r}: capacity of {dimension!r} must be "
+                    f"positive, got {capacity}"
+                )
+
+    def capacity(self, dimension: str) -> float:
+        """``R_d`` for one dimension."""
+        try:
+            return float(self.capacities[dimension])
+        except KeyError:
+            raise ConfigError(
+                f"SKU {self.name!r} does not define dimension {dimension!r}"
+            ) from None
+
+
+class SkuCatalog:
+    """An ordered (by price) menu of SKUs sharing the same dimensions."""
+
+    def __init__(self, skus: Iterable[Sku]) -> None:
+        sku_list = sorted(skus, key=lambda sku: sku.monthly_price)
+        if not sku_list:
+            raise ConfigError("catalog needs at least one SKU")
+        names = [sku.name for sku in sku_list]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate SKU names: {names}")
+        dimensions = set(sku_list[0].capacities)
+        for sku in sku_list[1:]:
+            if set(sku.capacities) != dimensions:
+                raise ConfigError(
+                    f"SKU {sku.name!r} dimensions {sorted(sku.capacities)} "
+                    f"differ from the catalog's {sorted(dimensions)}"
+                )
+        self.skus = sku_list
+        self.dimensions = sorted(dimensions)
+
+    def __len__(self) -> int:
+        return len(self.skus)
+
+    def __iter__(self):
+        return iter(self.skus)
+
+    def by_name(self, name: str) -> Sku:
+        """Look up a SKU by name."""
+        for sku in self.skus:
+            if sku.name == name:
+                return sku
+        raise ConfigError(f"unknown SKU {name!r}")
+
+    @classmethod
+    def vm_family(
+        cls,
+        core_counts: Iterable[int],
+        price_per_core: float = 1.0,
+        memory_gb_per_core: float = 4.0,
+        iops_per_core: float = 1.0,
+        prefix: str = "vm",
+    ) -> "SkuCatalog":
+        """A typical cloud VM family: resources scale linearly with cores.
+
+        Mirrors real VM series where each size doubles cores, memory and
+        IO together — and is the catalog shape under which Doppler's
+        multi-dimensional problem collapses toward the CPU-only ladder
+        CaaSPER uses (§4.2's "each resource can be scaled independently").
+        """
+        skus = []
+        for cores in core_counts:
+            if cores < 1:
+                raise ConfigError(f"core count must be >= 1, got {cores}")
+            skus.append(
+                Sku(
+                    name=f"{prefix}-{cores}c",
+                    monthly_price=price_per_core * cores,
+                    capacities={
+                        "cpu": float(cores),
+                        "memory": memory_gb_per_core * cores,
+                        "iops": iops_per_core * cores,
+                    },
+                )
+            )
+        return cls(skus)

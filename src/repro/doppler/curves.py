@@ -1,0 +1,102 @@
+"""Price-vs-performance curves over SKU catalogs (§4.1, Figure 4b).
+
+"These curves visually display the monthly prices for various relevant
+SKUs [...] along with the corresponding expected performance for each
+customer's workload. Typically, these curves show diminishing returns on
+performance as costs increase."
+
+:func:`sku_pvp_curve` evaluates Eq. 1 for every SKU of a catalog against
+a usage profile; :class:`SkuPvPCurve` answers the migration questions
+Doppler serves — cheapest SKU meeting a performance target, and the
+performance sacrificed by stepping down a budget level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .catalog import Sku, SkuCatalog
+from .profile import ResourceUsageProfile
+from .throttling import throttling_probability
+
+__all__ = ["SkuPvPCurve", "sku_pvp_curve"]
+
+
+@dataclass(frozen=True)
+class SkuPvPCurve:
+    """An evaluated catalog: per-SKU price and ``1 − P(throttling)``.
+
+    Attributes
+    ----------
+    skus:
+        Catalog SKUs in increasing price order.
+    performance:
+        ``1 − P_n(SKU_i)`` per SKU, aligned with :attr:`skus`.
+    profile_name:
+        The customer workload the curve was personalized for.
+    """
+
+    skus: tuple[Sku, ...]
+    performance: tuple[float, ...]
+    profile_name: str
+
+    def __post_init__(self) -> None:
+        if len(self.skus) != len(self.performance):
+            raise ConfigError("skus and performance must align")
+        if not self.skus:
+            raise ConfigError("empty curve")
+
+    def performance_of(self, sku_name: str) -> float:
+        """``1 − P(throttling)`` for one SKU."""
+        for sku, perf in zip(self.skus, self.performance):
+            if sku.name == sku_name:
+                return perf
+        raise ConfigError(f"SKU {sku_name!r} not on this curve")
+
+    def cheapest_meeting(self, min_performance: float) -> Sku | None:
+        """Cheapest SKU with ``1 − P(throttling) >= min_performance``.
+
+        The Doppler selection rule; returns None when even the largest
+        SKU falls short (the customer must accept some throttling risk).
+        """
+        if not 0.0 <= min_performance <= 1.0:
+            raise ConfigError(
+                f"min_performance must be in [0, 1], got {min_performance}"
+            )
+        for sku, perf in zip(self.skus, self.performance):
+            if perf >= min_performance:
+                return sku
+        return None
+
+    def best_under_budget(self, max_price: float) -> Sku | None:
+        """Highest-performance SKU priced at or below ``max_price``."""
+        affordable = [
+            (perf, sku)
+            for sku, perf in zip(self.skus, self.performance)
+            if sku.monthly_price <= max_price
+        ]
+        if not affordable:
+            return None
+        return max(affordable, key=lambda pair: pair[0])[1]
+
+    def as_rows(self) -> list[tuple[str, float, float]]:
+        """``(sku, price, performance)`` rows for display."""
+        return [
+            (sku.name, sku.monthly_price, perf)
+            for sku, perf in zip(self.skus, self.performance)
+        ]
+
+
+def sku_pvp_curve(
+    profile: ResourceUsageProfile, catalog: SkuCatalog
+) -> SkuPvPCurve:
+    """Personalize a catalog for one workload (Eq. 1 per SKU)."""
+    performance = tuple(
+        1.0 - throttling_probability(profile, sku) for sku in catalog
+    )
+    return SkuPvPCurve(
+        skus=tuple(catalog),
+        performance=performance,
+        profile_name=profile.name,
+    )

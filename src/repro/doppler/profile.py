@@ -1,0 +1,134 @@
+"""Multi-dimensional resource usage profiles.
+
+A :class:`ResourceUsageProfile` holds aligned per-minute usage series for
+several resource dimensions (``cpu`` in cores, ``memory`` in GB, ``iops``
+in thousands, ...). It is the ``r_{CPU_n, RAM_n, ..., IOPS_n}`` random
+vector of Eq. 1, represented by its empirical samples.
+
+Dimensions requiring "small transformations" (Eq. 1's footnote — e.g. IO
+latency, where *lower* is better) should be inverted by the caller before
+insertion so that "usage > capacity" uniformly means throttling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from ..errors import TraceError
+from ..trace import CpuTrace
+
+__all__ = ["ResourceUsageProfile"]
+
+
+class ResourceUsageProfile:
+    """Aligned per-minute usage across resource dimensions.
+
+    Parameters
+    ----------
+    series:
+        Mapping of dimension name → per-minute usage array. All series
+        must be equal-length, finite and non-negative.
+    name:
+        Label for figures/tables.
+    """
+
+    def __init__(
+        self, series: Mapping[str, Iterable[float]], name: str = "profile"
+    ) -> None:
+        if not series:
+            raise TraceError("profile needs at least one dimension")
+        self.name = name
+        self._series: dict[str, np.ndarray] = {}
+        length: int | None = None
+        for dimension, values in series.items():
+            array = np.asarray(list(values), dtype=float)
+            if array.ndim != 1 or array.size == 0:
+                raise TraceError(
+                    f"dimension {dimension!r}: series must be non-empty 1-D"
+                )
+            if not np.all(np.isfinite(array)) or np.any(array < 0):
+                raise TraceError(
+                    f"dimension {dimension!r}: values must be finite and >= 0"
+                )
+            if length is None:
+                length = array.size
+            elif array.size != length:
+                raise TraceError(
+                    f"dimension {dimension!r} has {array.size} samples, "
+                    f"expected {length}"
+                )
+            array.setflags(write=False)
+            self._series[dimension] = array
+        self.minutes = int(length or 0)
+
+    # -- access ---------------------------------------------------------------
+
+    @property
+    def dimensions(self) -> list[str]:
+        """Dimension names, sorted."""
+        return sorted(self._series)
+
+    def usage(self, dimension: str) -> np.ndarray:
+        """The per-minute series of one dimension."""
+        try:
+            return self._series[dimension]
+        except KeyError:
+            raise TraceError(
+                f"profile {self.name!r} has no dimension {dimension!r}; "
+                f"available: {self.dimensions}"
+            ) from None
+
+    def peak(self, dimension: str) -> float:
+        """Maximum usage of one dimension."""
+        return float(self.usage(dimension).max())
+
+    # -- construction helpers ----------------------------------------------------
+
+    @classmethod
+    def from_cpu_trace(
+        cls, trace: CpuTrace, name: str | None = None
+    ) -> "ResourceUsageProfile":
+        """Wrap a CPU-only trace (the CaaSPER specialization)."""
+        return cls({"cpu": trace.samples}, name or trace.name)
+
+    @classmethod
+    def synthesize(
+        cls,
+        cpu: CpuTrace,
+        memory_gb_per_core: float = 3.5,
+        memory_floor_gb: float = 2.0,
+        iops_per_core: float = 0.8,
+        seed: int = 0,
+        name: str | None = None,
+    ) -> "ResourceUsageProfile":
+        """Derive correlated memory/IOPS series from a CPU trace.
+
+        Database memory (buffer pool) grows with load but releases slowly
+        — modelled as a running maximum with slow decay over the CPU
+        series; IOPS track CPU with noise. Used when only a CPU trace is
+        available (every trace in this repository) but a multi-dimension
+        profile is wanted.
+        """
+        if memory_gb_per_core <= 0 or iops_per_core <= 0:
+            raise TraceError("per-core factors must be positive")
+        rng = np.random.default_rng(seed)
+        cpu_values = cpu.samples
+
+        memory = np.empty_like(cpu_values)
+        level = memory_floor_gb
+        for index, value in enumerate(cpu_values):
+            target = memory_floor_gb + memory_gb_per_core * value
+            # Grow immediately, release at 0.2%/minute (sticky caches).
+            level = max(target, level * 0.998)
+            memory[index] = level
+
+        iops = np.maximum(
+            cpu_values * iops_per_core * rng.normal(1.0, 0.1, cpu_values.size),
+            0.0,
+        )
+        return cls(
+            {"cpu": cpu_values, "memory": memory, "iops": iops},
+            name or cpu.name,
+        )

@@ -1,0 +1,44 @@
+"""The Eq. 1 estimator: joint throttling probability of a SKU.
+
+    P_n(SKU_i) = P(r_CPU > R_CPU_i ∪ r_RAM > R_RAM_i ∪ ... )
+
+Estimated empirically over the profile's aligned samples: a minute is
+throttled on ``SKU_i`` when *any* dimension's usage exceeds that SKU's
+capacity. The union is evaluated jointly (per minute), not via
+independence assumptions — correlated dimensions (a busy minute is busy
+everywhere) are captured for free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from .catalog import Sku
+from .profile import ResourceUsageProfile
+
+__all__ = ["throttling_probability", "throttled_mask"]
+
+
+def throttled_mask(profile: ResourceUsageProfile, sku: Sku) -> np.ndarray:
+    """Boolean per-minute mask: would ``sku`` throttle this minute?
+
+    A sample throttles when usage meets or exceeds capacity in any
+    dimension (usage *at* the cap is the pinned-at-limit signature the
+    CPU specialization also treats as throttled).
+    """
+    missing = [d for d in profile.dimensions if d not in sku.capacities]
+    if missing:
+        raise ConfigError(
+            f"SKU {sku.name!r} lacks capacities for profile dimensions "
+            f"{missing}"
+        )
+    mask = np.zeros(profile.minutes, dtype=bool)
+    for dimension in profile.dimensions:
+        mask |= profile.usage(dimension) >= sku.capacity(dimension)
+    return mask
+
+
+def throttling_probability(profile: ResourceUsageProfile, sku: Sku) -> float:
+    """Eq. 1 for one SKU: the fraction of throttled minutes."""
+    return float(throttled_mask(profile, sku).mean())

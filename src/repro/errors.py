@@ -1,0 +1,63 @@
+"""Exception hierarchy for the CaaSPER reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError):
+    """An algorithm or simulator configuration is invalid.
+
+    Raised eagerly at construction time (e.g. a negative threshold, a
+    minimum core count above the maximum) so that misconfiguration never
+    silently produces nonsense scaling decisions.
+    """
+
+
+class TraceError(ReproError):
+    """A CPU trace is malformed (empty, negative usage, NaN samples...)."""
+
+
+class ForecastError(ReproError):
+    """A forecaster cannot produce a prediction.
+
+    Typical causes: not enough history for the requested seasonal period,
+    or a horizon of zero. Callers in proactive mode treat this as a signal
+    to fall back to purely reactive behaviour, mirroring the paper's
+    "period 1 operates reactively" rule (§4.3).
+    """
+
+
+class SchedulingError(ReproError):
+    """The cluster scheduler cannot place a pod.
+
+    Mirrors a K8s ``Unschedulable`` condition: no node has enough
+    allocatable CPU to satisfy the pod's ``requests``.
+    """
+
+
+class ClusterStateError(ReproError):
+    """An operation is invalid for the current cluster/pod state.
+
+    For example, resizing a stateful set that is mid rolling-update, or
+    starting a pod that is not Pending.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator was driven with inconsistent inputs.
+
+    For example, a workload shorter than the simulation horizon or a
+    recommender that returned a non-integer core count.
+    """
+
+
+class TuningError(ReproError):
+    """Parameter search was configured with an empty or invalid space."""

@@ -1,0 +1,42 @@
+"""Paper experiments: one module per table/figure (DESIGN.md §4).
+
+Each module exposes ``run(...)`` returning a structured result and
+``render(result)`` producing the human-readable rows/series the paper
+reports. The benchmark harness times ``run`` and asserts the paper's
+shape claims; the CLI prints ``render``; the examples reuse both.
+"""
+
+from . import (
+    correctness,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+)
+
+#: Experiment registry for the CLI: name → (run, render) module.
+EXPERIMENTS = {
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "fig14": fig14,
+    "correctness": correctness,
+}
+
+__all__ = ["EXPERIMENTS"]

@@ -1,0 +1,192 @@
+"""Figure 10 + Table 1 (cyclical): reactive vs proactive CaaSPER (§6.2).
+
+A 3-day synthetic cyclical load (3M transactions) on Database B (2
+read-only replicas, 3–5 minute resizes), with a large 12-core spike on
+Day 2. Control holds 14 cores throughout.
+
+Paper claims: reactive-only over-corrects on Day 2 (overshoot to 8 when 6
+suffices) and throttles on the spike; proactive pre-scales (no spike
+throttling, limits jump to 14), total slack −66.5% (reactive) / −68.2%
+(proactive) vs control, price 0.57y / 0.56y, latency unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.plots import render_series
+from ..analysis.tables import format_table
+from ..baselines import FixedRecommender
+from ..cluster.controller import ControlLoopConfig
+from ..cluster.scaler import ScalerConfig
+from ..core import CaasperConfig, CaasperRecommender
+from ..db.service import DbServiceConfig
+from ..sim.live import LiveSystemConfig, simulate_live
+from ..sim.results import SimulationResult
+from ..trace import MINUTES_PER_DAY
+from ..workloads import TERMINAL_PROFILES, cyclical_days
+from ..workloads.base import TraceWorkload
+
+__all__ = ["run", "render", "Fig10Result"]
+
+CONTROL_CORES = 14
+MIN_CORES = 2
+MAX_CORES = 16
+
+
+def caasper_config(proactive: bool) -> CaasperConfig:
+    """Tuning for the cyclical Database B run.
+
+    The paper sets "the scale-ahead window gap to 1 hour to display on
+    the graph more clearly" — mirrored by the 60-minute forecast horizon.
+    """
+    return CaasperConfig(
+        max_cores=MAX_CORES,
+        c_min=MIN_CORES,
+        proactive=proactive,
+        seasonal_period_minutes=MINUTES_PER_DAY,
+        forecast_horizon_minutes=60,
+        history_tail_minutes=30,
+        quantile=0.95,
+        m_high=0.15,
+        scale_down_headroom=0.15,
+    )
+
+
+def live_config() -> LiveSystemConfig:
+    """Database B on the large cluster: 2 replicas, 3–5 min resizes."""
+    profile = TERMINAL_PROFILES["ycsb"]
+    return LiveSystemConfig(
+        cluster_factory="large",
+        service=DbServiceConfig(
+            name="database-b",
+            replicas=2,
+            initial_cores=CONTROL_CORES,
+            restart_minutes_per_pod=2,
+            resync_minutes=1,
+        ),
+        control=ControlLoopConfig(
+            decision_interval_minutes=10,
+            scaler=ScalerConfig(min_cores=MIN_CORES, max_cores=MAX_CORES),
+        ),
+        # ~3M transactions over 3 days at this workload's CPU volume.
+        txns_per_core_minute=210.0,
+        base_latency_ms=profile.base_latency_ms,
+        retry_dropped_txns=True,
+    )
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    """Control, reactive-only and proactive runs."""
+
+    control: SimulationResult
+    reactive: SimulationResult
+    proactive: SimulationResult
+
+    @property
+    def reactive_slack_reduction(self) -> float:
+        """Paper: 66.5%."""
+        return self.reactive.metrics.slack_reduction_vs(self.control.metrics)
+
+    @property
+    def proactive_slack_reduction(self) -> float:
+        """Paper: 68.2%."""
+        return self.proactive.metrics.slack_reduction_vs(self.control.metrics)
+
+    @property
+    def reactive_price_ratio(self) -> float:
+        """Paper: 0.57."""
+        return self.reactive.metrics.price / self.control.metrics.price
+
+    @property
+    def proactive_price_ratio(self) -> float:
+        """Paper: 0.56."""
+        return self.proactive.metrics.price / self.control.metrics.price
+
+    def spike_day_throttling(self, result: SimulationResult) -> float:
+        """Insufficient CPU during Day 2+ (after the proactive warm-up)."""
+        start = MINUTES_PER_DAY
+        insufficient = result.insufficient_series()[start:]
+        return float(insufficient.sum())
+
+    def all_results(self) -> list[SimulationResult]:
+        return [self.control, self.reactive, self.proactive]
+
+
+def run() -> Fig10Result:
+    """Execute all three runs on the shared cyclical trace."""
+    demand = cyclical_days()
+    workload = lambda: TraceWorkload(demand)  # noqa: E731 - tiny factory
+
+    control = simulate_live(
+        workload(), FixedRecommender(CONTROL_CORES), live_config()
+    )
+    reactive = simulate_live(
+        workload(),
+        CaasperRecommender(caasper_config(proactive=False)),
+        live_config(),
+    )
+    proactive = simulate_live(
+        workload(),
+        CaasperRecommender(caasper_config(proactive=True)),
+        live_config(),
+    )
+    return Fig10Result(control=control, reactive=reactive, proactive=proactive)
+
+
+def render(result: Fig10Result, charts: bool = True) -> str:
+    """Table 1's cyclical columns plus the Figure 10 panels."""
+    rows = []
+    for run_result in result.all_results():
+        txn = run_result.detail["transactions"]
+        rows.append(
+            [
+                run_result.name,
+                txn["total_completed"],
+                txn["avg_latency_ms"],
+                txn["median_latency_ms"],
+                run_result.metrics.price,
+                run_result.metrics.total_slack,
+                run_result.metrics.num_scalings,
+            ]
+        )
+    lines = [
+        "Figure 10 / Table 1 (cyclical, Database B, 3 days)",
+        "(paper: slack -66.5% reactive / -68.2% proactive, price 0.57y/0.56y)",
+        "",
+        format_table(
+            [
+                "run",
+                "txns",
+                "avg_lat_ms",
+                "med_lat_ms",
+                "price",
+                "total_slack",
+                "scalings",
+            ],
+            rows,
+        ),
+        "",
+        f"reactive slack reduction:  {result.reactive_slack_reduction:.1%} "
+        "(paper 66.5%)",
+        f"proactive slack reduction: {result.proactive_slack_reduction:.1%} "
+        "(paper 68.2%)",
+        f"price ratios: reactive {result.reactive_price_ratio:.2f}y, "
+        f"proactive {result.proactive_price_ratio:.2f}y "
+        "(paper 0.57y / 0.56y)",
+        f"Day-2+ insufficient CPU: reactive "
+        f"{result.spike_day_throttling(result.reactive):.0f}, proactive "
+        f"{result.spike_day_throttling(result.proactive):.0f} core-min",
+    ]
+    if charts:
+        for run_result in (result.reactive, result.proactive):
+            lines.append("")
+            lines.append(
+                render_series(
+                    run_result.usage,
+                    run_result.limits,
+                    title=f"--- {run_result.name} ---",
+                )
+            )
+    return "\n".join(lines)

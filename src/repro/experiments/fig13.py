@@ -1,0 +1,69 @@
+"""Figure 13: drill-down over α, the slack-vs-throttling weight (§6.3).
+
+For the Figure 10/12 workload, pick the G-optimal parameter combination
+(Eq. 5) at each of the paper's four α values (0.0, 0.063, 0.447, 2.28)
+and replay it. Expected shape: "As α increases, slack diminishes, and
+throttling rises" — α = 0 tolerates arbitrary slack to avoid throttling;
+large α accepts throttling to cut slack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.tables import format_table
+from ..tuning import SearchOutcome, TrialResult
+from .fig12 import build_search
+
+__all__ = ["run", "render", "Fig13Result", "PAPER_ALPHAS"]
+
+#: The α values sampled in the paper's Figure 13 panels.
+PAPER_ALPHAS: tuple[float, ...] = (0.0, 0.063, 0.447, 2.28)
+
+
+@dataclass(frozen=True)
+class Fig13Result:
+    """Best trial per α over a shared search population."""
+
+    outcome: SearchOutcome
+    best_by_alpha: dict[float, TrialResult]
+
+
+def run(
+    trials: int = 300,
+    seed: int = 0,
+    alphas: tuple[float, ...] = PAPER_ALPHAS,
+    resample_minutes: int = 5,
+) -> Fig13Result:
+    """Search once, then select the G-optimal trial for each α."""
+    search = build_search(resample_minutes=resample_minutes)
+    outcome = search.run(trials, seed=seed)
+    best = {alpha: outcome.best_for_alpha(alpha) for alpha in alphas}
+    return Fig13Result(outcome=outcome, best_by_alpha=best)
+
+
+def render(result: Fig13Result) -> str:
+    """One row per α: the selected combination's K, C, N and G."""
+    rows = []
+    for alpha, trial in sorted(result.best_by_alpha.items()):
+        rows.append(
+            [
+                alpha,
+                trial.total_slack,
+                trial.total_insufficient_cpu,
+                trial.num_scalings,
+                alpha * trial.total_slack + trial.total_insufficient_cpu,
+                "proactive" if trial.is_proactive else "reactive",
+            ]
+        )
+    return "\n".join(
+        [
+            "Figure 13: G-optimal runs per alpha (weight of slack)",
+            "(paper: as alpha increases, slack diminishes and throttling rises)",
+            "",
+            format_table(
+                ["alpha", "slack (K)", "insuff_cpu (C)", "scalings (N)", "G", "mode"],
+                rows,
+            ),
+        ]
+    )

@@ -1,0 +1,97 @@
+"""Figure 5: CPU traces and their PvP-curves, throttled vs right-sized.
+
+Workload A runs pinned against an 8-core limit → its PvP-curve has a
+steep slope at the allocation (lower-left panel). Workload B runs with
+comfortable headroom under 32 cores → a moderate slope at the allocation
+(lower-right). "A throttled workload is usually associated with a steep
+slope."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import PvPCurve
+from ..trace import CpuTrace
+from ..workloads.synthetic import diurnal_sine, noisy
+
+__all__ = ["run", "render", "Fig5Result"]
+
+#: Workload A's limit (the paper's throttled example).
+WORKLOAD_A_CORES = 8
+#: Workload B's limit (the paper's right-sized example at 32 cores).
+WORKLOAD_B_CORES = 32
+MAX_CORES = 40
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Both traces and both curves."""
+
+    workload_a: CpuTrace
+    curve_a: PvPCurve
+    slope_a: float
+    workload_b: CpuTrace
+    curve_b: PvPCurve
+    slope_b: float
+
+
+def run(minutes: int = 24 * 60) -> Fig5Result:
+    """Build the two §4.2 example workloads and derive their curves.
+
+    ``minutes`` defaults to a full day so workload B's diurnal cycle
+    actually reaches its ~30-core peak within the window.
+    """
+    # Workload A: demand above the 8-core limit most of the time — the
+    # observed trace is pinned at the limit.
+    demand_a = noisy(
+        CpuTrace.constant(9.5, minutes, "workload-a"), sigma=0.18, seed=31
+    )
+    observed_a = demand_a.clipped(float(WORKLOAD_A_CORES))
+    curve_a = PvPCurve.from_trace(observed_a, max_cores=MAX_CORES)
+
+    # Workload B: a daily-cycle workload peaking near ~30 cores under a
+    # 32-core limit — close enough that 32 is not wasteful, far enough
+    # that it rarely throttles.
+    demand_b = diurnal_sine(
+        days=max(1.0, minutes / (24 * 60)),
+        base_cores=8.0,
+        amplitude_cores=22.0,
+        sigma=0.08,
+        seed=37,
+        name="workload-b",
+    ).window(0, minutes)
+    observed_b = demand_b.clipped(float(WORKLOAD_B_CORES))
+    curve_b = PvPCurve.from_trace(observed_b, max_cores=MAX_CORES)
+
+    return Fig5Result(
+        workload_a=observed_a,
+        curve_a=curve_a,
+        slope_a=curve_a.slope_at(WORKLOAD_A_CORES),
+        workload_b=observed_b,
+        curve_b=curve_b,
+        slope_b=curve_b.slope_at(WORKLOAD_B_CORES),
+    )
+
+
+def render(result: Fig5Result) -> str:
+    """Both curves with the slope at each allocation highlighted."""
+    lines = [
+        "Figure 5: PvP-curves for a throttled and a right-sized workload",
+        f"  Workload A @ {WORKLOAD_A_CORES} cores: "
+        f"slope {result.slope_a:.2f} (steep -> throttled)",
+        f"  Workload B @ {WORKLOAD_B_CORES} cores: "
+        f"slope {result.slope_b:.2f} (moderate -> appropriately sized)",
+        "",
+        "  curve A (cores, 1-P(throttle), slope):",
+    ]
+    for cores, _price, perf, slope in result.curve_a.as_rows():
+        if cores % 4 == 0 or cores == WORKLOAD_A_CORES:
+            marker = " <- limit" if cores == WORKLOAD_A_CORES else ""
+            lines.append(f"    {cores:3d}  {perf:6.3f}  {slope:6.2f}{marker}")
+    lines.append("  curve B (cores, 1-P(throttle), slope):")
+    for cores, _price, perf, slope in result.curve_b.as_rows():
+        if cores % 4 == 0 or cores == WORKLOAD_B_CORES:
+            marker = " <- limit" if cores == WORKLOAD_B_CORES else ""
+            lines.append(f"    {cores:3d}  {perf:6.3f}  {slope:6.2f}{marker}")
+    return "\n".join(lines)

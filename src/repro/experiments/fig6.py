@@ -1,0 +1,61 @@
+"""Figure 6: the shape of the scaling-factor function SF(s) (§4.2).
+
+"Scale-ups happen more aggressively for large s (more throttling), than
+small s (less throttling)" — a logarithmic curve in the slope. The sweep
+evaluates Eq. 3 across the slope range for a few skew values, verifying
+the monotone, concave, log-shaped growth the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.scaling_factor import scaling_factor
+
+__all__ = ["run", "render", "Fig6Result"]
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """SF values over a slope grid for each skew."""
+
+    slopes: np.ndarray
+    skews: tuple[float, ...]
+    values: dict[float, np.ndarray]
+    c_min: int
+
+
+def run(
+    max_slope: float = 10.0,
+    points: int = 101,
+    skews: tuple[float, ...] = (1.0, 3.0, 10.0),
+    c_min: int = 2,
+) -> Fig6Result:
+    """Sweep Eq. 3 over ``[0, max_slope]`` for each skew."""
+    slopes = np.linspace(0.0, max_slope, points)
+    values = {
+        skew: np.array(
+            [scaling_factor(float(s), skew, c_min) for s in slopes]
+        )
+        for skew in skews
+    }
+    return Fig6Result(slopes=slopes, skews=tuple(skews), values=values, c_min=c_min)
+
+
+def render(result: Fig6Result) -> str:
+    """SF(s) sampled at round slope values, one column per skew."""
+    lines = [
+        "Figure 6: scaling factor SF(s, skew) = ln(skew*s + c_min), "
+        f"c_min={result.c_min}",
+        "  slope   " + "  ".join(f"skew={skew:<5.1f}" for skew in result.skews),
+    ]
+    sample_slopes = [0.0, 0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0]
+    for target in sample_slopes:
+        index = int(np.argmin(np.abs(result.slopes - target)))
+        cells = "  ".join(
+            f"{result.values[skew][index]:>8.2f}" for skew in result.skews
+        )
+        lines.append(f"  {result.slopes[index]:5.1f}   {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Pluggable time-series forecasters for proactive CaaSPER (§4.3).
+
+"The predictive component is pluggable, allowing us to choose different ML
+algorithms as needed. [...] we found the naïve algorithm to be the most
+lightweight and explainable." The registry exposes every implementation by
+name so :class:`~repro.core.config.CaasperConfig.forecaster` can select one.
+"""
+
+from .ar import ARForecaster
+from .base import Forecaster, ForecastInterval
+from .fourier import FourierRegressionForecaster
+from .holt_winters import HoltWintersForecaster
+from .linear import LinearTrendForecaster
+from .moving_average import ExponentialMovingAverageForecaster, MovingAverageForecaster
+from .naive import NaiveSeasonalForecaster
+from .registry import available_forecasters, make_forecaster
+from .seasonal import detect_period, seasonal_strength
+
+__all__ = [
+    "Forecaster",
+    "ForecastInterval",
+    "ARForecaster",
+    "FourierRegressionForecaster",
+    "NaiveSeasonalForecaster",
+    "MovingAverageForecaster",
+    "ExponentialMovingAverageForecaster",
+    "HoltWintersForecaster",
+    "LinearTrendForecaster",
+    "make_forecaster",
+    "available_forecasters",
+    "detect_period",
+    "seasonal_strength",
+]

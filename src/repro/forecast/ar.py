@@ -1,0 +1,84 @@
+"""Autoregressive AR(p) forecaster.
+
+The lightweight end of the ARIMA family the paper experimented with
+("the naïve and ARIMA forecasters from sktime", §4.3), implemented from
+scratch: ordinary-least-squares fit of
+
+    X_t = c + φ_1 X_{t-1} + ... + φ_p X_{t-p} + ε_t
+
+with recursive multi-step prediction. A small ridge term keeps the
+normal equations well conditioned on flat (collinear) histories.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ForecastError
+from ..trace import CpuTrace
+from .base import Forecaster
+
+__all__ = ["ARForecaster"]
+
+
+class ARForecaster(Forecaster):
+    """OLS-fit AR(p) with recursive multi-step forecasts.
+
+    Parameters
+    ----------
+    order:
+        Number of autoregressive lags ``p``.
+    fit_window_minutes:
+        Trailing history used for the fit (None = everything retained).
+    ridge:
+        L2 regularization added to the normal equations.
+    """
+
+    name = "ar"
+
+    def __init__(
+        self,
+        order: int = 12,
+        fit_window_minutes: int | None = None,
+        ridge: float = 1e-6,
+    ) -> None:
+        if order < 1:
+            raise ForecastError(f"order must be >= 1, got {order}")
+        if fit_window_minutes is not None and fit_window_minutes <= order:
+            raise ForecastError(
+                f"fit_window_minutes must exceed order ({order}), got "
+                f"{fit_window_minutes}"
+            )
+        if ridge < 0:
+            raise ForecastError(f"ridge must be >= 0, got {ridge}")
+        self.order = order
+        self.fit_window_minutes = fit_window_minutes
+        self.ridge = ridge
+
+    def _fit(self, samples: np.ndarray) -> np.ndarray:
+        """Return ``[c, φ_1 .. φ_p]`` via ridge-regularized OLS."""
+        p = self.order
+        n = samples.size - p
+        design = np.ones((n, p + 1))
+        for lag in range(1, p + 1):
+            design[:, lag] = samples[p - lag : p - lag + n]
+        targets = samples[p:]
+        gram = design.T @ design + self.ridge * np.eye(p + 1)
+        return np.linalg.solve(gram, design.T @ targets)
+
+    def forecast(self, history: CpuTrace, horizon: int) -> np.ndarray:
+        self._validate(history, horizon, min_history=2 * self.order + 2)
+        samples = history.samples
+        if self.fit_window_minutes is not None:
+            samples = samples[-self.fit_window_minutes :]
+        coefficients = self._fit(samples)
+        intercept, phi = coefficients[0], coefficients[1:]
+
+        # Recursive prediction: feed forecasts back as lags.
+        lags = list(samples[-self.order :][::-1])  # most recent first
+        predictions = np.empty(horizon)
+        for step in range(horizon):
+            value = intercept + float(np.dot(phi, lags))
+            predictions[step] = value
+            lags = [value] + lags[:-1]
+        return self._non_negative(predictions)

@@ -1,0 +1,183 @@
+"""The forecaster contract.
+
+A forecaster maps a usage history to a predicted horizon:
+
+    forecast(history, horizon) -> np.ndarray of length `horizon`
+
+Implementations must be deterministic given the history (the simulator
+relies on replayability for the §5 correctness t-test) and must raise
+:class:`~repro.errors.ForecastError` when the history is insufficient —
+the proactive pipeline treats that as "stay reactive this period"
+(Figure 8: period 1 operates reactively).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ForecastError
+from ..trace import CpuTrace
+
+__all__ = ["Forecaster", "ForecastInterval"]
+
+
+@dataclass(frozen=True)
+class ForecastInterval:
+    """A point forecast with a symmetric prediction band.
+
+    Attributes
+    ----------
+    mean:
+        The point forecast per horizon minute.
+    lower, upper:
+        Prediction band (lower clipped at 0 — usage is non-negative).
+    confidence:
+        Nominal coverage of the band.
+    """
+
+    mean: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    confidence: float
+
+    def relative_width(self) -> float:
+        """Mean band width relative to the mean forecast level.
+
+        The proactive prefilter's prediction-quality signal: wide bands
+        mean the model does not know, so decisions should stay reactive.
+        """
+        level = float(np.mean(self.mean))
+        if level < 1e-9:
+            return float("inf")
+        return float(np.mean(self.upper - self.lower)) / level
+
+
+def _normal_quantile(p: float) -> float:
+    """Standard normal quantile (Acklam-style rational approximation).
+
+    Avoids importing scipy in this hot path; accurate to ~1e-9 over
+    (0, 1), far beyond what a scaling heuristic needs.
+    """
+    if not 0.0 < p < 1.0:
+        raise ForecastError(f"quantile argument must be in (0, 1), got {p}")
+    # Coefficients for the central region.
+    a = (
+        -3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+        1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00,
+    )
+    b = (
+        -5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+        6.680131188771972e01, -1.328068155288572e01,
+    )
+    c = (
+        -7.784894002430293e-03, -3.223964580411365e-01,
+        -2.400758277161838e00, -2.549732539343734e00,
+        4.374664141464968e00, 2.938163982698783e00,
+    )
+    d = (
+        7.784695709041462e-03, 3.224671290700398e-01,
+        2.445134137142996e00, 3.754408661907416e00,
+    )
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (
+            ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        ) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    if p > 1.0 - p_low:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        return -(
+            ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        ) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    q = p - 0.5
+    r = q * q
+    return (
+        ((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]
+    ) * q / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+    )
+
+
+class Forecaster(ABC):
+    """Abstract usage forecaster."""
+
+    #: Registry name; also used in result tables.
+    name: str = "forecaster"
+
+    @abstractmethod
+    def forecast(self, history: CpuTrace, horizon: int) -> np.ndarray:
+        """Predict the next ``horizon`` per-minute usage samples.
+
+        Raises
+        ------
+        ForecastError
+            If ``horizon < 1`` or the history is too short for this
+            method's requirements.
+        """
+
+    def _validate(self, history: CpuTrace, horizon: int, min_history: int) -> None:
+        """Shared input validation for subclasses."""
+        if horizon < 1:
+            raise ForecastError(f"{self.name}: horizon must be >= 1, got {horizon}")
+        if history.minutes < min_history:
+            raise ForecastError(
+                f"{self.name}: needs >= {min_history} minutes of history, "
+                f"got {history.minutes}"
+            )
+
+    def forecast_interval(
+        self, history: CpuTrace, horizon: int, confidence: float = 0.90
+    ) -> "ForecastInterval":
+        """Point forecast plus a symmetric prediction interval.
+
+        The paper's future work (§8): "incorporating ML predictors that
+        provide confidence intervals rather than point estimators, we can
+        guide scaling actions with greater precision."
+
+        The generic implementation backtests: it refits on the history
+        minus its final ``horizon`` samples, measures the residuals of
+        predicting that held-out tail, and widens the point forecast by
+        ``z × residual-std``. Subclasses with analytic intervals may
+        override.
+
+        Raises
+        ------
+        ForecastError
+            When the history cannot support the backtest (needs roughly
+            twice the data the point forecast needs).
+        """
+        if not 0.0 < confidence < 1.0:
+            raise ForecastError(
+                f"{self.name}: confidence must be in (0, 1), got {confidence}"
+            )
+        if history.minutes <= horizon + 1:
+            raise ForecastError(
+                f"{self.name}: interval needs > {horizon + 1} minutes of "
+                f"history, got {history.minutes}"
+            )
+        head = history.window(0, history.minutes - horizon)
+        held_out = history.samples[-horizon:]
+        backtest = self.forecast(head, horizon)
+        residual_std = float(np.std(held_out - backtest))
+
+        point = self.forecast(history, horizon)
+        z = _normal_quantile(0.5 + confidence / 2.0)
+        margin = z * residual_std
+        return ForecastInterval(
+            mean=point,
+            lower=self._non_negative(point - margin),
+            upper=point + margin,
+            confidence=confidence,
+        )
+
+    @staticmethod
+    def _non_negative(values: np.ndarray) -> np.ndarray:
+        """CPU usage cannot be negative; clip model artifacts at zero."""
+        return np.maximum(values, 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,47 @@
+"""Least-squares linear trend forecaster.
+
+A transparent trend extrapolator fitted over a trailing window. Included
+both as a pluggable predictor and as the forecasting engine inside the
+OpenShift-style predictive baseline (:mod:`repro.baselines.openshift`),
+which the paper shows under-estimates limits for throttled workloads
+because the *observed* usage it extrapolates is capped by the very limits
+it sets (§3.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ForecastError
+from ..trace import CpuTrace
+from .base import Forecaster
+
+__all__ = ["LinearTrendForecaster"]
+
+
+class LinearTrendForecaster(Forecaster):
+    """Ordinary least squares on ``usage ~ minute`` over a trailing window.
+
+    Parameters
+    ----------
+    window_minutes:
+        Length of the fitting window (most recent samples).
+    """
+
+    name = "linear"
+
+    def __init__(self, window_minutes: int = 120) -> None:
+        if window_minutes < 2:
+            raise ForecastError(
+                f"window_minutes must be >= 2, got {window_minutes}"
+            )
+        self.window_minutes = window_minutes
+
+    def forecast(self, history: CpuTrace, horizon: int) -> np.ndarray:
+        self._validate(history, horizon, min_history=2)
+        window = history.samples[-self.window_minutes :]
+        n = window.size
+        x = np.arange(n, dtype=float)
+        slope, intercept = np.polyfit(x, window, deg=1)
+        future_x = np.arange(n, n + horizon, dtype=float)
+        return self._non_negative(slope * future_x + intercept)

@@ -1,0 +1,66 @@
+"""Moving-average forecasters.
+
+The "tiny autoscalers" line of work (§7, Zhao & Uta 2022) shows that simple
+and exponential moving averages are effective lightweight rightsizers for
+short-horizon prediction. Both are offered here as pluggable predictors and
+are also reused by the :mod:`repro.baselines.moving_average` recommender.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ForecastError
+from ..trace import CpuTrace
+from .base import Forecaster
+
+__all__ = ["MovingAverageForecaster", "ExponentialMovingAverageForecaster"]
+
+
+class MovingAverageForecaster(Forecaster):
+    """Flat forecast at the mean of the trailing window.
+
+    Parameters
+    ----------
+    window_minutes:
+        Number of trailing samples averaged.
+    """
+
+    name = "sma"
+
+    def __init__(self, window_minutes: int = 30) -> None:
+        if window_minutes < 1:
+            raise ForecastError(
+                f"window_minutes must be >= 1, got {window_minutes}"
+            )
+        self.window_minutes = window_minutes
+
+    def forecast(self, history: CpuTrace, horizon: int) -> np.ndarray:
+        self._validate(history, horizon, min_history=1)
+        window = history.samples[-self.window_minutes :]
+        return np.full(horizon, float(window.mean()), dtype=float)
+
+
+class ExponentialMovingAverageForecaster(Forecaster):
+    """Flat forecast at the exponentially-weighted mean of the history.
+
+    Parameters
+    ----------
+    alpha:
+        Smoothing factor in ``(0, 1]``; larger values weight recent
+        samples more heavily.
+    """
+
+    name = "ema"
+
+    def __init__(self, alpha: float = 0.2) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ForecastError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+
+    def forecast(self, history: CpuTrace, horizon: int) -> np.ndarray:
+        self._validate(history, horizon, min_history=1)
+        level = float(history.samples[0])
+        for value in history.samples[1:]:
+            level = self.alpha * float(value) + (1.0 - self.alpha) * level
+        return np.full(horizon, max(level, 0.0), dtype=float)

@@ -1,0 +1,58 @@
+"""The naïve seasonal forecaster — the paper's default predictor.
+
+"We found the naïve algorithm to be the most lightweight and explainable"
+(§4.3). The seasonal-naïve rule predicts that minute ``T + h`` will repeat
+the observation one seasonal period earlier:
+
+    X̂(T + h) = X(T + h − period)
+
+With no seasonal period (``period=None`` behaves as plain last-value
+naïve), the forecast is a flat continuation of the last observation.
+
+This simplicity is also what produces the paper's c_29247 artifact
+(Figure 14e): a one-off outlier spike on Day 3 is replayed verbatim onto
+Days 4–6, inflating slack until the reactive component corrects it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..trace import CpuTrace
+from .base import Forecaster
+
+__all__ = ["NaiveSeasonalForecaster"]
+
+
+class NaiveSeasonalForecaster(Forecaster):
+    """Seasonal-naïve prediction (``sktime``-style ``NaiveForecaster``).
+
+    Parameters
+    ----------
+    period_minutes:
+        Seasonal period. ``None`` degrades to last-value persistence.
+    """
+
+    name = "naive"
+
+    def __init__(self, period_minutes: int | None = 24 * 60) -> None:
+        if period_minutes is not None and period_minutes < 1:
+            raise ValueError(
+                f"period_minutes must be None or >= 1, got {period_minutes}"
+            )
+        self.period_minutes = period_minutes
+
+    def forecast(self, history: CpuTrace, horizon: int) -> np.ndarray:
+        if self.period_minutes is None:
+            self._validate(history, horizon, min_history=1)
+            return np.full(horizon, history[-1], dtype=float)
+
+        period = self.period_minutes
+        self._validate(history, horizon, min_history=period)
+        samples = history.samples
+        # Tile the most recent full period across the horizon. Sample i of
+        # `last_period` sits exactly one period before forecast offset i,
+        # so offset h repeats last_period[h % period].
+        last_period = samples[-period:]
+        indices = np.arange(horizon) % period
+        return self._non_negative(last_period[indices])

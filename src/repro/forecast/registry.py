@@ -1,0 +1,66 @@
+"""Forecaster registry: name → factory.
+
+Lets configuration (``CaasperConfig.forecaster``) and the tuning search
+select predictors by name, mirroring the paper's pluggable predictive
+component (§4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..errors import ForecastError
+from .ar import ARForecaster
+from .base import Forecaster
+from .fourier import FourierRegressionForecaster
+from .holt_winters import HoltWintersForecaster
+from .linear import LinearTrendForecaster
+from .moving_average import ExponentialMovingAverageForecaster, MovingAverageForecaster
+from .naive import NaiveSeasonalForecaster
+
+__all__ = ["make_forecaster", "available_forecasters", "register_forecaster"]
+
+_FACTORIES: dict[str, Callable[..., Forecaster]] = {
+    "naive": NaiveSeasonalForecaster,
+    "sma": MovingAverageForecaster,
+    "ema": ExponentialMovingAverageForecaster,
+    "holt_winters": HoltWintersForecaster,
+    "linear": LinearTrendForecaster,
+    "ar": ARForecaster,
+    "fourier": FourierRegressionForecaster,
+}
+
+
+def register_forecaster(name: str, factory: Callable[..., Forecaster]) -> None:
+    """Register a custom forecaster factory under ``name``.
+
+    Existing names cannot be silently replaced; unregister by choosing a
+    new name instead — keeps experiment configs unambiguous.
+    """
+    if name in _FACTORIES:
+        raise ForecastError(f"forecaster {name!r} is already registered")
+    _FACTORIES[name] = factory
+
+
+def available_forecasters() -> list[str]:
+    """Sorted list of registered forecaster names."""
+    return sorted(_FACTORIES)
+
+
+def make_forecaster(name: str, **kwargs: Any) -> Forecaster:
+    """Instantiate a forecaster by registry name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_forecasters`.
+    kwargs:
+        Passed through to the factory (e.g. ``period_minutes=1440``).
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ForecastError(
+            f"unknown forecaster {name!r}; available: {available_forecasters()}"
+        ) from None
+    return factory(**kwargs)

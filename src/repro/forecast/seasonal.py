@@ -1,0 +1,98 @@
+"""Seasonality detection utilities.
+
+Proactive CaaSPER waits for "a complete seasonality period" of history
+before switching on (Figure 8). The paper configures the period; as a
+documented extension (DESIGN.md §6) this module can also *detect* it from
+the autocorrelation function, which the recommender uses when
+``seasonal_period_minutes=None``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ForecastError
+from ..trace import CpuTrace
+
+__all__ = ["detect_period", "seasonal_strength"]
+
+
+def _autocorrelation(samples: np.ndarray, max_lag: int) -> np.ndarray:
+    """Sample autocorrelation for lags ``1..max_lag`` (biased estimator)."""
+    centered = samples - samples.mean()
+    variance = float(np.dot(centered, centered))
+    if variance < 1e-12:
+        return np.zeros(max_lag)
+    acf = np.empty(max_lag, dtype=float)
+    for lag in range(1, max_lag + 1):
+        acf[lag - 1] = float(np.dot(centered[:-lag], centered[lag:])) / variance
+    return acf
+
+
+def detect_period(
+    trace: CpuTrace,
+    min_period: int = 30,
+    max_period: int | None = None,
+    threshold: float = 0.3,
+) -> int | None:
+    """Detect the dominant seasonal period via the ACF.
+
+    Returns the lag of the highest autocorrelation peak in
+    ``[min_period, max_period]`` if it exceeds ``threshold``, else
+    ``None`` (no usable seasonality — stay reactive).
+
+    Parameters
+    ----------
+    trace:
+        Usage history; needs at least ``2 * min_period`` samples.
+    min_period:
+        Smallest period considered, in minutes.
+    max_period:
+        Largest period considered; defaults to half the trace length.
+    threshold:
+        Minimum autocorrelation for a peak to count as seasonality.
+    """
+    if min_period < 2:
+        raise ForecastError(f"min_period must be >= 2, got {min_period}")
+    limit = max_period if max_period is not None else trace.minutes // 2
+    limit = min(limit, trace.minutes - 1)
+    if limit < min_period:
+        return None
+
+    acf = _autocorrelation(trace.samples, limit)
+    segment = acf[min_period - 1 : limit]
+    if segment.size == 0:
+        return None
+    # Prefer a local maximum (a genuine cycle) over the trailing edge.
+    best_offset = int(np.argmax(segment))
+    best_value = float(segment[best_offset])
+    if best_value < threshold:
+        return None
+    return min_period + best_offset
+
+
+def seasonal_strength(trace: CpuTrace, period: int) -> float:
+    """Variance explained by the mean seasonal profile, in ``[0, 1]``.
+
+    Computed as ``1 − Var(residual) / Var(signal)`` after subtracting the
+    per-phase mean. Values near 1 mean a highly repetitive workload (R5's
+    "predictable workloads" scenario); near 0 means proactive mode has
+    little to offer.
+    """
+    if period < 2:
+        raise ForecastError(f"period must be >= 2, got {period}")
+    if trace.minutes < 2 * period:
+        raise ForecastError(
+            f"need >= {2 * period} minutes to assess period {period}, "
+            f"got {trace.minutes}"
+        )
+    samples = trace.samples
+    total_var = float(samples.var())
+    if total_var < 1e-12:
+        return 0.0
+    phases = np.arange(samples.size) % period
+    profile = np.array(
+        [samples[phases == phase].mean() for phase in range(period)]
+    )
+    residual = samples - profile[phases]
+    return float(max(0.0, 1.0 - residual.var() / total_var))

@@ -1,0 +1,82 @@
+"""The resource-based pay-as-you-go billing model (§3.1).
+
+"The billing model for users in the DBaaS is based on the peak CPU
+provisioned resources within a certain time period [...] users are
+charged according to the maximum value of core limits assigned during
+that time period (ex: $x * num_cores). [...] the service rounds up the
+billing to whole cores." The period "may be minutely or hourly depending
+on configuration" (footnote 5).
+
+This model is why CaaSPER optimizes *limits* rather than requests, and
+why fast scale-*down* matters so much: a single high-limit minute prices
+the whole billing period at the peak.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["BillingModel"]
+
+
+@dataclass(frozen=True)
+class BillingModel:
+    """Peak-per-period, whole-core billing.
+
+    Parameters
+    ----------
+    period_minutes:
+        Billing window length (60 = hourly, 1 = minutely).
+    price_per_core_period:
+        Normalized price of one core for one period. Absolute currency is
+        irrelevant to the reproduction; only ratios appear in the tables.
+    """
+
+    period_minutes: int = 60
+    price_per_core_period: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.period_minutes < 1:
+            raise ConfigError(
+                f"period_minutes must be >= 1, got {self.period_minutes}"
+            )
+        if self.price_per_core_period <= 0:
+            raise ConfigError(
+                "price_per_core_period must be positive, got "
+                f"{self.price_per_core_period}"
+            )
+
+    def billable_cores_per_period(self, limits: np.ndarray) -> np.ndarray:
+        """Peak limits per billing period, rounded up to whole cores.
+
+        A trailing partial period is billed like a full one (the provider
+        rounds up, never down).
+        """
+        limits = np.asarray(limits, dtype=float)
+        if limits.ndim != 1 or limits.size == 0:
+            raise ConfigError("limits must be a non-empty 1-D array")
+        n_periods = math.ceil(limits.size / self.period_minutes)
+        peaks = np.empty(n_periods, dtype=float)
+        for index in range(n_periods):
+            chunk = limits[
+                index * self.period_minutes : (index + 1) * self.period_minutes
+            ]
+            peaks[index] = math.ceil(float(chunk.max()))
+        return peaks
+
+    def price(self, limits: np.ndarray) -> float:
+        """Total price of a limits series under this billing model."""
+        peaks = self.billable_cores_per_period(limits)
+        return float(peaks.sum()) * self.price_per_core_period
+
+    def price_ratio(self, limits: np.ndarray, baseline: np.ndarray) -> float:
+        """Price of ``limits`` relative to ``baseline`` (the tables' 0.85x etc.)."""
+        base = self.price(baseline)
+        if base <= 0:
+            raise ConfigError("baseline price is zero; ratio undefined")
+        return self.price(limits) / base

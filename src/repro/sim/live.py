@@ -1,0 +1,169 @@
+"""Live-system simulation (§6.2): the closed-loop evaluation path.
+
+Runs a workload against the *full* substrate — cluster, stateful set,
+operator rolling updates, database engines with backlog, transaction
+accounting — driven by the Figure 1 control loop. Unlike the open-loop
+trace simulator of §5, here:
+
+- resize latency *emerges* from per-pod restart times and primary-last
+  ordering rather than being a configured delay;
+- unserved demand queues (inflating latency) and eventually sheds
+  (reducing throughput) — the dynamics behind Tables 1 and 2;
+- each completed pod restart drops transactions ("one transaction is
+  dropped and retried", §6.2), optionally retried per the experiment's
+  client policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines.base import Recommender
+from ..cluster.cluster import Cluster
+from ..cluster.controller import ControlLoop, ControlLoopConfig
+from ..cluster.events import EventKind
+from ..db.service import DBaaSService, DbServiceConfig
+from ..db.transactions import TxnAccounting
+from ..errors import SimulationError
+from ..workloads.base import Workload
+from .billing import BillingModel
+from .metrics import SimulationMetrics
+from .results import ScalingEvent, SimulationResult
+
+__all__ = ["LiveSystemConfig", "simulate_live"]
+
+
+@dataclass(frozen=True)
+class LiveSystemConfig:
+    """Everything that shapes one live run.
+
+    Parameters
+    ----------
+    cluster_factory:
+        ``"small"`` or ``"large"`` (the paper's two clusters), or a
+        prebuilt :class:`~repro.cluster.cluster.Cluster` via ``cluster``.
+    service:
+        Database deployment shape (replicas, restart pacing...).
+    control:
+        Control-loop cadence and scaler guardrails.
+    billing:
+        Pay-as-you-go billing model.
+    txns_per_core_minute:
+        Work → transactions conversion factor for throughput accounting.
+    base_latency_ms:
+        Uncontended mean transaction latency.
+    retry_dropped_txns:
+        Client retry policy (False for the Table 2 experiment).
+    drops_per_restart:
+        Transactions dropped per completed pod restart.
+    """
+
+    cluster_factory: str = "small"
+    service: DbServiceConfig = DbServiceConfig()
+    control: ControlLoopConfig = ControlLoopConfig()
+    billing: BillingModel = BillingModel()
+    txns_per_core_minute: float = 1000.0
+    base_latency_ms: float = 60.0
+    retry_dropped_txns: bool = True
+    drops_per_restart: float = 1.0
+    cluster: Cluster | None = field(default=None, compare=False)
+
+    def build_cluster(self) -> Cluster:
+        """Instantiate the run's cluster."""
+        if self.cluster is not None:
+            return self.cluster
+        if self.cluster_factory == "small":
+            return Cluster.small()
+        if self.cluster_factory == "large":
+            return Cluster.large()
+        raise SimulationError(
+            f"unknown cluster_factory {self.cluster_factory!r} "
+            "(expected 'small' or 'large')"
+        )
+
+
+def simulate_live(
+    workload: Workload,
+    recommender: Recommender,
+    config: LiveSystemConfig,
+) -> SimulationResult:
+    """Run ``workload`` against the full substrate under ``recommender``.
+
+    Returns a :class:`~repro.sim.results.SimulationResult` whose
+    ``detail`` carries the transaction accounting (``"transactions"``
+    summary dict and the ``TxnAccounting`` object under
+    ``"txn_accounting"``), the event log (``"events"``) and the failover
+    count.
+    """
+    cluster = config.build_cluster()
+    service = DBaaSService(config.service, cluster.scheduler, cluster.events)
+    loop = ControlLoop(service, recommender, config.control, events=cluster.events)
+    txns = TxnAccounting(
+        base_latency_ms=config.base_latency_ms,
+        retry_dropped=config.retry_dropped_txns,
+    )
+
+    minutes = workload.minutes
+    demand_series = np.empty(minutes, dtype=float)
+    usage_series = np.empty(minutes, dtype=float)
+    limit_series = np.empty(minutes, dtype=float)
+
+    for minute in range(minutes):
+        demand = workload.demand(minute)
+        outcome = loop.step(minute, demand)
+        demand_series[minute] = demand
+        usage_series[minute] = outcome.primary_usage_cores
+        limit_series[minute] = outcome.client_limit_cores
+
+        factor = config.txns_per_core_minute
+        txns.record_minute(
+            minute=minute,
+            offered_txns=demand * factor,
+            served_txns=outcome.primary.served_cores * factor,
+            shed_txns=outcome.primary.shed_cores * factor,
+            latency_factor=outcome.primary.latency_factor,
+            restart_drops=outcome.restarts_completed * config.drops_per_restart,
+        )
+
+    price = config.billing.price(limit_series)
+    events = _scaling_events(cluster)
+    metrics = SimulationMetrics.from_series(
+        demand_series, usage_series, limit_series, len(events), price
+    )
+    return SimulationResult(
+        name=recommender.name,
+        demand=demand_series,
+        usage=usage_series,
+        limits=limit_series,
+        events=events,
+        metrics=metrics,
+        detail={
+            "transactions": txns.summary(price=price),
+            "txn_accounting": txns,
+            "events": cluster.events,
+            "failovers": service.operator.failover_count,
+        },
+    )
+
+
+def _scaling_events(cluster: Cluster) -> tuple[ScalingEvent, ...]:
+    """Translate rolling-update events into generic scaling events.
+
+    A resize is "enacted" for clients when the rolling update finishes
+    (the primary — updated last — then runs the new spec).
+    """
+    decided = cluster.events.of_kind(EventKind.RESIZE_DECIDED)
+    finished = cluster.events.of_kind(EventKind.ROLLING_UPDATE_FINISHED)
+    events = []
+    for decision, completion in zip(decided, finished):
+        events.append(
+            ScalingEvent(
+                decided_minute=decision.minute,
+                enacted_minute=completion.minute,
+                from_cores=int(decision.data["from_cores"]),
+                to_cores=int(decision.data["to_cores"]),
+            )
+        )
+    return tuple(events)

@@ -1,0 +1,121 @@
+"""Simulation metrics: the §5 objective inputs and Table 3 columns.
+
+For each experimental run the simulator captures:
+
+- ``K``: "Sum of all slack values, representing the total unused capacity"
+- ``C``: "Sum of insufficient CPU occurrences, reflecting the total
+  throttling"
+- ``N``: "Total number of scalings"
+
+plus the derived Table 3 columns (average slack, average insufficient
+CPU, percentage of throttled observations) and the billing total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = ["SimulationMetrics", "THROTTLE_EPSILON"]
+
+#: Demand must exceed the limit by more than this (in cores) for a minute
+#: to count as a throttled observation; filters float noise.
+THROTTLE_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class SimulationMetrics:
+    """Aggregated metrics of one simulation run.
+
+    Attributes
+    ----------
+    total_slack:
+        ``K``: Σ max(0, limit − usage), in core-minutes.
+    total_insufficient_cpu:
+        ``C``: Σ max(0, demand − limit), in core-minutes.
+    num_scalings:
+        ``N``: count of enacted limit changes.
+    minutes:
+        Observation count (simulation length).
+    throttled_observations:
+        Number of minutes with any insufficient CPU.
+    price:
+        Billing total for the run's limits series.
+    """
+
+    total_slack: float
+    total_insufficient_cpu: float
+    num_scalings: int
+    minutes: int
+    throttled_observations: int
+    price: float
+
+    @property
+    def average_slack(self) -> float:
+        """Table 3's "Average Slack" (core-minutes per minute)."""
+        return self.total_slack / self.minutes
+
+    @property
+    def average_insufficient_cpu(self) -> float:
+        """Table 3's "Average Insuff. CPU"."""
+        return self.total_insufficient_cpu / self.minutes
+
+    @property
+    def throttled_observation_pct(self) -> float:
+        """Table 3's "Throttling Obvsns. %" (0–100)."""
+        return 100.0 * self.throttled_observations / self.minutes
+
+    @classmethod
+    def from_series(
+        cls,
+        demand: np.ndarray,
+        usage: np.ndarray,
+        limits: np.ndarray,
+        num_scalings: int,
+        price: float,
+    ) -> "SimulationMetrics":
+        """Compute metrics from per-minute series.
+
+        ``demand``, ``usage`` and ``limits`` must be equal-length. Slack
+        is measured against *usage* (capacity paid for but not used);
+        insufficient CPU against *demand* (work that found no capacity).
+        """
+        if demand.shape != usage.shape or usage.shape != limits.shape:
+            raise SimulationError(
+                "demand/usage/limits must be equal-length, got "
+                f"{demand.shape}/{usage.shape}/{limits.shape}"
+            )
+        if demand.size == 0:
+            raise SimulationError("empty series")
+        slack = np.maximum(limits - usage, 0.0)
+        insufficient = np.maximum(demand - limits, 0.0)
+        throttled = int(np.count_nonzero(insufficient > THROTTLE_EPSILON))
+        return cls(
+            total_slack=float(slack.sum()),
+            total_insufficient_cpu=float(insufficient.sum()),
+            num_scalings=int(num_scalings),
+            minutes=int(demand.size),
+            throttled_observations=throttled,
+            price=float(price),
+        )
+
+    def slack_reduction_vs(self, other: "SimulationMetrics") -> float:
+        """Fractional slack reduction vs a baseline (the paper's 78.3% etc.)."""
+        if other.total_slack <= 0:
+            raise SimulationError("baseline has zero slack; reduction undefined")
+        return 1.0 - self.total_slack / other.total_slack
+
+    def as_row(self) -> dict[str, float]:
+        """Flat dict for result tables."""
+        return {
+            "total_slack": self.total_slack,
+            "avg_slack": self.average_slack,
+            "total_insufficient_cpu": self.total_insufficient_cpu,
+            "avg_insufficient_cpu": self.average_insufficient_cpu,
+            "num_scalings": float(self.num_scalings),
+            "throttled_obs_pct": self.throttled_observation_pct,
+            "price": self.price,
+        }

@@ -1,0 +1,135 @@
+"""Result containers for simulation runs."""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..trace import CpuTrace
+from .metrics import SimulationMetrics
+
+__all__ = ["SimulationResult", "ScalingEvent"]
+
+
+@dataclass(frozen=True)
+class ScalingEvent:
+    """One enacted resize.
+
+    Attributes
+    ----------
+    decided_minute:
+        When the recommender issued the decision.
+    enacted_minute:
+        When the new limits took effect (after the resize delay).
+    from_cores, to_cores:
+        The allocation before/after.
+    """
+
+    decided_minute: int
+    enacted_minute: int
+    from_cores: int
+    to_cores: int
+
+    @property
+    def is_scale_up(self) -> bool:
+        return self.to_cores > self.from_cores
+
+
+@dataclass(frozen=True, eq=False)
+class SimulationResult:
+    """Per-minute series + aggregates of one simulation run.
+
+    Attributes
+    ----------
+    name:
+        Label (usually the recommender name).
+    demand, usage, limits:
+        Equal-length per-minute series in cores. ``usage`` is demand
+        capped by limits (plus backlog service in closed-loop runs).
+    events:
+        Every enacted resize, in time order.
+    metrics:
+        Aggregated :class:`~repro.sim.metrics.SimulationMetrics`.
+    detail:
+        Free-form extras (e.g. transaction accounting from live runs).
+    """
+
+    name: str
+    demand: np.ndarray
+    usage: np.ndarray
+    limits: np.ndarray
+    events: tuple[ScalingEvent, ...]
+    metrics: SimulationMetrics
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not (
+            self.demand.shape == self.usage.shape == self.limits.shape
+        ) or self.demand.ndim != 1:
+            raise SimulationError("demand/usage/limits must be equal-length 1-D")
+
+    @property
+    def minutes(self) -> int:
+        return int(self.demand.size)
+
+    def usage_trace(self) -> CpuTrace:
+        """Observed usage as a trace (for chaining into other tools)."""
+        return CpuTrace(self.usage, name=f"{self.name}-usage")
+
+    def limits_trace(self) -> CpuTrace:
+        """Limits series as a trace."""
+        return CpuTrace(self.limits, name=f"{self.name}-limits")
+
+    def slack_series(self) -> np.ndarray:
+        """Per-minute slack (limit − usage, floored at 0)."""
+        return np.maximum(self.limits - self.usage, 0.0)
+
+    def insufficient_series(self) -> np.ndarray:
+        """Per-minute insufficient CPU (demand − limit, floored at 0)."""
+        return np.maximum(self.demand - self.limits, 0.0)
+
+    def to_csv(self, path: str | Path) -> None:
+        """Export the per-minute series for external plotting/analysis.
+
+        Columns: ``minute, demand, usage, limit, slack, insufficient``.
+        """
+        slack = self.slack_series()
+        insufficient = self.insufficient_series()
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                ["minute", "demand", "usage", "limit", "slack", "insufficient"]
+            )
+            for minute in range(self.minutes):
+                writer.writerow(
+                    [
+                        minute,
+                        f"{self.demand[minute]:.6f}",
+                        f"{self.usage[minute]:.6f}",
+                        f"{self.limits[minute]:.6f}",
+                        f"{slack[minute]:.6f}",
+                        f"{insufficient[minute]:.6f}",
+                    ]
+                )
+
+    def summary(self) -> dict[str, float]:
+        """One-row summary (metrics + event counts)."""
+        row = self.metrics.as_row()
+        row["scale_ups"] = float(sum(1 for e in self.events if e.is_scale_up))
+        row["scale_downs"] = float(
+            sum(1 for e in self.events if not e.is_scale_up)
+        )
+        return row
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimulationResult(name={self.name!r}, minutes={self.minutes}, "
+            f"K={self.metrics.total_slack:.0f}, "
+            f"C={self.metrics.total_insufficient_cpu:.0f}, "
+            f"N={self.metrics.num_scalings})"
+        )

@@ -1,0 +1,162 @@
+"""The trace-driven autoscaling simulator (§5).
+
+Replays the Figure 1 control loop against a static CPU *demand* trace:
+
+1. each minute, cgroup-style capping turns demand into observed usage
+   (``usage = min(demand, limits)``) — open loop, unserved demand is lost
+   and counted as insufficient CPU;
+2. the recommender observes the usage sample;
+3. at each decision interval (outside cooldown, with no resize already in
+   flight) the recommender is consulted; a changed target schedules a
+   resize that takes effect after the configured delay — modelling the
+   5–15 minute rolling-update window of §3.1;
+4. the three tuning metrics ``K``/``C``/``N`` and the billing total are
+   extracted at the end.
+
+"This simulator enables us to [...] simulate autoscaling in scenarios
+where the live workload is inaccessible, evaluate against standard
+workload traces such as the Alibaba dataset, conduct rapid parameter
+tuning, and adjust parameter combinations based on desired slack,
+throttling, and scaling frequency."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.base import Recommender
+from ..errors import ConfigError, SimulationError
+from ..trace import CpuTrace
+from .billing import BillingModel
+from .metrics import SimulationMetrics
+from .results import ScalingEvent, SimulationResult
+
+__all__ = ["SimulatorConfig", "simulate_trace"]
+
+
+@dataclass(frozen=True)
+class SimulatorConfig:
+    """Environment parameters of a simulated deployment.
+
+    Parameters
+    ----------
+    initial_cores:
+        Limits in force at minute 0.
+    min_cores, max_cores:
+        Service guardrails enforced by the scaler on every decision
+        ("we implemented logic to prevent autoscaling below 2 cores").
+    decision_interval_minutes:
+        How often the recommender is consulted.
+    resize_delay_minutes:
+        Minutes between a decision and its effect (rolling update +
+        failover; 5–15 for Database A, 3–5 for Database B).
+    cooldown_minutes:
+        Minimum minutes after an enacted resize before the next decision
+        is taken.
+    billing:
+        The pay-as-you-go billing model applied to the limits series.
+    """
+
+    initial_cores: int
+    min_cores: int = 1
+    max_cores: int = 64
+    decision_interval_minutes: int = 10
+    resize_delay_minutes: int = 10
+    cooldown_minutes: int = 0
+    billing: BillingModel = BillingModel()
+
+    def __post_init__(self) -> None:
+        if self.min_cores < 1 or self.max_cores < self.min_cores:
+            raise ConfigError(
+                f"invalid guardrails: min={self.min_cores}, max={self.max_cores}"
+            )
+        if not self.min_cores <= self.initial_cores <= self.max_cores:
+            raise ConfigError(
+                f"initial_cores {self.initial_cores} outside "
+                f"[{self.min_cores}, {self.max_cores}]"
+            )
+        if self.decision_interval_minutes < 1:
+            raise ConfigError("decision_interval_minutes must be >= 1")
+        if self.resize_delay_minutes < 0:
+            raise ConfigError("resize_delay_minutes must be >= 0")
+        if self.cooldown_minutes < 0:
+            raise ConfigError("cooldown_minutes must be >= 0")
+
+
+def simulate_trace(
+    demand: CpuTrace,
+    recommender: Recommender,
+    config: SimulatorConfig,
+) -> SimulationResult:
+    """Replay ``demand`` through ``recommender`` under ``config``.
+
+    Returns the full per-minute series, scaling events and metrics. The
+    recommender is *not* reset first — callers own recommender state so
+    that warm-started comparisons stay possible.
+    """
+    minutes = demand.minutes
+    demand_series = demand.samples
+    usage_series = np.empty(minutes, dtype=float)
+    limit_series = np.empty(minutes, dtype=float)
+
+    limit = int(config.initial_cores)
+    pending_target: int | None = None
+    pending_effective_minute = -1
+    last_enacted_minute = -(10**9)
+    events: list[ScalingEvent] = []
+    pending_decided_minute = -1
+
+    for minute in range(minutes):
+        # 1. Enact a pending resize whose delay has elapsed.
+        if pending_target is not None and minute >= pending_effective_minute:
+            if pending_target != limit:
+                events.append(
+                    ScalingEvent(
+                        decided_minute=pending_decided_minute,
+                        enacted_minute=minute,
+                        from_cores=limit,
+                        to_cores=pending_target,
+                    )
+                )
+                limit = pending_target
+                last_enacted_minute = minute
+            pending_target = None
+
+        # 2. cgroup capping: observed usage can never exceed limits.
+        observed = min(float(demand_series[minute]), float(limit))
+        usage_series[minute] = observed
+        limit_series[minute] = limit
+        recommender.observe(minute, observed, limit)
+
+        # 3. Decision point.
+        is_decision_minute = (
+            minute > 0 and minute % config.decision_interval_minutes == 0
+        )
+        in_cooldown = minute - last_enacted_minute < config.cooldown_minutes
+        if is_decision_minute and pending_target is None and not in_cooldown:
+            target = int(recommender.recommend(minute, limit))
+            if target < 1:
+                raise SimulationError(
+                    f"{recommender.name} recommended non-positive cores "
+                    f"({target}) at minute {minute}"
+                )
+            target = max(config.min_cores, min(config.max_cores, target))
+            if target != limit:
+                pending_target = target
+                pending_decided_minute = minute
+                pending_effective_minute = minute + config.resize_delay_minutes
+
+    price = config.billing.price(limit_series)
+    metrics = SimulationMetrics.from_series(
+        demand_series, usage_series, limit_series, len(events), price
+    )
+    return SimulationResult(
+        name=recommender.name,
+        demand=demand_series.copy(),
+        usage=usage_series,
+        limits=limit_series,
+        events=tuple(events),
+        metrics=metrics,
+    )

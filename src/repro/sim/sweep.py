@@ -1,0 +1,187 @@
+"""Multi-trace evaluation sweeps.
+
+The tool a downstream operator actually wants: "run this autoscaler
+configuration over *my* fleet's traces and show me the Table-3-style
+summary". Generalizes the §6.3 workflow (per-trace tuning optional) to
+any set of named demand traces — the built-in paper library, Alibaba CSV
+ingests, or arbitrary `CpuTrace`s.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from ..analysis.tables import format_table
+from ..baselines.base import Recommender
+from ..core.config import CaasperConfig
+from ..core.recommender import CaasperRecommender
+from ..errors import SimulationError
+from ..trace import CpuTrace
+from .billing import BillingModel
+from .results import SimulationResult
+from .simulator import SimulatorConfig, simulate_trace
+
+__all__ = ["SweepConfig", "SweepOutcome", "run_sweep"]
+
+#: Builds a fresh recommender per trace (recommenders are stateful).
+RecommenderFactory = Callable[[CpuTrace], Recommender]
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Environment shared by every trace in a sweep.
+
+    Parameters
+    ----------
+    min_cores:
+        Guardrail floor applied everywhere.
+    headroom_factor:
+        Per-trace ceiling: ``max_cores = ceil(peak × headroom_factor)``
+        (the §6.3 "instance max sizes" rule), floored at ``min_cores+1``.
+    decision_interval_minutes, resize_delay_minutes:
+        Control-loop cadence and resize latency.
+    billing:
+        Pay-as-you-go model.
+    """
+
+    min_cores: int = 1
+    headroom_factor: float = 1.3
+    decision_interval_minutes: int = 10
+    resize_delay_minutes: int = 5
+    billing: BillingModel = BillingModel()
+
+    def __post_init__(self) -> None:
+        if self.min_cores < 1:
+            raise SimulationError("min_cores must be >= 1")
+        if self.headroom_factor < 1.0:
+            raise SimulationError("headroom_factor must be >= 1")
+
+    def simulator_for(self, trace: CpuTrace) -> SimulatorConfig:
+        """Per-trace simulator environment."""
+        max_cores = max(
+            self.min_cores + 1, int(math.ceil(trace.peak() * self.headroom_factor))
+        )
+        initial = min(
+            max_cores,
+            max(self.min_cores, int(math.ceil(trace.samples[: 60].mean()))),
+        )
+        return SimulatorConfig(
+            initial_cores=initial,
+            min_cores=self.min_cores,
+            max_cores=max_cores,
+            decision_interval_minutes=self.decision_interval_minutes,
+            resize_delay_minutes=self.resize_delay_minutes,
+            billing=self.billing,
+        )
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """Per-trace results of one sweep, keyed by trace name."""
+
+    results: Mapping[str, SimulationResult]
+
+    def table(self) -> str:
+        """The Table-3-style summary across all traces."""
+        rows = []
+        for name in sorted(self.results):
+            metrics = self.results[name].metrics
+            rows.append(
+                [
+                    name,
+                    metrics.average_slack,
+                    metrics.num_scalings,
+                    metrics.average_insufficient_cpu,
+                    metrics.throttled_observation_pct,
+                    metrics.price,
+                ]
+            )
+        return format_table(
+            [
+                "workload",
+                "avg_slack",
+                "num_scalings",
+                "avg_insuff_cpu",
+                "throttled_obs_%",
+                "price",
+            ],
+            rows,
+        )
+
+    def aggregate(self) -> dict[str, float]:
+        """Fleet-level means of the Table 3 columns."""
+        results = list(self.results.values())
+        if not results:
+            raise SimulationError("empty sweep")
+        n = len(results)
+        return {
+            "traces": float(n),
+            "mean_avg_slack": sum(
+                r.metrics.average_slack for r in results
+            ) / n,
+            "mean_throttled_obs_pct": sum(
+                r.metrics.throttled_observation_pct for r in results
+            ) / n,
+            "mean_scalings": sum(
+                r.metrics.num_scalings for r in results
+            ) / n,
+            "total_price": sum(r.metrics.price for r in results),
+        }
+
+
+def default_recommender_factory(
+    base: CaasperConfig | None = None,
+) -> RecommenderFactory:
+    """CaaSPER with the per-trace ceiling wired into its config."""
+    base = base or CaasperConfig()
+
+    def factory(trace: CpuTrace) -> Recommender:
+        max_cores = max(2, int(math.ceil(trace.peak() * 1.3)))
+        config = base.with_updates(
+            max_cores=max_cores, c_min=min(base.c_min, max_cores)
+        )
+        return CaasperRecommender(config, keep_decisions=False)
+
+    return factory
+
+
+def run_sweep(
+    traces: Sequence[CpuTrace],
+    config: SweepConfig | None = None,
+    recommender_factory: RecommenderFactory | None = None,
+) -> SweepOutcome:
+    """Evaluate one recommender family over many traces.
+
+    Parameters
+    ----------
+    traces:
+        Demand traces; names must be unique (they key the outcome).
+    config:
+        Shared environment (default :class:`SweepConfig`).
+    recommender_factory:
+        ``trace -> Recommender`` builder; defaults to CaaSPER with a
+        per-trace core ceiling.
+    """
+    if not traces:
+        raise SimulationError("sweep needs at least one trace")
+    names = [trace.name for trace in traces]
+    if len(set(names)) != len(names):
+        raise SimulationError(f"duplicate trace names in sweep: {names}")
+    config = config or SweepConfig()
+    factory = recommender_factory or default_recommender_factory()
+
+    results: dict[str, SimulationResult] = {}
+    for trace in traces:
+        recommender = factory(trace)
+        result = simulate_trace(trace, recommender, config.simulator_for(trace))
+        results[trace.name] = SimulationResult(
+            name=trace.name,
+            demand=result.demand,
+            usage=result.usage,
+            limits=result.limits,
+            events=result.events,
+            metrics=result.metrics,
+        )
+    return SweepOutcome(results=results)

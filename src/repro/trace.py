@@ -1,0 +1,248 @@
+"""CPU traces: the universal currency of this reproduction.
+
+The paper's autoscaling pipeline (Algorithm 1, the simulator of §5, the
+baseline recommenders of §3.3) all consume *CPU usage traces*: one floating
+point sample per minute, expressed in cores. :class:`CpuTrace` wraps such a
+series with validation, resampling, windowing, summary statistics and simple
+CSV persistence, so every other module can rely on a clean, immutable input.
+
+The per-minute granularity matches the paper: VPA samples at one-minute
+intervals (§3.3) and the Alibaba traces are "resampled to have regular data
+points for every minute" (§6.3).
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .errors import TraceError
+
+__all__ = ["CpuTrace", "MINUTES_PER_HOUR", "MINUTES_PER_DAY"]
+
+MINUTES_PER_HOUR = 60
+MINUTES_PER_DAY = 24 * MINUTES_PER_HOUR
+
+
+@dataclass(frozen=True, eq=False)
+class CpuTrace:
+    """An immutable per-minute CPU usage series, in cores.
+
+    Parameters
+    ----------
+    samples:
+        CPU usage per minute, in cores. Must be non-empty, finite and
+        non-negative.
+    name:
+        Optional label used in figures and tables (e.g. ``"c_29247"``).
+    start_minute:
+        Absolute minute index of the first sample. Only affects labelling
+        (day boundaries in rendered figures); all arithmetic is relative.
+    """
+
+    samples: np.ndarray
+    name: str = "trace"
+    start_minute: int = 0
+
+    def __post_init__(self) -> None:
+        samples = np.asarray(self.samples, dtype=float)
+        if samples.ndim != 1:
+            raise TraceError(
+                f"trace {self.name!r}: samples must be 1-D, got shape {samples.shape}"
+            )
+        if samples.size == 0:
+            raise TraceError(f"trace {self.name!r}: empty trace")
+        if not np.all(np.isfinite(samples)):
+            raise TraceError(f"trace {self.name!r}: non-finite samples present")
+        if np.any(samples < 0):
+            raise TraceError(f"trace {self.name!r}: negative CPU usage present")
+        samples.setflags(write=False)
+        object.__setattr__(self, "samples", samples)
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_values(
+        cls, values: Iterable[float], name: str = "trace", start_minute: int = 0
+    ) -> "CpuTrace":
+        """Build a trace from any iterable of per-minute core usage values."""
+        return cls(np.asarray(list(values), dtype=float), name, start_minute)
+
+    @classmethod
+    def constant(
+        cls, cores: float, minutes: int, name: str = "constant"
+    ) -> "CpuTrace":
+        """A flat trace at ``cores`` for ``minutes`` minutes."""
+        if minutes <= 0:
+            raise TraceError("constant trace needs a positive duration")
+        return cls(np.full(minutes, float(cores)), name)
+
+    # -- basic protocol --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.samples.size)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.samples.tolist())
+
+    def __getitem__(self, minute: int) -> float:
+        return float(self.samples[minute])
+
+    @property
+    def minutes(self) -> int:
+        """Duration in minutes (== number of samples)."""
+        return len(self)
+
+    @property
+    def hours(self) -> float:
+        """Duration in hours."""
+        return self.minutes / MINUTES_PER_HOUR
+
+    # -- statistics ------------------------------------------------------------
+
+    def peak(self) -> float:
+        """Maximum observed usage, in cores."""
+        return float(self.samples.max())
+
+    def mean(self) -> float:
+        """Mean usage, in cores."""
+        return float(self.samples.mean())
+
+    def std(self) -> float:
+        """Sample standard deviation of usage."""
+        return float(self.samples.std())
+
+    def quantile(self, q: float) -> float:
+        """Empirical ``q``-quantile of usage (``0 <= q <= 1``)."""
+        if not 0.0 <= q <= 1.0:
+            raise TraceError(f"quantile must be in [0, 1], got {q}")
+        return float(np.quantile(self.samples, q))
+
+    def fraction_at_or_above(self, cores: float) -> float:
+        """Fraction of samples with usage >= ``cores``.
+
+        This is the empirical throttling-probability estimator behind the
+        PvP-curves (Eq. 1 restricted to CPU).
+        """
+        return float(np.mean(self.samples >= cores))
+
+    # -- transformation --------------------------------------------------------
+
+    def window(self, start: int, end: int | None = None) -> "CpuTrace":
+        """Sub-trace covering minutes ``[start, end)`` (relative indices).
+
+        Negative ``start`` counts from the end, matching Python slicing, so
+        ``trace.window(-40)`` is "the last 40 minutes" — the reactive
+        algorithm's typical observation window (§4.3).
+        """
+        sliced = self.samples[start:end]
+        if sliced.size == 0:
+            raise TraceError(
+                f"trace {self.name!r}: window [{start}:{end}] is empty"
+            )
+        abs_start = start if start >= 0 else max(0, self.minutes + start)
+        return CpuTrace(sliced, self.name, self.start_minute + abs_start)
+
+    def extend(self, other: "CpuTrace | Sequence[float]") -> "CpuTrace":
+        """Concatenate another trace (or raw values) after this one.
+
+        Used by proactive mode to append a forecast horizon to the observed
+        window (Eq. 4).
+        """
+        tail = other.samples if isinstance(other, CpuTrace) else np.asarray(
+            list(other), dtype=float
+        )
+        return CpuTrace(
+            np.concatenate([self.samples, tail]), self.name, self.start_minute
+        )
+
+    def scaled(self, factor: float) -> "CpuTrace":
+        """Trace with every sample multiplied by ``factor``.
+
+        Mirrors the paper's millicore→core rescaling of the Alibaba traces
+        (§6.3: "we scaled the number of cores in the trace to integer values
+        in range of our instance max sizes").
+        """
+        if factor < 0:
+            raise TraceError("scaling factor must be non-negative")
+        return CpuTrace(self.samples * factor, self.name, self.start_minute)
+
+    def clipped(self, upper: float) -> "CpuTrace":
+        """Trace with usage capped at ``upper`` cores (cgroup-style)."""
+        if upper < 0:
+            raise TraceError("clip bound must be non-negative")
+        return CpuTrace(
+            np.minimum(self.samples, upper), self.name, self.start_minute
+        )
+
+    def resampled(self, step_minutes: int) -> "CpuTrace":
+        """Mean-downsample to one sample every ``step_minutes`` minutes.
+
+        Incomplete trailing blocks are averaged over their actual length,
+        so no demand is invented at the tail.
+        """
+        if step_minutes <= 0:
+            raise TraceError("resampling step must be positive")
+        if step_minutes == 1:
+            return self
+        n_blocks = math.ceil(self.minutes / step_minutes)
+        means = [
+            float(self.samples[i * step_minutes : (i + 1) * step_minutes].mean())
+            for i in range(n_blocks)
+        ]
+        return CpuTrace(np.asarray(means), self.name, self.start_minute)
+
+    def smoothed(self, window_minutes: int) -> "CpuTrace":
+        """Centered moving-average smoothing (edges use partial windows)."""
+        if window_minutes <= 0:
+            raise TraceError("smoothing window must be positive")
+        if window_minutes == 1:
+            return self
+        kernel = np.ones(window_minutes)
+        sums = np.convolve(self.samples, kernel, mode="same")
+        counts = np.convolve(np.ones_like(self.samples), kernel, mode="same")
+        return CpuTrace(sums / counts, self.name, self.start_minute)
+
+    def with_name(self, name: str) -> "CpuTrace":
+        """Copy of this trace with a new label."""
+        return CpuTrace(self.samples, name, self.start_minute)
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_csv(self, path: str | Path) -> None:
+        """Write ``minute,cpu_cores`` rows to ``path``."""
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["minute", "cpu_cores"])
+            for offset, value in enumerate(self.samples):
+                writer.writerow([self.start_minute + offset, f"{value:.6f}"])
+
+    @classmethod
+    def from_csv(cls, path: str | Path, name: str | None = None) -> "CpuTrace":
+        """Read a trace previously written by :meth:`to_csv`."""
+        path = Path(path)
+        values: list[float] = []
+        start_minute = 0
+        with open(path, newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header is None:
+                raise TraceError(f"{path}: empty CSV")
+            for row_index, row in enumerate(reader):
+                if len(row) != 2:
+                    raise TraceError(f"{path}: malformed row {row_index + 2}")
+                if row_index == 0:
+                    start_minute = int(float(row[0]))
+                values.append(float(row[1]))
+        return cls.from_values(values, name or path.stem, start_minute)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CpuTrace(name={self.name!r}, minutes={self.minutes}, "
+            f"mean={self.mean():.2f}, peak={self.peak():.2f})"
+        )

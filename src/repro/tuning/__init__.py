@@ -1,0 +1,32 @@
+"""Parameter tuning via the simulator (§5).
+
+- :mod:`repro.tuning.space` — the searchable Algorithm 1 parameter space.
+- :mod:`repro.tuning.objective` — ``G(α, p) = α·K(p) + C(p)`` (Eq. 5) and
+  the log-uniform α sampler (Eq. 6).
+- :mod:`repro.tuning.search` — random-search driver over a demand trace.
+- :mod:`repro.tuning.pareto` — Pareto-frontier extraction (Figure 12).
+- :mod:`repro.tuning.preferences` — the R2 preference→parameter mapping
+  (performance / balanced / savings presets, Table 2).
+"""
+
+from .grid import GridSearch, grid_configs
+from .objective import objective_value, sample_alphas
+from .pareto import pareto_frontier, pareto_frontier_3d
+from .preferences import Preference, preference_config
+from .search import RandomSearch, SearchOutcome, TrialResult
+from .space import ParameterSpace
+
+__all__ = [
+    "ParameterSpace",
+    "objective_value",
+    "sample_alphas",
+    "RandomSearch",
+    "GridSearch",
+    "grid_configs",
+    "SearchOutcome",
+    "TrialResult",
+    "pareto_frontier",
+    "pareto_frontier_3d",
+    "Preference",
+    "preference_config",
+]

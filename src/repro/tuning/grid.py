@@ -1,0 +1,82 @@
+"""Deterministic grid search over the CaaSPER parameter space.
+
+The §5 tuning uses random search (5000 combinations); for small,
+reviewable sweeps — "what do these three window sizes do?" — an explicit
+Cartesian grid is the better tool. Produces the same
+:class:`~repro.tuning.search.SearchOutcome` as the random driver, so
+Pareto extraction and the Eq. 5 objective work unchanged.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Mapping, Sequence
+
+from ..core.config import CaasperConfig
+from ..errors import TuningError
+from ..sim.simulator import SimulatorConfig
+from ..trace import CpuTrace
+from .search import RandomSearch, SearchOutcome
+
+__all__ = ["GridSearch", "grid_configs"]
+
+
+def grid_configs(
+    base: CaasperConfig, grid: Mapping[str, Sequence[Any]]
+) -> list[CaasperConfig]:
+    """Materialize every valid combination of the grid over ``base``.
+
+    Invalid combinations (cross-field constraint violations) are
+    skipped; an entirely invalid grid raises.
+    """
+    if not grid:
+        raise TuningError("grid must define at least one dimension")
+    names = sorted(grid)
+    for name in names:
+        if not grid[name]:
+            raise TuningError(f"grid dimension {name!r} has no values")
+    configs: list[CaasperConfig] = []
+    for combo in itertools.product(*(grid[name] for name in names)):
+        updates = dict(zip(names, combo))
+        try:
+            configs.append(base.with_updates(**updates))
+        except Exception:
+            continue
+    if not configs:
+        raise TuningError("no valid configuration in the grid")
+    return configs
+
+
+class GridSearch:
+    """Exhaustive evaluation of a small parameter grid.
+
+    Parameters
+    ----------
+    demand, simulator_config:
+        Same evaluation environment as :class:`RandomSearch`.
+    base:
+        Config supplying every non-gridded field.
+    grid:
+        Mapping of config-field name → candidate values.
+    """
+
+    def __init__(
+        self,
+        demand: CpuTrace,
+        simulator_config: SimulatorConfig,
+        base: CaasperConfig,
+        grid: Mapping[str, Sequence[Any]],
+    ) -> None:
+        self._driver = RandomSearch(demand, simulator_config)
+        self.configs = grid_configs(base, grid)
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    def run(self) -> SearchOutcome:
+        """Evaluate every grid point (deterministic, no seed needed)."""
+        return SearchOutcome(
+            trials=tuple(
+                self._driver.evaluate(config) for config in self.configs
+            )
+        )

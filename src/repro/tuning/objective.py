@@ -1,0 +1,56 @@
+"""The tuning objective (§5, Equations 5 and 6).
+
+    G(α, p) = α · K(p) + C(p)
+
+"α is a scalar coefficient that represents the penalty of having slack
+[...] K(p)/C(p) denotes the observed (simulated) total slack and
+insufficient CPU." The optimal parameter set is found by minimizing G for
+each α drawn from a log-uniform (reciprocal) distribution:
+
+    p̂ = { argmin_p G(α, p) | ∀α ∈ D },   ln(D) ~ U(−ln R, +ln R)
+
+(the paper writes ln(D) ~ U(−100, 100); any practical range collapses to
+"spread α evenly across orders of magnitude", which is what we do with a
+configurable span).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TuningError
+from ..sim.metrics import SimulationMetrics
+
+__all__ = ["objective_value", "sample_alphas"]
+
+
+def objective_value(metrics: SimulationMetrics, alpha: float) -> float:
+    """Evaluate Eq. 5 for one simulated run."""
+    if alpha < 0:
+        raise TuningError(f"alpha must be >= 0, got {alpha}")
+    return alpha * metrics.total_slack + metrics.total_insufficient_cpu
+
+
+def sample_alphas(
+    count: int, seed: int = 0, log_span: float = 8.0
+) -> np.ndarray:
+    """Draw α values from the Eq. 6 log-uniform distribution.
+
+    Parameters
+    ----------
+    count:
+        Number of α values.
+    seed:
+        RNG seed (deterministic sweeps).
+    log_span:
+        Natural-log half-width: ``ln α ~ U(−log_span, +log_span)``. The
+        default ±8 spans α ∈ [3.4e-4, 3e3], comfortably covering the
+        regime where the slack/throttling trade-off actually moves
+        (Figure 13 samples α in [0, 2.28]).
+    """
+    if count < 1:
+        raise TuningError(f"count must be >= 1, got {count}")
+    if log_span <= 0:
+        raise TuningError(f"log_span must be positive, got {log_span}")
+    rng = np.random.default_rng(seed)
+    return np.exp(rng.uniform(-log_span, log_span, count))

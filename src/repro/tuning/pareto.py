@@ -1,0 +1,81 @@
+"""Pareto-frontier extraction (Figure 12).
+
+"A good combination of parameters should minimize the slack K to be
+cost-efficient, total throttling C to be performant, and total scalings N
+to avoid impacting availability, forming the Pareto frontier."
+
+Figure 12 plots the 2-D (K, C) frontier ("total scalings dimension
+omitted for visualization purposes"); the 3-D variant including N is the
+full §5 definition and is provided as an extension.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import TuningError
+
+__all__ = ["pareto_frontier", "pareto_frontier_3d"]
+
+
+def _pareto_mask(points: np.ndarray) -> np.ndarray:
+    """Boolean mask of non-dominated rows (all objectives minimized).
+
+    A point is dominated when another point is <= in every objective and
+    strictly < in at least one.
+    """
+    n = points.shape[0]
+    mask = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not mask[i]:
+            continue
+        others_le = np.all(points <= points[i], axis=1)
+        others_lt = np.any(points < points[i], axis=1)
+        dominators = others_le & others_lt
+        dominators[i] = False
+        if dominators.any():
+            mask[i] = False
+    return mask
+
+
+def pareto_frontier(
+    slack: Sequence[float], throttling: Sequence[float]
+) -> list[int]:
+    """Indices of (K, C)-Pareto-optimal runs, sorted by slack.
+
+    Parameters
+    ----------
+    slack, throttling:
+        Equal-length per-run totals (``K`` and ``C``).
+    """
+    slack_arr = np.asarray(slack, dtype=float)
+    throttle_arr = np.asarray(throttling, dtype=float)
+    if slack_arr.shape != throttle_arr.shape or slack_arr.ndim != 1:
+        raise TuningError("slack and throttling must be equal-length 1-D")
+    if slack_arr.size == 0:
+        return []
+    points = np.column_stack([slack_arr, throttle_arr])
+    indices = np.flatnonzero(_pareto_mask(points))
+    return sorted(indices.tolist(), key=lambda index: slack_arr[index])
+
+
+def pareto_frontier_3d(
+    slack: Sequence[float],
+    throttling: Sequence[float],
+    scalings: Sequence[int],
+) -> list[int]:
+    """Indices of (K, C, N)-Pareto-optimal runs, sorted by slack."""
+    slack_arr = np.asarray(slack, dtype=float)
+    throttle_arr = np.asarray(throttling, dtype=float)
+    scalings_arr = np.asarray(scalings, dtype=float)
+    if not (slack_arr.shape == throttle_arr.shape == scalings_arr.shape):
+        raise TuningError("all three metric arrays must be equal-length")
+    if slack_arr.ndim != 1:
+        raise TuningError("metric arrays must be 1-D")
+    if slack_arr.size == 0:
+        return []
+    points = np.column_stack([slack_arr, throttle_arr, scalings_arr])
+    indices = np.flatnonzero(_pareto_mask(points))
+    return sorted(indices.tolist(), key=lambda index: slack_arr[index])

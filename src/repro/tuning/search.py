@@ -1,0 +1,149 @@
+"""Random-search tuning driver (§5, §6.3).
+
+"To find the best parameter setting for autoscaling, we did a random
+search over the parameters described in §5, with a total of 5000
+combinations per CPU trace."
+
+Each trial materializes a fresh recommender from a sampled config, runs
+the trace simulator, and records ``(K, C, N)``. The outcome object then
+answers the two §5 questions: the Pareto frontier of the population
+(Figure 12) and the G-optimal configuration per α (Figure 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import CaasperConfig
+from ..core.recommender import CaasperRecommender
+from ..errors import TuningError
+from ..sim.simulator import SimulatorConfig, simulate_trace
+from ..trace import CpuTrace
+from .objective import sample_alphas
+from .pareto import pareto_frontier
+from .space import ParameterSpace
+
+__all__ = ["RandomSearch", "SearchOutcome", "TrialResult"]
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """One evaluated parameter combination.
+
+    Attributes
+    ----------
+    config:
+        The sampled configuration.
+    total_slack, total_insufficient_cpu, num_scalings:
+        The §5 metrics ``K``, ``C``, ``N`` of its simulated run.
+    """
+
+    config: CaasperConfig
+    total_slack: float
+    total_insufficient_cpu: float
+    num_scalings: int
+
+    @property
+    def is_proactive(self) -> bool:
+        """True for proactive (blue in Figure 12) combinations."""
+        return self.config.proactive
+
+
+@dataclass(frozen=True)
+class SearchOutcome:
+    """All trials of one random search."""
+
+    trials: tuple[TrialResult, ...]
+
+    def __post_init__(self) -> None:
+        if not self.trials:
+            raise TuningError("search produced no trials")
+
+    def slack_values(self) -> np.ndarray:
+        """``K`` per trial."""
+        return np.asarray([trial.total_slack for trial in self.trials])
+
+    def throttle_values(self) -> np.ndarray:
+        """``C`` per trial."""
+        return np.asarray(
+            [trial.total_insufficient_cpu for trial in self.trials]
+        )
+
+    def scaling_counts(self) -> np.ndarray:
+        """``N`` per trial."""
+        return np.asarray([trial.num_scalings for trial in self.trials])
+
+    def pareto_indices(self) -> list[int]:
+        """Figure 12's red ×s: the (K, C)-Pareto-optimal trials."""
+        return pareto_frontier(self.slack_values(), self.throttle_values())
+
+    def best_for_alpha(self, alpha: float) -> TrialResult:
+        """The G-minimizing trial for one slack penalty α (Eq. 5)."""
+        best = min(
+            self.trials,
+            key=lambda trial: alpha * trial.total_slack
+            + trial.total_insufficient_cpu,
+        )
+        return best
+
+    def best_per_alpha(
+        self, alpha_count: int = 50, seed: int = 0, log_span: float = 8.0
+    ) -> dict[float, TrialResult]:
+        """Eq. 6: the optimal trial for each sampled α, keyed by α."""
+        alphas = sample_alphas(alpha_count, seed=seed, log_span=log_span)
+        return {float(a): self.best_for_alpha(float(a)) for a in alphas}
+
+
+class RandomSearch:
+    """Random search over a parameter space against one demand trace.
+
+    Parameters
+    ----------
+    demand:
+        The workload trace to tune for.
+    simulator_config:
+        Environment (initial cores, resize delay, guardrails, billing).
+    space:
+        The searchable space; its ``base`` config supplies non-searched
+        fields.
+    """
+
+    def __init__(
+        self,
+        demand: CpuTrace,
+        simulator_config: SimulatorConfig,
+        space: ParameterSpace | None = None,
+    ) -> None:
+        self.demand = demand
+        self.simulator_config = simulator_config
+        self.space = space or ParameterSpace()
+
+    def evaluate(self, config: CaasperConfig) -> TrialResult:
+        """Simulate one configuration and extract (K, C, N)."""
+        recommender = CaasperRecommender(config, keep_decisions=False)
+        result = simulate_trace(self.demand, recommender, self.simulator_config)
+        metrics = result.metrics
+        return TrialResult(
+            config=config,
+            total_slack=metrics.total_slack,
+            total_insufficient_cpu=metrics.total_insufficient_cpu,
+            num_scalings=metrics.num_scalings,
+        )
+
+    def run(self, trials: int, seed: int = 0) -> SearchOutcome:
+        """Evaluate ``trials`` sampled configurations (deterministic)."""
+        if trials < 1:
+            raise TuningError(f"trials must be >= 1, got {trials}")
+        configs = self.space.sample_many(trials, seed=seed)
+        return SearchOutcome(
+            trials=tuple(self.evaluate(config) for config in configs)
+        )
+
+    def tuned_config(
+        self, trials: int, alpha: float, seed: int = 0
+    ) -> CaasperConfig:
+        """Convenience: run a search and return the G-optimal config."""
+        outcome = self.run(trials, seed=seed)
+        return outcome.best_for_alpha(alpha).config

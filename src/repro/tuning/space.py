@@ -1,0 +1,134 @@
+"""The searchable CaaSPER parameter space.
+
+"Our tuning primarily focuses on the reactive parameters indicated as
+Required inputs to Algorithm 1 (from s_h to c_min) as well as the
+forecasting window sizes shown in Figure 8" (§5). Each dimension is a
+bounded range (continuous, integer or categorical) sampled uniformly;
+samples are materialized as :class:`~repro.core.config.CaasperConfig`
+instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.config import CaasperConfig
+from ..errors import TuningError
+
+__all__ = ["ParameterSpace", "FloatRange", "IntRange", "Choice"]
+
+
+@dataclass(frozen=True)
+class FloatRange:
+    """Uniform continuous range ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not self.low <= self.high:
+            raise TuningError(f"invalid range [{self.low}, {self.high}]")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+
+@dataclass(frozen=True)
+class IntRange:
+    """Uniform integer range ``[low, high]`` inclusive."""
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if not self.low <= self.high:
+            raise TuningError(f"invalid range [{self.low}, {self.high}]")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.low, self.high + 1))
+
+
+@dataclass(frozen=True)
+class Choice:
+    """Uniform pick from a finite set."""
+
+    options: tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if not self.options:
+            raise TuningError("Choice needs at least one option")
+
+    def sample(self, rng: np.random.Generator) -> Any:
+        return self.options[int(rng.integers(0, len(self.options)))]
+
+
+@dataclass(frozen=True)
+class ParameterSpace:
+    """Sampleable space over :class:`CaasperConfig` fields.
+
+    Parameters
+    ----------
+    dimensions:
+        Mapping of config-field name → range. Defaults cover the paper's
+        tuned set: thresholds, step caps, minimum cores, window sizes.
+    base:
+        Config supplying every non-searched field (e.g. ``max_cores``,
+        ``proactive``).
+    include_proactive:
+        When True, ``proactive`` itself is searched too — reproducing
+        Figure 12's mixed green (reactive) / blue (proactive) population.
+    """
+
+    base: CaasperConfig = field(default_factory=CaasperConfig)
+    dimensions: dict[str, Any] = field(default_factory=dict)
+    include_proactive: bool = False
+
+    def effective_dimensions(self) -> dict[str, Any]:
+        """The searched dimensions (defaults merged with overrides)."""
+        dims: dict[str, Any] = {
+            "s_high": FloatRange(1.0, 8.0),
+            "s_low": FloatRange(0.0, 0.9),
+            "m_high": FloatRange(0.0, 0.3),
+            "m_low": FloatRange(0.1, 0.6),
+            "sf_max_up": IntRange(2, 12),
+            "sf_max_down": IntRange(1, 8),
+            "c_min": IntRange(1, 4),
+            "quantile": FloatRange(0.80, 0.99),
+            "window_minutes": IntRange(10, 120),
+            "scale_down_headroom": FloatRange(0.0, 0.3),
+            "forecast_horizon_minutes": IntRange(15, 120),
+            "history_tail_minutes": IntRange(10, 80),
+        }
+        if self.include_proactive:
+            dims["proactive"] = Choice((False, True))
+        dims.update(self.dimensions)
+        return dims
+
+    def sample(self, rng: np.random.Generator) -> CaasperConfig:
+        """Draw one configuration (resamples on invalid combinations).
+
+        Random draws can violate cross-field constraints (``s_low <
+        s_high``, ``c_min <= max_cores``); those are rejected and
+        redrawn, bounded to keep pathological spaces from spinning.
+        """
+        dims = self.effective_dimensions()
+        for _ in range(100):
+            updates = {name: dim.sample(rng) for name, dim in dims.items()}
+            try:
+                return self.base.with_updates(**updates)
+            except Exception:
+                continue
+        raise TuningError(
+            "could not draw a valid configuration in 100 attempts; "
+            "check the parameter ranges"
+        )
+
+    def sample_many(self, count: int, seed: int = 0) -> list[CaasperConfig]:
+        """Draw ``count`` configurations deterministically from ``seed``."""
+        if count < 1:
+            raise TuningError(f"count must be >= 1, got {count}")
+        rng = np.random.default_rng(seed)
+        return [self.sample(rng) for _ in range(count)]

@@ -1,0 +1,64 @@
+"""Workload and demand-trace generation.
+
+Workloads express CPU *demand* per minute (cores the application would
+consume if never throttled). The cluster substrate converts demand into
+observed usage via cgroup capping; the trace simulator treats a demand
+trace as its replay input (§5: "evaluate autoscaling policies using only
+a CPU trace").
+
+Submodules:
+
+- :mod:`repro.workloads.synthetic` — the square wave / workday / cyclical
+  shapes behind Figures 3, 9 and 10, plus generic combinators.
+- :mod:`repro.workloads.benchbase` — TPC-C / TPC-H / YCSB-style load
+  profiles mapping benchmark terminals to CPU demand.
+- :mod:`repro.workloads.alibaba` — the Alibaba-like per-container trace
+  synthesizer used for Table 3 / Figure 14 (substitution documented in
+  DESIGN.md §2).
+- :mod:`repro.workloads.stitcher` — trace recreation from a utilization
+  profile, standing in for Microsoft's Stitcher tool (§6.2).
+- :mod:`repro.workloads.traces` — the named library of every trace used
+  by a paper figure.
+"""
+
+from .alibaba import ALIBABA_CONTAINER_IDS, alibaba_trace
+from .base import Workload, TraceWorkload
+from .io import load_alibaba_csv, rescale_millicores
+from .benchbase import BenchBaseProfile, BenchBaseWorkload, TERMINAL_PROFILES
+from .stitcher import stitch_trace
+from .synthetic import (
+    composite,
+    constant,
+    cyclical_days,
+    diurnal_sine,
+    noisy,
+    spikes,
+    square_wave,
+    workday,
+    workweek,
+)
+from .traces import paper_trace, paper_trace_names
+
+__all__ = [
+    "Workload",
+    "TraceWorkload",
+    "constant",
+    "square_wave",
+    "workday",
+    "workweek",
+    "cyclical_days",
+    "diurnal_sine",
+    "spikes",
+    "noisy",
+    "composite",
+    "BenchBaseProfile",
+    "BenchBaseWorkload",
+    "TERMINAL_PROFILES",
+    "alibaba_trace",
+    "ALIBABA_CONTAINER_IDS",
+    "stitch_trace",
+    "load_alibaba_csv",
+    "rescale_millicores",
+    "paper_trace",
+    "paper_trace_names",
+]

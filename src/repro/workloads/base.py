@@ -1,0 +1,71 @@
+"""Workload protocol: a source of per-minute CPU demand."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..trace import CpuTrace
+
+__all__ = ["Workload", "TraceWorkload"]
+
+
+class Workload(ABC):
+    """A CPU-demand generator.
+
+    Demand is what the application *would* consume with unlimited CPU;
+    the substrate turns it into observed usage by applying limits. All
+    workloads are deterministic per instance (generators that need
+    randomness are seeded at construction) so experiments replay exactly.
+    """
+
+    #: Label used in figures and result tables.
+    name: str = "workload"
+
+    @abstractmethod
+    def demand(self, minute: int) -> float:
+        """CPU demand in cores at the given minute (>= 0)."""
+
+    @property
+    @abstractmethod
+    def minutes(self) -> int:
+        """Total workload duration in minutes."""
+
+    def demand_trace(self) -> CpuTrace:
+        """Materialize the full demand series as a trace."""
+        values = np.array(
+            [self.demand(minute) for minute in range(self.minutes)], dtype=float
+        )
+        return CpuTrace(values, name=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r}, minutes={self.minutes})"
+
+
+class TraceWorkload(Workload):
+    """A workload that replays a pre-materialized demand trace.
+
+    This is the §5 simulator's input adapter: "evaluate various
+    autoscaling algorithm policies using only a CPU trace".
+    """
+
+    def __init__(self, trace: CpuTrace) -> None:
+        self.trace = trace
+        self.name = trace.name
+
+    def demand(self, minute: int) -> float:
+        if not 0 <= minute < self.trace.minutes:
+            raise SimulationError(
+                f"minute {minute} outside trace {self.name!r} "
+                f"(0..{self.trace.minutes - 1})"
+            )
+        return self.trace[minute]
+
+    @property
+    def minutes(self) -> int:
+        return self.trace.minutes
+
+    def demand_trace(self) -> CpuTrace:
+        return self.trace

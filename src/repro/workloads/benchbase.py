@@ -1,0 +1,190 @@
+"""BenchBase-style transaction workload profiles.
+
+The paper drives its live clusters with "a selection of queries across
+the TPC-H, TPC-C, and YCSB benchmarks, using BenchBase to drive the
+client's workload across many terminals" (§6.2). This module models that
+setup: a :class:`BenchBaseProfile` describes a benchmark's per-terminal
+resource footprint, and a :class:`BenchBaseWorkload` schedules terminal
+counts over time, yielding both CPU demand and the transaction-rate
+accounting the live simulation needs for Tables 1 and 2.
+
+The per-terminal numbers are calibrated to the qualitative behaviour the
+paper reports, not to any proprietary measurement:
+
+- TPC-C: write-heavy OLTP; moderate CPU per terminal, high txn rate.
+- TPC-H: analytical read-only batches; high CPU per terminal, low txn
+  rate (these create the "heavy" phases).
+- YCSB: key-value point operations; low CPU per terminal, very high txn
+  rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..trace import CpuTrace
+from .base import Workload
+
+__all__ = ["BenchBaseProfile", "BenchBaseWorkload", "TERMINAL_PROFILES"]
+
+
+@dataclass(frozen=True)
+class BenchBaseProfile:
+    """Resource footprint of one benchmark terminal.
+
+    Attributes
+    ----------
+    benchmark:
+        Benchmark name (``tpcc``, ``tpch``, ``ycsb``).
+    cores_per_terminal:
+        Steady-state CPU demand contributed by one busy terminal.
+    txns_per_terminal_minute:
+        Transactions one unthrottled terminal completes per minute.
+    base_latency_ms:
+        Uncontended mean transaction latency.
+    write_fraction:
+        Fraction of transactions that are writes (must go to the
+        primary replica; reads can be served by secondaries).
+    """
+
+    benchmark: str
+    cores_per_terminal: float
+    txns_per_terminal_minute: float
+    base_latency_ms: float
+    write_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.cores_per_terminal <= 0:
+            raise ConfigError("cores_per_terminal must be positive")
+        if self.txns_per_terminal_minute <= 0:
+            raise ConfigError("txns_per_terminal_minute must be positive")
+        if self.base_latency_ms <= 0:
+            raise ConfigError("base_latency_ms must be positive")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ConfigError("write_fraction must be in [0, 1]")
+
+
+#: Calibrated per-terminal profiles (see module docstring).
+TERMINAL_PROFILES: dict[str, BenchBaseProfile] = {
+    "tpcc": BenchBaseProfile(
+        benchmark="tpcc",
+        cores_per_terminal=0.11,
+        txns_per_terminal_minute=170.0,
+        base_latency_ms=55.0,
+        write_fraction=0.55,
+    ),
+    "tpch": BenchBaseProfile(
+        benchmark="tpch",
+        cores_per_terminal=0.65,
+        txns_per_terminal_minute=6.0,
+        base_latency_ms=850.0,
+        write_fraction=0.0,
+    ),
+    "ycsb": BenchBaseProfile(
+        benchmark="ycsb",
+        cores_per_terminal=0.04,
+        txns_per_terminal_minute=540.0,
+        base_latency_ms=9.0,
+        write_fraction=0.30,
+    ),
+}
+
+
+class BenchBaseWorkload(Workload):
+    """Terminal-scheduled benchmark workload.
+
+    Parameters
+    ----------
+    profile:
+        Per-terminal footprint (one of :data:`TERMINAL_PROFILES` or a
+        custom profile).
+    terminals_by_minute:
+        Terminal count per minute, as a sequence or a callable
+        ``minute -> terminals``.
+    minutes:
+        Duration; required when ``terminals_by_minute`` is a callable.
+    jitter_sigma:
+        Multiplicative demand noise (terminals are never perfectly busy).
+    seed:
+        Noise seed; generation is deterministic per instance.
+    """
+
+    def __init__(
+        self,
+        profile: BenchBaseProfile,
+        terminals_by_minute: Sequence[int] | Callable[[int], int],
+        minutes: int | None = None,
+        jitter_sigma: float = 0.08,
+        seed: int = 0,
+    ) -> None:
+        if callable(terminals_by_minute):
+            if minutes is None:
+                raise ConfigError(
+                    "minutes is required when terminals_by_minute is callable"
+                )
+            schedule = [int(terminals_by_minute(m)) for m in range(minutes)]
+        else:
+            schedule = [int(t) for t in terminals_by_minute]
+            if minutes is not None and minutes != len(schedule):
+                raise ConfigError(
+                    f"minutes ({minutes}) disagrees with schedule length "
+                    f"({len(schedule)})"
+                )
+        if not schedule:
+            raise ConfigError("terminal schedule is empty")
+        if any(t < 0 for t in schedule):
+            raise ConfigError("terminal counts must be non-negative")
+        if jitter_sigma < 0:
+            raise ConfigError("jitter_sigma must be >= 0")
+
+        self.profile = profile
+        self.name = f"benchbase-{profile.benchmark}"
+        self._terminals = np.asarray(schedule, dtype=float)
+        rng = np.random.default_rng(seed)
+        factors = (
+            rng.normal(1.0, jitter_sigma, len(schedule))
+            if jitter_sigma > 0
+            else np.ones(len(schedule))
+        )
+        self._demand = np.maximum(
+            self._terminals * profile.cores_per_terminal * factors, 0.0
+        )
+
+    # -- Workload interface -------------------------------------------------------
+
+    def demand(self, minute: int) -> float:
+        return float(self._demand[minute])
+
+    @property
+    def minutes(self) -> int:
+        return int(self._demand.size)
+
+    # -- transaction accounting -----------------------------------------------------
+
+    def terminals(self, minute: int) -> int:
+        """Scheduled terminal count at ``minute``."""
+        return int(self._terminals[minute])
+
+    def offered_txns(self, minute: int) -> float:
+        """Transactions offered (attempted) during ``minute``."""
+        return float(
+            self._terminals[minute] * self.profile.txns_per_terminal_minute
+        )
+
+    def txns_per_core_minute(self) -> float:
+        """Transactions completed per core-minute of CPU served.
+
+        Converts served CPU back into throughput for Tables 1/2:
+        ``txns = served_cores * txns_per_core_minute``.
+        """
+        return (
+            self.profile.txns_per_terminal_minute
+            / self.profile.cores_per_terminal
+        )
+
+    def demand_trace(self) -> CpuTrace:
+        return CpuTrace(self._demand, name=self.name)

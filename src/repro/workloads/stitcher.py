@@ -1,0 +1,148 @@
+"""Stitcher-style trace recreation (§6.2, "Customer CPU Trace").
+
+Microsoft's Stitcher "recreates customer CPU and I/O traces using a mix
+of public benchmarks to mimic the real workload (matching the same
+resource utilization characteristics) rather than proprietary data and
+queries". This module implements that contract: given a target
+utilization profile (per-minute CPU levels), it stitches together
+segments drawn from the BenchBase benchmark profiles whose combined
+demand tracks the target.
+
+The result is a demand trace plus the benchmark mix per segment, which
+the live simulation uses for transaction accounting in Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import TraceError
+from ..trace import CpuTrace
+from .benchbase import TERMINAL_PROFILES, BenchBaseProfile
+
+__all__ = ["stitch_trace", "StitchedSegment", "StitchedWorkload"]
+
+
+@dataclass(frozen=True)
+class StitchedSegment:
+    """One stitched segment: a benchmark run at a fixed terminal count.
+
+    Attributes
+    ----------
+    start_minute, end_minute:
+        Half-open minute range the segment covers.
+    profile:
+        The benchmark profile driving the segment.
+    terminals:
+        Terminal count chosen to match the target utilization.
+    """
+
+    start_minute: int
+    end_minute: int
+    profile: BenchBaseProfile
+    terminals: int
+
+    @property
+    def minutes(self) -> int:
+        return self.end_minute - self.start_minute
+
+
+@dataclass(frozen=True, eq=False)
+class StitchedWorkload:
+    """A recreated customer workload: demand trace + benchmark mix."""
+
+    trace: CpuTrace
+    segments: tuple[StitchedSegment, ...]
+
+    def txns_per_core_minute(self, minute: int) -> float:
+        """Throughput conversion factor for the segment covering ``minute``."""
+        for segment in self.segments:
+            if segment.start_minute <= minute < segment.end_minute:
+                profile = segment.profile
+                return (
+                    profile.txns_per_terminal_minute / profile.cores_per_terminal
+                )
+        raise TraceError(f"minute {minute} not covered by any segment")
+
+
+def _pick_profile(level: float, profiles: Sequence[BenchBaseProfile]) -> BenchBaseProfile:
+    """Choose the benchmark whose per-terminal grain best fits ``level``.
+
+    Heavy analytical levels are easiest to match with TPC-H's coarse
+    terminals; light levels with YCSB's fine ones — mirroring how
+    Stitcher selects benchmark building blocks by footprint.
+    """
+    best = profiles[0]
+    best_error = float("inf")
+    for profile in profiles:
+        terminals = max(1, round(level / profile.cores_per_terminal))
+        error = abs(terminals * profile.cores_per_terminal - level)
+        # Prefer coarser benchmarks on ties: fewer moving parts.
+        if error < best_error - 1e-9:
+            best = profile
+            best_error = error
+    return best
+
+
+def stitch_trace(
+    target_levels: Sequence[float],
+    segment_minutes: int = 60,
+    profiles: Sequence[BenchBaseProfile] | None = None,
+    jitter_sigma: float = 0.10,
+    seed: int = 17,
+    name: str = "stitched-customer",
+) -> StitchedWorkload:
+    """Recreate a customer trace from per-segment utilization targets.
+
+    Parameters
+    ----------
+    target_levels:
+        Target mean CPU (cores) for each consecutive segment.
+    segment_minutes:
+        Length of each stitched segment.
+    profiles:
+        Benchmark building blocks (default: all of
+        :data:`~repro.workloads.benchbase.TERMINAL_PROFILES`).
+    jitter_sigma:
+        Multiplicative noise applied to the stitched demand.
+    seed:
+        Noise seed (deterministic per call).
+    name:
+        Trace label.
+    """
+    if not target_levels:
+        raise TraceError("target_levels is empty")
+    if segment_minutes <= 0:
+        raise TraceError("segment_minutes must be positive")
+    if any(level < 0 for level in target_levels):
+        raise TraceError("target levels must be non-negative")
+    pool = list(profiles) if profiles else list(TERMINAL_PROFILES.values())
+    if not pool:
+        raise TraceError("no benchmark profiles supplied")
+
+    rng = np.random.default_rng(seed)
+    segments: list[StitchedSegment] = []
+    demand = np.empty(len(target_levels) * segment_minutes, dtype=float)
+    for index, level in enumerate(target_levels):
+        profile = _pick_profile(float(level), pool)
+        terminals = max(0, round(float(level) / profile.cores_per_terminal))
+        start = index * segment_minutes
+        end = start + segment_minutes
+        segments.append(
+            StitchedSegment(
+                start_minute=start,
+                end_minute=end,
+                profile=profile,
+                terminals=terminals,
+            )
+        )
+        base = terminals * profile.cores_per_terminal
+        factors = rng.normal(1.0, jitter_sigma, segment_minutes)
+        demand[start:end] = np.maximum(base * factors, 0.0)
+
+    return StitchedWorkload(
+        trace=CpuTrace(demand, name), segments=tuple(segments)
+    )

@@ -1,0 +1,272 @@
+"""Synthetic demand shapes used throughout the paper's evaluation.
+
+Each generator returns a :class:`~repro.trace.CpuTrace` of per-minute CPU
+demand. The three figure-defining shapes:
+
+- :func:`square_wave` — the §3.3 control experiment: "8 hours of usage at
+  approximately ~2-3 cores, followed by 8 hours at ~7 cores, and another
+  8 hours at ~2-3 cores, repeating" over 62 hours (Figure 3).
+- :func:`workday` — the §6.2 non-cyclical 12-hour run: 3 h light mixed
+  read/write (~1-3.3 cores), 6 h heavy read-only batches (~5.5 cores),
+  3 h light again (Figure 9).
+- :func:`cyclical_days` — the §6.2 3-day cyclical load on Database B with
+  the Day-2 12-core spike (Figure 10).
+
+Plus generic building blocks (:func:`constant`, :func:`diurnal_sine`,
+:func:`spikes`, :func:`noisy`, :func:`composite`) reused by the Alibaba
+synthesizer and the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import TraceError
+from ..trace import MINUTES_PER_DAY, MINUTES_PER_HOUR, CpuTrace
+
+__all__ = [
+    "constant",
+    "square_wave",
+    "workday",
+    "cyclical_days",
+    "diurnal_sine",
+    "spikes",
+    "noisy",
+    "composite",
+]
+
+
+def _rng(seed: int | None) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def constant(cores: float, minutes: int, name: str = "constant") -> CpuTrace:
+    """Flat demand at ``cores`` for ``minutes`` minutes."""
+    return CpuTrace.constant(cores, minutes, name)
+
+
+def noisy(
+    trace: CpuTrace,
+    sigma: float = 0.15,
+    seed: int | None = 0,
+    name: str | None = None,
+) -> CpuTrace:
+    """Add multiplicative Gaussian noise (±``sigma``) to a demand trace.
+
+    Noise is multiplicative so idle periods stay near idle and peaks
+    wobble proportionally — matching how real CPU traces look.
+    """
+    if sigma < 0:
+        raise TraceError(f"sigma must be >= 0, got {sigma}")
+    rng = _rng(seed)
+    factors = rng.normal(1.0, sigma, trace.minutes)
+    values = np.maximum(trace.samples * factors, 0.0)
+    return CpuTrace(values, name or trace.name, trace.start_minute)
+
+
+def square_wave(
+    low_cores: float = 2.5,
+    high_cores: float = 7.0,
+    phase_hours: float = 8.0,
+    total_hours: float = 62.0,
+    sigma: float = 0.12,
+    seed: int | None = 7,
+    name: str = "square-wave-62h",
+) -> CpuTrace:
+    """The Figure 3 control trace: alternating low/high 8-hour phases.
+
+    Starts in the low phase, matching the paper's description ("8 hours of
+    usage at approximately ~2-3 cores, followed by 8 hours at ~7 cores").
+    """
+    if phase_hours <= 0 or total_hours <= 0:
+        raise TraceError("phase_hours and total_hours must be positive")
+    minutes = int(round(total_hours * MINUTES_PER_HOUR))
+    phase_minutes = int(round(phase_hours * MINUTES_PER_HOUR))
+    t = np.arange(minutes)
+    in_high_phase = (t // phase_minutes) % 2 == 1
+    base = np.where(in_high_phase, high_cores, low_cores)
+    return noisy(CpuTrace(base, name), sigma=sigma, seed=seed)
+
+
+def workday(
+    light_cores: float = 2.2,
+    heavy_cores: float = 5.5,
+    light_hours: float = 3.0,
+    heavy_hours: float = 6.0,
+    sigma: float = 0.15,
+    seed: int | None = 11,
+    name: str = "workday-12h",
+) -> CpuTrace:
+    """The Figure 9 non-cyclical 12-hour workload on Database A.
+
+    First 3 and last 3 hours: mixed read/write transactions at ~1–3.3
+    cores; middle 6 hours: read-only batch queries at ~5.5 cores.
+    """
+    light = int(round(light_hours * MINUTES_PER_HOUR))
+    heavy = int(round(heavy_hours * MINUTES_PER_HOUR))
+    base = np.concatenate(
+        [
+            np.full(light, light_cores),
+            np.full(heavy, heavy_cores),
+            np.full(light, light_cores),
+        ]
+    )
+    return noisy(CpuTrace(base, name), sigma=sigma, seed=seed)
+
+
+def diurnal_sine(
+    days: float,
+    base_cores: float,
+    amplitude_cores: float,
+    peak_hour: float = 14.0,
+    sigma: float = 0.10,
+    seed: int | None = 3,
+    name: str = "diurnal",
+) -> CpuTrace:
+    """A smooth daily sine cycle peaking at ``peak_hour`` local time."""
+    if days <= 0:
+        raise TraceError(f"days must be positive, got {days}")
+    if amplitude_cores < 0 or base_cores < 0:
+        raise TraceError("base and amplitude must be non-negative")
+    minutes = int(round(days * MINUTES_PER_DAY))
+    t = np.arange(minutes, dtype=float)
+    phase = 2.0 * np.pi * (t / MINUTES_PER_DAY - peak_hour / 24.0)
+    base = base_cores + amplitude_cores * (1.0 + np.cos(phase)) / 2.0
+    return noisy(CpuTrace(base, name), sigma=sigma, seed=seed)
+
+
+def spikes(
+    minutes: int,
+    spike_positions: Sequence[int],
+    spike_cores: float,
+    spike_width_minutes: int = 45,
+    name: str = "spikes",
+) -> CpuTrace:
+    """Zero demand except rectangular spikes at the given positions.
+
+    Meant to be composed over a base trace with :func:`composite`.
+    """
+    if spike_width_minutes <= 0:
+        raise TraceError("spike width must be positive")
+    values = np.zeros(minutes)
+    for position in spike_positions:
+        if not 0 <= position < minutes:
+            raise TraceError(
+                f"spike position {position} outside trace (0..{minutes - 1})"
+            )
+        end = min(position + spike_width_minutes, minutes)
+        values[position:end] = spike_cores
+    return CpuTrace(values, name)
+
+
+def composite(
+    traces: Sequence[CpuTrace], mode: str = "max", name: str = "composite"
+) -> CpuTrace:
+    """Combine equal-length traces point-wise (``max`` or ``sum``).
+
+    ``max`` layers a spike over a base load (a burst displaces the
+    background work on the same cores); ``sum`` stacks independent loads.
+    """
+    if not traces:
+        raise TraceError("composite needs at least one trace")
+    length = traces[0].minutes
+    if any(trace.minutes != length for trace in traces):
+        raise TraceError("composite traces must have equal length")
+    stacked = np.stack([trace.samples for trace in traces])
+    if mode == "max":
+        values = stacked.max(axis=0)
+    elif mode == "sum":
+        values = stacked.sum(axis=0)
+    else:
+        raise TraceError(f"unknown composite mode {mode!r}")
+    return CpuTrace(values, name)
+
+
+def workweek(
+    weeks: int = 2,
+    idle_cores: float = 1.0,
+    busy_cores: float = 6.0,
+    work_start_hour: float = 9.0,
+    work_end_hour: float = 18.0,
+    weekend_factor: float = 0.3,
+    sigma: float = 0.10,
+    seed: int | None = 19,
+    name: str = "workweek",
+) -> CpuTrace:
+    """A weekly business pattern (R5's "cyclical patterns during
+    work-days/weeks").
+
+    Weekdays ramp from ``idle_cores`` to ``busy_cores`` during office
+    hours; weekends run at ``weekend_factor`` of the weekday amplitude.
+    Both a daily and a weekly period are present, exercising period
+    detection and the proactive gate at the weekly scale.
+    """
+    if weeks < 1:
+        raise TraceError(f"weeks must be >= 1, got {weeks}")
+    if not 0.0 <= weekend_factor <= 1.0:
+        raise TraceError("weekend_factor must be in [0, 1]")
+    if not 0.0 <= work_start_hour < work_end_hour <= 24.0:
+        raise TraceError("need 0 <= work_start_hour < work_end_hour <= 24")
+    minutes = weeks * 7 * MINUTES_PER_DAY
+    t = np.arange(minutes)
+    day_of_week = (t // MINUTES_PER_DAY) % 7
+    hour = (t % MINUTES_PER_DAY) / MINUTES_PER_HOUR
+    in_office = (hour >= work_start_hour) & (hour < work_end_hour)
+    # Smooth shoulder: a half-sine over the office window.
+    office_phase = np.clip(
+        (hour - work_start_hour) / (work_end_hour - work_start_hour), 0, 1
+    )
+    shape = np.where(in_office, np.sin(np.pi * office_phase), 0.0)
+    amplitude = np.where(day_of_week < 5, 1.0, weekend_factor)
+    base = idle_cores + (busy_cores - idle_cores) * shape * amplitude
+    return noisy(CpuTrace(base, name), sigma=sigma, seed=seed)
+
+
+def cyclical_days(
+    days: int = 3,
+    base_cores: float = 1.5,
+    peak_cores: float = 6.0,
+    spike_days: Sequence[int] | str | None = "all",
+    spike_cores: float = 12.0,
+    spike_hour: float = 13.0,
+    spike_width_minutes: int = 90,
+    sigma: float = 0.12,
+    seed: int | None = 5,
+    name: str = "cyclical-3d",
+) -> CpuTrace:
+    """The Figure 10 cyclical workload on Database B.
+
+    A repeating diurnal cycle between ``base_cores`` and ``peak_cores``
+    with a large ``spike_cores`` burst at ``spike_hour`` on the selected
+    days. The default (``"all"``) repeats the spike daily: that is what
+    lets proactive CaaSPER pre-scale for "the large 12-core spike on Day
+    2" — Day 1's spike is in the seasonal history, so the naïve forecast
+    projects it forward ("not throttle on Days 2 and 3", Figure 10b).
+    """
+    base = diurnal_sine(
+        days=float(days),
+        base_cores=base_cores,
+        amplitude_cores=peak_cores - base_cores,
+        sigma=0.0,
+        seed=None,
+        name=name,
+    )
+    if spike_days is not None:
+        day_list = list(range(days)) if spike_days == "all" else list(spike_days)
+        positions = []
+        for day in day_list:
+            if not 0 <= day < days:
+                raise TraceError(f"spike day {day} outside 0..{days - 1}")
+            positions.append(
+                int(day * MINUTES_PER_DAY + spike_hour * MINUTES_PER_HOUR)
+            )
+        burst = spikes(
+            base.minutes,
+            positions,
+            spike_cores,
+            spike_width_minutes,
+        )
+        base = composite([base, burst], mode="max", name=name)
+    return noisy(base, sigma=sigma, seed=seed)

@@ -1,0 +1,71 @@
+"""Named library of every demand trace used by a paper figure.
+
+Central lookup so benchmarks, examples and tests all replay exactly the
+same inputs. Each entry maps a stable name to a factory; traces are
+regenerated (deterministically) on each call.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import TraceError
+from ..trace import CpuTrace
+from .alibaba import ALIBABA_CONTAINER_IDS, alibaba_trace
+from .stitcher import stitch_trace
+from .synthetic import cyclical_days, square_wave, workday
+
+__all__ = ["paper_trace", "paper_trace_names"]
+
+
+def _customer_trace() -> CpuTrace:
+    """The Figure 11 / Table 2 recreated customer workload.
+
+    A Database A customer bounded to 6 cores: long light OLTP stretches
+    (~2 cores) with two multi-hour busy windows that push against the
+    6-core ceiling — the shape that separates the performance-tuned and
+    savings-tuned runs in Table 2.
+    """
+    levels = [2.0, 2.0, 5.5, 6.0, 6.0, 2.2, 2.0, 2.0, 6.0, 5.8, 2.2, 2.0]
+    return stitch_trace(levels, segment_minutes=60).trace.with_name(
+        "customer-db-a"
+    )
+
+
+_FACTORIES: dict[str, Callable[[], CpuTrace]] = {
+    # Figure 3: the 62-hour control square wave.
+    "fig3-square-wave": lambda: square_wave(),
+    # Figure 9 / Table 1 (non-cyclical): the 12-hour workday.
+    "fig9-workday": lambda: workday(),
+    # Figure 10 / Table 1 (cyclical): 3-day cycle with Day-2 spike.
+    "fig10-cyclical": lambda: cyclical_days(),
+    # Figure 11 / Table 2: the recreated customer trace.
+    "fig11-customer": _customer_trace,
+}
+for _container_id in ALIBABA_CONTAINER_IDS:
+    # Figure 14 / Table 3: the Alibaba-like container traces.
+    _FACTORIES[f"fig14-{_container_id}"] = (
+        lambda cid=_container_id: alibaba_trace(cid)
+    )
+
+
+def paper_trace_names() -> list[str]:
+    """Sorted list of available paper-trace names."""
+    return sorted(_FACTORIES)
+
+
+def paper_trace(name: str) -> CpuTrace:
+    """Regenerate the named paper trace.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`paper_trace_names` (e.g. ``"fig10-cyclical"``).
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise TraceError(
+            f"unknown paper trace {name!r}; available: {paper_trace_names()}"
+        ) from None
+    return factory()

@@ -1,0 +1,53 @@
+"""Shared fixtures: canonical traces and configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CaasperConfig
+from repro.trace import CpuTrace
+from repro.workloads.synthetic import noisy
+
+
+@pytest.fixture
+def flat_trace() -> CpuTrace:
+    """Two hours at a steady ~2.5 cores."""
+    return noisy(CpuTrace.constant(2.5, 120, "flat"), sigma=0.05, seed=1)
+
+
+@pytest.fixture
+def pinned_trace() -> CpuTrace:
+    """Two hours of demand for ~5 cores capped at a 3-core limit.
+
+    The canonical throttled window: usage pinned exactly at the limit.
+    """
+    demand = noisy(CpuTrace.constant(5.0, 120, "pinned"), sigma=0.08, seed=2)
+    return demand.clipped(3.0)
+
+
+@pytest.fixture
+def idle_trace() -> CpuTrace:
+    """Two hours of ~1.5-core usage (deeply over-provisioned at 12)."""
+    return noisy(CpuTrace.constant(1.5, 120, "idle"), sigma=0.10, seed=3)
+
+
+@pytest.fixture
+def ramp_trace() -> CpuTrace:
+    """A linear ramp from 1 to 7 cores over 6 hours."""
+    return CpuTrace(np.linspace(1.0, 7.0, 360), "ramp")
+
+
+@pytest.fixture
+def daily_trace() -> CpuTrace:
+    """Three days of a clean daily cycle, 1 to 5 cores."""
+    minutes = 3 * 24 * 60
+    t = np.arange(minutes)
+    values = 3.0 + 2.0 * np.sin(2 * np.pi * t / (24 * 60))
+    return CpuTrace(values, "daily")
+
+
+@pytest.fixture
+def default_config() -> CaasperConfig:
+    """A 16-core-family CaaSPER configuration with paper-ish defaults."""
+    return CaasperConfig(max_cores=16, c_min=2)

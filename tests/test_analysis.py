@@ -1,0 +1,187 @@
+"""Tests for the analysis utilities (stats, k-means, tables, plots)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    format_table,
+    kmeans,
+    metrics_table,
+    paired_ttest,
+    render_scatter,
+    render_series,
+    select_representatives,
+    trace_features,
+)
+from repro.errors import SimulationError, TuningError
+from repro.sim import SimulationMetrics
+from repro.sim.results import SimulationResult
+from repro.trace import MINUTES_PER_DAY, CpuTrace
+
+
+class TestPairedTTest:
+    def test_identical_series_trivially_equivalent(self):
+        result = paired_ttest([4.0, 5.0, 6.0], [4.0, 5.0, 6.0])
+        assert result.p_value == 1.0
+        assert result.equivalent
+        assert result.mean_difference == 0.0
+
+    def test_small_noise_is_equivalent(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(6.0, 1.0, 200)
+        b = a + rng.normal(0.0, 0.05, 200)
+        assert paired_ttest(a, b).equivalent
+
+    def test_systematic_shift_is_detected(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(6.0, 0.5, 200)
+        result = paired_ttest(a, a + 1.0)
+        assert not result.equivalent
+        assert result.mean_difference == pytest.approx(-1.0)
+
+    def test_needs_two_observations(self):
+        with pytest.raises(SimulationError):
+            paired_ttest([1.0], [1.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            paired_ttest([1.0, 2.0], [1.0])
+
+    def test_alpha_validation(self):
+        with pytest.raises(SimulationError):
+            paired_ttest([1.0, 2.0], [1.0, 2.0], alpha=1.5)
+
+    def test_custom_alpha_changes_verdict(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(6.0, 1.0, 50)
+        b = a + 0.3
+        strict = paired_ttest(a, b, alpha=0.5)
+        # p is fixed; a huge alpha makes equivalence harder to claim.
+        assert strict.p_value == paired_ttest(a, b).p_value
+
+
+class TestKMeans:
+    def test_separates_obvious_clusters(self):
+        rng = np.random.default_rng(0)
+        low = rng.normal(0.0, 0.1, (20, 2))
+        high = rng.normal(5.0, 0.1, (20, 2))
+        points = np.vstack([low, high])
+        result = kmeans(points, k=2, seed=0)
+        labels_low = set(result.labels[:20].tolist())
+        labels_high = set(result.labels[20:].tolist())
+        assert len(labels_low) == 1
+        assert len(labels_high) == 1
+        assert labels_low != labels_high
+
+    def test_k_equals_n(self):
+        points = np.array([[0.0], [1.0], [2.0]])
+        result = kmeans(points, k=3, seed=0)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(3)
+        points = rng.normal(0, 1, (30, 3))
+        a = kmeans(points, 4, seed=9)
+        b = kmeans(points, 4, seed=9)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(TuningError):
+            kmeans(np.ones((3, 2)), k=4)
+        with pytest.raises(TuningError):
+            kmeans(np.ones((3, 2)), k=0)
+
+    def test_trace_features_shape(self, daily_trace):
+        features = trace_features(daily_trace)
+        assert features.shape == (6,)
+        assert features[0] == pytest.approx(daily_trace.mean())
+
+    def test_trace_features_seasonality(self, daily_trace):
+        assert trace_features(daily_trace)[5] > 0.8  # strong daily cycle
+        short = CpuTrace.constant(1.0, 100)
+        assert trace_features(short)[5] == 0.0
+
+    def test_select_representatives(self):
+        small = [CpuTrace.constant(1.0, 2 * MINUTES_PER_DAY, f"s{i}")
+                 for i in range(3)]
+        big = [CpuTrace.constant(20.0, 2 * MINUTES_PER_DAY, f"b{i}")
+               for i in range(3)]
+        picks = select_representatives(small + big, k=2, seed=0)
+        assert len(picks) == 2
+        assert any(i < 3 for i in picks)
+        assert any(i >= 3 for i in picks)
+
+    def test_select_representatives_empty_rejected(self):
+        with pytest.raises(TuningError):
+            select_representatives([], k=1)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"], [["a", 1.5], ["bb", 12345.0]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0]
+        assert "12,345" in lines[3]
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(SimulationError):
+            format_table([], [])
+
+    def test_metrics_table(self):
+        demand = np.array([1.0, 2.0])
+        usage = demand.copy()
+        limits = np.array([4.0, 4.0])
+        metrics = SimulationMetrics.from_series(demand, usage, limits, 0, 8.0)
+        result = SimulationResult(
+            name="demo", demand=demand, usage=usage, limits=limits,
+            events=(), metrics=metrics,
+        )
+        table = metrics_table([result], extra_columns={"note": {"demo": "hi"}})
+        assert "demo" in table
+        assert "hi" in table
+
+    def test_metrics_table_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            metrics_table([])
+
+
+class TestPlots:
+    def test_render_series_dimensions(self):
+        chart = render_series(np.linspace(0, 8, 500), np.full(500, 8.0),
+                              height=10, width=40, title="t")
+        lines = chart.splitlines()
+        assert lines[0] == "t"
+        assert len(lines) == 1 + 10 + 1 + 1  # title + rows + axis + legend
+        assert "#" in chart and "*" in chart
+
+    def test_render_series_without_limits(self):
+        chart = render_series([1.0, 2.0, 3.0])
+        assert "#" not in chart.splitlines()[-1].replace("# limits", "")
+
+    def test_render_series_validation(self):
+        with pytest.raises(SimulationError):
+            render_series([])
+        with pytest.raises(SimulationError):
+            render_series([1.0], [1.0, 2.0])
+        with pytest.raises(SimulationError):
+            render_series([1.0, 2.0], height=1)
+
+    def test_render_scatter_markers(self):
+        chart = render_scatter(
+            [0.0, 1.0, 2.0], [2.0, 1.0, 0.0],
+            highlight=[1], groups=[0, 0, 1],
+        )
+        assert "X" in chart
+        assert "o" in chart
+        assert "+" in chart
+
+    def test_render_scatter_validation(self):
+        with pytest.raises(SimulationError):
+            render_scatter([], [])
+        with pytest.raises(SimulationError):
+            render_scatter([1.0], [1.0], groups=[0, 1])

@@ -1,0 +1,257 @@
+"""Tests for the baseline recommenders (§3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DecayingHistogram,
+    FixedRecommender,
+    MovingAverageRecommender,
+    OpenShiftVpaRecommender,
+    OracleRecommender,
+    StepwiseRecommender,
+    VpaRecommender,
+)
+from repro.baselines.base import WindowedRecommender
+from repro.errors import ConfigError
+from repro.trace import CpuTrace
+
+
+def feed(rec, values, limit, start=0):
+    for offset, value in enumerate(values):
+        rec.observe(start + offset, float(value), limit)
+
+
+class TestFixed:
+    def test_always_recommends_fixed(self):
+        rec = FixedRecommender(14)
+        assert rec.recommend(0, 2) == 14
+        assert rec.recommend(100, 20) == 14
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigError):
+            FixedRecommender(0)
+
+
+class TestOracle:
+    def test_sizes_to_future_peak(self):
+        demand = CpuTrace.from_values([1.0] * 10 + [7.5] * 10)
+        rec = OracleRecommender(demand, lookahead_minutes=15)
+        assert rec.recommend(0, 2) == 8  # sees the 7.5 coming
+
+    def test_headroom_added(self):
+        demand = CpuTrace.constant(3.0, 20)
+        rec = OracleRecommender(demand, headroom_cores=2)
+        assert rec.recommend(0, 2) == 5
+
+    def test_respects_guardrails(self):
+        demand = CpuTrace.constant(30.0, 20)
+        rec = OracleRecommender(demand, min_cores=2, max_cores=8)
+        assert rec.recommend(0, 2) == 8
+
+    def test_past_end_uses_last_sample(self):
+        demand = CpuTrace.from_values([1.0, 2.0, 4.0])
+        rec = OracleRecommender(demand, lookahead_minutes=5)
+        assert rec.recommend(50, 2) == 4
+
+    def test_never_throttles_when_unbounded(self):
+        rng = np.random.default_rng(3)
+        demand = CpuTrace(rng.uniform(1, 9, 200))
+        rec = OracleRecommender(demand, lookahead_minutes=1, max_cores=16)
+        for minute in range(200):
+            assert rec.recommend(minute, 4) >= demand[minute]
+
+
+class TestDecayingHistogram:
+    def test_empty_percentile_is_zero(self):
+        assert DecayingHistogram().percentile(0.9) == 0.0
+
+    def test_percentile_brackets_samples(self):
+        hist = DecayingHistogram(max_value=16.0)
+        for _ in range(100):
+            hist.add_sample(4.0, minute=0)
+        p = hist.percentile(0.9)
+        assert 3.9 <= p <= 4.5  # bucket upper boundary errs high
+
+    def test_decay_forgets_old_peaks(self):
+        hist = DecayingHistogram(max_value=16.0, half_life_minutes=60)
+        hist.add_sample(10.0, minute=0)
+        # A day later, steady low usage dominates the old peak.
+        for minute in range(1440, 1560):
+            hist.add_sample(2.0, minute=minute)
+        assert hist.percentile(0.9) < 4.0
+
+    def test_no_decay_without_time_passing(self):
+        hist = DecayingHistogram(max_value=16.0)
+        hist.add_sample(2.0, 0)
+        hist.add_sample(10.0, 0)
+        assert hist.percentile(0.99) >= 10.0
+
+    def test_renormalization_keeps_percentiles(self):
+        hist = DecayingHistogram(max_value=16.0, half_life_minutes=10)
+        for minute in range(0, 10_000, 10):
+            hist.add_sample(5.0, minute)
+        assert 4.9 <= hist.percentile(0.5) <= 6.0
+
+    def test_values_above_max_clamp_to_last_bucket(self):
+        hist = DecayingHistogram(max_value=8.0)
+        hist.add_sample(100.0, 0)
+        assert hist.percentile(0.9) <= 8.0 + 1e-9
+
+    def test_reset(self):
+        hist = DecayingHistogram()
+        hist.add_sample(3.0, 0)
+        hist.reset()
+        assert hist.is_empty
+
+    def test_rejects_bad_samples(self):
+        hist = DecayingHistogram()
+        with pytest.raises(ConfigError):
+            hist.add_sample(-1.0, 0)
+        with pytest.raises(ConfigError):
+            hist.percentile(0.0)
+
+
+class TestVpa:
+    def test_scales_up_with_sustained_load(self):
+        rec = VpaRecommender(max_cores=16)
+        feed(rec, [7.0] * 120, limit=8)
+        target = rec.recommend(120, 8)
+        assert target >= 8
+
+    def test_limits_are_requests_plus_one(self):
+        rec = VpaRecommender(max_cores=16, safety_margin=1.0)
+        feed(rec, [4.0] * 120, limit=8)
+        # P90 ~= 4 (bucket boundary) -> requests 4-5, limits 5-6.
+        assert rec.recommend(120, 8) in (5, 6)
+
+    def test_slow_to_scale_down(self):
+        """The Figure 3b behaviour: P90 of history keeps limits high."""
+        rec = VpaRecommender(max_cores=16, half_life_minutes=24 * 60)
+        feed(rec, [7.0] * 240, limit=8)
+        after_peak = rec.recommend(240, 8)
+        feed(rec, [2.0] * 120, limit=8, start=240)
+        shortly_after = rec.recommend(360, 8)
+        assert shortly_after >= after_peak - 1
+
+    def test_no_history_keeps_current(self):
+        assert VpaRecommender().recommend(0, 5) == 5
+
+    def test_floor_respected(self):
+        rec = VpaRecommender(min_cores=2)
+        feed(rec, [0.1] * 120, limit=4)
+        assert rec.recommend(120, 4) >= 2
+
+
+class TestOpenShift:
+    def test_throttling_feedback_loop(self):
+        """The §3.3 lock-in: pinned usage keeps the forecast pinned."""
+        rec = OpenShiftVpaRecommender(min_cores=2, max_cores=16)
+        # Usage pinned at a 3-core limit for two hours (true demand 7).
+        feed(rec, [3.0] * 120, limit=3)
+        assert rec.recommend(120, 3) <= 4  # never escapes
+
+    def test_tracks_declining_usage_down(self):
+        rec = OpenShiftVpaRecommender(min_cores=2, max_cores=16)
+        feed(rec, np.linspace(8.0, 2.0, 120), limit=10)
+        assert rec.recommend(120, 10) < 10
+
+    def test_insufficient_history_keeps_current(self):
+        rec = OpenShiftVpaRecommender()
+        assert rec.recommend(0, 6) == 6
+        rec.observe(0, 1.0, 6)
+        assert rec.recommend(1, 6) == 6
+
+
+class TestMovingAverage:
+    def test_sizes_margin_above_average(self):
+        rec = MovingAverageRecommender(window_minutes=30, margin=1.5)
+        feed(rec, [4.0] * 30, limit=8)
+        assert rec.recommend(30, 8) == 6
+
+    def test_exponential_variant(self):
+        rec = MovingAverageRecommender(
+            window_minutes=30, margin=1.0, exponential=True, alpha=0.9
+        )
+        feed(rec, [1.0] * 29 + [8.0], limit=10)
+        assert rec.recommend(30, 10) >= 7
+
+    def test_rejects_margin_below_one(self):
+        with pytest.raises(ConfigError):
+            MovingAverageRecommender(margin=0.5)
+
+
+class TestStepwise:
+    def test_steps_up_on_high_utilization(self):
+        rec = StepwiseRecommender(max_cores=16)
+        feed(rec, [3.6] * 15, limit=4)
+        assert rec.recommend(15, 4) == 5
+
+    def test_steps_down_on_low_utilization(self):
+        rec = StepwiseRecommender(min_cores=1)
+        feed(rec, [1.0] * 15, limit=8)
+        assert rec.recommend(15, 8) == 7
+
+    def test_holds_in_band(self):
+        rec = StepwiseRecommender()
+        feed(rec, [2.4] * 15, limit=4)  # 60% utilization
+        assert rec.recommend(15, 4) == 4
+
+    def test_custom_step(self):
+        rec = StepwiseRecommender(step_cores=3, max_cores=16)
+        feed(rec, [3.9] * 15, limit=4)
+        assert rec.recommend(15, 4) == 7
+
+    def test_rejects_inverted_thresholds(self):
+        with pytest.raises(ConfigError):
+            StepwiseRecommender(high_utilization=0.3, low_utilization=0.5)
+
+
+class TestWindowedRecommenderBase:
+    class Probe(WindowedRecommender):
+        name = "probe"
+
+        def recommend(self, minute, current_limit):
+            return current_limit
+
+    def test_window_bounded(self):
+        rec = self.Probe(window_minutes=5)
+        feed(rec, range(10), limit=4)
+        assert rec.sample_count == 5
+        assert list(rec.usage_window) == [5.0, 6.0, 7.0, 8.0, 9.0]
+
+    def test_limits_tracked(self):
+        rec = self.Probe(window_minutes=5)
+        rec.observe(0, 1.0, 3)
+        rec.observe(1, 1.0, 4)
+        assert list(rec.limit_window) == [3.0, 4.0]
+
+    def test_same_minute_overwrites(self):
+        rec = self.Probe(window_minutes=5)
+        rec.observe(0, 1.0, 3)
+        rec.observe(0, 2.0, 5)
+        assert list(rec.usage_window) == [2.0]
+        assert list(rec.limit_window) == [5.0]
+
+    def test_backwards_time_rejected(self):
+        rec = self.Probe(window_minutes=5)
+        rec.observe(5, 1.0, 3)
+        with pytest.raises(ConfigError):
+            rec.observe(4, 1.0, 3)
+
+    def test_window_trace_start_minute(self):
+        rec = self.Probe(window_minutes=3)
+        feed(rec, range(10), limit=4)
+        assert rec.window_trace().start_minute == 7
+
+    def test_has_full_window(self):
+        rec = self.Probe(window_minutes=3)
+        assert not rec.has_full_window()
+        feed(rec, range(3), limit=4)
+        assert rec.has_full_window()
+
+    def test_reset(self):
+        rec = self.Probe(window_minutes=3)
+        feed(rec, range(3), limit=4)
+        rec.reset()
+        assert rec.sample_count == 0

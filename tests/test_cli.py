@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_with_options(self):
+        args = build_parser().parse_args(
+            ["run", "fig12", "--trials", "10", "--no-charts"]
+        )
+        assert args.experiment == "fig12"
+        assert args.trials == 10
+        assert args.no_charts
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_trace_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "fig9-workday"])
+
+
+class TestMain:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out
+        assert "fig14-c_29247" in out
+
+    def test_run_fig6(self, capsys):
+        assert main(["run", "fig6"]) == 0
+        assert "scaling factor" in capsys.readouterr().out
+
+    def test_run_fig4_no_charts(self, capsys):
+        assert main(["run", "fig4", "--no-charts"]) == 0
+        assert "inflection" in capsys.readouterr().out
+
+    def test_run_fig12_with_trials(self, capsys):
+        assert main(["run", "fig12", "--trials", "8", "--no-charts"]) == 0
+        assert "Pareto" in capsys.readouterr().out
+
+    def test_run_fig14_with_containers(self, capsys):
+        assert main(
+            ["run", "fig14", "--containers", "c_4043", "--trials", "4"]
+        ) == 0
+        assert "c_4043" in capsys.readouterr().out
+
+    def test_sweep_command(self, capsys):
+        assert main(
+            ["sweep", "--traces", "fig9-workday", "--min-cores", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "workday-12h" in out
+        assert "fleet means" in out
+
+    def test_run_fig8(self, capsys):
+        assert main(["run", "fig8"]) == 0
+        assert "Eq. 4" in capsys.readouterr().out
+
+    def test_trace_export(self, tmp_path, capsys):
+        out = tmp_path / "trace.csv"
+        assert main(["trace", "fig9-workday", "--out", str(out)]) == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,206 @@
+"""Tests for pods, stateful sets and the rolling-update operator."""
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    DbOperator,
+    EventKind,
+    EventLog,
+    Pod,
+    PodPhase,
+    StatefulSet,
+)
+from repro.cluster.pod import Container
+from repro.cluster.resources import ResourceSpec
+from repro.errors import ClusterStateError, ConfigError
+
+
+def make_set(replicas=3, cores=4, name="db"):
+    return StatefulSet(name, replicas, ResourceSpec.whole_cores(cores))
+
+
+def drive(operator, events, start, minutes):
+    """Tick the operator for a number of minutes."""
+    for minute in range(start, start + minutes):
+        operator.tick(minute, events)
+
+
+class TestPodLifecycle:
+    def test_bind_transitions_to_running(self):
+        pod = Pod("p", 0, Container("db", ResourceSpec.whole_cores(2)))
+        pod.bind("node-1")
+        assert pod.phase is PodPhase.RUNNING
+        assert pod.is_serving
+
+    def test_cannot_bind_twice(self):
+        pod = Pod("p", 0, Container("db", ResourceSpec.whole_cores(2)))
+        pod.bind("node-1")
+        with pytest.raises(ClusterStateError):
+            pod.bind("node-2")
+
+    def test_restart_cycle(self):
+        pod = Pod("p", 0, Container("db", ResourceSpec.whole_cores(2)))
+        pod.bind("n")
+        pod.begin_restart(ResourceSpec.whole_cores(4), duration_minutes=3)
+        assert pod.phase is PodPhase.RESTARTING
+        assert not pod.is_serving
+        assert pod.spec.limit_cores == 4.0  # new spec applied immediately
+        assert not pod.tick_restart()
+        assert not pod.tick_restart()
+        assert pod.tick_restart()  # third minute completes
+        assert pod.is_serving
+
+    def test_cannot_restart_while_restarting(self):
+        pod = Pod("p", 0, Container("db", ResourceSpec.whole_cores(2)))
+        pod.bind("n")
+        pod.begin_restart(ResourceSpec.whole_cores(4), 2)
+        with pytest.raises(ClusterStateError):
+            pod.begin_restart(ResourceSpec.whole_cores(6), 2)
+
+    def test_terminate(self):
+        pod = Pod("p", 0, Container("db", ResourceSpec.whole_cores(2)))
+        pod.bind("n")
+        pod.terminate()
+        assert pod.phase is PodPhase.TERMINATED
+        assert not pod.is_serving
+
+
+class TestStatefulSet:
+    def test_pods_named_by_ordinal(self):
+        sset = make_set(replicas=3, name="db")
+        assert [pod.name for pod in sset.pods] == ["db-0", "db-1", "db-2"]
+
+    def test_declare_spec_detects_change(self):
+        sset = make_set(cores=4)
+        assert sset.declare_spec(ResourceSpec.whole_cores(6))
+        assert not sset.declare_spec(ResourceSpec.whole_cores(6))
+
+    def test_pods_needing_update(self):
+        sset = make_set(replicas=2, cores=4)
+        sset.declare_spec(ResourceSpec.whole_cores(6))
+        assert len(sset.pods_needing_update()) == 2
+
+    def test_rejects_zero_replicas(self):
+        with pytest.raises(ConfigError):
+            make_set(replicas=0)
+
+    def test_pod_lookup(self):
+        sset = make_set(replicas=2)
+        assert sset.pod(1).ordinal == 1
+        with pytest.raises(ClusterStateError):
+            sset.pod(5)
+
+
+class TestRollingUpdate:
+    def setup_method(self):
+        self.events = EventLog()
+        self.sset = make_set(replicas=3, cores=4)
+        for pod in self.sset.pods:
+            pod.bind("node")
+        self.operator = DbOperator(self.sset, restart_minutes_per_pod=2)
+
+    def test_update_restarts_one_pod_at_a_time(self):
+        self.operator.begin_update(ResourceSpec.whole_cores(6), 0, self.events)
+        restarting = [
+            pod for pod in self.sset.pods if pod.phase is PodPhase.RESTARTING
+        ]
+        assert len(restarting) == 1
+
+    def test_secondaries_before_primary(self):
+        self.operator.begin_update(ResourceSpec.whole_cores(6), 0, self.events)
+        first = [
+            pod for pod in self.sset.pods if pod.phase is PodPhase.RESTARTING
+        ][0]
+        assert first.ordinal != 0  # initial primary is ordinal 0
+
+    def test_client_visible_limit_changes_last(self):
+        """The §3.1 delay: clients see new limits only at the very end."""
+        self.operator.begin_update(ResourceSpec.whole_cores(6), 0, self.events)
+        seen = []
+        for minute in range(1, 20):
+            self.operator.tick(minute, self.events)
+            seen.append(self.operator.client_visible_limit_cores)
+            if not self.operator.update_in_progress:
+                break
+        # The limit was 4 for most of the update and 6 only at the end.
+        assert seen[0] == 4.0
+        assert seen[-1] == 6.0
+
+    def test_total_duration_scales_with_replicas(self):
+        self.operator.begin_update(ResourceSpec.whole_cores(6), 0, self.events)
+        minute = 0
+        while self.operator.update_in_progress and minute < 50:
+            minute += 1
+            self.operator.tick(minute, self.events)
+        finished = self.events.of_kind(EventKind.ROLLING_UPDATE_FINISHED)
+        assert len(finished) == 1
+        # 3 pods x 2 minutes, serialized: at least 6 minutes.
+        assert finished[0].data["minutes"] >= 6
+
+    def test_failover_happens_once_per_update(self):
+        self.operator.begin_update(ResourceSpec.whole_cores(6), 0, self.events)
+        drive(self.operator, self.events, 1, 30)
+        assert self.operator.failover_count == 1
+        assert self.events.count(EventKind.FAILOVER) == 1
+
+    def test_failover_target_is_updated_secondary(self):
+        self.operator.begin_update(ResourceSpec.whole_cores(6), 0, self.events)
+        drive(self.operator, self.events, 1, 30)
+        assert self.operator.primary.spec.limit_cores == 6.0
+
+    def test_all_pods_updated_at_end(self):
+        self.operator.begin_update(ResourceSpec.whole_cores(6), 0, self.events)
+        drive(self.operator, self.events, 1, 30)
+        assert not self.operator.update_in_progress
+        assert all(pod.spec.limit_cores == 6.0 for pod in self.sset.pods)
+        assert self.sset.all_serving()
+
+    def test_cannot_start_concurrent_update(self):
+        self.operator.begin_update(ResourceSpec.whole_cores(6), 0, self.events)
+        with pytest.raises(ClusterStateError):
+            self.operator.begin_update(
+                ResourceSpec.whole_cores(8), 1, self.events
+            )
+
+    def test_noop_update_returns_false(self):
+        assert not self.operator.begin_update(
+            ResourceSpec.whole_cores(4), 0, self.events
+        )
+
+    def test_single_replica_has_no_failover(self):
+        events = EventLog()
+        sset = make_set(replicas=1)
+        sset.pods[0].bind("node")
+        operator = DbOperator(sset, restart_minutes_per_pod=2)
+        operator.begin_update(ResourceSpec.whole_cores(6), 0, events)
+        drive(operator, events, 1, 10)
+        assert operator.failover_count == 0
+        assert sset.pods[0].spec.limit_cores == 6.0
+
+
+class TestClusterFacade:
+    def test_small_cluster_shape(self):
+        cluster = Cluster.small()
+        assert len(cluster.nodes) == 6
+        assert cluster.total_cores == 48
+
+    def test_large_cluster_shape(self):
+        cluster = Cluster.large()
+        assert cluster.total_cores == 96
+
+    def test_uniform_validation(self):
+        with pytest.raises(ConfigError):
+            Cluster.uniform("x", 0, 8, 32)
+
+
+class TestEventLog:
+    def test_record_and_query(self):
+        log = EventLog()
+        log.record(3, EventKind.FAILOVER, "db", "failover", from_ordinal=0)
+        log.record(5, EventKind.RESIZE_DECIDED, "db", "resize")
+        assert len(log) == 2
+        assert log.count(EventKind.FAILOVER) == 1
+        assert log.of_kind(EventKind.FAILOVER)[0].data["from_ordinal"] == 0
+        assert len(log.for_subject("db")) == 2
+        assert log.for_subject("other") == []

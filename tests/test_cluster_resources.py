@@ -1,0 +1,161 @@
+"""Tests for ResourceSpec, Node, cgroup enforcement and the scheduler."""
+
+import pytest
+
+from repro.cluster import Node, Pod, Scheduler, enforce_cpu
+from repro.cluster.pod import Container
+from repro.cluster.resources import MILLICORES_PER_CORE, ResourceSpec
+from repro.errors import ClusterStateError, ConfigError, SchedulingError
+
+
+def make_pod(name="p", cores=2, memory_mb=1024, ordinal=0):
+    return Pod(
+        name=name,
+        ordinal=ordinal,
+        container=Container("db", ResourceSpec.whole_cores(cores, memory_mb)),
+    )
+
+
+class TestResourceSpec:
+    def test_whole_cores_satisfies_invariants(self):
+        spec = ResourceSpec.whole_cores(4)
+        assert spec.satisfies_service_invariants()
+        assert spec.limit_cores == 4.0
+        assert spec.request_cores == 4.0
+
+    def test_fractional_spec_violates_invariants(self):
+        spec = ResourceSpec(1500, 1500)
+        assert not spec.satisfies_service_invariants()
+
+    def test_unequal_spec_violates_invariants(self):
+        spec = ResourceSpec(1000, 2000)
+        assert not spec.satisfies_service_invariants()
+
+    def test_limit_below_request_rejected(self):
+        with pytest.raises(ConfigError):
+            ResourceSpec(2000, 1000)
+
+    def test_with_cores_preserves_memory(self):
+        spec = ResourceSpec.whole_cores(2, memory_mb=4096).with_cores(6)
+        assert spec.limit_cores == 6.0
+        assert spec.memory_mb == 4096
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigError):
+            ResourceSpec.whole_cores(0)
+        with pytest.raises(ConfigError):
+            ResourceSpec(0, 0)
+
+
+class TestCgroup:
+    def test_unthrottled_passthrough(self):
+        result = enforce_cpu(2.5, 4.0)
+        assert result.usage_cores == 2.5
+        assert result.throttled_cores == 0.0
+        assert not result.was_throttled
+
+    def test_capped_at_limit(self):
+        result = enforce_cpu(7.0, 3.0)
+        assert result.usage_cores == 3.0
+        assert result.throttled_cores == 4.0
+        assert result.was_throttled
+
+    def test_exact_limit_not_throttled(self):
+        assert not enforce_cpu(3.0, 3.0).was_throttled
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigError):
+            enforce_cpu(-1.0, 2.0)
+        with pytest.raises(ConfigError):
+            enforce_cpu(1.0, 0.0)
+
+
+class TestNode:
+    def test_allocatable_excludes_system_reserved(self):
+        node = Node("n", cpu_cores=8, system_reserved_millicores=500)
+        assert node.allocatable_millicores == 8 * MILLICORES_PER_CORE - 500
+
+    def test_add_and_remove_pod(self):
+        node = Node("n", cpu_cores=8)
+        pod = make_pod(cores=4)
+        node.add_pod(pod)
+        assert pod.node_name == "n"
+        assert node.requested_millicores == 4000
+        node.remove_pod(pod)
+        assert node.requested_millicores == 0
+
+    def test_cannot_overcommit_cpu(self):
+        node = Node("n", cpu_cores=4)
+        node.add_pod(make_pod("a", cores=3))
+        with pytest.raises(ClusterStateError):
+            node.add_pod(make_pod("b", cores=2))
+
+    def test_cannot_overcommit_memory(self):
+        node = Node("n", cpu_cores=16, memory_mb=2048)
+        assert not node.can_fit(ResourceSpec.whole_cores(1, memory_mb=4096))
+
+    def test_can_fit_ignoring_pod(self):
+        """The in-place resize check: release my reservation first."""
+        node = Node("n", cpu_cores=8)
+        pod = make_pod(cores=6)
+        node.add_pod(pod)
+        big = ResourceSpec.whole_cores(7)
+        assert not node.can_fit(big)
+        assert node.can_fit(big, ignore_pod=pod)
+
+    def test_remove_unknown_pod_raises(self):
+        node = Node("n", cpu_cores=4)
+        with pytest.raises(ClusterStateError):
+            node.remove_pod(make_pod())
+
+
+class TestScheduler:
+    def test_best_fit_prefers_fullest_node(self):
+        roomy = Node("roomy", cpu_cores=16)
+        snug = Node("snug", cpu_cores=4)
+        scheduler = Scheduler([roomy, snug])
+        pod = make_pod(cores=2)
+        node = scheduler.schedule(pod)
+        assert node.name == "snug"
+
+    def test_unschedulable_raises(self):
+        scheduler = Scheduler([Node("n", cpu_cores=2)])
+        with pytest.raises(SchedulingError):
+            scheduler.schedule(make_pod(cores=4))
+
+    def test_duplicate_node_names_rejected(self):
+        with pytest.raises(SchedulingError):
+            Scheduler([Node("n", 4), Node("n", 4)])
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(SchedulingError):
+            Scheduler([])
+
+    def test_can_resize_in_place(self):
+        node = Node("n", cpu_cores=8)
+        scheduler = Scheduler([node])
+        pod = make_pod(cores=4)
+        scheduler.schedule(pod)
+        assert scheduler.can_resize(pod, ResourceSpec.whole_cores(7))
+        assert not scheduler.can_resize(pod, ResourceSpec.whole_cores(9))
+
+    def test_can_resize_by_moving(self):
+        small = Node("small", cpu_cores=4)
+        big = Node("big", cpu_cores=16)
+        scheduler = Scheduler([small, big])
+        pod = make_pod(cores=3)
+        small.add_pod(pod)
+        # 6 cores no longer fits on `small`, but `big` can host it.
+        assert scheduler.can_resize(pod, ResourceSpec.whole_cores(6))
+
+    def test_total_free(self):
+        scheduler = Scheduler([Node("a", 4), Node("b", 4)])
+        before = scheduler.total_free_millicores()
+        scheduler.schedule(make_pod(cores=2))
+        assert scheduler.total_free_millicores() == before - 2000
+
+    def test_node_by_name(self):
+        scheduler = Scheduler([Node("a", 4)])
+        assert scheduler.node_by_name("a").name == "a"
+        with pytest.raises(SchedulingError):
+            scheduler.node_by_name("missing")

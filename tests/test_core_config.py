@@ -1,0 +1,95 @@
+"""Tests for CaasperConfig validation and helpers."""
+
+import pytest
+
+from repro.core import CaasperConfig, RoundingMode
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = CaasperConfig()
+        assert config.c_min >= 1
+        assert config.s_low < config.s_high
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("s_high", 0.0),
+            ("s_high", -1.0),
+            ("s_low", -0.1),
+            ("m_high", 1.0),
+            ("m_high", -0.1),
+            ("m_low", 1.5),
+            ("sf_max_up", 0),
+            ("sf_max_down", 0),
+            ("c_min", 0),
+            ("quantile", 0.0),
+            ("quantile", 1.2),
+            ("window_minutes", 1),
+            ("slope_scale", 0.0),
+            ("scale_down_headroom", -0.2),
+            ("decision_interval_minutes", 0),
+            ("cooldown_minutes", -1),
+            ("forecast_horizon_minutes", 0),
+            ("seasonal_period_minutes", 1),
+            ("history_tail_minutes", 0),
+        ],
+    )
+    def test_rejects_invalid_field(self, field, value):
+        with pytest.raises(ConfigError):
+            CaasperConfig(**{field: value})
+
+    def test_rejects_s_low_above_s_high(self):
+        with pytest.raises(ConfigError):
+            CaasperConfig(s_low=5.0, s_high=3.0)
+
+    def test_rejects_c_min_above_max_cores(self):
+        with pytest.raises(ConfigError):
+            CaasperConfig(c_min=10, max_cores=4)
+
+    def test_seasonal_period_none_is_valid(self):
+        config = CaasperConfig(seasonal_period_minutes=None)
+        assert config.seasonal_period_minutes is None
+
+
+class TestHelpers:
+    def test_with_updates_returns_validated_copy(self):
+        config = CaasperConfig()
+        updated = config.with_updates(c_min=3)
+        assert updated.c_min == 3
+        assert config.c_min != 3 or config.c_min == 2
+
+    def test_with_updates_validates(self):
+        with pytest.raises(ConfigError):
+            CaasperConfig().with_updates(c_min=0)
+
+    def test_reactive_only(self):
+        config = CaasperConfig(proactive=True).reactive_only()
+        assert not config.proactive
+
+    def test_as_dict_round_trips_fields(self):
+        config = CaasperConfig(max_cores=24, proactive=True)
+        data = config.as_dict()
+        assert data["max_cores"] == 24
+        assert data["proactive"] is True
+        assert data["rounding"] == "floor"
+
+
+class TestRoundingMode:
+    def test_floor_toward_zero(self):
+        assert RoundingMode.FLOOR.apply(2.9) == 2
+        assert RoundingMode.FLOOR.apply(-2.9) == -2
+
+    def test_nearest(self):
+        assert RoundingMode.NEAREST.apply(2.5) == 2  # banker's rounding
+        assert RoundingMode.NEAREST.apply(2.6) == 3
+
+    def test_ceil_away_from_zero(self):
+        assert RoundingMode.CEIL.apply(2.1) == 3
+        assert RoundingMode.CEIL.apply(-2.1) == -3
+
+    def test_integers_unchanged(self):
+        for mode in RoundingMode:
+            assert mode.apply(3.0) == 3
+            assert mode.apply(-3.0) == -3

@@ -1,0 +1,140 @@
+"""Tests for repro.core.pvp.PvPCurve (Eq. 1 restricted to CPU)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PvPCurve
+from repro.errors import ConfigError, TraceError
+from repro.trace import CpuTrace
+
+
+def curve_from(values, max_cores=8, **kwargs):
+    return PvPCurve.from_trace(CpuTrace.from_values(values), max_cores, **kwargs)
+
+
+class TestConstruction:
+    def test_from_trace_basic(self):
+        curve = curve_from([0.5, 1.5, 2.5, 3.5], max_cores=4)
+        # perf(k) = fraction of samples strictly below k.
+        assert curve.performance_at(1) == 0.25
+        assert curve.performance_at(2) == 0.5
+        assert curve.performance_at(4) == 1.0
+
+    def test_sample_at_exact_core_counts_as_throttled(self):
+        # Usage pinned exactly at k means a k-core SKU throttles it.
+        curve = curve_from([3.0, 3.0, 3.0], max_cores=4)
+        assert curve.performance_at(3) == 0.0
+        assert curve.performance_at(4) == 1.0
+
+    def test_rejects_zero_max_cores(self):
+        with pytest.raises(ConfigError):
+            curve_from([1.0], max_cores=0)
+
+    def test_rejects_decreasing_performance(self):
+        with pytest.raises(ConfigError):
+            PvPCurve(np.array([1, 2]), np.array([0.9, 0.5]))
+
+    def test_rejects_performance_outside_unit_interval(self):
+        with pytest.raises(ConfigError):
+            PvPCurve(np.array([1, 2]), np.array([0.0, 1.5]))
+
+    def test_rejects_non_increasing_cores(self):
+        with pytest.raises(ConfigError):
+            PvPCurve(np.array([2, 2]), np.array([0.5, 0.5]))
+
+    def test_rejects_bad_price(self):
+        with pytest.raises(ConfigError):
+            PvPCurve(np.array([1]), np.array([1.0]), price_per_core=0.0)
+
+
+class TestLookups:
+    def test_price_is_linear(self):
+        curve = curve_from([1.0], max_cores=4)
+        assert curve.price_at(3) == 3.0
+
+    def test_throttling_probability_complements_performance(self):
+        curve = curve_from([0.5, 1.5], max_cores=4)
+        for k in range(1, 5):
+            assert curve.throttling_probability(k) == pytest.approx(
+                1.0 - curve.performance_at(k)
+            )
+
+    def test_unknown_core_count_raises(self):
+        curve = curve_from([1.0], max_cores=4)
+        with pytest.raises(TraceError):
+            curve.performance_at(9)
+
+    def test_bounds(self):
+        curve = curve_from([1.0], max_cores=6)
+        assert curve.min_cores == 1
+        assert curve.max_cores == 6
+
+
+class TestSlopes:
+    def test_forward_slope_at_pinned_limit_is_steep(self):
+        """The §4.2 signature: steep slope AT the throttled allocation."""
+        curve = curve_from([3.0] * 50, max_cores=8)
+        assert curve.slope_at(3) == pytest.approx(10.0)
+        assert curve.slope_at(4) == 0.0
+
+    def test_slope_zero_on_flat_tail(self):
+        curve = curve_from([1.5] * 50, max_cores=8)
+        assert curve.slope_at(6) == 0.0
+
+    def test_slope_above_max_cores_is_zero(self):
+        curve = curve_from([1.0], max_cores=4)
+        assert curve.slope_at(10) == 0.0
+
+    def test_slope_below_min_clamps(self):
+        curve = curve_from([0.5] * 10, max_cores=4)
+        assert curve.slope_at(0) == curve.slope_at(1)
+
+    def test_slope_scale_multiplies(self):
+        narrow = curve_from([3.0] * 10, max_cores=8, slope_scale=5.0)
+        assert narrow.slope_at(3) == pytest.approx(5.0)
+
+    def test_slopes_sum_bounded(self):
+        """Σ forward slopes = (1 − perf(1)) × scale ≤ scale."""
+        curve = curve_from(np.linspace(0.2, 7.5, 100), max_cores=8)
+        assert curve.slopes().sum() <= 10.0 + 1e-9
+
+    def test_last_slope_reflects_unserved_tail(self):
+        # Usage pinned at max_cores: even the largest SKU throttles.
+        curve = curve_from([8.0] * 10, max_cores=8)
+        assert curve.slope_at(8) == pytest.approx(10.0)
+
+
+class TestFlatTopAndWalkDown:
+    def test_is_flat_top_true_when_saturated(self):
+        curve = curve_from([2.0] * 50, max_cores=10)
+        assert curve.is_flat_top(8)
+        assert curve.is_flat_top(3)
+        assert not curve.is_flat_top(2)
+
+    def test_is_flat_top_above_curve(self):
+        curve = curve_from([2.0], max_cores=4)
+        assert curve.is_flat_top(99)
+
+    def test_walk_down_finds_cheapest_saturated_candidate(self):
+        curve = curve_from([2.2] * 50, max_cores=12)
+        # Smallest k with perf == 1 is 3 (samples of 2.2 < 3).
+        assert curve.walk_down_target(12) == 3
+
+    def test_walk_down_from_above_curve(self):
+        curve = curve_from([2.2] * 50, max_cores=6)
+        assert curve.walk_down_target(40) == 3
+
+    def test_walk_down_no_op_when_already_cheapest(self):
+        curve = curve_from([2.2] * 50, max_cores=6)
+        assert curve.walk_down_target(3) == 3
+
+
+class TestPresentation:
+    def test_as_rows_shape(self):
+        curve = curve_from([1.0, 2.0], max_cores=3)
+        rows = curve.as_rows()
+        assert len(rows) == 3
+        cores, price, perf, slope = rows[0]
+        assert cores == 1
+        assert price == 1.0
+        assert 0.0 <= perf <= 1.0

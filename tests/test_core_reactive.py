@@ -1,0 +1,129 @@
+"""Tests for Algorithm 1 (ReactivePolicy)."""
+
+import pytest
+
+from repro.core import CaasperConfig, ReactivePolicy
+from repro.errors import TraceError
+from repro.trace import CpuTrace
+from repro.workloads.synthetic import noisy
+
+
+def policy(**kwargs):
+    defaults = dict(max_cores=16, c_min=2)
+    defaults.update(kwargs)
+    return ReactivePolicy(CaasperConfig(**defaults))
+
+
+class TestScaleUp:
+    def test_pinned_workload_scales_up_multiple_cores(self, pinned_trace):
+        decision = policy().decide(3, pinned_trace)
+        assert decision.branch == "scale_up"
+        assert decision.delta >= 2
+        assert decision.slope >= 3.0
+
+    def test_scale_up_capped_by_sf_max_up(self, pinned_trace):
+        decision = policy(sf_max_up=1).decide(3, pinned_trace)
+        assert decision.delta == 1
+
+    def test_headroom_breach_triggers_scale_up(self):
+        # Usage at 95% of the limit but never pinned: quantile branch.
+        window = noisy(CpuTrace.constant(5.7, 120), sigma=0.0, seed=0)
+        decision = policy(m_high=0.15, s_high=50.0).decide(6, window)
+        assert decision.branch == "scale_up"
+
+    def test_never_exceeds_max_cores(self, pinned_trace):
+        decision = policy(max_cores=4).decide(3, pinned_trace.clipped(3.0))
+        assert decision.target_cores <= 4
+
+
+class TestScaleDown:
+    def test_idle_workload_scales_down(self, idle_trace):
+        decision = policy().decide(12, idle_trace)
+        assert decision.branch in ("scale_down", "walk_down")
+        assert decision.delta < 0
+
+    def test_scale_down_capped_by_sf_max_down(self, idle_trace):
+        decision = policy(sf_max_down=2).decide(12, idle_trace)
+        assert decision.delta == -2
+
+    def test_never_below_c_min(self, idle_trace):
+        decision = policy(c_min=2, sf_max_down=16).decide(3, idle_trace)
+        assert decision.target_cores >= 2
+
+    def test_walk_down_respects_headroom(self, idle_trace):
+        tight = policy(scale_down_headroom=0.0, sf_max_down=16).decide(
+            12, idle_trace
+        )
+        buffered = policy(scale_down_headroom=0.5, sf_max_down=16).decide(
+            12, idle_trace
+        )
+        assert buffered.target_cores >= tight.target_cores
+
+    def test_walk_down_target_meets_window_peak(self, idle_trace):
+        decision = policy(scale_down_headroom=0.0, sf_max_down=16).decide(
+            12, idle_trace
+        )
+        # The new allocation still covers the observed peak.
+        assert decision.target_cores >= idle_trace.peak()
+
+
+class TestHold:
+    def test_right_sized_workload_holds(self):
+        # Usage ~60-70% of the limit: inside the slack band.
+        window = noisy(CpuTrace.constant(4.0, 120), sigma=0.05, seed=5)
+        decision = policy(m_low=0.35, m_high=0.15).decide(6, window)
+        assert decision.branch == "hold"
+        assert decision.delta == 0
+
+    def test_hold_when_walk_down_target_matches(self):
+        window = noisy(CpuTrace.constant(3.4, 120), sigma=0.05, seed=6)
+        decision = policy(
+            m_low=0.95, scale_down_headroom=0.0, s_low=0.5
+        ).decide(4, window)
+        assert decision.delta == 0
+
+
+class TestDecisionMetadata:
+    def test_reason_is_populated(self, pinned_trace):
+        decision = policy().decide(3, pinned_trace)
+        assert "scale up" in decision.reason
+
+    def test_curve_attached(self, pinned_trace):
+        decision = policy().decide(3, pinned_trace)
+        assert decision.curve.max_cores == 16
+
+    def test_is_scaling_flag(self, pinned_trace, flat_trace):
+        up = policy().decide(3, pinned_trace)
+        hold = policy(m_low=0.1).decide(3, flat_trace)
+        assert up.is_scaling
+        assert not hold.is_scaling or hold.delta != 0
+
+    def test_rejects_non_positive_cores(self, flat_trace):
+        with pytest.raises(TraceError):
+            policy().decide(0, flat_trace)
+
+
+class TestWindowHandling:
+    def test_truncates_to_window_minutes(self):
+        # Old throttled samples beyond the window must not trigger.
+        old = CpuTrace.constant(3.0, 200)  # pinned long ago
+        recent = CpuTrace.constant(1.0, 40)
+        window = old.extend(recent)
+        decision = policy(window_minutes=40).decide(3, window)
+        assert decision.branch != "scale_up"
+
+    def test_truncate_window_false_keeps_everything(self):
+        old = CpuTrace.constant(3.0, 200)
+        recent = CpuTrace.constant(1.0, 40)
+        window = old.extend(recent)
+        decision = policy(window_minutes=40).decide(
+            3, window, truncate_window=False
+        )
+        # The pinned mass dominates the full window: scale up.
+        assert decision.branch == "scale_up"
+
+    def test_deterministic(self, pinned_trace):
+        a = policy().decide(3, pinned_trace)
+        b = policy().decide(3, pinned_trace)
+        assert a.target_cores == b.target_cores
+        assert a.slope == b.slope

@@ -1,0 +1,120 @@
+"""Tests for Eq. 3 and the Algorithm 1 guardrails."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import CaasperConfig
+from repro.core.config import RoundingMode
+from repro.core.scaling_factor import (
+    apply_guardrails,
+    scaling_factor,
+    slope_skewness,
+)
+from repro.errors import ConfigError
+
+
+class TestScalingFactor:
+    def test_matches_equation_3(self):
+        assert scaling_factor(2.0, 3.0, 2) == pytest.approx(math.log(8.0))
+
+    def test_zero_slope_gives_ln_c_min(self):
+        assert scaling_factor(0.0, 5.0, 2) == pytest.approx(math.log(2.0))
+
+    def test_monotone_in_slope(self):
+        values = [scaling_factor(s, 3.0, 2) for s in (0.0, 1.0, 5.0, 10.0)]
+        assert values == sorted(values)
+        assert values[0] < values[-1]
+
+    def test_monotone_in_skew(self):
+        assert scaling_factor(2.0, 10.0, 2) > scaling_factor(2.0, 1.0, 2)
+
+    def test_logarithmic_decay(self):
+        """Marginal gain shrinks as slope grows (Figure 6's concavity)."""
+        low_gain = scaling_factor(2.0, 3.0, 2) - scaling_factor(1.0, 3.0, 2)
+        high_gain = scaling_factor(9.0, 3.0, 2) - scaling_factor(8.0, 3.0, 2)
+        assert high_gain < low_gain
+
+    def test_negative_slope_clamped(self):
+        assert scaling_factor(-5.0, 3.0, 2) == pytest.approx(math.log(2.0))
+
+    def test_result_never_negative(self):
+        # Even adversarial inputs keep the log argument >= 1.
+        assert scaling_factor(0.0, 0.0, 1) == 0.0
+
+    def test_rejects_bad_c_min(self):
+        with pytest.raises(ConfigError):
+            scaling_factor(1.0, 1.0, 0)
+
+    def test_paper_figure4_magnitude(self):
+        """A throttled curve should recommend a multi-core jump."""
+        sf = scaling_factor(10.0, 3.5, 2)
+        assert 3.0 <= sf <= 4.5
+
+
+class TestSlopeSkewness:
+    def test_throttled_distribution_is_right_skewed(self):
+        slopes = np.array([0.0] * 15 + [10.0])
+        assert slope_skewness(slopes) > 3.0
+
+    def test_uniform_distribution_floors_at_one(self):
+        slopes = np.linspace(0.0, 1.0, 16)
+        assert slope_skewness(slopes) == 1.0
+
+    def test_constant_distribution_floors(self):
+        assert slope_skewness(np.full(10, 0.5)) == 1.0
+
+    def test_empty_floors(self):
+        assert slope_skewness(np.array([])) == 1.0
+
+    def test_custom_floor(self):
+        assert slope_skewness(np.full(4, 1.0), floor=2.5) == 2.5
+
+
+class TestGuardrails:
+    def make_config(self, **kwargs):
+        defaults = dict(max_cores=16, c_min=2, sf_max_up=4, sf_max_down=3)
+        defaults.update(kwargs)
+        return CaasperConfig(**defaults)
+
+    def test_caps_scale_up(self):
+        config = self.make_config()
+        assert apply_guardrails(9.7, 6, config) == 4
+
+    def test_caps_scale_down(self):
+        config = self.make_config()
+        assert apply_guardrails(-9.7, 10, config) == -3
+
+    def test_floor_rounding_toward_zero(self):
+        config = self.make_config()
+        assert apply_guardrails(3.73, 2, config) == 3  # the paper's example
+        assert apply_guardrails(-2.9, 10, config) == -2
+
+    def test_nearest_rounding(self):
+        config = self.make_config(rounding=RoundingMode.NEAREST)
+        assert apply_guardrails(2.6, 2, config) == 3
+
+    def test_ceil_rounding(self):
+        config = self.make_config(rounding=RoundingMode.CEIL)
+        assert apply_guardrails(2.1, 2, config) == 3
+        assert apply_guardrails(-2.1, 10, config) == -3
+
+    def test_clamps_to_c_min(self):
+        config = self.make_config()
+        assert apply_guardrails(-3.0, 3, config) == -1  # stops at c_min=2
+
+    def test_clamps_to_max_cores(self):
+        config = self.make_config()
+        assert apply_guardrails(4.0, 15, config) == 1  # stops at 16
+
+    def test_zero_step_stays(self):
+        config = self.make_config()
+        assert apply_guardrails(0.0, 5, config) == 0
+
+    def test_target_always_in_bounds(self):
+        config = self.make_config()
+        for current in range(2, 17):
+            for step in (-10.0, -1.5, 0.0, 1.5, 10.0):
+                delta = apply_guardrails(step, current, config)
+                assert config.c_min <= current + delta <= config.max_cores

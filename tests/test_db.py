@@ -1,0 +1,229 @@
+"""Tests for the database model: engine, transactions, replicas, service."""
+
+import pytest
+
+from repro.cluster import Cluster, EventLog
+from repro.cluster.pod import Container, Pod
+from repro.cluster.resources import ResourceSpec
+from repro.db import (
+    DBaaSService,
+    DbEngine,
+    DbServiceConfig,
+    Replica,
+    ReplicaRole,
+    TxnAccounting,
+)
+from repro.errors import ConfigError, SimulationError
+
+
+class TestDbEngine:
+    def test_unthrottled_serves_all(self):
+        engine = DbEngine()
+        minute = engine.step(demand_cores=2.0, limit_cores=4.0)
+        assert minute.served_cores == 2.0
+        assert minute.queued_cores == 0.0
+        assert minute.shed_cores == 0.0
+        assert not minute.was_throttled
+
+    def test_throttled_work_queues(self):
+        engine = DbEngine(backlog_timeout_minutes=5.0)
+        minute = engine.step(demand_cores=6.0, limit_cores=4.0)
+        assert minute.served_cores == 4.0
+        assert minute.queued_cores == pytest.approx(2.0)
+        assert minute.was_throttled
+
+    def test_backlog_drains_when_capacity_returns(self):
+        engine = DbEngine(backlog_timeout_minutes=5.0)
+        engine.step(6.0, 4.0)
+        minute = engine.step(1.0, 4.0)
+        assert minute.served_cores == pytest.approx(3.0)  # 1 new + 2 queued
+        assert minute.queued_cores == 0.0
+
+    def test_deep_backlog_sheds(self):
+        engine = DbEngine(backlog_timeout_minutes=1.0)
+        minute = engine.step(demand_cores=10.0, limit_cores=2.0)
+        # Backlog bound: 1 minute x 2 cores => 2; excess 6 shed.
+        assert minute.queued_cores == pytest.approx(2.0)
+        assert minute.shed_cores == pytest.approx(6.0)
+
+    def test_work_conservation(self):
+        """demand in == served + queued + shed, minute by minute."""
+        engine = DbEngine(backlog_timeout_minutes=2.0)
+        total_in, total_out = 0.0, 0.0
+        previous_backlog = 0.0
+        for demand in (5.0, 7.0, 0.5, 0.0, 3.0, 9.0):
+            minute = engine.step(demand, 3.0)
+            total_in += demand
+            total_out += minute.served_cores + minute.shed_cores
+            delta_backlog = minute.queued_cores - previous_backlog
+            assert demand == pytest.approx(
+                minute.served_cores + minute.shed_cores + delta_backlog
+            )
+            previous_backlog = minute.queued_cores
+        assert total_in == pytest.approx(total_out + engine.backlog_cores)
+
+    def test_not_serving_queues_everything(self):
+        engine = DbEngine(backlog_timeout_minutes=10.0)
+        minute = engine.step(3.0, 4.0, serving=False)
+        assert minute.served_cores == 0.0
+        assert minute.queued_cores == pytest.approx(3.0)
+
+    def test_latency_rises_with_backlog(self):
+        engine = DbEngine(backlog_timeout_minutes=10.0)
+        calm = engine.step(1.0, 4.0).latency_factor
+        engine.step(20.0, 4.0)
+        stressed = engine.step(4.0, 4.0).latency_factor
+        assert stressed > calm
+
+    def test_latency_mild_at_moderate_utilization(self):
+        engine = DbEngine()
+        factor = engine.step(2.8, 4.0).latency_factor
+        assert factor < 1.2  # "within the margin of error" regime
+
+    def test_reset(self):
+        engine = DbEngine()
+        engine.step(9.0, 2.0)
+        engine.reset()
+        assert engine.backlog_cores == 0.0
+
+    def test_rejects_bad_inputs(self):
+        engine = DbEngine()
+        with pytest.raises(ConfigError):
+            engine.step(-1.0, 2.0)
+        with pytest.raises(ConfigError):
+            engine.step(1.0, 0.0)
+
+
+class TestTxnAccounting:
+    def test_retry_mode_recovers_drops(self):
+        txns = TxnAccounting(base_latency_ms=50.0, retry_dropped=True)
+        txns.record_minute(0, offered_txns=100, served_txns=90,
+                           shed_txns=10, latency_factor=1.0)
+        assert txns.total_completed == 100
+        assert txns.total_dropped == 0
+        assert txns.total_retried == 10
+
+    def test_no_retry_mode_loses_drops(self):
+        txns = TxnAccounting(base_latency_ms=50.0, retry_dropped=False)
+        txns.record_minute(0, 100, 90, 10, 1.0)
+        assert txns.total_completed == 90
+        assert txns.total_dropped == 10
+
+    def test_restart_drops_counted(self):
+        txns = TxnAccounting(base_latency_ms=50.0, retry_dropped=False)
+        txns.record_minute(0, 100, 99, 0, 1.0, restart_drops=1.0)
+        assert txns.total_dropped == 1
+
+    def test_latency_weighted_by_completions(self):
+        txns = TxnAccounting(base_latency_ms=100.0)
+        txns.record_minute(0, 10, 10, 0, latency_factor=1.0)
+        txns.record_minute(1, 1000, 1000, 0, latency_factor=2.0)
+        # Dominated by the busy minute.
+        assert txns.average_latency_ms() > 190.0
+        assert txns.median_latency_ms() == 200.0
+
+    def test_percentile(self):
+        txns = TxnAccounting(base_latency_ms=100.0)
+        for minute, factor in enumerate([1.0, 1.0, 1.0, 5.0]):
+            txns.record_minute(minute, 10, 10, 0, factor)
+        assert txns.latency_percentile_ms(0.5) == 100.0
+        assert txns.latency_percentile_ms(0.99) == 500.0
+
+    def test_summary_with_price(self):
+        txns = TxnAccounting(base_latency_ms=10.0)
+        txns.record_minute(0, 100, 100, 0, 1.0)
+        summary = txns.summary(price=50.0)
+        assert summary["price_per_txn"] == pytest.approx(0.5)
+
+    def test_empty_accounting_raises(self):
+        txns = TxnAccounting(base_latency_ms=10.0)
+        with pytest.raises(SimulationError):
+            _ = txns.total_completed
+
+    def test_rejects_negative_counts(self):
+        txns = TxnAccounting(base_latency_ms=10.0)
+        with pytest.raises(SimulationError):
+            txns.record_minute(0, -1, 0, 0, 1.0)
+
+
+class TestReplica:
+    def make_replica(self, resync=2):
+        pod = Pod("db-0", 0, Container("db", ResourceSpec.whole_cores(4)))
+        pod.bind("node")
+        return Replica(pod, resync_minutes=resync)
+
+    def test_available_when_running(self):
+        replica = self.make_replica()
+        assert replica.is_available(ReplicaRole.PRIMARY)
+        assert replica.is_available(ReplicaRole.SECONDARY)
+
+    def test_resync_after_restart_blocks_secondary_only(self):
+        replica = self.make_replica(resync=2)
+        replica.pod.begin_restart(ResourceSpec.whole_cores(6), 1)
+        replica.tick()  # restarting
+        replica.pod.tick_restart()  # completes
+        replica.tick()  # detects completion -> resync begins
+        assert replica.in_resync
+        assert replica.is_available(ReplicaRole.PRIMARY)
+        assert not replica.is_available(ReplicaRole.SECONDARY)
+        replica.tick()
+        replica.tick()
+        assert not replica.in_resync
+
+    def test_restart_clears_backlog(self):
+        replica = self.make_replica()
+        replica.engine.step(20.0, 2.0)
+        assert replica.engine.backlog_cores > 0
+        replica.pod.begin_restart(ResourceSpec.whole_cores(6), 1)
+        replica.tick()
+        replica.pod.tick_restart()
+        replica.tick()
+        assert replica.engine.backlog_cores == 0.0
+
+
+class TestDBaaSService:
+    def make(self, replicas=3, initial_cores=4):
+        cluster = Cluster.small()
+        config = DbServiceConfig(replicas=replicas, initial_cores=initial_cores)
+        return (
+            DBaaSService(config, cluster.scheduler, cluster.events),
+            cluster,
+        )
+
+    def test_pods_scheduled_at_construction(self):
+        service, cluster = self.make()
+        assert all(pod.is_serving for pod in service.stateful_set.pods)
+        assert len(cluster.events) >= 3
+
+    def test_primary_serves_demand(self):
+        service, _ = self.make(initial_cores=4)
+        outcome = service.step(0, demand_cores=2.0)
+        assert outcome.primary_usage_cores == pytest.approx(2.0)
+        assert outcome.client_limit_cores == 4.0
+        assert outcome.primary_serving
+
+    def test_demand_capped_by_primary_limit(self):
+        service, _ = self.make(initial_cores=2)
+        outcome = service.step(0, demand_cores=9.0)
+        assert outcome.primary_usage_cores == pytest.approx(2.0)
+        assert outcome.primary.was_throttled
+
+    def test_secondaries_carry_replication_overhead(self):
+        service, _ = self.make(initial_cores=4)
+        service.step(0, demand_cores=2.0)
+        secondary = service.replica_by_ordinal(1)
+        # Secondary engine served replication work, so no backlog.
+        assert secondary.engine.backlog_cores == 0.0
+
+    def test_resize_latency_emerges_from_rolling_update(self):
+        service, cluster = self.make(replicas=3, initial_cores=4)
+        service.operator.begin_update(
+            ResourceSpec.whole_cores(6), 0, cluster.events
+        )
+        changed_at = None
+        for minute in range(1, 40):
+            outcome = service.step(minute, demand_cores=1.0)
+            if outcome.client_limit_cores == 6.0 and changed_at is None:
+                changed_at = minute
+        # 3 replicas x 4 min restarts: clients wait >= 8 minutes.
+        assert changed_at is not None and changed_at >= 8

@@ -1,0 +1,203 @@
+"""Tests for the Doppler multi-dimensional SKU machinery (§4.1, Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PvPCurve
+from repro.doppler import (
+    ResourceUsageProfile,
+    Sku,
+    SkuCatalog,
+    sku_pvp_curve,
+    throttling_probability,
+)
+from repro.doppler.throttling import throttled_mask
+from repro.errors import ConfigError, TraceError
+from repro.trace import CpuTrace
+from repro.workloads.synthetic import noisy
+
+
+def make_profile(cpu, memory=None, iops=None, name="p"):
+    series = {"cpu": cpu}
+    if memory is not None:
+        series["memory"] = memory
+    if iops is not None:
+        series["iops"] = iops
+    return ResourceUsageProfile(series, name)
+
+
+class TestProfile:
+    def test_dimensions_sorted(self):
+        profile = make_profile([1.0], memory=[2.0], iops=[0.5])
+        assert profile.dimensions == ["cpu", "iops", "memory"]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(TraceError):
+            make_profile([1.0, 2.0], memory=[1.0])
+
+    def test_negative_usage_rejected(self):
+        with pytest.raises(TraceError):
+            make_profile([-1.0])
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(TraceError):
+            ResourceUsageProfile({})
+
+    def test_unknown_dimension_raises(self):
+        profile = make_profile([1.0])
+        with pytest.raises(TraceError):
+            profile.usage("memory")
+
+    def test_from_cpu_trace(self):
+        trace = CpuTrace.from_values([1.0, 2.0], "w")
+        profile = ResourceUsageProfile.from_cpu_trace(trace)
+        assert profile.dimensions == ["cpu"]
+        assert profile.minutes == 2
+        assert profile.name == "w"
+
+    def test_synthesize_correlated_dimensions(self):
+        cpu = noisy(CpuTrace.constant(4.0, 200), sigma=0.2, seed=1)
+        profile = ResourceUsageProfile.synthesize(cpu, seed=0)
+        assert set(profile.dimensions) == {"cpu", "memory", "iops"}
+        # Memory is sticky: never below the floor, slow to release.
+        memory = profile.usage("memory")
+        assert memory.min() >= 2.0
+        drops = np.diff(memory)
+        assert drops.min() > -0.1 * memory.max()
+
+
+class TestSkuCatalog:
+    def test_sorted_by_price(self):
+        catalog = SkuCatalog(
+            [
+                Sku("big", 8.0, {"cpu": 8.0}),
+                Sku("small", 2.0, {"cpu": 2.0}),
+            ]
+        )
+        assert [sku.name for sku in catalog] == ["small", "big"]
+
+    def test_dimension_consistency_enforced(self):
+        with pytest.raises(ConfigError):
+            SkuCatalog(
+                [
+                    Sku("a", 1.0, {"cpu": 1.0}),
+                    Sku("b", 2.0, {"cpu": 2.0, "memory": 8.0}),
+                ]
+            )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigError):
+            SkuCatalog([Sku("a", 1.0, {"cpu": 1.0}), Sku("a", 2.0, {"cpu": 2.0})])
+
+    def test_vm_family(self):
+        catalog = SkuCatalog.vm_family([2, 4, 8], price_per_core=3.0)
+        assert len(catalog) == 3
+        sku = catalog.by_name("vm-4c")
+        assert sku.monthly_price == 12.0
+        assert sku.capacity("memory") == 16.0
+
+    def test_sku_validation(self):
+        with pytest.raises(ConfigError):
+            Sku("x", 0.0, {"cpu": 1.0})
+        with pytest.raises(ConfigError):
+            Sku("x", 1.0, {})
+        with pytest.raises(ConfigError):
+            Sku("x", 1.0, {"cpu": -1.0})
+
+
+class TestEquation1:
+    def test_single_dimension_matches_cpu_curve(self):
+        """The CPU-only specialization must agree with repro.core.pvp."""
+        cpu = noisy(CpuTrace.constant(3.0, 300), sigma=0.3, seed=2)
+        profile = ResourceUsageProfile.from_cpu_trace(cpu)
+        cpu_curve = PvPCurve.from_trace(cpu, max_cores=8)
+        for cores in range(1, 9):
+            sku = Sku(f"{cores}c", float(cores), {"cpu": float(cores)})
+            assert throttling_probability(profile, sku) == pytest.approx(
+                cpu_curve.throttling_probability(cores)
+            )
+
+    def test_union_over_dimensions(self):
+        """A SKU throttles when ANY dimension is exceeded."""
+        profile = make_profile(
+            cpu=[1.0, 5.0, 1.0, 1.0],
+            memory=[1.0, 1.0, 9.0, 1.0],
+        )
+        sku = Sku("s", 1.0, {"cpu": 4.0, "memory": 8.0})
+        mask = throttled_mask(profile, sku)
+        assert list(mask) == [False, True, True, False]
+        assert throttling_probability(profile, sku) == 0.5
+
+    def test_correlated_dimensions_not_double_counted(self):
+        """Joint estimation: a minute hot on both axes throttles once."""
+        profile = make_profile(cpu=[5.0, 1.0], memory=[9.0, 1.0])
+        sku = Sku("s", 1.0, {"cpu": 4.0, "memory": 8.0})
+        assert throttling_probability(profile, sku) == 0.5
+
+    def test_missing_capacity_rejected(self):
+        profile = make_profile(cpu=[1.0], memory=[1.0])
+        sku = Sku("s", 1.0, {"cpu": 4.0})
+        with pytest.raises(ConfigError):
+            throttling_probability(profile, sku)
+
+
+class TestSkuPvPCurve:
+    def make_curve(self):
+        cpu = noisy(CpuTrace.constant(5.0, 400), sigma=0.25, seed=3)
+        profile = ResourceUsageProfile.synthesize(cpu, seed=0)
+        catalog = SkuCatalog.vm_family([2, 4, 8, 16], memory_gb_per_core=8.0)
+        return sku_pvp_curve(profile, catalog)
+
+    def test_performance_non_decreasing_in_price(self):
+        curve = self.make_curve()
+        perfs = list(curve.performance)
+        assert perfs == sorted(perfs)
+
+    def test_cheapest_meeting_target(self):
+        curve = self.make_curve()
+        sku = curve.cheapest_meeting(0.95)
+        assert sku is not None
+        assert curve.performance_of(sku.name) >= 0.95
+        # Nothing cheaper qualifies.
+        for candidate in curve.skus:
+            if candidate.monthly_price < sku.monthly_price:
+                assert curve.performance_of(candidate.name) < 0.95
+
+    def test_unreachable_target_returns_none(self):
+        cpu = CpuTrace.constant(100.0, 10)
+        profile = ResourceUsageProfile.from_cpu_trace(cpu)
+        catalog = SkuCatalog(
+            [Sku(f"{c}c", float(c), {"cpu": float(c)}) for c in (2, 4)]
+        )
+        curve = sku_pvp_curve(profile, catalog)
+        assert curve.cheapest_meeting(0.5) is None
+
+    def test_best_under_budget(self):
+        curve = self.make_curve()
+        sku = curve.best_under_budget(8.0)
+        assert sku is not None
+        assert sku.monthly_price <= 8.0
+        assert curve.best_under_budget(0.5) is None
+
+    def test_as_rows(self):
+        rows = self.make_curve().as_rows()
+        assert len(rows) == 4
+        name, price, perf = rows[0]
+        assert isinstance(name, str)
+        assert 0.0 <= perf <= 1.0
+
+    def test_memory_bottleneck_visible(self):
+        """A dimension other than CPU can dominate Eq. 1."""
+        cpu = CpuTrace.constant(1.0, 100)  # tiny CPU
+        profile = ResourceUsageProfile(
+            {"cpu": cpu.samples, "memory": np.full(100, 30.0)}
+        )
+        catalog = SkuCatalog(
+            [
+                Sku("mem-light", 4.0, {"cpu": 4.0, "memory": 16.0}),
+                Sku("mem-heavy", 8.0, {"cpu": 4.0, "memory": 64.0}),
+            ]
+        )
+        curve = sku_pvp_curve(profile, catalog)
+        assert curve.performance_of("mem-light") == 0.0  # memory-throttled
+        assert curve.performance_of("mem-heavy") == 1.0

@@ -1,0 +1,150 @@
+"""Edge-case tests for paths the main suites exercise only implicitly."""
+
+import numpy as np
+import pytest
+
+from repro.core import CaasperConfig, CaasperRecommender, ReactivePolicy
+from repro.db.engine import DbEngine
+from repro.errors import ForecastError, SimulationError
+from repro.forecast import NaiveSeasonalForecaster
+from repro.sim import SimulatorConfig, SweepConfig, simulate_trace
+from repro.sim.sweep import run_sweep
+from repro.trace import CpuTrace
+from repro.workloads.synthetic import noisy
+
+
+class TestEngineLatencyCap:
+    def test_latency_factor_bounded(self):
+        """A deep backlog cannot drive per-minute latency to infinity."""
+        engine = DbEngine(backlog_timeout_minutes=100.0)
+        factor = 1.0
+        for _ in range(50):
+            factor = engine.step(50.0, 2.0).latency_factor
+        assert factor <= 12.0 + 1e-9
+
+    def test_zero_demand_minute(self):
+        engine = DbEngine()
+        minute = engine.step(0.0, 4.0)
+        assert minute.served_cores == 0.0
+        assert minute.latency_factor >= 1.0
+
+
+class TestNaiveIntervals:
+    def test_generic_interval_for_naive(self):
+        """The backtest-based interval works for the paper's default."""
+        period = 100
+        one = np.concatenate([np.full(50, 1.0), np.full(50, 5.0)])
+        rng = np.random.default_rng(0)
+        history = CpuTrace(
+            np.tile(one, 4) * rng.normal(1.0, 0.05, 4 * period)
+        )
+        forecaster = NaiveSeasonalForecaster(period_minutes=period)
+        # One full period so the band's relative width is measured
+        # against the whole cycle's mean level, not just the low phase.
+        interval = forecaster.forecast_interval(history, period, confidence=0.9)
+        assert (interval.upper >= interval.mean).all()
+        assert interval.relative_width() < 1.0  # tight: seasonal fit
+
+    def test_interval_too_short_history(self):
+        forecaster = NaiveSeasonalForecaster(period_minutes=50)
+        with pytest.raises(ForecastError):
+            # Backtest needs history beyond horizon + fit requirements.
+            forecaster.forecast_interval(CpuTrace.constant(1.0, 60), 59)
+
+
+class TestRecommenderEdges:
+    def test_single_core_family(self):
+        """A 1-core-max family can never scale; decisions still legal."""
+        policy = ReactivePolicy(CaasperConfig(max_cores=1, c_min=1))
+        decision = policy.decide(1, CpuTrace.constant(5.0, 60).clipped(1.0))
+        assert decision.target_cores == 1
+
+    def test_current_above_max_cores(self):
+        """An allocation above the curve (legacy SKU) walks down safely."""
+        policy = ReactivePolicy(
+            CaasperConfig(max_cores=8, c_min=2, sf_max_down=16)
+        )
+        decision = policy.decide(
+            20, noisy(CpuTrace.constant(2.0, 60), sigma=0.05, seed=1)
+        )
+        assert decision.target_cores <= 8
+
+    def test_zero_usage_window(self):
+        """An entirely idle window scales to the floor, not below."""
+        policy = ReactivePolicy(
+            CaasperConfig(max_cores=8, c_min=2, sf_max_down=16)
+        )
+        decision = policy.decide(8, CpuTrace.constant(0.0, 60))
+        assert decision.target_cores >= 2
+
+    def test_recommender_window_of_one_sample(self):
+        recommender = CaasperRecommender(CaasperConfig(max_cores=8, c_min=2))
+        recommender.observe(0, 2.0, 4)
+        assert 2 <= recommender.recommend(1, 4) <= 8
+
+
+class TestSimulatorEdges:
+    def test_one_minute_trace(self):
+        from repro.baselines import FixedRecommender
+
+        result = simulate_trace(
+            CpuTrace.constant(2.0, 1),
+            FixedRecommender(4),
+            SimulatorConfig(initial_cores=4, max_cores=8),
+        )
+        assert result.minutes == 1
+        assert result.metrics.num_scalings == 0
+
+    def test_resize_pending_at_end_not_counted(self):
+        """A decision whose delay outlives the trace never enacts."""
+        from repro.baselines import FixedRecommender
+
+        class LateScaler(FixedRecommender):
+            def recommend(self, minute, current_limit):
+                return 8
+
+        result = simulate_trace(
+            CpuTrace.constant(2.0, 15),
+            LateScaler(4),
+            SimulatorConfig(
+                initial_cores=4,
+                max_cores=8,
+                decision_interval_minutes=10,
+                resize_delay_minutes=100,
+            ),
+        )
+        assert result.metrics.num_scalings == 0
+        assert (result.limits == 4.0).all()
+
+    def test_zero_resize_delay_applies_next_minute_boundary(self):
+        from repro.baselines import FixedRecommender
+
+        result = simulate_trace(
+            CpuTrace.constant(2.0, 30),
+            FixedRecommender(6),
+            SimulatorConfig(
+                initial_cores=4,
+                max_cores=8,
+                decision_interval_minutes=10,
+                resize_delay_minutes=0,
+            ),
+        )
+        event = result.events[0]
+        # Delay 0: enacted at the next simulated minute after deciding.
+        assert event.enacted_minute - event.decided_minute <= 1
+
+
+class TestSweepEdges:
+    def test_tiny_trace_peak_below_min_cores(self):
+        """A near-idle trace still gets a valid ceiling above the floor."""
+        trace = CpuTrace.constant(0.2, 120, "idle")
+        outcome = run_sweep([trace], SweepConfig(min_cores=2))
+        result = outcome.results["idle"]
+        assert result.limits.min() >= 2
+        assert result.metrics.total_insufficient_cpu == 0.0
+
+    def test_aggregate_requires_results(self):
+        from repro.sim.sweep import SweepOutcome
+
+        with pytest.raises(SimulationError):
+            SweepOutcome(results={}).aggregate()

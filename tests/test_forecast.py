@@ -1,0 +1,201 @@
+"""Tests for the forecasting package (§4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ForecastError
+from repro.forecast import (
+    ExponentialMovingAverageForecaster,
+    HoltWintersForecaster,
+    LinearTrendForecaster,
+    MovingAverageForecaster,
+    NaiveSeasonalForecaster,
+    available_forecasters,
+    detect_period,
+    make_forecaster,
+    seasonal_strength,
+)
+from repro.forecast.registry import register_forecaster
+from repro.trace import CpuTrace
+
+
+def seasonal_trace(periods=3, period=100, low=1.0, high=5.0):
+    """A clean rectangular seasonal pattern."""
+    one = np.concatenate([np.full(period // 2, low), np.full(period // 2, high)])
+    return CpuTrace(np.tile(one, periods), "seasonal")
+
+
+class TestNaive:
+    def test_repeats_last_period(self):
+        history = seasonal_trace(periods=2)
+        forecaster = NaiveSeasonalForecaster(period_minutes=100)
+        predicted = forecaster.forecast(history, 100)
+        np.testing.assert_allclose(predicted, history.samples[-100:])
+
+    def test_horizon_longer_than_period_tiles(self):
+        history = seasonal_trace(periods=2)
+        predicted = NaiveSeasonalForecaster(100).forecast(history, 250)
+        np.testing.assert_allclose(predicted[:100], predicted[100:200])
+
+    def test_persistence_mode(self):
+        history = CpuTrace.from_values([1.0, 2.0, 7.0])
+        predicted = NaiveSeasonalForecaster(period_minutes=None).forecast(
+            history, 5
+        )
+        np.testing.assert_allclose(predicted, 7.0)
+
+    def test_insufficient_history_raises(self):
+        with pytest.raises(ForecastError):
+            NaiveSeasonalForecaster(100).forecast(CpuTrace.constant(1.0, 50), 10)
+
+    def test_zero_horizon_raises(self):
+        with pytest.raises(ForecastError):
+            NaiveSeasonalForecaster(10).forecast(CpuTrace.constant(1.0, 20), 0)
+
+    def test_phase_alignment(self):
+        """Forecast offset h must repeat the sample one period earlier."""
+        period = 60
+        values = np.arange(period, dtype=float)  # unique value per phase
+        history = CpuTrace(np.tile(values, 2))
+        predicted = NaiveSeasonalForecaster(period).forecast(history, 10)
+        np.testing.assert_allclose(predicted, values[:10])
+
+
+class TestMovingAverages:
+    def test_sma_is_window_mean(self):
+        history = CpuTrace.from_values([1.0] * 10 + [5.0] * 10)
+        predicted = MovingAverageForecaster(window_minutes=10).forecast(
+            history, 3
+        )
+        np.testing.assert_allclose(predicted, 5.0)
+
+    def test_sma_window_larger_than_history(self):
+        history = CpuTrace.from_values([2.0, 4.0])
+        predicted = MovingAverageForecaster(window_minutes=100).forecast(
+            history, 2
+        )
+        np.testing.assert_allclose(predicted, 3.0)
+
+    def test_ema_weights_recent_samples(self):
+        history = CpuTrace.from_values([1.0] * 50 + [9.0] * 5)
+        ema = ExponentialMovingAverageForecaster(alpha=0.5).forecast(history, 1)
+        sma = MovingAverageForecaster(window_minutes=55).forecast(history, 1)
+        assert ema[0] > sma[0]
+
+    def test_ema_rejects_bad_alpha(self):
+        with pytest.raises(ForecastError):
+            ExponentialMovingAverageForecaster(alpha=0.0)
+
+
+class TestHoltWinters:
+    def test_captures_seasonality(self):
+        history = seasonal_trace(periods=4)
+        predicted = HoltWintersForecaster(period_minutes=100).forecast(
+            history, 100
+        )
+        # High phase clearly above low phase in the prediction.
+        low_phase = predicted[:50].mean()
+        high_phase = predicted[50:].mean()
+        assert high_phase > low_phase + 2.0
+
+    def test_captures_trend(self):
+        period = 50
+        base = np.tile(np.full(period, 2.0), 6)
+        trend = np.linspace(0, 3.0, base.size)
+        history = CpuTrace(base + trend)
+        predicted = HoltWintersForecaster(period_minutes=period).forecast(
+            history, period
+        )
+        assert predicted.mean() > history.samples[-period:].mean() - 0.5
+
+    def test_needs_two_periods(self):
+        with pytest.raises(ForecastError):
+            HoltWintersForecaster(period_minutes=100).forecast(
+                CpuTrace.constant(1.0, 150), 10
+            )
+
+    def test_never_negative(self):
+        history = seasonal_trace(periods=3, low=0.0, high=0.2)
+        predicted = HoltWintersForecaster(period_minutes=100).forecast(
+            history, 200
+        )
+        assert (predicted >= 0).all()
+
+    def test_rejects_bad_smoothing(self):
+        with pytest.raises(ForecastError):
+            HoltWintersForecaster(alpha=1.5)
+
+
+class TestLinear:
+    def test_extrapolates_trend(self, ramp_trace):
+        predicted = LinearTrendForecaster(window_minutes=360).forecast(
+            ramp_trace, 60
+        )
+        assert predicted[-1] > ramp_trace.peak()
+
+    def test_flat_stays_flat(self):
+        history = CpuTrace.constant(3.0, 100)
+        predicted = LinearTrendForecaster().forecast(history, 10)
+        np.testing.assert_allclose(predicted, 3.0, atol=1e-6)
+
+    def test_clips_negative_extrapolation(self):
+        history = CpuTrace(np.linspace(5.0, 0.1, 100))
+        predicted = LinearTrendForecaster().forecast(history, 500)
+        assert (predicted >= 0).all()
+
+
+class TestRegistry:
+    def test_all_names_instantiate(self):
+        for name in available_forecasters():
+            kwargs = (
+                {"period_minutes": 10}
+                if name in ("naive", "holt_winters")
+                else {}
+            )
+            forecaster = make_forecaster(name, **kwargs)
+            assert forecaster.name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ForecastError):
+            make_forecaster("lstm")
+
+    def test_register_custom(self):
+        class Custom(NaiveSeasonalForecaster):
+            name = "custom-naive-test"
+
+        register_forecaster("custom-naive-test", Custom)
+        assert "custom-naive-test" in available_forecasters()
+        with pytest.raises(ForecastError):
+            register_forecaster("custom-naive-test", Custom)
+
+
+class TestSeasonality:
+    def test_detects_known_period(self):
+        trace = seasonal_trace(periods=5, period=100)
+        detected = detect_period(trace, min_period=30, max_period=200)
+        assert detected is not None
+        assert abs(detected - 100) <= 2
+
+    def test_white_noise_has_no_period(self):
+        rng = np.random.default_rng(1)
+        trace = CpuTrace(rng.uniform(1, 2, 500))
+        assert detect_period(trace, min_period=30) is None
+
+    def test_constant_has_no_period(self):
+        assert detect_period(CpuTrace.constant(2.0, 500)) is None
+
+    def test_too_short_returns_none(self):
+        assert detect_period(CpuTrace.constant(2.0, 40), min_period=30) is None
+
+    def test_seasonal_strength_high_for_clean_cycle(self):
+        trace = seasonal_trace(periods=4, period=100)
+        assert seasonal_strength(trace, 100) > 0.9
+
+    def test_seasonal_strength_low_for_noise(self):
+        rng = np.random.default_rng(2)
+        trace = CpuTrace(rng.uniform(1, 2, 400))
+        assert seasonal_strength(trace, 100) < 0.3
+
+    def test_seasonal_strength_needs_two_periods(self):
+        with pytest.raises(ForecastError):
+            seasonal_strength(CpuTrace.constant(1.0, 150), 100)

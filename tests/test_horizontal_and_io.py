@@ -1,0 +1,214 @@
+"""Tests for horizontal scaling (§1 motivation) and trace ingestion."""
+
+import numpy as np
+import pytest
+
+from repro.db.horizontal import (
+    HorizontalScalingConfig,
+    simulate_horizontal,
+    write_ceiling,
+)
+from repro.errors import ConfigError, TraceError
+from repro.trace import CpuTrace
+from repro.workloads.io import load_alibaba_csv, rescale_millicores
+from repro.workloads.synthetic import noisy
+
+
+class TestHorizontalConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            HorizontalScalingConfig(cores_per_replica=0)
+        with pytest.raises(ConfigError):
+            HorizontalScalingConfig(min_replicas=3, max_replicas=2)
+        with pytest.raises(ConfigError):
+            HorizontalScalingConfig(
+                low_utilization=0.8, high_utilization=0.5
+            )
+        with pytest.raises(ConfigError):
+            HorizontalScalingConfig(write_fraction=1.5)
+
+    def test_write_ceiling_is_one_replica(self):
+        config = HorizontalScalingConfig(cores_per_replica=6)
+        assert write_ceiling(config) == 6.0
+
+
+class TestHorizontalSimulation:
+    def test_read_heavy_workload_scales_out_and_serves(self):
+        """Reads parallelize: horizontal works when writes are few."""
+        demand = noisy(CpuTrace.constant(9.0, 360), sigma=0.05, seed=1)
+        result = simulate_horizontal(
+            demand,
+            HorizontalScalingConfig(
+                cores_per_replica=4,
+                max_replicas=6,
+                seed_minutes=10,
+                write_fraction=0.1,
+            ),
+        )
+        served = 1.0 - result.metrics.total_insufficient_cpu / demand.samples.sum()
+        assert served > 0.9
+        assert result.detail["final_replicas"] >= 3
+
+    def test_write_heavy_workload_hits_the_ceiling(self):
+        """The §1 structural limit: replicas cannot serve writes."""
+        demand = CpuTrace.constant(10.0, 360)
+        config = HorizontalScalingConfig(
+            cores_per_replica=4,
+            max_replicas=8,
+            seed_minutes=10,
+            write_fraction=0.8,
+        )
+        result = simulate_horizontal(demand, config)
+        # Write demand is 8 cores against a 4-core primary: at least
+        # 4 cores/minute go unserved no matter the replica count.
+        assert result.metrics.average_insufficient_cpu >= 3.5
+
+    def test_seed_delay_defers_capacity(self):
+        demand = CpuTrace.constant(9.0, 120)
+        slow = simulate_horizontal(
+            demand,
+            HorizontalScalingConfig(
+                cores_per_replica=4, seed_minutes=60, write_fraction=0.1
+            ),
+        )
+        fast = simulate_horizontal(
+            demand,
+            HorizontalScalingConfig(
+                cores_per_replica=4, seed_minutes=5, write_fraction=0.1
+            ),
+        )
+        assert (
+            fast.metrics.total_insufficient_cpu
+            < slow.metrics.total_insufficient_cpu
+        )
+
+    def test_scales_in_when_idle(self):
+        values = np.concatenate([np.full(120, 9.0), np.full(240, 1.0)])
+        result = simulate_horizontal(
+            CpuTrace(values),
+            HorizontalScalingConfig(
+                cores_per_replica=4, seed_minutes=10, write_fraction=0.1
+            ),
+        )
+        # Fleet shrank back toward the minimum by the end.
+        assert result.limits[-1] <= result.limits[150]
+
+    def test_billing_covers_seeding_replicas(self):
+        """A replica is billed from the minute it is provisioned."""
+        demand = CpuTrace.constant(9.0, 61)
+        result = simulate_horizontal(
+            demand,
+            HorizontalScalingConfig(
+                cores_per_replica=4, seed_minutes=1000, write_fraction=0.1
+            ),
+        )
+        # One scale-out decision happened; it never became ready but the
+        # fleet-cores series includes it.
+        assert result.limits.max() >= 8.0
+
+    def test_replica_bounds_respected(self):
+        demand = CpuTrace.constant(50.0, 240)
+        result = simulate_horizontal(
+            demand,
+            HorizontalScalingConfig(
+                cores_per_replica=2,
+                max_replicas=3,
+                seed_minutes=5,
+                write_fraction=0.0,
+            ),
+        )
+        assert result.limits.max() <= 3 * 2
+
+
+class TestAlibabaCsv:
+    def write_csv(self, tmp_path, rows, header=False):
+        path = tmp_path / "usage.csv"
+        lines = []
+        if header:
+            lines.append("ts,container,cpu_pct")
+        lines.extend(",".join(str(col) for col in row) for row in rows)
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_loads_and_converts_to_cores(self, tmp_path):
+        path = self.write_csv(
+            tmp_path,
+            [
+                (0, "c_1", 50.0),
+                (60, "c_1", 25.0),
+                (120, "c_1", 100.0),
+                (60, "c_other", 99.0),
+            ],
+        )
+        trace = load_alibaba_csv(path, "c_1", host_cores=4.0)
+        assert trace.minutes == 3
+        assert list(trace) == [2.0, 1.0, 4.0]
+        assert trace.name == "c_1"
+
+    def test_sub_minute_samples_averaged(self, tmp_path):
+        path = self.write_csv(
+            tmp_path, [(0, "c_1", 20.0), (30, "c_1", 40.0), (60, "c_1", 10.0)]
+        )
+        trace = load_alibaba_csv(path, "c_1", host_cores=10.0)
+        assert trace[0] == pytest.approx(3.0)  # mean of 2.0 and 4.0
+        assert trace[1] == pytest.approx(1.0)
+
+    def test_gaps_forward_filled(self, tmp_path):
+        path = self.write_csv(
+            tmp_path, [(0, "c_1", 50.0), (180, "c_1", 10.0)]
+        )
+        trace = load_alibaba_csv(path, "c_1", host_cores=2.0)
+        assert trace.minutes == 4
+        assert list(trace) == [1.0, 1.0, 1.0, pytest.approx(0.2)]
+
+    def test_unsorted_timestamps_handled(self, tmp_path):
+        path = self.write_csv(
+            tmp_path, [(120, "c_1", 10.0), (0, "c_1", 20.0)]
+        )
+        trace = load_alibaba_csv(path, "c_1", host_cores=10.0)
+        assert trace[0] == pytest.approx(2.0)
+        assert trace[2] == pytest.approx(1.0)
+
+    def test_header_skipped(self, tmp_path):
+        path = self.write_csv(
+            tmp_path, [(0, "c_1", 50.0)], header=True
+        )
+        trace = load_alibaba_csv(path, "c_1", has_header=True)
+        assert trace.minutes == 1
+
+    def test_missing_container_raises(self, tmp_path):
+        path = self.write_csv(tmp_path, [(0, "c_1", 50.0)])
+        with pytest.raises(TraceError):
+            load_alibaba_csv(path, "c_404")
+
+    def test_malformed_row_raises(self, tmp_path):
+        path = self.write_csv(tmp_path, [(0, "c_1", "NaN%bad")])
+        with pytest.raises(TraceError):
+            load_alibaba_csv(path, "c_1")
+
+    def test_short_row_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0,c_1\n")
+        with pytest.raises(TraceError):
+            load_alibaba_csv(path, "c_1")
+
+
+class TestRescaleMillicores:
+    def test_peak_lands_at_target(self):
+        trace = CpuTrace.from_values([0.5, 1.5, 3.0])
+        scaled = rescale_millicores(trace, 30)
+        assert scaled.peak() == pytest.approx(30.0)
+        assert scaled[0] == pytest.approx(5.0)
+
+    def test_rounds_to_millicores(self):
+        trace = CpuTrace.from_values([1.0, 3.0])
+        scaled = rescale_millicores(trace, 10)
+        assert scaled[0] == pytest.approx(3.333, abs=1e-9)
+
+    def test_zero_trace_rejected(self):
+        with pytest.raises(TraceError):
+            rescale_millicores(CpuTrace.from_values([0.0, 0.0]), 10)
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(TraceError):
+            rescale_millicores(CpuTrace.from_values([1.0]), 0)

@@ -1,0 +1,219 @@
+"""End-to-end integration and failure-injection tests.
+
+These exercise multi-module paths that the unit tests cannot: long mixed
+workloads through both execution paths, capacity exhaustion, restart
+storms, and cross-recommender sanity orderings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FixedRecommender,
+    MovingAverageRecommender,
+    OracleRecommender,
+    StepwiseRecommender,
+    VpaRecommender,
+)
+from repro.cluster import Cluster, ControlLoop, ControlLoopConfig, EventKind, ScalerConfig
+from repro.core import CaasperConfig, CaasperRecommender
+from repro.db import DBaaSService, DbServiceConfig
+from repro.sim import SimulatorConfig, simulate_trace
+from repro.sim.live import LiveSystemConfig, simulate_live
+from repro.trace import CpuTrace
+from repro.workloads import cyclical_days, square_wave, workday
+from repro.workloads.base import TraceWorkload
+
+
+class TestCrossRecommenderOrdering:
+    """Sanity orderings that must hold on any reasonable workload."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        demand = cyclical_days(days=2)
+        config = SimulatorConfig(
+            initial_cores=14,
+            min_cores=2,
+            max_cores=16,
+            decision_interval_minutes=10,
+            resize_delay_minutes=5,
+        )
+        recommenders = {
+            "control": FixedRecommender(14),
+            "oracle": OracleRecommender(
+                demand, lookahead_minutes=20, min_cores=2, max_cores=16
+            ),
+            "caasper": CaasperRecommender(
+                CaasperConfig(max_cores=16, c_min=2)
+            ),
+            "vpa": VpaRecommender(min_cores=2, max_cores=16),
+            "ma": MovingAverageRecommender(
+                margin=1.4, min_cores=2, max_cores=16
+            ),
+            "stepwise": StepwiseRecommender(min_cores=2, max_cores=16),
+        }
+        return {
+            name: simulate_trace(demand, rec, config)
+            for name, rec in recommenders.items()
+        }
+
+    def test_every_autoscaler_beats_control_on_slack(self, runs):
+        control_slack = runs["control"].metrics.total_slack
+        for name in ("oracle", "caasper", "vpa", "ma", "stepwise"):
+            assert runs[name].metrics.total_slack < control_slack
+
+    def test_oracle_dominates_on_throttling(self, runs):
+        oracle_c = runs["oracle"].metrics.total_insufficient_cpu
+        for name in ("caasper", "ma", "stepwise"):
+            assert oracle_c <= runs[name].metrics.total_insufficient_cpu + 1e-9
+
+    def test_caasper_cheaper_than_vpa(self, runs):
+        assert runs["caasper"].metrics.price < runs["vpa"].metrics.price
+
+    def test_all_runs_respect_guardrails(self, runs):
+        for result in runs.values():
+            assert result.limits.min() >= 2
+            assert result.limits.max() <= 16
+
+
+class TestLongMixedWorkload:
+    def test_square_wave_then_workday(self):
+        """Regime change mid-run: the reactive core must adapt."""
+        first = square_wave(total_hours=16)
+        second = workday()
+        demand = first.extend(second)
+        rec = CaasperRecommender(CaasperConfig(max_cores=16, c_min=2))
+        result = simulate_trace(
+            demand,
+            rec,
+            SimulatorConfig(
+                initial_cores=8,
+                min_cores=2,
+                max_cores=16,
+                decision_interval_minutes=10,
+                resize_delay_minutes=10,
+            ),
+        )
+        served = 1 - result.metrics.total_insufficient_cpu / result.demand.sum()
+        assert served > 0.9
+        assert result.metrics.total_slack < 0.6 * (
+            16 * result.minutes - result.usage.sum()
+        )
+
+
+class TestCapacityExhaustion:
+    def test_resizes_rejected_when_cluster_full(self):
+        """Failure injection: a cramped cluster rejects scale-ups safely."""
+        cluster = Cluster.uniform("cramped", 1, 8, 16)
+        service = DBaaSService(
+            DbServiceConfig(replicas=2, initial_cores=3, memory_mb=1024),
+            cluster.scheduler,
+            cluster.events,
+        )
+        loop = ControlLoop(
+            service,
+            FixedRecommender(12),  # wants far more than the node has
+            ControlLoopConfig(
+                decision_interval_minutes=5,
+                scaler=ScalerConfig(min_cores=2, max_cores=16),
+            ),
+        )
+        for minute in range(30):
+            loop.step(minute, demand_cores=2.0)
+        assert cluster.events.count(EventKind.RESIZE_REJECTED) > 0
+        # The deployment stayed at its original size and kept serving.
+        assert service.stateful_set.spec.limit_cores == 3.0
+        assert service.stateful_set.all_serving()
+
+    def test_scheduling_across_nodes(self):
+        """Replicas spread over nodes when one node cannot host them all."""
+        cluster = Cluster.uniform("spread", 3, 4, 16)
+        service = DBaaSService(
+            DbServiceConfig(replicas=3, initial_cores=3, memory_mb=1024),
+            cluster.scheduler,
+            cluster.events,
+        )
+        nodes_used = {pod.node_name for pod in service.stateful_set.pods}
+        assert len(nodes_used) == 3
+
+
+class TestRestartStorm:
+    def test_rapid_decisions_never_overlap_updates(self):
+        """An aggressive flip-flopping recommender cannot corrupt the set."""
+
+        class FlipFlop(FixedRecommender):
+            def recommend(self, minute, current_limit):
+                return 6 if current_limit <= 4 else 4
+
+        result = simulate_live(
+            TraceWorkload(CpuTrace.constant(2.0, 240)),
+            FlipFlop(4),
+            LiveSystemConfig(
+                service=DbServiceConfig(
+                    replicas=3, initial_cores=4, restart_minutes_per_pod=4
+                ),
+                control=ControlLoopConfig(
+                    decision_interval_minutes=5,
+                    scaler=ScalerConfig(min_cores=2, max_cores=8),
+                ),
+            ),
+        )
+        events = result.detail["events"]
+        started = events.of_kind(EventKind.ROLLING_UPDATE_STARTED)
+        finished = events.of_kind(EventKind.ROLLING_UPDATE_FINISHED)
+        # Updates strictly serialize: starts and finishes interleave
+        # (the final update may still be in flight when the run ends).
+        assert len(started) - len(finished) in (0, 1)
+        for start, finish in zip(started, finished):
+            assert start.minute <= finish.minute
+        for finish, next_start in zip(finished, started[1:]):
+            assert next_start.minute >= finish.minute
+
+    def test_flip_flop_costs_availability_not_correctness(self):
+        class FlipFlop(FixedRecommender):
+            def recommend(self, minute, current_limit):
+                return 6 if current_limit <= 4 else 4
+
+        result = simulate_live(
+            TraceWorkload(CpuTrace.constant(2.0, 240)),
+            FlipFlop(4),
+            LiveSystemConfig(
+                service=DbServiceConfig(replicas=3, initial_cores=4),
+                control=ControlLoopConfig(
+                    decision_interval_minutes=5,
+                    scaler=ScalerConfig(min_cores=2, max_cores=8),
+                ),
+                retry_dropped_txns=True,
+            ),
+        )
+        txn = result.detail["transactions"]
+        # Every offered transaction eventually completes via retry...
+        assert txn["total_completed"] >= txn["total_offered"] * 0.99
+        # ...but the churn shows up as many retried transactions.
+        assert txn["total_retried"] > 0
+        assert result.metrics.num_scalings >= 5
+
+
+class TestDeterminism:
+    def test_full_pipeline_reproducible(self):
+        """Same seed, same trace, same decisions — end to end."""
+
+        def one_run():
+            demand = cyclical_days(days=1, seed=5)
+            rec = CaasperRecommender(
+                CaasperConfig(
+                    max_cores=16,
+                    c_min=2,
+                    proactive=True,
+                    seasonal_period_minutes=24 * 60,
+                )
+            )
+            return simulate_trace(
+                demand,
+                rec,
+                SimulatorConfig(initial_cores=14, min_cores=2, max_cores=16),
+            )
+
+        a, b = one_run(), one_run()
+        np.testing.assert_array_equal(a.limits, b.limits)
+        assert a.metrics.as_row() == b.metrics.as_row()

@@ -1,0 +1,232 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These cover the algebraic guarantees the rest of the system leans on:
+PvP-curves are monotone CDFs, guardrails never leave the legal core
+range, billing is monotone in limits, the engine conserves work, the
+Pareto frontier is actually non-dominated, and the simulator's series
+respect the cgroup cap for arbitrary traces and recommenders.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines.histogram import DecayingHistogram
+from repro.core import CaasperConfig, PvPCurve, ReactivePolicy
+from repro.core.scaling_factor import apply_guardrails, scaling_factor, slope_skewness
+from repro.db.engine import DbEngine
+from repro.sim import BillingModel, SimulatorConfig, simulate_trace
+from repro.baselines import MovingAverageRecommender
+from repro.trace import CpuTrace
+from repro.tuning.pareto import pareto_frontier
+
+usage_arrays = arrays(
+    dtype=float,
+    shape=st.integers(min_value=2, max_value=300),
+    elements=st.floats(min_value=0.0, max_value=30.0, allow_nan=False),
+)
+
+
+class TestPvPProperties:
+    @given(usage_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_curve_is_monotone_cdf(self, samples):
+        curve = PvPCurve.from_trace(CpuTrace(samples), max_cores=32)
+        perf = curve.performance
+        assert (np.diff(perf) >= -1e-12).all()
+        assert 0.0 <= perf[0] <= perf[-1] <= 1.0
+
+    @given(usage_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_slopes_non_negative_and_bounded(self, samples):
+        curve = PvPCurve.from_trace(CpuTrace(samples), max_cores=32)
+        slopes = curve.slopes()
+        assert (slopes >= -1e-12).all()
+        assert slopes.sum() <= curve.slope_scale + 1e-9
+
+    @given(usage_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_walk_down_target_never_increases(self, samples):
+        curve = PvPCurve.from_trace(CpuTrace(samples), max_cores=32)
+        for cores in (8, 16, 32):
+            assert curve.walk_down_target(cores) <= cores
+
+
+class TestScalingFactorProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=50.0),
+        st.floats(min_value=0.0, max_value=50.0),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=100)
+    def test_sf_finite_and_non_negative(self, slope, skew, c_min):
+        value = scaling_factor(slope, skew, c_min)
+        assert math.isfinite(value)
+        assert value >= 0.0
+
+    @given(
+        arrays(
+            dtype=float,
+            shape=st.integers(min_value=1, max_value=64),
+            elements=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        )
+    )
+    @settings(max_examples=60)
+    def test_skewness_at_least_floor(self, slopes):
+        assert slope_skewness(slopes) >= 1.0
+
+    @given(
+        st.floats(min_value=-100.0, max_value=100.0),
+        st.integers(min_value=1, max_value=32),
+    )
+    @settings(max_examples=100)
+    def test_guardrails_keep_target_in_range(self, step, current):
+        config = CaasperConfig(max_cores=32, c_min=2)
+        current = max(current, 1)
+        delta = apply_guardrails(step, current, config)
+        assert config.c_min <= current + delta <= config.max_cores
+
+
+class TestReactiveProperties:
+    @given(
+        usage_arrays,
+        st.integers(min_value=1, max_value=32),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_decision_always_legal(self, samples, current):
+        policy = ReactivePolicy(CaasperConfig(max_cores=32, c_min=2))
+        decision = policy.decide(current, CpuTrace(samples))
+        assert 2 <= decision.target_cores <= 32
+        assert decision.branch in ("scale_up", "scale_down", "walk_down", "hold")
+        assert math.isfinite(decision.raw_scaling_factor)
+
+
+class TestBillingProperties:
+    limits_arrays = arrays(
+        dtype=float,
+        shape=st.integers(min_value=1, max_value=400),
+        elements=st.floats(min_value=1.0, max_value=64.0, allow_nan=False),
+    )
+
+    @given(limits_arrays)
+    @settings(max_examples=60)
+    def test_price_non_negative_and_monotone(self, limits):
+        billing = BillingModel(period_minutes=60)
+        base = billing.price(limits)
+        assert base > 0
+        assert billing.price(limits + 1.0) >= base
+
+    @given(limits_arrays, st.integers(min_value=1, max_value=120))
+    @settings(max_examples=60)
+    def test_price_at_least_integral_mean(self, limits, period):
+        """Peak billing can never charge less than minutely billing."""
+        peak_billing = BillingModel(period_minutes=period)
+        minutely = BillingModel(period_minutes=1)
+        assert peak_billing.price(limits) >= minutely.price(limits) / period
+
+
+class TestEngineProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+            min_size=1,
+            max_size=100,
+        ),
+        st.floats(min_value=0.5, max_value=16.0),
+        st.floats(min_value=0.0, max_value=10.0),
+    )
+    @settings(max_examples=60)
+    def test_work_conservation(self, demands, limit, timeout):
+        engine = DbEngine(backlog_timeout_minutes=timeout)
+        total_in = 0.0
+        total_out = 0.0
+        for demand in demands:
+            minute = engine.step(demand, limit)
+            total_in += demand
+            total_out += minute.served_cores + minute.shed_cores
+            assert minute.served_cores <= limit + 1e-9
+            assert minute.queued_cores <= timeout * limit + 1e-9
+        assert total_in == pytest.approx(total_out + engine.backlog_cores)
+
+
+class TestHistogramProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=30.0, allow_nan=False),
+                st.integers(min_value=0, max_value=10_000),
+            ),
+            min_size=1,
+            max_size=100,
+        ),
+        st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(max_examples=60)
+    def test_percentile_within_domain_and_monotone(self, samples, fraction):
+        histogram = DecayingHistogram(max_value=32.0)
+        for value, minute in sorted(samples, key=lambda pair: pair[1]):
+            histogram.add_sample(value, float(minute))
+        p_low = histogram.percentile(min(fraction, 0.5))
+        p_high = histogram.percentile(max(fraction, 0.5))
+        assert 0.0 <= p_low <= p_high <= 32.0 + 1e-9
+
+
+class TestParetoProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60)
+    def test_frontier_points_are_non_dominated(self, points):
+        slack = [p[0] for p in points]
+        throttle = [p[1] for p in points]
+        frontier = set(pareto_frontier(slack, throttle))
+        assert frontier  # at least one non-dominated point always exists
+        for index in frontier:
+            for other in range(len(points)):
+                if other == index:
+                    continue
+                strictly_better = (
+                    slack[other] <= slack[index]
+                    and throttle[other] <= throttle[index]
+                    and (
+                        slack[other] < slack[index]
+                        or throttle[other] < throttle[index]
+                    )
+                )
+                assert not strictly_better
+
+
+class TestSimulatorProperties:
+    @given(usage_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_usage_never_exceeds_limits(self, samples):
+        demand = CpuTrace(samples)
+        recommender = MovingAverageRecommender(
+            window_minutes=10, margin=1.2, max_cores=32
+        )
+        result = simulate_trace(
+            demand,
+            recommender,
+            SimulatorConfig(
+                initial_cores=4,
+                min_cores=1,
+                max_cores=32,
+                decision_interval_minutes=5,
+                resize_delay_minutes=2,
+            ),
+        )
+        assert (result.usage <= result.limits + 1e-9).all()
+        assert (result.limits >= 1).all()
+        assert (result.limits <= 32).all()
+        assert result.metrics.num_scalings == len(result.events)

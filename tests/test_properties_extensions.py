@@ -1,0 +1,139 @@
+"""Property-based tests for the extension modules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines import AutopilotRecommender
+from repro.db.horizontal import HorizontalScalingConfig, simulate_horizontal
+from repro.doppler import ResourceUsageProfile, Sku, throttling_probability
+from repro.forecast import ARForecaster, FourierRegressionForecaster
+from repro.trace import CpuTrace
+
+usage_arrays = arrays(
+    dtype=float,
+    shape=st.integers(min_value=60, max_value=400),
+    elements=st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+)
+
+
+class TestDopplerProperties:
+    @given(
+        usage_arrays,
+        st.floats(min_value=0.5, max_value=25.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_probability_monotone_in_capacity(self, cpu, capacity):
+        """Bigger SKUs never throttle more (Eq. 1 is a survival curve)."""
+        profile = ResourceUsageProfile({"cpu": cpu})
+        small = Sku("s", 1.0, {"cpu": capacity})
+        big = Sku("b", 2.0, {"cpu": capacity * 2})
+        assert throttling_probability(profile, big) <= (
+            throttling_probability(profile, small)
+        )
+
+    @given(usage_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_adding_a_dimension_never_lowers_probability(self, cpu):
+        """The union over dimensions can only grow (Eq. 1)."""
+        memory = np.full(cpu.size, 4.0)
+        single = ResourceUsageProfile({"cpu": cpu})
+        joint = ResourceUsageProfile({"cpu": cpu, "memory": memory})
+        sku_single = Sku("s", 1.0, {"cpu": 8.0})
+        sku_joint = Sku("j", 1.0, {"cpu": 8.0, "memory": 8.0})
+        assert throttling_probability(joint, sku_joint) >= (
+            throttling_probability(single, sku_single)
+        )
+
+    @given(usage_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_probability_in_unit_interval(self, cpu):
+        profile = ResourceUsageProfile({"cpu": cpu})
+        sku = Sku("s", 1.0, {"cpu": 5.0})
+        probability = throttling_probability(profile, sku)
+        assert 0.0 <= probability <= 1.0
+
+
+class TestHorizontalProperties:
+    @given(
+        usage_arrays,
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_served_never_exceeds_demand_or_fleet(self, demand, write_fraction):
+        config = HorizontalScalingConfig(
+            cores_per_replica=4,
+            max_replicas=6,
+            seed_minutes=10,
+            write_fraction=write_fraction,
+        )
+        result = simulate_horizontal(CpuTrace(demand), config)
+        # Usage includes seed overhead, but stays within the fleet.
+        assert (result.usage <= result.limits + 1e-9).all()
+        assert (result.limits >= config.cores_per_replica).all()
+        assert (
+            result.limits <= config.max_replicas * config.cores_per_replica
+        ).all()
+
+    @given(usage_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_pure_writes_never_served_beyond_one_replica(self, demand):
+        """The §1 ceiling as an invariant."""
+        config = HorizontalScalingConfig(
+            cores_per_replica=4,
+            max_replicas=8,
+            seed_minutes=5,
+            write_fraction=1.0,
+        )
+        result = simulate_horizontal(CpuTrace(demand), config)
+        served = np.minimum(result.usage, result.demand)
+        assert (served <= config.cores_per_replica + 1e-9).all()
+
+
+class TestAutopilotProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=16.0, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50)
+    def test_decayed_peak_bounded_by_true_peak(self, usage):
+        recommender = AutopilotRecommender(
+            window_minutes=300, margin=1.0, max_cores=32
+        )
+        for minute, value in enumerate(usage):
+            recommender.observe(minute, value, 16)
+        decayed = recommender.decayed_peak()
+        assert 0.0 <= decayed <= max(usage) + 1e-9
+        # The most recent sample is never discounted below itself.
+        assert decayed >= usage[-1] - 1e-9
+
+
+class TestForecasterProperties:
+    @given(usage_arrays, st.integers(min_value=1, max_value=60))
+    @settings(max_examples=30, deadline=None)
+    def test_ar_outputs_finite_non_negative(self, samples, horizon):
+        forecaster = ARForecaster(order=8)
+        history = CpuTrace(samples)
+        if history.minutes < 2 * 8 + 2:
+            return
+        predicted = forecaster.forecast(history, horizon)
+        assert predicted.shape == (horizon,)
+        assert np.isfinite(predicted).all()
+        assert (predicted >= 0).all()
+
+    @given(usage_arrays, st.integers(min_value=1, max_value=60))
+    @settings(max_examples=30, deadline=None)
+    def test_fourier_outputs_finite_non_negative(self, samples, horizon):
+        forecaster = FourierRegressionForecaster(
+            period_minutes=50, harmonics=3
+        )
+        history = CpuTrace(samples)
+        predicted = forecaster.forecast(history, horizon)
+        assert predicted.shape == (horizon,)
+        assert np.isfinite(predicted).all()
+        assert (predicted >= 0).all()

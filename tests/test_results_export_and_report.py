@@ -1,0 +1,62 @@
+"""Tests for result CSV export and the CLI report generator."""
+
+import csv
+
+import pytest
+
+from repro.baselines import FixedRecommender
+from repro.cli import main
+from repro.sim import SimulatorConfig, simulate_trace
+from repro.trace import CpuTrace
+
+
+class TestResultCsvExport:
+    def make_result(self):
+        demand = CpuTrace.from_values([1.0, 5.0, 2.0])
+        return simulate_trace(
+            demand,
+            FixedRecommender(3),
+            SimulatorConfig(initial_cores=3, max_cores=8),
+        )
+
+    def test_round_trip_columns(self, tmp_path):
+        result = self.make_result()
+        path = tmp_path / "run.csv"
+        result.to_csv(path)
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 3
+        assert set(rows[0]) == {
+            "minute", "demand", "usage", "limit", "slack", "insufficient",
+        }
+        assert float(rows[1]["demand"]) == 5.0
+        assert float(rows[1]["usage"]) == 3.0
+        assert float(rows[1]["insufficient"]) == 2.0
+        assert float(rows[0]["slack"]) == 2.0
+
+    def test_slack_insufficient_consistent(self, tmp_path):
+        result = self.make_result()
+        path = tmp_path / "run.csv"
+        result.to_csv(path)
+        with open(path, newline="") as handle:
+            for row in csv.DictReader(handle):
+                slack = float(row["limit"]) - float(row["usage"])
+                assert float(row["slack"]) == pytest.approx(max(slack, 0.0))
+
+
+class TestReportCommand:
+    @pytest.mark.slow
+    def test_fast_report_covers_all_experiments(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main(["report", "--out", str(out), "--fast"]) == 0
+        text = out.read_text()
+        for section in (
+            "fig3", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10",
+            "fig11", "fig12", "fig13", "fig14", "correctness",
+        ):
+            assert f"## {section}" in text
+        assert "Figure 3" in text
+
+    def test_report_requires_out(self):
+        with pytest.raises(SystemExit):
+            main(["report"])

@@ -1,0 +1,245 @@
+"""Tests for billing, metrics, results and the trace simulator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FixedRecommender, OracleRecommender, StepwiseRecommender
+from repro.core import CaasperConfig, CaasperRecommender
+from repro.errors import ConfigError, SimulationError
+from repro.sim import (
+    BillingModel,
+    SimulationMetrics,
+    SimulatorConfig,
+    simulate_trace,
+)
+from repro.sim.results import ScalingEvent, SimulationResult
+from repro.trace import CpuTrace
+from repro.workloads.synthetic import noisy
+
+
+class TestBilling:
+    def test_peak_per_period_rounded_up(self):
+        billing = BillingModel(period_minutes=60, price_per_core_period=2.0)
+        limits = np.concatenate([np.full(60, 3.0), np.full(60, 5.5)])
+        # ceil(3) + ceil(5.5) = 3 + 6 = 9 core-periods at $2.
+        assert billing.price(limits) == 18.0
+
+    def test_single_high_minute_prices_whole_period(self):
+        billing = BillingModel(period_minutes=60)
+        limits = np.full(60, 2.0)
+        limits[30] = 10.0
+        assert billing.price(limits) == 10.0
+
+    def test_partial_trailing_period_billed(self):
+        billing = BillingModel(period_minutes=60)
+        assert billing.price(np.full(90, 2.0)) == 4.0  # two periods
+
+    def test_minutely_billing(self):
+        billing = BillingModel(period_minutes=1)
+        assert billing.price(np.array([1.0, 2.0, 3.0])) == 6.0
+
+    def test_price_ratio(self):
+        billing = BillingModel(period_minutes=1)
+        assert billing.price_ratio(
+            np.array([1.0, 1.0]), np.array([2.0, 2.0])
+        ) == pytest.approx(0.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            BillingModel().price(np.array([]))
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            BillingModel(period_minutes=0)
+        with pytest.raises(ConfigError):
+            BillingModel(price_per_core_period=0.0)
+
+
+class TestSimulationMetrics:
+    def make(self, demand, usage, limits, scalings=0, price=0.0):
+        return SimulationMetrics.from_series(
+            np.asarray(demand, dtype=float),
+            np.asarray(usage, dtype=float),
+            np.asarray(limits, dtype=float),
+            scalings,
+            price,
+        )
+
+    def test_slack_and_insufficient(self):
+        metrics = self.make(
+            demand=[2.0, 6.0], usage=[2.0, 4.0], limits=[4.0, 4.0]
+        )
+        assert metrics.total_slack == pytest.approx(2.0)  # minute 1 only
+        assert metrics.total_insufficient_cpu == pytest.approx(2.0)
+        assert metrics.throttled_observations == 1
+        assert metrics.throttled_observation_pct == 50.0
+
+    def test_averages(self):
+        metrics = self.make([1.0] * 4, [1.0] * 4, [3.0] * 4)
+        assert metrics.average_slack == pytest.approx(2.0)
+        assert metrics.average_insufficient_cpu == 0.0
+
+    def test_slack_reduction(self):
+        a = self.make([1.0], [1.0], [2.0])
+        b = self.make([1.0], [1.0], [5.0])
+        assert a.slack_reduction_vs(b) == pytest.approx(0.75)
+
+    def test_slack_reduction_zero_baseline_raises(self):
+        a = self.make([1.0], [1.0], [1.0])
+        with pytest.raises(SimulationError):
+            a.slack_reduction_vs(a)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            self.make([1.0, 2.0], [1.0], [1.0])
+
+    def test_as_row_keys(self):
+        row = self.make([1.0], [1.0], [2.0], scalings=3, price=9.0).as_row()
+        assert row["num_scalings"] == 3.0
+        assert row["price"] == 9.0
+
+
+class TestSimulator:
+    def simulate(self, demand_values, recommender=None, **config_kwargs):
+        demand = CpuTrace.from_values(demand_values)
+        defaults = dict(
+            initial_cores=4,
+            min_cores=1,
+            max_cores=16,
+            decision_interval_minutes=10,
+            resize_delay_minutes=5,
+        )
+        defaults.update(config_kwargs)
+        return simulate_trace(
+            demand,
+            recommender or FixedRecommender(4),
+            SimulatorConfig(**defaults),
+        )
+
+    def test_usage_capped_at_limits(self):
+        result = self.simulate([9.0] * 30)
+        assert (result.usage <= result.limits + 1e-9).all()
+        assert result.metrics.total_insufficient_cpu == pytest.approx(150.0)
+
+    def test_fixed_recommender_never_scales(self):
+        result = self.simulate([2.0] * 60)
+        assert result.metrics.num_scalings == 0
+        assert (result.limits == 4.0).all()
+
+    def test_resize_delay_applied(self):
+        """A decision at minute 10 takes effect at 10 + delay."""
+        demand = [1.0] * 60
+        rec = StepwiseRecommender(low_utilization=0.5, min_cores=1)
+        result = self.simulate(demand, rec, resize_delay_minutes=7)
+        first = result.events[0]
+        assert first.enacted_minute == first.decided_minute + 7
+
+    def test_cooldown_spaces_scalings(self):
+        rec = StepwiseRecommender(
+            low_utilization=0.9, high_utilization=0.95, min_cores=1
+        )
+        result = self.simulate(
+            [0.2] * 120, rec, cooldown_minutes=35, resize_delay_minutes=1
+        )
+        enacted = [event.enacted_minute for event in result.events]
+        assert all(b - a >= 35 for a, b in zip(enacted, enacted[1:]))
+
+    def test_guardrails_clamp_recommendations(self):
+        result = self.simulate(
+            [0.1] * 60,
+            StepwiseRecommender(
+                low_utilization=0.9, high_utilization=0.95, min_cores=1
+            ),
+            min_cores=3,
+        )
+        assert result.limits.min() >= 3.0
+
+    def test_negative_recommendation_rejected(self):
+        class Broken(FixedRecommender):
+            def recommend(self, minute, current_limit):
+                return -1
+
+        broken = Broken(4)
+        with pytest.raises(SimulationError):
+            self.simulate([1.0] * 30, broken)
+
+    def test_oracle_never_throttles(self):
+        demand_trace = noisy(CpuTrace.constant(4.0, 240), sigma=0.2, seed=4)
+        oracle = OracleRecommender(
+            demand_trace, lookahead_minutes=20, max_cores=16
+        )
+        result = simulate_trace(
+            demand_trace,
+            oracle,
+            SimulatorConfig(
+                initial_cores=8,
+                max_cores=16,
+                decision_interval_minutes=5,
+                resize_delay_minutes=0,
+            ),
+        )
+        assert result.metrics.throttled_observations <= 2
+
+    def test_caasper_full_cycle(self):
+        """Over-provisioned start -> scale down -> demand jump -> scale up."""
+        demand_values = [1.5] * 240 + [7.0] * 240
+        rec = CaasperRecommender(CaasperConfig(max_cores=16, c_min=2))
+        result = self.simulate(demand_values, rec, initial_cores=12)
+        # Scaled down during the quiet phase...
+        assert result.limits[200] < 12
+        # ...and back up for the busy phase.
+        assert result.limits[-1] >= 7
+
+    def test_events_metrics_consistent(self):
+        rec = CaasperRecommender(CaasperConfig(max_cores=16, c_min=2))
+        result = self.simulate([1.0] * 120 + [6.0] * 120, rec)
+        assert result.metrics.num_scalings == len(result.events)
+
+    def test_series_lengths(self):
+        result = self.simulate([1.0] * 45)
+        assert result.minutes == 45
+        assert len(result.usage) == len(result.limits) == 45
+
+
+class TestSimulationResult:
+    def make_result(self):
+        demand = np.array([1.0, 5.0, 2.0])
+        usage = np.array([1.0, 3.0, 2.0])
+        limits = np.array([3.0, 3.0, 3.0])
+        metrics = SimulationMetrics.from_series(demand, usage, limits, 1, 9.0)
+        return SimulationResult(
+            name="run",
+            demand=demand,
+            usage=usage,
+            limits=limits,
+            events=(ScalingEvent(0, 1, 4, 3),),
+            metrics=metrics,
+        )
+
+    def test_series_helpers(self):
+        result = self.make_result()
+        assert list(result.slack_series()) == [2.0, 0.0, 1.0]
+        assert list(result.insufficient_series()) == [0.0, 2.0, 0.0]
+        assert result.usage_trace().minutes == 3
+        assert result.limits_trace().peak() == 3.0
+
+    def test_summary_counts_directions(self):
+        result = self.make_result()
+        summary = result.summary()
+        assert summary["scale_downs"] == 1.0
+        assert summary["scale_ups"] == 0.0
+
+    def test_scaling_event_direction(self):
+        assert ScalingEvent(0, 1, 2, 4).is_scale_up
+        assert not ScalingEvent(0, 1, 4, 2).is_scale_up
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationResult(
+                name="bad",
+                demand=np.array([1.0]),
+                usage=np.array([1.0, 2.0]),
+                limits=np.array([1.0]),
+                events=(),
+                metrics=SimulationMetrics(0, 0, 0, 1, 0, 0),
+            )

@@ -1,0 +1,159 @@
+"""Tests for the closed-loop live-system simulation."""
+
+import pytest
+
+from repro.baselines import FixedRecommender, OpenShiftVpaRecommender
+from repro.cluster.controller import ControlLoopConfig
+from repro.cluster.scaler import ScalerConfig
+from repro.core import CaasperConfig, CaasperRecommender
+from repro.db.service import DbServiceConfig
+from repro.errors import SimulationError
+from repro.sim.live import LiveSystemConfig, simulate_live
+from repro.trace import CpuTrace
+from repro.workloads.base import TraceWorkload
+from repro.workloads.synthetic import noisy
+
+
+def live_config(**kwargs):
+    defaults = dict(
+        cluster_factory="small",
+        service=DbServiceConfig(replicas=3, initial_cores=4),
+        control=ControlLoopConfig(
+            decision_interval_minutes=10,
+            scaler=ScalerConfig(min_cores=2, max_cores=8),
+        ),
+        txns_per_core_minute=100.0,
+        base_latency_ms=50.0,
+    )
+    defaults.update(kwargs)
+    return LiveSystemConfig(**defaults)
+
+
+def flat_workload(cores=2.0, minutes=120):
+    return TraceWorkload(
+        noisy(CpuTrace.constant(cores, minutes), sigma=0.05, seed=7)
+    )
+
+
+class TestBasicRun:
+    def test_control_run_serves_everything(self):
+        result = simulate_live(
+            flat_workload(2.0), FixedRecommender(4), live_config()
+        )
+        txn = result.detail["transactions"]
+        assert txn["total_completed"] == pytest.approx(
+            txn["total_offered"], rel=0.01
+        )
+        assert result.metrics.num_scalings == 0
+
+    def test_throttled_run_loses_throughput(self):
+        """Closed loop: a capped engine sheds work it cannot catch up."""
+        result = simulate_live(
+            flat_workload(6.0),
+            FixedRecommender(2),
+            live_config(
+                control=ControlLoopConfig(
+                    scaler=ScalerConfig(min_cores=2, max_cores=2)
+                ),
+                retry_dropped_txns=False,
+            ),
+        )
+        txn = result.detail["transactions"]
+        assert txn["total_completed"] < 0.5 * txn["total_offered"]
+
+    def test_unknown_cluster_factory_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate_live(
+                flat_workload(),
+                FixedRecommender(4),
+                live_config(cluster_factory="medium"),
+            )
+
+
+class TestResizeDynamics:
+    def test_resize_latency_matches_rolling_update(self):
+        """Client-visible limits change replicas x restart minutes later."""
+        result = simulate_live(
+            flat_workload(2.0, minutes=90),
+            FixedRecommender(6),
+            live_config(
+                service=DbServiceConfig(
+                    replicas=3, initial_cores=4, restart_minutes_per_pod=4
+                )
+            ),
+        )
+        event = result.events[0]
+        lag = event.enacted_minute - event.decided_minute
+        assert 10 <= lag <= 16  # ~3 pods x 4 min, paper's 10-15 window
+
+    def test_failover_per_resize(self):
+        result = simulate_live(
+            flat_workload(2.0, minutes=90),
+            FixedRecommender(6),
+            live_config(),
+        )
+        assert result.detail["failovers"] == 1
+
+    def test_restart_drops_accounted(self):
+        result = simulate_live(
+            flat_workload(2.0, minutes=90),
+            FixedRecommender(6),
+            live_config(retry_dropped_txns=False, drops_per_restart=1.0),
+        )
+        txn = result.detail["transactions"]
+        assert txn["total_dropped"] == pytest.approx(3.0)  # one per pod
+
+    def test_retry_mode_recovers_restart_drops(self):
+        result = simulate_live(
+            flat_workload(2.0, minutes=90),
+            FixedRecommender(6),
+            live_config(retry_dropped_txns=True),
+        )
+        txn = result.detail["transactions"]
+        assert txn["total_dropped"] == 0.0
+        assert txn["total_retried"] >= 3.0
+
+
+class TestClosedLoopBehaviours:
+    def test_openshift_feedback_loop_throttles_closed_loop(self):
+        """The paper's headline OpenShift failure, end to end."""
+        demand = TraceWorkload(
+            noisy(CpuTrace.constant(6.0, 360), sigma=0.05, seed=11)
+        )
+        caasper = simulate_live(
+            demand,
+            CaasperRecommender(CaasperConfig(max_cores=8, c_min=2)),
+            live_config(retry_dropped_txns=False),
+        )
+        openshift = simulate_live(
+            demand,
+            OpenShiftVpaRecommender(min_cores=2, max_cores=8),
+            live_config(retry_dropped_txns=False),
+        )
+        caasper_txns = caasper.detail["transactions"]["total_completed"]
+        openshift_txns = openshift.detail["transactions"]["total_completed"]
+        assert openshift_txns < 0.8 * caasper_txns
+
+    def test_latency_inflates_under_throttling(self):
+        throttled = simulate_live(
+            flat_workload(6.0),
+            FixedRecommender(2),
+            live_config(
+                control=ControlLoopConfig(
+                    scaler=ScalerConfig(min_cores=2, max_cores=2)
+                )
+            ),
+        )
+        healthy = simulate_live(
+            flat_workload(2.0), FixedRecommender(4), live_config()
+        )
+        assert (
+            throttled.detail["transactions"]["avg_latency_ms"]
+            > 2 * healthy.detail["transactions"]["avg_latency_ms"]
+        )
+
+    def test_price_computed_from_client_limits(self):
+        result = simulate_live(
+            flat_workload(2.0, minutes=120), FixedRecommender(4), live_config()
+        )
+        assert result.metrics.price == pytest.approx(4.0 * 2)  # 2 hours x 4

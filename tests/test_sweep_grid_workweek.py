@@ -1,0 +1,171 @@
+"""Tests for the sweep harness, grid search and work-week generator."""
+
+import numpy as np
+import pytest
+
+from repro.core import CaasperConfig
+from repro.errors import SimulationError, TraceError, TuningError
+from repro.forecast import detect_period
+from repro.sim import SimulatorConfig, SweepConfig, run_sweep
+from repro.sim.sweep import default_recommender_factory
+from repro.trace import MINUTES_PER_DAY, CpuTrace
+from repro.tuning import GridSearch, grid_configs
+from repro.workloads import workweek
+from repro.workloads.synthetic import noisy
+
+
+class TestWorkweek:
+    def test_shape_weekdays_vs_weekend(self):
+        trace = workweek(weeks=1, sigma=0.0, seed=None)
+        assert trace.minutes == 7 * MINUTES_PER_DAY
+        monday_noon = trace[12 * 60]
+        saturday_noon = trace[5 * MINUTES_PER_DAY + 12 * 60]
+        assert monday_noon > 2 * saturday_noon
+
+    def test_idle_outside_office_hours(self):
+        trace = workweek(weeks=1, idle_cores=1.0, sigma=0.0, seed=None)
+        assert trace[3 * 60] == pytest.approx(1.0)  # 3 am
+        assert trace[23 * 60] == pytest.approx(1.0)  # 11 pm
+
+    def test_peak_mid_office(self):
+        trace = workweek(
+            weeks=1, busy_cores=6.0, work_start_hour=9, work_end_hour=18,
+            sigma=0.0, seed=None,
+        )
+        # Half-sine peaks at 13:30.
+        assert trace[int(13.5 * 60)] == pytest.approx(6.0, abs=0.05)
+
+    def test_daily_period_detectable(self):
+        trace = workweek(weeks=2, sigma=0.05, seed=3)
+        period = detect_period(
+            trace.resampled(10), min_period=60, max_period=160
+        )
+        assert period is not None
+        assert abs(period - MINUTES_PER_DAY // 10) <= 6
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            workweek(weeks=0)
+        with pytest.raises(TraceError):
+            workweek(weekend_factor=1.5)
+        with pytest.raises(TraceError):
+            workweek(work_start_hour=19, work_end_hour=9)
+
+
+class TestSweep:
+    def make_traces(self):
+        return [
+            noisy(CpuTrace.constant(2.0, 300, "small"), sigma=0.1, seed=1),
+            noisy(CpuTrace.constant(8.0, 300, "large"), sigma=0.1, seed=2),
+        ]
+
+    def test_sweep_over_traces(self):
+        outcome = run_sweep(self.make_traces())
+        assert set(outcome.results) == {"small", "large"}
+        for result in outcome.results.values():
+            assert result.metrics.minutes == 300
+
+    def test_per_trace_ceiling_scales_with_peak(self):
+        outcome = run_sweep(self.make_traces())
+        assert outcome.results["large"].limits.max() > (
+            outcome.results["small"].limits.max()
+        )
+
+    def test_table_and_aggregate(self):
+        outcome = run_sweep(self.make_traces())
+        table = outcome.table()
+        assert "small" in table and "large" in table
+        aggregate = outcome.aggregate()
+        assert aggregate["traces"] == 2.0
+        assert aggregate["mean_avg_slack"] >= 0.0
+
+    def test_duplicate_names_rejected(self):
+        trace = CpuTrace.constant(1.0, 100, "dup")
+        with pytest.raises(SimulationError):
+            run_sweep([trace, trace])
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(SimulationError):
+            run_sweep([])
+
+    def test_custom_factory_used(self):
+        from repro.baselines import FixedRecommender
+
+        outcome = run_sweep(
+            self.make_traces(),
+            SweepConfig(min_cores=2),
+            recommender_factory=lambda trace: FixedRecommender(4),
+        )
+        for result in outcome.results.values():
+            assert result.metrics.num_scalings <= 1
+
+    def test_default_factory_respects_base(self):
+        factory = default_recommender_factory(
+            CaasperConfig(c_min=3, max_cores=64)
+        )
+        recommender = factory(CpuTrace.constant(5.0, 100))
+        assert recommender.config.c_min == 3
+
+    def test_config_validation(self):
+        with pytest.raises(SimulationError):
+            SweepConfig(min_cores=0)
+        with pytest.raises(SimulationError):
+            SweepConfig(headroom_factor=0.5)
+
+
+class TestGridSearch:
+    def base(self):
+        return CaasperConfig(max_cores=16, c_min=2)
+
+    def test_cartesian_product(self):
+        configs = grid_configs(
+            self.base(),
+            {"window_minutes": [20, 40], "c_min": [1, 2, 3]},
+        )
+        assert len(configs) == 6
+        seen = {(c.window_minutes, c.c_min) for c in configs}
+        assert (20, 1) in seen and (40, 3) in seen
+
+    def test_invalid_combinations_skipped(self):
+        configs = grid_configs(
+            self.base(),
+            {"s_low": [0.1, 5.0], "s_high": [3.0]},  # 5.0 > 3.0 invalid
+        )
+        assert len(configs) == 1
+
+    def test_all_invalid_raises(self):
+        with pytest.raises(TuningError):
+            grid_configs(self.base(), {"c_min": [0]})
+
+    def test_empty_grid_raises(self):
+        with pytest.raises(TuningError):
+            grid_configs(self.base(), {})
+        with pytest.raises(TuningError):
+            grid_configs(self.base(), {"c_min": []})
+
+    def test_runs_deterministically(self):
+        demand = noisy(CpuTrace.constant(3.0, 200), sigma=0.1, seed=4)
+        simulator = SimulatorConfig(initial_cores=8, min_cores=1, max_cores=16)
+        search = GridSearch(
+            demand,
+            simulator,
+            self.base(),
+            {"window_minutes": [20, 40], "m_low": [0.2, 0.4]},
+        )
+        assert len(search) == 4
+        a = search.run()
+        b = search.run()
+        np.testing.assert_array_equal(a.slack_values(), b.slack_values())
+
+    def test_outcome_interops_with_pareto(self):
+        demand = noisy(CpuTrace.constant(3.0, 200), sigma=0.1, seed=4)
+        simulator = SimulatorConfig(initial_cores=8, min_cores=1, max_cores=16)
+        outcome = GridSearch(
+            demand,
+            simulator,
+            self.base(),
+            {"scale_down_headroom": [0.0, 0.2, 0.4]},
+        ).run()
+        assert outcome.pareto_indices()
+        best = outcome.best_for_alpha(0.1)
+        assert best in outcome.trials

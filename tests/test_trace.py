@@ -1,0 +1,173 @@
+"""Tests for repro.trace.CpuTrace."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace import MINUTES_PER_DAY, MINUTES_PER_HOUR, CpuTrace
+
+
+class TestConstruction:
+    def test_from_values(self):
+        trace = CpuTrace.from_values([1.0, 2.0, 3.0], name="t")
+        assert trace.minutes == 3
+        assert trace[1] == 2.0
+        assert trace.name == "t"
+
+    def test_constant(self):
+        trace = CpuTrace.constant(4.0, 10)
+        assert trace.minutes == 10
+        assert trace.peak() == 4.0
+        assert trace.mean() == 4.0
+
+    def test_constant_rejects_zero_duration(self):
+        with pytest.raises(TraceError):
+            CpuTrace.constant(1.0, 0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(TraceError):
+            CpuTrace(np.array([]))
+
+    def test_rejects_negative_usage(self):
+        with pytest.raises(TraceError):
+            CpuTrace(np.array([1.0, -0.1]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(TraceError):
+            CpuTrace(np.array([1.0, np.nan]))
+
+    def test_rejects_inf(self):
+        with pytest.raises(TraceError):
+            CpuTrace(np.array([1.0, np.inf]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(TraceError):
+            CpuTrace(np.ones((2, 2)))
+
+    def test_samples_are_immutable(self):
+        trace = CpuTrace.constant(1.0, 5)
+        with pytest.raises(ValueError):
+            trace.samples[0] = 9.0
+
+    def test_iteration_and_len(self):
+        trace = CpuTrace.from_values([1.0, 2.0])
+        assert list(trace) == [1.0, 2.0]
+        assert len(trace) == 2
+
+    def test_duration_properties(self):
+        trace = CpuTrace.constant(1.0, 2 * MINUTES_PER_HOUR)
+        assert trace.hours == 2.0
+        assert MINUTES_PER_DAY == 1440
+
+
+class TestStatistics:
+    def test_quantile(self):
+        trace = CpuTrace.from_values(range(1, 101))
+        assert trace.quantile(0.0) == 1.0
+        assert trace.quantile(1.0) == 100.0
+        assert 50.0 <= trace.quantile(0.5) <= 51.0
+
+    def test_quantile_rejects_out_of_range(self):
+        trace = CpuTrace.constant(1.0, 5)
+        with pytest.raises(TraceError):
+            trace.quantile(1.5)
+
+    def test_fraction_at_or_above(self):
+        trace = CpuTrace.from_values([1.0, 2.0, 3.0, 4.0])
+        assert trace.fraction_at_or_above(3.0) == 0.5
+        assert trace.fraction_at_or_above(0.0) == 1.0
+        assert trace.fraction_at_or_above(5.0) == 0.0
+
+    def test_std_of_constant_is_zero(self):
+        assert CpuTrace.constant(3.0, 10).std() == 0.0
+
+
+class TestTransformations:
+    def test_window_positive(self):
+        trace = CpuTrace.from_values(range(10))
+        window = trace.window(2, 5)
+        assert list(window) == [2.0, 3.0, 4.0]
+        assert window.start_minute == 2
+
+    def test_window_negative_is_trailing(self):
+        trace = CpuTrace.from_values(range(10))
+        window = trace.window(-3)
+        assert list(window) == [7.0, 8.0, 9.0]
+        assert window.start_minute == 7
+
+    def test_window_empty_raises(self):
+        trace = CpuTrace.from_values(range(10))
+        with pytest.raises(TraceError):
+            trace.window(5, 5)
+
+    def test_extend_with_trace(self):
+        a = CpuTrace.from_values([1.0, 2.0])
+        b = CpuTrace.from_values([3.0])
+        assert list(a.extend(b)) == [1.0, 2.0, 3.0]
+
+    def test_extend_with_array(self):
+        a = CpuTrace.from_values([1.0])
+        assert list(a.extend([2.0, 3.0])) == [1.0, 2.0, 3.0]
+
+    def test_scaled(self):
+        trace = CpuTrace.from_values([1.0, 2.0]).scaled(10.0)
+        assert list(trace) == [10.0, 20.0]
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(TraceError):
+            CpuTrace.constant(1.0, 2).scaled(-1.0)
+
+    def test_clipped(self):
+        trace = CpuTrace.from_values([1.0, 5.0, 3.0]).clipped(3.0)
+        assert list(trace) == [1.0, 3.0, 3.0]
+
+    def test_resampled_means_blocks(self):
+        trace = CpuTrace.from_values([1.0, 3.0, 5.0, 7.0]).resampled(2)
+        assert list(trace) == [2.0, 6.0]
+
+    def test_resampled_partial_tail(self):
+        trace = CpuTrace.from_values([2.0, 4.0, 9.0]).resampled(2)
+        assert list(trace) == [3.0, 9.0]
+
+    def test_resampled_step_one_is_identity(self):
+        trace = CpuTrace.from_values([1.0, 2.0])
+        assert trace.resampled(1) is trace
+
+    def test_smoothed_preserves_length_and_mean(self):
+        trace = CpuTrace.from_values([0.0, 10.0] * 20)
+        smooth = trace.smoothed(4)
+        assert smooth.minutes == trace.minutes
+        assert smooth.mean() == pytest.approx(trace.mean(), rel=0.05)
+        assert smooth.std() < trace.std()
+
+    def test_with_name(self):
+        trace = CpuTrace.constant(1.0, 2).with_name("renamed")
+        assert trace.name == "renamed"
+
+
+class TestPersistence:
+    def test_csv_round_trip(self, tmp_path):
+        trace = CpuTrace.from_values([1.25, 2.5, 0.0], "rt", start_minute=7)
+        path = tmp_path / "trace.csv"
+        trace.to_csv(path)
+        loaded = CpuTrace.from_csv(path)
+        assert loaded.minutes == 3
+        assert loaded.start_minute == 7
+        np.testing.assert_allclose(loaded.samples, trace.samples, atol=1e-6)
+
+    def test_from_csv_default_name_is_stem(self, tmp_path):
+        path = tmp_path / "myworkload.csv"
+        CpuTrace.constant(1.0, 3).to_csv(path)
+        assert CpuTrace.from_csv(path).name == "myworkload"
+
+    def test_from_csv_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(TraceError):
+            CpuTrace.from_csv(path)
+
+    def test_from_csv_rejects_malformed_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("minute,cpu_cores\n0,1.0,extra\n")
+        with pytest.raises(TraceError):
+            CpuTrace.from_csv(path)

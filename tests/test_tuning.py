@@ -1,0 +1,255 @@
+"""Tests for the parameter-tuning harness (§5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CaasperConfig
+from repro.errors import ConfigError, TuningError
+from repro.sim import SimulationMetrics, SimulatorConfig
+from repro.tuning import (
+    ParameterSpace,
+    Preference,
+    RandomSearch,
+    objective_value,
+    pareto_frontier,
+    pareto_frontier_3d,
+    preference_config,
+    sample_alphas,
+)
+from repro.tuning.space import Choice, FloatRange, IntRange
+from repro.workloads import cyclical_days
+
+
+class TestParameterSpace:
+    def test_samples_are_valid_configs(self):
+        space = ParameterSpace(base=CaasperConfig(max_cores=16))
+        configs = space.sample_many(50, seed=0)
+        assert len(configs) == 50
+        for config in configs:
+            assert isinstance(config, CaasperConfig)
+            assert config.s_low < config.s_high
+            assert config.c_min <= config.max_cores
+
+    def test_deterministic_sampling(self):
+        space = ParameterSpace(base=CaasperConfig(max_cores=16))
+        a = space.sample_many(10, seed=3)
+        b = space.sample_many(10, seed=3)
+        assert [c.as_dict() for c in a] == [c.as_dict() for c in b]
+
+    def test_include_proactive_mixes_modes(self):
+        space = ParameterSpace(
+            base=CaasperConfig(max_cores=16, seasonal_period_minutes=100),
+            include_proactive=True,
+        )
+        configs = space.sample_many(40, seed=1)
+        modes = {config.proactive for config in configs}
+        assert modes == {True, False}
+
+    def test_dimension_overrides(self):
+        space = ParameterSpace(
+            base=CaasperConfig(max_cores=16),
+            dimensions={"c_min": IntRange(3, 3)},
+        )
+        configs = space.sample_many(5, seed=0)
+        assert all(config.c_min == 3 for config in configs)
+
+    def test_impossible_space_raises(self):
+        space = ParameterSpace(
+            base=CaasperConfig(max_cores=16),
+            dimensions={
+                "s_low": FloatRange(5.0, 6.0),
+                "s_high": FloatRange(1.0, 2.0),
+            },
+        )
+        with pytest.raises(TuningError):
+            space.sample_many(1, seed=0)
+
+    def test_range_validation(self):
+        with pytest.raises(TuningError):
+            FloatRange(2.0, 1.0)
+        with pytest.raises(TuningError):
+            IntRange(5, 4)
+        with pytest.raises(TuningError):
+            Choice(())
+
+    def test_sample_many_rejects_zero(self):
+        with pytest.raises(TuningError):
+            ParameterSpace().sample_many(0)
+
+
+class TestObjective:
+    def make_metrics(self, slack, insufficient):
+        return SimulationMetrics(
+            total_slack=slack,
+            total_insufficient_cpu=insufficient,
+            num_scalings=0,
+            minutes=100,
+            throttled_observations=0,
+            price=0.0,
+        )
+
+    def test_equation_5(self):
+        metrics = self.make_metrics(100.0, 7.0)
+        assert objective_value(metrics, alpha=0.5) == pytest.approx(57.0)
+
+    def test_alpha_zero_is_pure_throttling(self):
+        metrics = self.make_metrics(1000.0, 7.0)
+        assert objective_value(metrics, 0.0) == 7.0
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(TuningError):
+            objective_value(self.make_metrics(1.0, 1.0), -0.1)
+
+    def test_alpha_sampling_log_uniform(self):
+        alphas = sample_alphas(2000, seed=0, log_span=5.0)
+        assert alphas.min() >= np.exp(-5.0) - 1e-12
+        assert alphas.max() <= np.exp(5.0) + 1e-6
+        # Log-uniform: roughly half the mass below 1.
+        below_one = np.mean(alphas < 1.0)
+        assert 0.4 < below_one < 0.6
+
+    def test_alpha_sampling_deterministic(self):
+        np.testing.assert_array_equal(
+            sample_alphas(10, seed=4), sample_alphas(10, seed=4)
+        )
+
+    def test_alpha_sampling_validation(self):
+        with pytest.raises(TuningError):
+            sample_alphas(0)
+        with pytest.raises(TuningError):
+            sample_alphas(5, log_span=0.0)
+
+
+class TestPareto:
+    def test_simple_frontier(self):
+        slack = [10.0, 5.0, 1.0, 6.0]
+        throttle = [0.0, 2.0, 9.0, 3.0]
+        frontier = pareto_frontier(slack, throttle)
+        # (6, 3) is dominated by (5, 2); the rest are optimal.
+        assert set(frontier) == {0, 1, 2}
+
+    def test_frontier_sorted_by_slack(self):
+        slack = [10.0, 1.0, 5.0]
+        throttle = [0.0, 9.0, 2.0]
+        frontier = pareto_frontier(slack, throttle)
+        assert frontier == sorted(frontier, key=lambda i: slack[i])
+
+    def test_duplicates_all_kept(self):
+        frontier = pareto_frontier([1.0, 1.0], [2.0, 2.0])
+        assert set(frontier) == {0, 1}
+
+    def test_single_point(self):
+        assert pareto_frontier([1.0], [1.0]) == [0]
+
+    def test_empty(self):
+        assert pareto_frontier([], []) == []
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(TuningError):
+            pareto_frontier([1.0], [1.0, 2.0])
+
+    def test_3d_dominance(self):
+        slack = [10.0, 10.0]
+        throttle = [5.0, 5.0]
+        scalings = [3, 9]
+        frontier = pareto_frontier_3d(slack, throttle, scalings)
+        assert frontier == [0]
+
+    def test_3d_extra_dimension_rescues_points(self):
+        # Dominated in 2D but unique in scalings -> kept in 3D.
+        slack = [10.0, 12.0]
+        throttle = [5.0, 6.0]
+        scalings = [9, 1]
+        assert pareto_frontier(slack, throttle) == [0]
+        assert set(pareto_frontier_3d(slack, throttle, scalings)) == {0, 1}
+
+
+class TestRandomSearch:
+    def make_search(self):
+        demand = cyclical_days(days=1).resampled(10)
+        return RandomSearch(
+            demand,
+            SimulatorConfig(
+                initial_cores=14,
+                min_cores=2,
+                max_cores=16,
+                decision_interval_minutes=1,
+                resize_delay_minutes=1,
+            ),
+            ParameterSpace(base=CaasperConfig(max_cores=16, c_min=2)),
+        )
+
+    def test_run_produces_trials(self):
+        outcome = self.make_search().run(trials=10, seed=0)
+        assert len(outcome.trials) == 10
+        assert (outcome.slack_values() >= 0).all()
+        assert (outcome.throttle_values() >= 0).all()
+
+    def test_deterministic(self):
+        a = self.make_search().run(trials=5, seed=2)
+        b = self.make_search().run(trials=5, seed=2)
+        np.testing.assert_array_equal(a.slack_values(), b.slack_values())
+
+    def test_best_for_alpha_minimizes_g(self):
+        outcome = self.make_search().run(trials=15, seed=0)
+        best = outcome.best_for_alpha(0.5)
+        best_g = 0.5 * best.total_slack + best.total_insufficient_cpu
+        for trial in outcome.trials:
+            g = 0.5 * trial.total_slack + trial.total_insufficient_cpu
+            assert best_g <= g + 1e-9
+
+    def test_alpha_extremes_pick_different_regimes(self):
+        outcome = self.make_search().run(trials=30, seed=0)
+        throttle_hater = outcome.best_for_alpha(0.0)
+        slack_hater = outcome.best_for_alpha(1000.0)
+        assert (
+            throttle_hater.total_insufficient_cpu
+            <= slack_hater.total_insufficient_cpu
+        )
+        assert throttle_hater.total_slack >= slack_hater.total_slack
+
+    def test_best_per_alpha_keys(self):
+        outcome = self.make_search().run(trials=5, seed=0)
+        mapping = outcome.best_per_alpha(alpha_count=7, seed=1)
+        assert len(mapping) == 7
+
+    def test_tuned_config_returns_config(self):
+        config = self.make_search().tuned_config(trials=5, alpha=0.1, seed=0)
+        assert isinstance(config, CaasperConfig)
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(TuningError):
+            self.make_search().run(trials=0)
+
+
+class TestPreferences:
+    def test_three_presets_exist(self):
+        for preference in Preference:
+            config = preference_config(preference, max_cores=16)
+            assert config.max_cores == 16
+
+    def test_performance_keeps_more_buffer_than_savings(self):
+        perf = preference_config(Preference.PERFORMANCE, max_cores=16)
+        savings = preference_config(Preference.SAVINGS, max_cores=16)
+        assert perf.c_min > savings.c_min
+        assert perf.scale_down_headroom > savings.scale_down_headroom
+        assert perf.sf_max_up > savings.sf_max_up
+        assert perf.sf_max_down < savings.sf_max_down
+
+    def test_string_names_accepted(self):
+        config = preference_config("savings", max_cores=8)
+        assert config.c_min == 2
+
+    def test_unknown_preference_rejected(self):
+        with pytest.raises(ConfigError):
+            preference_config("ludicrous", max_cores=8)
+
+    def test_c_min_respects_tiny_instances(self):
+        config = preference_config(Preference.PERFORMANCE, max_cores=2)
+        assert config.c_min <= 2
+
+    def test_proactive_passthrough(self):
+        config = preference_config(
+            Preference.BALANCED, max_cores=8, proactive=True
+        )
+        assert config.proactive

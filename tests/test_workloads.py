@@ -1,0 +1,262 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, SimulationError, TraceError
+from repro.trace import MINUTES_PER_DAY, MINUTES_PER_HOUR, CpuTrace
+from repro.workloads import (
+    ALIBABA_CONTAINER_IDS,
+    BenchBaseWorkload,
+    TERMINAL_PROFILES,
+    TraceWorkload,
+    alibaba_trace,
+    composite,
+    constant,
+    cyclical_days,
+    diurnal_sine,
+    noisy,
+    paper_trace,
+    paper_trace_names,
+    spikes,
+    square_wave,
+    stitch_trace,
+    workday,
+)
+from repro.workloads.benchbase import BenchBaseProfile
+
+
+class TestSynthetic:
+    def test_square_wave_phases(self):
+        trace = square_wave(
+            low_cores=2.0, high_cores=7.0, phase_hours=8, total_hours=62,
+            sigma=0.0, seed=None,
+        )
+        assert trace.minutes == 62 * MINUTES_PER_HOUR
+        # First 8h low, next 8h high.
+        assert trace.samples[: 8 * 60].mean() == pytest.approx(2.0)
+        assert trace.samples[8 * 60 : 16 * 60].mean() == pytest.approx(7.0)
+
+    def test_square_wave_noise_is_deterministic(self):
+        a = square_wave(seed=7)
+        b = square_wave(seed=7)
+        np.testing.assert_array_equal(a.samples, b.samples)
+
+    def test_workday_shape(self):
+        trace = workday(sigma=0.0, seed=None)
+        assert trace.minutes == 12 * MINUTES_PER_HOUR
+        assert trace.samples[0] == pytest.approx(2.2)
+        assert trace.samples[6 * 60] == pytest.approx(5.5)
+        assert trace.samples[-1] == pytest.approx(2.2)
+
+    def test_diurnal_peaks_at_peak_hour(self):
+        trace = diurnal_sine(
+            days=1, base_cores=1.0, amplitude_cores=4.0, peak_hour=14.0,
+            sigma=0.0, seed=None,
+        )
+        peak_minute = int(np.argmax(trace.samples))
+        assert abs(peak_minute - 14 * 60) < 5
+
+    def test_cyclical_daily_spikes(self):
+        trace = cyclical_days(days=3, sigma=0.0, seed=None)
+        spike_minutes = [
+            day * MINUTES_PER_DAY + 13 * 60 + 10 for day in range(3)
+        ]
+        for minute in spike_minutes:
+            assert trace[minute] >= 11.0
+
+    def test_cyclical_selected_spike_days(self):
+        trace = cyclical_days(days=3, spike_days=[1], sigma=0.0, seed=None)
+        assert trace[1 * MINUTES_PER_DAY + 13 * 60 + 10] >= 11.0
+        assert trace[0 * MINUTES_PER_DAY + 13 * 60 + 10] < 11.0
+
+    def test_cyclical_rejects_bad_spike_day(self):
+        with pytest.raises(TraceError):
+            cyclical_days(days=2, spike_days=[5])
+
+    def test_spikes_positions(self):
+        trace = spikes(100, [10, 50], spike_cores=9.0, spike_width_minutes=5)
+        assert trace[10] == 9.0
+        assert trace[14] == 9.0
+        assert trace[15] == 0.0
+        assert trace[50] == 9.0
+
+    def test_spikes_rejects_out_of_range(self):
+        with pytest.raises(TraceError):
+            spikes(10, [20], 1.0)
+
+    def test_composite_max_and_sum(self):
+        a = constant(2.0, 10)
+        b = constant(3.0, 10)
+        assert composite([a, b], "max").samples[0] == 3.0
+        assert composite([a, b], "sum").samples[0] == 5.0
+
+    def test_composite_rejects_mismatched_lengths(self):
+        with pytest.raises(TraceError):
+            composite([constant(1.0, 5), constant(1.0, 6)])
+
+    def test_composite_rejects_unknown_mode(self):
+        with pytest.raises(TraceError):
+            composite([constant(1.0, 5)], "avg")
+
+    def test_noisy_stays_non_negative(self):
+        trace = noisy(constant(0.05, 500), sigma=2.0, seed=0)
+        assert (trace.samples >= 0).all()
+
+    def test_noisy_preserves_mean_roughly(self):
+        trace = noisy(constant(5.0, 2000), sigma=0.1, seed=0)
+        assert trace.mean() == pytest.approx(5.0, rel=0.05)
+
+
+class TestTraceWorkload:
+    def test_replays_trace(self):
+        trace = constant(2.0, 5)
+        workload = TraceWorkload(trace)
+        assert workload.minutes == 5
+        assert workload.demand(3) == 2.0
+        assert workload.demand_trace() is trace
+
+    def test_out_of_range_raises(self):
+        workload = TraceWorkload(constant(2.0, 5))
+        with pytest.raises(SimulationError):
+            workload.demand(5)
+
+
+class TestBenchBase:
+    def test_demand_scales_with_terminals(self):
+        profile = TERMINAL_PROFILES["tpcc"]
+        quiet = BenchBaseWorkload(profile, [10] * 30, jitter_sigma=0.0)
+        busy = BenchBaseWorkload(profile, [40] * 30, jitter_sigma=0.0)
+        assert busy.demand(0) == pytest.approx(4 * quiet.demand(0))
+
+    def test_offered_txns(self):
+        profile = TERMINAL_PROFILES["ycsb"]
+        workload = BenchBaseWorkload(profile, [5] * 10, jitter_sigma=0.0)
+        assert workload.offered_txns(0) == pytest.approx(
+            5 * profile.txns_per_terminal_minute
+        )
+
+    def test_txns_per_core_minute_consistency(self):
+        profile = TERMINAL_PROFILES["tpch"]
+        workload = BenchBaseWorkload(profile, [3] * 10, jitter_sigma=0.0)
+        served_txns = workload.demand(0) * workload.txns_per_core_minute()
+        assert served_txns == pytest.approx(workload.offered_txns(0))
+
+    def test_callable_schedule(self):
+        profile = TERMINAL_PROFILES["tpcc"]
+        workload = BenchBaseWorkload(
+            profile, lambda minute: 5 + minute, minutes=10, jitter_sigma=0.0
+        )
+        assert workload.terminals(9) == 14
+
+    def test_callable_needs_minutes(self):
+        with pytest.raises(ConfigError):
+            BenchBaseWorkload(TERMINAL_PROFILES["tpcc"], lambda m: 1)
+
+    def test_schedule_length_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            BenchBaseWorkload(TERMINAL_PROFILES["tpcc"], [1, 2], minutes=5)
+
+    def test_negative_terminals_rejected(self):
+        with pytest.raises(ConfigError):
+            BenchBaseWorkload(TERMINAL_PROFILES["tpcc"], [-1])
+
+    def test_profile_validation(self):
+        with pytest.raises(ConfigError):
+            BenchBaseProfile("x", 0.0, 1.0, 1.0, 0.5)
+        with pytest.raises(ConfigError):
+            BenchBaseProfile("x", 1.0, 1.0, 1.0, 1.5)
+
+
+class TestAlibaba:
+    def test_all_paper_ids_present(self):
+        expected = {
+            "c_1", "c_4043", "c_10235", "c_12104", "c_23544", "c_24173",
+            "c_26742", "c_29247", "c_29345", "c_29759", "c_48113",
+        }
+        assert set(ALIBABA_CONTAINER_IDS) == expected
+
+    def test_traces_deterministic(self):
+        a = alibaba_trace("c_1")
+        b = alibaba_trace("c_1")
+        np.testing.assert_array_equal(a.samples, b.samples)
+
+    def test_about_eight_days_of_minutes(self):
+        trace = alibaba_trace("c_1")
+        assert 7 * MINUTES_PER_DAY <= trace.minutes <= 9 * MINUTES_PER_DAY
+
+    def test_c29247_day3_outlier_spike(self):
+        trace = alibaba_trace("c_29247")
+        day3 = trace.samples[2 * MINUTES_PER_DAY : 3 * MINUTES_PER_DAY]
+        other_days = np.concatenate(
+            [trace.samples[: 2 * MINUTES_PER_DAY],
+             trace.samples[3 * MINUTES_PER_DAY :]]
+        )
+        assert day3.max() > other_days.max() * 1.3
+
+    def test_c48113_is_large_and_smooth(self):
+        big = alibaba_trace("c_48113")
+        noisy_one = alibaba_trace("c_26742")
+        assert big.peak() > 14.0
+        assert big.std() / big.mean() < noisy_one.std() / noisy_one.mean()
+
+    def test_small_containers_stay_small(self):
+        assert alibaba_trace("c_10235").peak() < 5.0
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(TraceError):
+            alibaba_trace("c_999")
+
+
+class TestStitcher:
+    def test_tracks_target_levels(self):
+        workload = stitch_trace(
+            [2.0, 6.0], segment_minutes=60, jitter_sigma=0.0
+        )
+        trace = workload.trace
+        assert trace.samples[:60].mean() == pytest.approx(2.0, abs=0.3)
+        assert trace.samples[60:].mean() == pytest.approx(6.0, abs=0.4)
+
+    def test_segments_cover_trace(self):
+        workload = stitch_trace([1.0, 2.0, 3.0], segment_minutes=30)
+        assert workload.segments[0].minutes == 30
+        assert workload.segments[-1].end_minute == workload.trace.minutes
+
+    def test_txns_per_core_minute_by_segment(self):
+        workload = stitch_trace([2.0, 6.0], segment_minutes=60)
+        assert workload.txns_per_core_minute(0) > 0
+        with pytest.raises(TraceError):
+            workload.txns_per_core_minute(10_000)
+
+    def test_rejects_empty_levels(self):
+        with pytest.raises(TraceError):
+            stitch_trace([])
+
+    def test_rejects_negative_level(self):
+        with pytest.raises(TraceError):
+            stitch_trace([-1.0])
+
+    def test_deterministic(self):
+        a = stitch_trace([2.0, 4.0], seed=9).trace
+        b = stitch_trace([2.0, 4.0], seed=9).trace
+        np.testing.assert_array_equal(a.samples, b.samples)
+
+
+class TestPaperTraceLibrary:
+    def test_names_cover_figures(self):
+        names = paper_trace_names()
+        assert "fig3-square-wave" in names
+        assert "fig9-workday" in names
+        assert "fig10-cyclical" in names
+        assert "fig11-customer" in names
+        assert sum(1 for n in names if n.startswith("fig14-")) == 11
+
+    def test_every_trace_materializes(self):
+        for name in paper_trace_names():
+            trace = paper_trace(name)
+            assert trace.minutes > 0
+            assert (trace.samples >= 0).all()
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(TraceError):
+            paper_trace("fig99")
