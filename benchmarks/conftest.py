@@ -9,17 +9,39 @@ Run with::
 
     pytest benchmarks/ --benchmark-only
 
-Add ``-s`` to see the rendered tables/figures inline.
+Add ``-s`` to see the rendered tables/figures inline, plus the top-5
+timing spans (PvP construction, reactive decide, forecaster predict, …)
+recorded while the benchmark body ran.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.obs import SpanCollector, activate
+
 
 def run_once(benchmark, fn, *args, **kwargs):
-    """Time ``fn`` exactly once (experiments are heavy and deterministic)."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    """Time ``fn`` exactly once (experiments are heavy and deterministic).
+
+    The call runs under an ambient :class:`~repro.obs.spans.SpanCollector`
+    so the instrumented hot paths break the wall-clock number down; the
+    top five spans print after the run (visible with ``-s``).
+    """
+    collector = SpanCollector()
+
+    def _instrumented(*a, **kw):
+        with activate(collector):
+            return fn(*a, **kw)
+
+    result = benchmark.pedantic(
+        _instrumented, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )
+    if collector.stats:
+        print()
+        print("top spans:")
+        print(collector.render_top(5))
+    return result
 
 
 @pytest.fixture

@@ -40,6 +40,22 @@ class Recommender(ABC):
     #: Human-readable name used in result tables and figures.
     name: str = "recommender"
 
+    #: Decision-provenance protocol for observability: recommenders that
+    #: can explain themselves (CaaSPER) set this to the full derivation
+    #: of their most recent recommendation; opaque baselines leave it
+    #: None. The simulator and control loop forward it into
+    #: :class:`~repro.obs.events.DecisionEvent` audit records.
+    last_decision = None
+
+    def window_stats(self) -> dict[str, float] | None:
+        """Summary of the observation window behind the next decision.
+
+        Optional observability hook: returns ``None`` for recommenders
+        with no inspectable window. Windowed recommenders report sample
+        count and the usage distribution the decision will see.
+        """
+        return None
+
     def observe(self, minute: int, usage: float, limit: int) -> None:
         """Record one usage sample.
 
@@ -136,3 +152,15 @@ class WindowedRecommender(Recommender):
     def has_full_window(self) -> bool:
         """True once the window has been completely filled."""
         return self.sample_count >= self.window_minutes
+
+    def window_stats(self) -> dict[str, float] | None:
+        """Usage-window summary for the observability decision trail."""
+        if not self._usage:
+            return None
+        usage = self.usage_window
+        return {
+            "samples": float(usage.size),
+            "mean_cores": float(usage.mean()),
+            "max_cores": float(usage.max()),
+            "p95_cores": float(np.percentile(usage, 95.0)),
+        }

@@ -7,6 +7,7 @@ Examples::
     caasper run fig12 --trials 500
     caasper run fig14 --containers c_1,c_48113
     caasper trace fig10-cyclical --out /tmp/cyclical.csv
+    caasper obs --trace fig10-cyclical --jsonl /tmp/trace.jsonl --metrics-text
 """
 
 from __future__ import annotations
@@ -97,6 +98,51 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="enable the forecasting component (daily seasonality)",
     )
+
+    obs_parser = sub.add_parser(
+        "obs",
+        help="replay a trace with telemetry attached and inspect the "
+        "decision audit trail",
+    )
+    obs_parser.add_argument(
+        "--trace",
+        required=True,
+        choices=paper_trace_names(),
+        help="paper trace to replay",
+    )
+    obs_parser.add_argument(
+        "--jsonl",
+        type=str,
+        default=None,
+        help="write every observability event to this JSONL file",
+    )
+    obs_parser.add_argument(
+        "--metrics-text",
+        action="store_true",
+        help="print the Prometheus-style metrics exposition",
+    )
+    obs_parser.add_argument(
+        "--top-spans",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print the N most expensive timing spans",
+    )
+    obs_parser.add_argument(
+        "--decisions",
+        type=int,
+        default=20,
+        metavar="N",
+        help="audit-log entries to print (0 suppresses the log)",
+    )
+    obs_parser.add_argument(
+        "--proactive",
+        action="store_true",
+        help="enable the forecasting component",
+    )
+    obs_parser.add_argument(
+        "--min-cores", type=int, default=1, help="guardrail floor"
+    )
     return parser
 
 
@@ -175,6 +221,63 @@ def _build_report(fast: bool = False) -> str:
     return "\n".join(sections) + "\n"
 
 
+def _run_obs(args: argparse.Namespace) -> int:
+    """Replay one paper trace with full telemetry and summarise it."""
+    from .analysis.explain import explain_trace
+    from .core.config import CaasperConfig
+    from .core.recommender import CaasperRecommender
+    from .obs import JsonlSink, Observer
+    from .sim.sweep import SweepConfig
+
+    trace = paper_trace(args.trace)
+    sweep_config = SweepConfig(min_cores=args.min_cores)
+    sim_config = sweep_config.simulator_for(trace)
+    recommender = CaasperRecommender(
+        CaasperConfig(
+            c_min=args.min_cores,
+            max_cores=sim_config.max_cores,
+            proactive=args.proactive,
+        ),
+        keep_decisions=False,
+    )
+
+    sinks: list[JsonlSink] = []
+    if args.jsonl:
+        sinks.append(JsonlSink(args.jsonl))
+    observer = Observer(sinks=sinks)
+
+    from .sim.simulator import simulate_trace
+
+    result = simulate_trace(trace, recommender, sim_config, observer=observer)
+    observer.close()
+
+    decisions = observer.decisions()
+    resizes = observer.events_of_kind("resize")
+    throttled = observer.events_of_kind("throttled")
+    print(
+        f"replayed {trace.name!r}: {trace.minutes} minutes, "
+        f"{len(decisions)} consultations, {len(resizes)} resizes, "
+        f"{len(throttled)} throttled minutes"
+    )
+    print(
+        f"K={result.metrics.total_slack:.0f} "
+        f"C={result.metrics.total_insufficient_cpu:.0f} "
+        f"N={result.metrics.num_scalings}"
+    )
+    if args.jsonl:
+        print(f"wrote {sinks[0].events_written} events to {args.jsonl}")
+    if args.decisions:
+        print()
+        print(explain_trace(observer, limit=args.decisions))
+    if args.metrics_text:
+        print()
+        print(observer.metrics.render_text(), end="")
+    if args.top_spans:
+        print()
+        print(observer.spans.render_top(args.top_spans))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -236,6 +339,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"{aggregate['mean_scalings']:.0f} scalings/trace"
         )
         return 0
+
+    if args.command == "obs":
+        return _run_obs(args)
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

@@ -10,11 +10,13 @@ One :meth:`ControlLoop.step` call advances everything by one minute.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from ..baselines.base import Recommender
 from ..db.service import DBaaSService, ServiceMinute
 from ..errors import ConfigError
+from ..obs.observer import Observer
 from .events import EventLog
 from .metrics import MetricsServer
 from .scaler import Scaler, ScalerConfig
@@ -52,17 +54,27 @@ class ControlLoop:
         config: ControlLoopConfig,
         metrics: MetricsServer | None = None,
         events: EventLog | None = None,
+        observer: Observer | None = None,
     ) -> None:
         self.service = service
         self.recommender = recommender
         self.config = config
-        self.metrics = metrics or MetricsServer()
+        self.observer = observer
+        self.metrics = metrics or MetricsServer(observer=observer)
         self.events = events if events is not None else service.events
-        self.scaler = Scaler(service.operator, service.scheduler, config.scaler)
+        self.scaler = Scaler(
+            service.operator, service.scheduler, config.scaler, observer=observer
+        )
         self._target_name = service.stateful_set.name
+        # The operator reports resize enactment (rolling update finished),
+        # closing the decide→enact latency loop in the audit trail.
+        if observer is not None:
+            service.operator.observer = observer
 
     def step(self, minute: int, demand_cores: float) -> ServiceMinute:
         """Advance the loop by one minute under the given client demand."""
+        observer = self.observer
+        step_start = time.perf_counter() if observer is not None else 0.0
         outcome = self.service.step(minute, demand_cores)
 
         # (1)→(2): the controller publishes primary usage + allocation.
@@ -78,13 +90,34 @@ class ControlLoop:
             outcome.primary_usage_cores,
             int(round(outcome.client_limit_cores)),
         )
+        if observer is not None:
+            observer.sample(
+                minute,
+                demand_cores,
+                outcome.primary_usage_cores,
+                outcome.client_limit_cores,
+            )
 
         # (3)→(6): periodic decision, safety-checked and enacted.
         if minute > 0 and minute % self.config.decision_interval_minutes == 0:
             current = int(round(outcome.client_limit_cores))
+            consult_start = time.perf_counter() if observer is not None else 0.0
             target = int(
                 self.recommender.recommend(minute, max(current, 1))
             )
+            if observer is not None:
+                observer.decision(
+                    minute=minute,
+                    recommender=self.recommender.name,
+                    current_cores=current,
+                    raw_target_cores=target,
+                    target_cores=self.scaler.clamp(target),
+                    derivation=self.recommender.last_decision,
+                    window_stats=self.recommender.window_stats(),
+                    elapsed_seconds=time.perf_counter() - consult_start,
+                )
             self.scaler.try_enact(target, minute, self.events)
 
+        if observer is not None:
+            observer.step_seconds(time.perf_counter() - step_start)
         return outcome

@@ -12,11 +12,15 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..errors import ConfigError
 from ..trace import CpuTrace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.observer import Observer
 
 __all__ = ["MetricsServer", "MetricSample"]
 
@@ -38,14 +42,24 @@ class MetricsServer:
     retention_minutes:
         Samples older than this are evicted (mirrors the configured
         history length of real metrics pipelines).
+    observer:
+        Optional observability handle; every published sample updates
+        per-target ``metrics_server_*`` gauges and a sample counter in
+        its registry, so external scrapers see what the recommender
+        sees.
     """
 
-    def __init__(self, retention_minutes: int = 14 * 24 * 60) -> None:
+    def __init__(
+        self,
+        retention_minutes: int = 14 * 24 * 60,
+        observer: "Observer | None" = None,
+    ) -> None:
         if retention_minutes < 1:
             raise ConfigError(
                 f"retention_minutes must be >= 1, got {retention_minutes}"
             )
         self.retention_minutes = retention_minutes
+        self.observer = observer
         self._series: dict[str, deque[MetricSample]] = {}
 
     def publish(
@@ -58,6 +72,23 @@ class MetricsServer:
             target, deque(maxlen=self.retention_minutes)
         )
         series.append(MetricSample(minute, usage_cores, limit_cores))
+        if self.observer is not None:
+            registry = self.observer.metrics
+            registry.gauge(
+                "metrics_server_usage_cores",
+                "Latest published CPU usage per target",
+                labelnames=("target",),
+            ).set(usage_cores, target=target)
+            registry.gauge(
+                "metrics_server_limit_cores",
+                "Latest published CPU limit per target",
+                labelnames=("target",),
+            ).set(limit_cores, target=target)
+            registry.counter(
+                "metrics_server_samples_total",
+                "Samples published to the metrics server",
+                labelnames=("target",),
+            ).inc(target=target)
 
     def targets(self) -> list[str]:
         """All target names with stored samples."""
@@ -72,13 +103,16 @@ class MetricsServer:
         series = self._series.get(target)
         return series[-1] if series else None
 
-    def usage_window(self, target: str, window_minutes: int | None = None) -> CpuTrace:
-        """Usage samples for ``target`` as a trace (optionally trailing window).
+    def _window(
+        self, target: str, window_minutes: int | None
+    ) -> list[MetricSample]:
+        """Validated trailing-window slice shared by the window queries.
 
         Raises
         ------
         ConfigError
-            When no samples exist for ``target``.
+            When no samples exist for ``target`` or ``window_minutes``
+            is not a positive number of minutes.
         """
         series = self._series.get(target)
         if not series:
@@ -90,6 +124,11 @@ class MetricsServer:
                     f"window_minutes must be >= 1, got {window_minutes}"
                 )
             samples = samples[-window_minutes:]
+        return samples
+
+    def usage_window(self, target: str, window_minutes: int | None = None) -> CpuTrace:
+        """Usage samples for ``target`` as a trace (optionally trailing window)."""
+        samples = self._window(target, window_minutes)
         return CpuTrace(
             np.asarray([sample.usage_cores for sample in samples]),
             name=target,
@@ -100,10 +139,5 @@ class MetricsServer:
         self, target: str, window_minutes: int | None = None
     ) -> np.ndarray:
         """Limits in force per retained sample (trailing window)."""
-        series = self._series.get(target)
-        if not series:
-            raise ConfigError(f"no metrics stored for target {target!r}")
-        samples = list(series)
-        if window_minutes is not None:
-            samples = samples[-window_minutes:]
+        samples = self._window(target, window_minutes)
         return np.asarray([sample.limit_cores for sample in samples])

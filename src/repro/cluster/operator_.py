@@ -26,8 +26,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING
+
 from ..errors import ClusterStateError, ConfigError
 from .events import EventKind, EventLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.observer import Observer
 from .pod import Pod, PodPhase
 from .resources import ResourceSpec
 from .statefulset import StatefulSet
@@ -99,6 +104,11 @@ class DbOperator:
         self.in_place_resize = in_place_resize
         self.update: RollingUpdate | None = None
         self.failover_count = 0
+        #: Optional telemetry hook (set by the control loop): reports
+        #: each completed rollout as an enacted-resize event, closing
+        #: the decide→enact latency loop of the audit trail.
+        self.observer: "Observer | None" = None
+        self._update_from_cores: float | None = None
 
     # -- roles ---------------------------------------------------------------------
 
@@ -140,6 +150,7 @@ class DbOperator:
             raise ClusterStateError(
                 f"{self.stateful_set.name}: rolling update already in progress"
             )
+        self._update_from_cores = self.client_visible_limit_cores
         self.stateful_set.declare_spec(new_spec)
         outdated = self.stateful_set.pods_needing_update()
         if not outdated:
@@ -203,6 +214,7 @@ class DbOperator:
             minutes=0,
             in_place=True,
         )
+        self._emit_enacted(minute, minute, new_spec.limit_cores)
 
     def _maybe_start_next_restart(self, minute: int, events: EventLog) -> None:
         """Kick off the next queued restart if no pod is mid-restart."""
@@ -280,4 +292,22 @@ class DbOperator:
                 f"rolling update complete in {duration} min",
                 minutes=duration,
             )
+            self._emit_enacted(
+                minute, update.started_minute, update.target_spec.limit_cores
+            )
             self.update = None
+
+    def _emit_enacted(
+        self, minute: int, decided_minute: int, to_cores: float
+    ) -> None:
+        """Report one completed rollout to the attached observer."""
+        if self.observer is None:
+            return
+        from_cores = self._update_from_cores
+        self._update_from_cores = None
+        self.observer.resize(
+            minute=minute,
+            decided_minute=decided_minute,
+            from_cores=int(round(from_cores if from_cores is not None else 0)),
+            to_cores=int(round(to_cores)),
+        )

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ConfigError
+from ..obs.observer import Observer
 from .events import EventKind, EventLog
 from .operator_ import DbOperator
 from .scheduler import Scheduler
@@ -75,10 +76,12 @@ class Scaler:
         operator: DbOperator,
         scheduler: Scheduler,
         config: ScalerConfig,
+        observer: Observer | None = None,
     ) -> None:
         self.operator = operator
         self.scheduler = scheduler
         self.config = config
+        self.observer = observer
         self._last_enacted_minute: int | None = None
         self._enacted_minutes: list[int] = []
         self.enacted_count = 0
@@ -159,3 +162,11 @@ class Scaler:
             to_cores=target_cores,
             reason=reason,
         )
+        if self.observer is not None:
+            # Deferral reasons double as metric labels; keep the
+            # availability-budget/capacity variants to a stable stem so
+            # the label space stays bounded.
+            label = reason.split(" (")[0].split(" for ")[0]
+            self.observer.resize_deferred(
+                minute=minute, reason=label, target_cores=target_cores
+            )

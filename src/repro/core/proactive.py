@@ -25,6 +25,7 @@ from ..errors import ForecastError
 from ..forecast.base import Forecaster
 from ..forecast.registry import make_forecaster
 from ..forecast.seasonal import detect_period
+from ..obs.spans import span
 from ..trace import CpuTrace
 from .config import CaasperConfig
 
@@ -123,11 +124,12 @@ class ProactiveWindowBuilder:
         forecaster = self._resolve_forecaster(period)
         try:
             if config.forecast_confidence is not None:
-                interval = forecaster.forecast_interval(
-                    history,
-                    config.forecast_horizon_minutes,
-                    confidence=config.forecast_confidence,
-                )
+                with span(f"forecast.{forecaster.name}.predict_interval"):
+                    interval = forecaster.forecast_interval(
+                        history,
+                        config.forecast_horizon_minutes,
+                        confidence=config.forecast_confidence,
+                    )
                 gate = config.forecast_quality_gate
                 if gate is not None and interval.relative_width() > gate:
                     # §8 prefilter: the model's band is too wide to
@@ -142,9 +144,10 @@ class ProactiveWindowBuilder:
                 # uncertain forecasts err toward capacity.
                 horizon = interval.upper
             else:
-                horizon = forecaster.forecast(
-                    history, config.forecast_horizon_minutes
-                )
+                with span(f"forecast.{forecaster.name}.predict"):
+                    horizon = forecaster.forecast(
+                        history, config.forecast_horizon_minutes
+                    )
         except ForecastError:
             return CombinedWindow(
                 window=history.window(-observed_tail),

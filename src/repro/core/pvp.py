@@ -29,6 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ConfigError, TraceError
+from ..obs.spans import timed
 from ..trace import CpuTrace
 
 __all__ = ["PvPCurve"]
@@ -82,6 +83,7 @@ class PvPCurve:
     # -- construction -----------------------------------------------------------
 
     @classmethod
+    @timed("core.pvp.from_trace")
     def from_trace(
         cls,
         trace: CpuTrace,

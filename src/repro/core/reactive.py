@@ -26,6 +26,7 @@ import math
 from dataclasses import dataclass
 
 from ..errors import TraceError
+from ..obs.spans import timed
 from ..trace import CpuTrace
 from .config import CaasperConfig
 from .preprocess import preprocess_window
@@ -101,6 +102,7 @@ class ReactivePolicy:
             slope_scale=self.config.slope_scale,
         )
 
+    @timed("core.reactive.decide")
     def decide(
         self,
         current_cores: int,

@@ -63,6 +63,7 @@ class CaasperRecommender(Recommender):
         self._window_builder = ProactiveWindowBuilder(self.config, forecaster)
         self._keep_decisions = keep_decisions
         self.decisions: list[ReactiveDecision] = []
+        self._last_decision: ReactiveDecision | None = None
 
         history_cap = self._history_capacity()
         self._usage: deque[float] = deque(maxlen=history_cap)
@@ -113,6 +114,7 @@ class CaasperRecommender(Recommender):
         self._first_minute = None
         self._last_minute = None
         self.decisions.clear()
+        self._last_decision = None
 
     # -- CaaSPER-specific API ------------------------------------------------------
 
@@ -130,11 +132,24 @@ class CaasperRecommender(Recommender):
         decision = self.policy.decide(
             current_cores, combined.window, truncate_window=False
         )
+        self._last_decision = decision
         if self._keep_decisions:
             self.decisions.append(decision)
         return decision
 
+    def window_stats(self) -> dict[str, float] | None:
+        """History summary for the observability decision trail."""
+        if not self._usage:
+            return None
+        usage = np.asarray(self._usage, dtype=float)
+        return {
+            "samples": float(usage.size),
+            "mean_cores": float(usage.mean()),
+            "max_cores": float(usage.max()),
+            "p95_cores": float(np.percentile(usage, 95.0)),
+        }
+
     @property
     def last_decision(self) -> ReactiveDecision | None:
-        """Most recent decision, if any were retained."""
-        return self.decisions[-1] if self.decisions else None
+        """Most recent decision (kept even with ``keep_decisions=False``)."""
+        return self._last_decision

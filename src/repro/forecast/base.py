@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ForecastError
+from ..obs.spans import span
 from ..trace import CpuTrace
 
 __all__ = ["Forecaster", "ForecastInterval"]
@@ -161,10 +162,12 @@ class Forecaster(ABC):
             )
         head = history.window(0, history.minutes - horizon)
         held_out = history.samples[-horizon:]
-        backtest = self.forecast(head, horizon)
+        with span(f"forecast.{self.name}.backtest_fit"):
+            backtest = self.forecast(head, horizon)
         residual_std = float(np.std(held_out - backtest))
 
-        point = self.forecast(history, horizon)
+        with span(f"forecast.{self.name}.predict"):
+            point = self.forecast(history, horizon)
         z = _normal_quantile(0.5 + confidence / 2.0)
         margin = z * residual_std
         return ForecastInterval(

@@ -1,0 +1,66 @@
+"""Observability layer: decision tracing, metrics and timing spans.
+
+The paper's operators debug autoscaling behaviour by asking "why did the
+recommender pick that core count at that minute?" (§4.2's slope/skew
+analysis, Algorithm 1's branches, §6's ``K``/``C``/``N`` metrics).
+This package is the reproduction's answer — a dependency-free telemetry
+substrate with three pillars:
+
+- :mod:`repro.obs.events` — typed observability events (decision,
+  resize, deferral, throttled minute) fanned out through an
+  :class:`~repro.obs.events.EventBus` to pluggable sinks (in-memory ring
+  buffer, JSONL file, stdlib ``logging`` bridge);
+- :mod:`repro.obs.metrics` — a registry of counters/gauges/histograms
+  with Prometheus-style text exposition and JSON snapshots;
+- :mod:`repro.obs.spans` — monotonic-clock timing spans (``span()``
+  context manager, ``@timed`` decorator) with nesting support, used to
+  profile the hot simulation paths.
+
+Everything is tied together by :class:`~repro.obs.observer.Observer`,
+which the simulator, sweep runner, live-system loop and cluster control
+loop accept via an optional ``observer=`` parameter. The default
+(``observer=None``) is a true no-op: no events are constructed, no
+clocks are read, and simulation results are bit-identical with and
+without an attached observer.
+"""
+
+from __future__ import annotations
+
+from .events import (
+    DecisionEvent,
+    EventBus,
+    LoggingSink,
+    ObsEvent,
+    ResizeDeferredEvent,
+    ResizeEvent,
+    RingBufferSink,
+    ThrottledMinuteEvent,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .observer import Observer
+from .spans import SpanCollector, SpanRecord, activate, current_collector, span, timed
+from .trace_log import JsonlSink, read_events
+
+__all__ = [
+    "Counter",
+    "DecisionEvent",
+    "EventBus",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "LoggingSink",
+    "MetricsRegistry",
+    "ObsEvent",
+    "Observer",
+    "ResizeDeferredEvent",
+    "ResizeEvent",
+    "RingBufferSink",
+    "SpanCollector",
+    "SpanRecord",
+    "ThrottledMinuteEvent",
+    "activate",
+    "current_collector",
+    "read_events",
+    "span",
+    "timed",
+]

@@ -1,0 +1,279 @@
+"""Typed observability events and the sink fan-out bus.
+
+Four event kinds cover the autoscaling audit trail the paper's operators
+rely on (§4.2, §6):
+
+- :class:`DecisionEvent` — one recommender consultation with its full
+  Algorithm 1 derivation (slope, skew, scaling factor, branch, reason,
+  guardrail clamps, window stats);
+- :class:`ResizeEvent` — one *enacted* resize, with its decide→enact
+  latency;
+- :class:`ResizeDeferredEvent` — a resize that was requested but not
+  enacted (cooldown, in-flight rolling update, capacity, budget);
+- :class:`ThrottledMinuteEvent` — one minute in which demand exceeded
+  the limit (the paper's insufficient-CPU signal, metric ``C``).
+
+Events are frozen dataclasses with a flat :meth:`ObsEvent.to_dict`
+serialisation so any sink — ring buffer, JSONL file, ``logging`` — can
+consume them without knowing the concrete type. This module depends on
+nothing else in ``repro`` (the rest of the system depends on *it*).
+"""
+
+from __future__ import annotations
+
+import logging
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, ClassVar, Iterator
+
+__all__ = [
+    "ObsEvent",
+    "DecisionEvent",
+    "ResizeEvent",
+    "ResizeDeferredEvent",
+    "ThrottledMinuteEvent",
+    "EventBus",
+    "RingBufferSink",
+    "LoggingSink",
+    "event_from_dict",
+]
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """Base observability event: a timestamped, flat-serialisable record."""
+
+    #: Discriminator used in serialised form; unique per concrete class.
+    kind: ClassVar[str] = "event"
+
+    minute: int
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat dict form: ``{"kind": ..., <all fields>}``."""
+        payload = asdict(self)
+        payload["kind"] = self.kind
+        return payload
+
+
+@dataclass(frozen=True)
+class DecisionEvent(ObsEvent):
+    """One recommender consultation, with full derivation when available.
+
+    Opaque recommenders (the baselines) populate only the allocation
+    fields and leave the Algorithm 1 derivation (``slope``, ``skew``,
+    ``scaling_factor``, ``usage_quantile``) as ``None``; CaaSPER
+    recommenders carry the complete §4.2 trail via their
+    ``last_decision`` provenance.
+
+    Attributes
+    ----------
+    recommender:
+        Name of the consulted recommender.
+    current_cores:
+        Allocation in force at consultation time.
+    raw_target_cores:
+        The recommendation before service guardrails.
+    target_cores:
+        The recommendation after guardrail clamping.
+    branch:
+        Algorithm 1 branch (``scale_up``/``scale_down``/``walk_down``/
+        ``hold``) or ``"opaque"`` for non-introspectable recommenders.
+    clamped:
+        True when guardrails changed the recommendation.
+    window_stats:
+        Optional summary of the observation window the decision saw
+        (sample count, mean/max/quantile usage).
+    elapsed_seconds:
+        Wall-clock cost of the consultation (None when not timed).
+    """
+
+    kind: ClassVar[str] = "decision"
+
+    recommender: str
+    current_cores: int
+    raw_target_cores: int
+    target_cores: int
+    branch: str
+    reason: str
+    slope: float | None = None
+    skew: float | None = None
+    scaling_factor: float | None = None
+    usage_quantile: float | None = None
+    clamped: bool = False
+    window_stats: dict[str, float] | None = None
+    elapsed_seconds: float | None = None
+
+    @property
+    def delta(self) -> int:
+        """``target_cores − current_cores`` after guardrails."""
+        return self.target_cores - self.current_cores
+
+    @property
+    def is_scaling(self) -> bool:
+        """True when the (clamped) decision changes the allocation."""
+        return self.delta != 0
+
+    @property
+    def raw_scaling_factor(self) -> float | None:
+        """Alias matching :class:`~repro.core.reactive.ReactiveDecision`."""
+        return self.scaling_factor
+
+
+@dataclass(frozen=True)
+class ResizeEvent(ObsEvent):
+    """One enacted resize (``minute`` is the enactment minute)."""
+
+    kind: ClassVar[str] = "resize"
+
+    decided_minute: int = 0
+    from_cores: int = 0
+    to_cores: int = 0
+
+    @property
+    def latency_minutes(self) -> int:
+        """Decide→enact latency (rolling update + failover window)."""
+        return self.minute - self.decided_minute
+
+    @property
+    def is_scale_up(self) -> bool:
+        return self.to_cores > self.from_cores
+
+
+@dataclass(frozen=True)
+class ResizeDeferredEvent(ObsEvent):
+    """A resize decision that could not be enacted this minute."""
+
+    kind: ClassVar[str] = "resize_deferred"
+
+    reason: str = ""
+    target_cores: int | None = None
+
+
+@dataclass(frozen=True)
+class ThrottledMinuteEvent(ObsEvent):
+    """One minute of demand exceeding the enacted limit."""
+
+    kind: ClassVar[str] = "throttled"
+
+    demand_cores: float = 0.0
+    limit_cores: float = 0.0
+
+    @property
+    def insufficient_cores(self) -> float:
+        """Unserved demand during this minute (metric ``C`` contribution)."""
+        return max(self.demand_cores - self.limit_cores, 0.0)
+
+
+_EVENT_TYPES: dict[str, type[ObsEvent]] = {
+    cls.kind: cls
+    for cls in (DecisionEvent, ResizeEvent, ResizeDeferredEvent, ThrottledMinuteEvent)
+}
+
+
+def event_from_dict(payload: dict[str, Any]) -> ObsEvent:
+    """Reconstruct a typed event from its :meth:`ObsEvent.to_dict` form.
+
+    Unknown ``kind`` values raise ``KeyError`` — a trace produced by a
+    newer schema should fail loudly rather than be silently dropped.
+    """
+    data = dict(payload)
+    kind = data.pop("kind")
+    cls = _EVENT_TYPES[kind]
+    return cls(**data)
+
+
+#: A sink is anything callable with one event, or exposing ``accept``.
+Sink = Callable[[ObsEvent], None]
+
+
+class EventBus:
+    """Fans each emitted event out to every subscribed sink, in order.
+
+    Sinks are either plain callables or objects with an
+    ``accept(event)`` method (duck-typed so sinks need not import this
+    module). A sink that raises propagates — telemetry bugs should fail
+    tests, not vanish.
+    """
+
+    def __init__(self, sinks: tuple[Sink, ...] | list[Sink] = ()) -> None:
+        self.sinks: list[Any] = []
+        self._sinks: list[Sink] = []
+        for sink in sinks:
+            self.subscribe(sink)
+
+    @staticmethod
+    def _as_callable(sink: Any) -> Sink:
+        accept = getattr(sink, "accept", None)
+        return accept if callable(accept) else sink
+
+    def subscribe(self, sink: Any) -> None:
+        """Add a sink; it receives every subsequent event."""
+        self.sinks.append(sink)
+        self._sinks.append(self._as_callable(sink))
+
+    def emit(self, event: ObsEvent) -> None:
+        """Deliver one event to every sink."""
+        for sink in self._sinks:
+            sink(event)
+
+    def __len__(self) -> int:
+        return len(self._sinks)
+
+
+@dataclass
+class RingBufferSink:
+    """Bounded in-memory sink: keeps the most recent ``capacity`` events."""
+
+    capacity: int = 4096
+    _events: deque[ObsEvent] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+        self._events = deque(maxlen=self.capacity)
+
+    def accept(self, event: ObsEvent) -> None:
+        self._events.append(event)
+
+    @property
+    def events(self) -> list[ObsEvent]:
+        """Retained events, oldest first."""
+        return list(self._events)
+
+    def of_kind(self, kind: str) -> list[ObsEvent]:
+        """Retained events of one kind, oldest first."""
+        return [event for event in self._events if event.kind == kind]
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[ObsEvent]:
+        return iter(self._events)
+
+
+class LoggingSink:
+    """Bridge events onto a stdlib :mod:`logging` logger.
+
+    Lets deployments that already aggregate python logs pick up the
+    decision trail with zero new plumbing.
+    """
+
+    def __init__(
+        self,
+        logger: logging.Logger | None = None,
+        level: int = logging.INFO,
+    ) -> None:
+        self.logger = logger or logging.getLogger("repro.obs")
+        self.level = level
+
+    def accept(self, event: ObsEvent) -> None:
+        self.logger.log(
+            self.level,
+            "[minute %d] %s %s",
+            event.minute,
+            event.kind,
+            event.to_dict(),
+        )

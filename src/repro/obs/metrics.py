@@ -1,0 +1,316 @@
+"""Counters, gauges and histograms with Prometheus-style exposition.
+
+A deliberately small, dependency-free metrics substrate mirroring the
+telemetry production autoscalers (Google Autopilot, K8s VPA) publish:
+decision counts per Algorithm 1 branch, resize totals and latencies,
+running slack/insufficient-CPU core-minutes, and wall-clock histograms
+for the hot simulation paths.
+
+Exposition formats:
+
+- :meth:`MetricsRegistry.render_text` — the Prometheus text format
+  (``# HELP``/``# TYPE`` headers, ``name{label="v"} value`` samples,
+  cumulative histogram buckets), scrape-ready;
+- :meth:`MetricsRegistry.snapshot` — a plain JSON-able dict for tests
+  and the CLI.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from collections import deque
+from typing import Any, Iterable, Mapping
+
+from ..errors import ConfigError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Canonical key for one labelled child: sorted (name, value) pairs.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, str], allowed: tuple[str, ...]) -> LabelKey:
+    if set(labels) != set(allowed):
+        raise ConfigError(
+            f"labels {sorted(labels)} do not match declared {sorted(allowed)}"
+        )
+    return tuple(sorted((name, str(value)) for name, value in labels.items()))
+
+
+def _render_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+class _Metric:
+    """Shared name/help/label plumbing."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: tuple[str, ...] = ()) -> None:
+        if not name or not name.replace("_", "").isalnum():
+            raise ConfigError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+
+    def _header(self) -> list[str]:
+        return [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+
+class Counter(_Metric):
+    """Monotonically increasing value, optionally split by labels."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, labelnames: tuple[str, ...] = ()) -> None:
+        super().__init__(name, help, labelnames)
+        self._values: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (must be >= 0) to the labelled child."""
+        if amount < 0:
+            raise ConfigError(f"counter {self.name} cannot decrease ({amount})")
+        key = _label_key(labels, self.labelnames)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        """Current total for one labelled child (0 when never touched)."""
+        return self._values.get(_label_key(labels, self.labelnames), 0.0)
+
+    def render(self) -> list[str]:
+        lines = self._header()
+        for key in sorted(self._values):
+            lines.append(
+                f"{self.name}{_render_labels(key)} {self._values[key]:g}"
+            )
+        return lines
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "values": {
+                _render_labels(key) or "": value
+                for key, value in sorted(self._values.items())
+            },
+        }
+
+
+class Gauge(Counter):
+    """A value that can go up and down (current cores, window fill...)."""
+
+    kind = "gauge"
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = _label_key(labels, self.labelnames)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def set(self, value: float, **labels: str) -> None:
+        self._values[_label_key(labels, self.labelnames)] = float(value)
+
+
+#: Default histogram buckets: log-spaced seconds, micro to minute scale.
+_DEFAULT_BUCKETS = (
+    1e-5, 1e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+#: Bound on the per-child reservoir used for percentile queries.
+_RESERVOIR_SIZE = 8192
+
+
+class _HistogramChild:
+    def __init__(self, buckets: tuple[float, ...]) -> None:
+        self.buckets = buckets
+        self.bucket_counts = [0] * (len(buckets) + 1)  # +Inf last
+        self.count = 0
+        self.total = 0.0
+        self.reservoir: deque[float] = deque(maxlen=_RESERVOIR_SIZE)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.reservoir.append(value)
+
+    def percentile(self, q: float) -> float:
+        if not self.reservoir:
+            return math.nan
+        ordered = sorted(self.reservoir)
+        rank = q / 100.0 * (len(ordered) - 1)
+        low = int(math.floor(rank))
+        high = min(low + 1, len(ordered) - 1)
+        weight = rank - low
+        return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram with a reservoir for percentiles.
+
+    The Prometheus exposition uses the fixed ``buckets``; percentile
+    queries (:meth:`percentile`) are computed from a bounded reservoir
+    of the most recent :data:`_RESERVOIR_SIZE` observations, which is
+    exact until the reservoir wraps and recency-weighted after.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...] = (),
+        buckets: Iterable[float] = _DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        bucket_list = sorted(float(b) for b in buckets)
+        if not bucket_list:
+            raise ConfigError(f"histogram {name} needs at least one bucket")
+        self.buckets = tuple(bucket_list)
+        self._children: dict[LabelKey, _HistogramChild] = {}
+
+    def _child(self, labels: Mapping[str, str]) -> _HistogramChild:
+        key = _label_key(labels, self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = _HistogramChild(self.buckets)
+        return child
+
+    def observe(self, value: float, **labels: str) -> None:
+        """Record one observation."""
+        self._child(labels).observe(float(value))
+
+    def count(self, **labels: str) -> int:
+        key = _label_key(labels, self.labelnames)
+        child = self._children.get(key)
+        return child.count if child else 0
+
+    def sum(self, **labels: str) -> float:
+        key = _label_key(labels, self.labelnames)
+        child = self._children.get(key)
+        return child.total if child else 0.0
+
+    def percentile(self, q: float, **labels: str) -> float:
+        """Linear-interpolated percentile ``q`` in [0, 100] (NaN if empty)."""
+        if not 0.0 <= q <= 100.0:
+            raise ConfigError(f"percentile must be in [0, 100], got {q}")
+        key = _label_key(labels, self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            return math.nan
+        return child.percentile(q)
+
+    def render(self) -> list[str]:
+        lines = self._header()
+        for key in sorted(self._children):
+            child = self._children[key]
+            cumulative = 0
+            for bound, bucket_count in zip(self.buckets, child.bucket_counts):
+                cumulative += bucket_count
+                label_key = key + (("le", f"{bound:g}"),)
+                lines.append(
+                    f"{self.name}_bucket{_render_labels(label_key)} {cumulative}"
+                )
+            label_key = key + (("le", "+Inf"),)
+            lines.append(
+                f"{self.name}_bucket{_render_labels(label_key)} {child.count}"
+            )
+            lines.append(
+                f"{self.name}_sum{_render_labels(key)} {child.total:g}"
+            )
+            lines.append(
+                f"{self.name}_count{_render_labels(key)} {child.count}"
+            )
+        return lines
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "values": {
+                _render_labels(key) or "": {
+                    "count": child.count,
+                    "sum": child.total,
+                    "p50": child.percentile(50.0),
+                    "p95": child.percentile(95.0),
+                    "p99": child.percentile(99.0),
+                }
+                for key, child in sorted(self._children.items())
+            },
+        }
+
+
+class MetricsRegistry:
+    """Named metric store with idempotent registration.
+
+    ``counter``/``gauge``/``histogram`` return the existing instance when
+    one with the same name is already registered (re-registration with a
+    different type or labels is a :class:`~repro.errors.ConfigError`),
+    so instrumented call sites can look metrics up inline without
+    coordinating initialisation order.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+
+    def _register(self, cls: type, name: str, *args: Any, **kwargs: Any) -> Any:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise ConfigError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        metric = cls(name, *args, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labelnames: tuple[str, ...] = ()
+    ) -> Counter:
+        return self._register(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: tuple[str, ...] = ()
+    ) -> Gauge:
+        return self._register(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: tuple[str, ...] = (),
+        buckets: Iterable[float] = _DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram, name, help, labelnames, buckets)
+
+    def get(self, name: str) -> _Metric | None:
+        """Look up a registered metric by name."""
+        return self._metrics.get(name)
+
+    def render_text(self) -> str:
+        """Prometheus text exposition of every registered metric."""
+        lines: list[str] = []
+        for name in sorted(self._metrics):
+            lines.extend(self._metrics[name].render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able snapshot of every registered metric."""
+        return {
+            name: metric.snapshot()
+            for name, metric in sorted(self._metrics.items())
+        }
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)

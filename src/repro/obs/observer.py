@@ -1,0 +1,278 @@
+"""The Observer: one handle bundling events, metrics and spans.
+
+The simulator (:func:`~repro.sim.simulator.simulate_trace`), sweep
+runner, live-system loop and cluster control loop all accept an optional
+``observer=``. Passing one records the full autoscaling audit trail;
+passing ``None`` (the default) costs nothing — instrumented call sites
+guard every emission with an ``observer is not None`` check, so the
+default path constructs no events and reads no clocks.
+
+The helper methods (:meth:`decision`, :meth:`resize`, ...) both emit the
+typed event to every sink *and* maintain the standard metric families,
+so a single call at the instrumentation point keeps the two pillars
+consistent:
+
+==============================  ======================================
+metric                          meaning
+==============================  ======================================
+``decisions_total{branch=}``    consultations per Algorithm 1 branch
+``resizes_total``               enacted resizes (metric ``N``)
+``resizes_deferred_total{reason=}``  deferred/rejected resizes
+``throttled_minutes_total``     minutes with demand above limits
+``slack_core_minutes_total``    running ``K`` numerator
+``insufficient_core_minutes_total``  running ``C`` numerator
+``resize_latency_minutes``      decide→enact latency histogram
+``recommender_seconds{recommender=}``  per-consultation wall clock
+``sim_step_seconds``            per-simulated-minute wall clock
+==============================  ======================================
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Iterator
+
+from .events import (
+    DecisionEvent,
+    EventBus,
+    ObsEvent,
+    ResizeDeferredEvent,
+    ResizeEvent,
+    RingBufferSink,
+    ThrottledMinuteEvent,
+)
+from .metrics import MetricsRegistry
+from .spans import SpanCollector, activate
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.reactive import ReactiveDecision
+
+__all__ = ["Observer"]
+
+#: Resize-latency histogram buckets, in minutes (paper: 5–15 min window).
+_LATENCY_BUCKETS = (0.0, 1.0, 2.0, 5.0, 10.0, 15.0, 30.0, 60.0)
+
+
+class Observer:
+    """Bundles an event bus, a metrics registry and a span collector.
+
+    Parameters
+    ----------
+    sinks:
+        Event sinks to subscribe at construction. When ``buffer_events``
+        is True (default) a :class:`~repro.obs.events.RingBufferSink` is
+        always attached and exposed as :attr:`ring`, so recent events
+        are queryable without configuring anything.
+    metrics, spans:
+        Pre-built registry/collector to share across observers
+        (e.g. one registry for a whole fleet sweep).
+    """
+
+    def __init__(
+        self,
+        sinks: tuple[Any, ...] | list[Any] = (),
+        metrics: MetricsRegistry | None = None,
+        spans: SpanCollector | None = None,
+        buffer_events: bool = True,
+        ring_capacity: int = 4096,
+    ) -> None:
+        self.bus = EventBus()
+        self.ring: RingBufferSink | None = None
+        if buffer_events:
+            self.ring = RingBufferSink(capacity=ring_capacity)
+            self.bus.subscribe(self.ring)
+        for sink in sinks:
+            self.bus.subscribe(sink)
+        self.metrics = metrics or MetricsRegistry()
+        self.spans = spans or SpanCollector()
+
+    # -- event emission --------------------------------------------------------
+
+    def emit(self, event: ObsEvent) -> None:
+        """Fan one pre-built event out to every sink."""
+        self.bus.emit(event)
+
+    def decision(
+        self,
+        minute: int,
+        recommender: str,
+        current_cores: int,
+        raw_target_cores: int,
+        target_cores: int,
+        derivation: "ReactiveDecision | None" = None,
+        window_stats: dict[str, float] | None = None,
+        elapsed_seconds: float | None = None,
+    ) -> DecisionEvent:
+        """Record one recommender consultation.
+
+        ``derivation`` is the recommender's
+        :class:`~repro.core.reactive.ReactiveDecision` provenance when it
+        exposes one (the ``last_decision`` protocol of
+        :class:`~repro.baselines.base.Recommender`); opaque recommenders
+        pass ``None`` and get a ``branch="opaque"`` event.
+        """
+        if derivation is not None:
+            branch = derivation.branch
+            reason = derivation.reason
+            slope: float | None = derivation.slope
+            skew: float | None = derivation.skew
+            scaling_factor: float | None = derivation.raw_scaling_factor
+            usage_quantile: float | None = derivation.usage_quantile
+        else:
+            branch = "opaque"
+            reason = f"{recommender} recommended {raw_target_cores} cores"
+            slope = skew = scaling_factor = usage_quantile = None
+        event = DecisionEvent(
+            minute=minute,
+            recommender=recommender,
+            current_cores=current_cores,
+            raw_target_cores=raw_target_cores,
+            target_cores=target_cores,
+            branch=branch,
+            reason=reason,
+            slope=slope,
+            skew=skew,
+            scaling_factor=scaling_factor,
+            usage_quantile=usage_quantile,
+            clamped=target_cores != raw_target_cores,
+            window_stats=window_stats,
+            elapsed_seconds=elapsed_seconds,
+        )
+        self.bus.emit(event)
+        self.metrics.counter(
+            "decisions_total",
+            "Recommender consultations by Algorithm 1 branch",
+            labelnames=("branch",),
+        ).inc(branch=branch)
+        if elapsed_seconds is not None:
+            self.metrics.histogram(
+                "recommender_seconds",
+                "Wall-clock seconds per recommender consultation",
+                labelnames=("recommender",),
+            ).observe(elapsed_seconds, recommender=recommender)
+        return event
+
+    def resize(
+        self,
+        minute: int,
+        decided_minute: int,
+        from_cores: int,
+        to_cores: int,
+    ) -> ResizeEvent:
+        """Record one enacted resize (metric ``N`` contribution)."""
+        event = ResizeEvent(
+            minute=minute,
+            decided_minute=decided_minute,
+            from_cores=from_cores,
+            to_cores=to_cores,
+        )
+        self.bus.emit(event)
+        self.metrics.counter(
+            "resizes_total", "Enacted resizes (metric N)"
+        ).inc()
+        self.metrics.histogram(
+            "resize_latency_minutes",
+            "Minutes between a resize decision and its enactment",
+            buckets=_LATENCY_BUCKETS,
+        ).observe(float(event.latency_minutes))
+        return event
+
+    def resize_deferred(
+        self,
+        minute: int,
+        reason: str,
+        target_cores: int | None = None,
+    ) -> ResizeDeferredEvent:
+        """Record a resize that could not be enacted this minute."""
+        event = ResizeDeferredEvent(
+            minute=minute, reason=reason, target_cores=target_cores
+        )
+        self.bus.emit(event)
+        self.metrics.counter(
+            "resizes_deferred_total",
+            "Resizes deferred or rejected by safety checks",
+            labelnames=("reason",),
+        ).inc(reason=reason)
+        return event
+
+    def sample(
+        self, minute: int, demand_cores: float, usage_cores: float, limit_cores: float
+    ) -> None:
+        """Record one simulated minute's slack/insufficient accounting.
+
+        Emits a :class:`~repro.obs.events.ThrottledMinuteEvent` only for
+        minutes in which demand exceeded the limit, keeping JSONL traces
+        proportional to interesting behaviour rather than trace length.
+        """
+        slack = max(limit_cores - usage_cores, 0.0)
+        insufficient = max(demand_cores - limit_cores, 0.0)
+        self.metrics.counter(
+            "slack_core_minutes_total",
+            "Running total of slack core-minutes (metric K numerator)",
+        ).inc(slack)
+        if insufficient > 0.0:
+            self.metrics.counter(
+                "insufficient_core_minutes_total",
+                "Running total of unserved core-minutes (metric C numerator)",
+            ).inc(insufficient)
+            self.metrics.counter(
+                "throttled_minutes_total",
+                "Minutes in which demand exceeded the enacted limit",
+            ).inc()
+            self.bus.emit(
+                ThrottledMinuteEvent(
+                    minute=minute,
+                    demand_cores=demand_cores,
+                    limit_cores=limit_cores,
+                )
+            )
+
+    def step_seconds(self, seconds: float) -> None:
+        """Record the wall-clock cost of one simulated minute."""
+        self.metrics.histogram(
+            "sim_step_seconds",
+            "Wall-clock seconds per simulated minute",
+        ).observe(seconds)
+
+    # -- spans -----------------------------------------------------------------
+
+    @contextmanager
+    def active(self) -> Iterator["Observer"]:
+        """Install this observer's span collector as the ambient one.
+
+        The simulator wraps its main loop in this so ``@timed`` hot
+        paths (PvP-curve construction, forecaster predict) attribute
+        their time here without threading the observer through every
+        call layer.
+        """
+        with activate(self.spans):
+            yield self
+
+    def span(self, name: str):
+        """Time one region against this observer's collector."""
+        return self.spans.span(name)
+
+    def top_spans(self, n: int = 5):
+        """The ``n`` most expensive span names (by total time)."""
+        return self.spans.top(n)
+
+    def close(self) -> None:
+        """Close every sink that supports it (flushes JSONL traces)."""
+        for sink in self.bus.sinks:
+            closer = getattr(sink, "close", None)
+            if callable(closer):
+                closer()
+
+    # -- convenience queries ---------------------------------------------------
+
+    def decisions(self) -> list[DecisionEvent]:
+        """Buffered decision events (requires the default ring buffer)."""
+        if self.ring is None:
+            return []
+        return [e for e in self.ring if isinstance(e, DecisionEvent)]
+
+    def events_of_kind(self, kind: str) -> list[ObsEvent]:
+        """Buffered events of one kind (requires the default ring buffer)."""
+        if self.ring is None:
+            return []
+        return self.ring.of_kind(kind)

@@ -1,0 +1,89 @@
+"""JSONL decision-trace recording and replay.
+
+One JSON object per line, one line per event — the same flat schema as
+:meth:`~repro.obs.events.ObsEvent.to_dict`. JSONL keeps traces
+streamable (a crashed run leaves every completed line readable),
+greppable, and trivially ingestible by external tooling.
+
+Round-trip guarantee: ``read_events(path)`` reconstructs the exact typed
+events a :class:`JsonlSink` recorded, so offline analysis
+(:mod:`repro.analysis.explain`) renders the same audit log as a live
+ring buffer would.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterable, Iterator
+
+from .events import DecisionEvent, ObsEvent, event_from_dict
+
+__all__ = ["JsonlSink", "read_events", "iter_events", "decision_events"]
+
+
+class JsonlSink:
+    """Writes each event as one JSON line to a path or open file handle.
+
+    Parameters
+    ----------
+    target:
+        A filesystem path (opened lazily, truncated) or an already-open
+        text handle (not closed by this sink). Use as a context manager
+        or call :meth:`close` to flush path-opened files.
+    """
+
+    def __init__(self, target: str | Path | IO[str]) -> None:
+        self._handle: IO[str] | None
+        if isinstance(target, (str, Path)):
+            self._path: Path | None = Path(target)
+            self._handle = None
+            self._owns_handle = True
+        else:
+            self._path = None
+            self._handle = target
+            self._owns_handle = False
+        self.events_written = 0
+
+    def accept(self, event: ObsEvent) -> None:
+        if self._handle is None:
+            if self._path is None:
+                raise ValueError("JsonlSink already closed")
+            self._handle = open(self._path, "w")
+        json.dump(event.to_dict(), self._handle, separators=(",", ":"))
+        self._handle.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        """Flush and close a path-opened handle (no-op for borrowed ones)."""
+        if self._handle is not None and self._owns_handle:
+            self._handle.close()
+            self._handle = None
+            self._path = None
+        elif self._handle is not None:
+            self._handle.flush()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def iter_events(path: str | Path) -> Iterator[ObsEvent]:
+    """Stream typed events back from a JSONL trace, in recorded order."""
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield event_from_dict(json.loads(line))
+
+
+def read_events(path: str | Path) -> list[ObsEvent]:
+    """Load a full JSONL trace as typed events."""
+    return list(iter_events(path))
+
+
+def decision_events(events: Iterable[ObsEvent]) -> list[DecisionEvent]:
+    """Filter an event stream down to the recommender consultations."""
+    return [event for event in events if isinstance(event, DecisionEvent)]

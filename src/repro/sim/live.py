@@ -16,6 +16,7 @@ trace simulator of §5, here:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -27,6 +28,8 @@ from ..cluster.events import EventKind
 from ..db.service import DBaaSService, DbServiceConfig
 from ..db.transactions import TxnAccounting
 from ..errors import SimulationError
+from ..obs.observer import Observer
+from ..obs.spans import span
 from ..workloads.base import Workload
 from .billing import BillingModel
 from .metrics import SimulationMetrics
@@ -88,6 +91,7 @@ def simulate_live(
     workload: Workload,
     recommender: Recommender,
     config: LiveSystemConfig,
+    observer: Observer | None = None,
 ) -> SimulationResult:
     """Run ``workload`` against the full substrate under ``recommender``.
 
@@ -96,10 +100,22 @@ def simulate_live(
     summary dict and the ``TxnAccounting`` object under
     ``"txn_accounting"``), the event log (``"events"``) and the failover
     count.
+
+    ``observer`` (optional) is threaded into the control loop — the
+    decision trail, resize enactments (reported by the operator when a
+    rolling update completes, so latency is the *emergent* one) and
+    safety-check deferrals are all recorded; the loop itself runs under
+    a ``sim.simulate_live`` timing span.
     """
     cluster = config.build_cluster()
     service = DBaaSService(config.service, cluster.scheduler, cluster.events)
-    loop = ControlLoop(service, recommender, config.control, events=cluster.events)
+    loop = ControlLoop(
+        service,
+        recommender,
+        config.control,
+        events=cluster.events,
+        observer=observer,
+    )
     txns = TxnAccounting(
         base_latency_ms=config.base_latency_ms,
         retry_dropped=config.retry_dropped_txns,
@@ -110,22 +126,25 @@ def simulate_live(
     usage_series = np.empty(minutes, dtype=float)
     limit_series = np.empty(minutes, dtype=float)
 
-    for minute in range(minutes):
-        demand = workload.demand(minute)
-        outcome = loop.step(minute, demand)
-        demand_series[minute] = demand
-        usage_series[minute] = outcome.primary_usage_cores
-        limit_series[minute] = outcome.client_limit_cores
+    ambient = observer.active() if observer is not None else nullcontext()
+    with ambient, span("sim.simulate_live"):
+        for minute in range(minutes):
+            demand = workload.demand(minute)
+            outcome = loop.step(minute, demand)
+            demand_series[minute] = demand
+            usage_series[minute] = outcome.primary_usage_cores
+            limit_series[minute] = outcome.client_limit_cores
 
-        factor = config.txns_per_core_minute
-        txns.record_minute(
-            minute=minute,
-            offered_txns=demand * factor,
-            served_txns=outcome.primary.served_cores * factor,
-            shed_txns=outcome.primary.shed_cores * factor,
-            latency_factor=outcome.primary.latency_factor,
-            restart_drops=outcome.restarts_completed * config.drops_per_restart,
-        )
+            factor = config.txns_per_core_minute
+            txns.record_minute(
+                minute=minute,
+                offered_txns=demand * factor,
+                served_txns=outcome.primary.served_cores * factor,
+                shed_txns=outcome.primary.shed_cores * factor,
+                latency_factor=outcome.primary.latency_factor,
+                restart_drops=outcome.restarts_completed
+                * config.drops_per_restart,
+            )
 
     price = config.billing.price(limit_series)
     events = _scaling_events(cluster)

@@ -22,12 +22,16 @@ throttling, and scaling frequency."
 
 from __future__ import annotations
 
+import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..baselines.base import Recommender
 from ..errors import ConfigError, SimulationError
+from ..obs.observer import Observer
+from ..obs.spans import span
 from ..trace import CpuTrace
 from .billing import BillingModel
 from .metrics import SimulationMetrics
@@ -89,12 +93,21 @@ def simulate_trace(
     demand: CpuTrace,
     recommender: Recommender,
     config: SimulatorConfig,
+    observer: Observer | None = None,
 ) -> SimulationResult:
     """Replay ``demand`` through ``recommender`` under ``config``.
 
     Returns the full per-minute series, scaling events and metrics. The
     recommender is *not* reset first — callers own recommender state so
     that warm-started comparisons stay possible.
+
+    ``observer`` (optional) records the full audit trail: one
+    :class:`~repro.obs.events.DecisionEvent` per recommender
+    consultation, one :class:`~repro.obs.events.ResizeEvent` per enacted
+    resize, deferral events for consultations skipped by cooldown or an
+    in-flight resize, throttled-minute events, and ``sim_step_seconds``
+    timings. Observation never feeds back into the simulation: results
+    are identical with and without an observer attached.
     """
     minutes = demand.minutes
     demand_series = demand.samples
@@ -108,45 +121,88 @@ def simulate_trace(
     events: list[ScalingEvent] = []
     pending_decided_minute = -1
 
-    for minute in range(minutes):
-        # 1. Enact a pending resize whose delay has elapsed.
-        if pending_target is not None and minute >= pending_effective_minute:
-            if pending_target != limit:
-                events.append(
-                    ScalingEvent(
-                        decided_minute=pending_decided_minute,
-                        enacted_minute=minute,
-                        from_cores=limit,
-                        to_cores=pending_target,
+    ambient = observer.active() if observer is not None else nullcontext()
+    with ambient, span("sim.simulate_trace"):
+        for minute in range(minutes):
+            step_start = time.perf_counter() if observer is not None else 0.0
+
+            # 1. Enact a pending resize whose delay has elapsed.
+            if pending_target is not None and minute >= pending_effective_minute:
+                if pending_target != limit:
+                    events.append(
+                        ScalingEvent(
+                            decided_minute=pending_decided_minute,
+                            enacted_minute=minute,
+                            from_cores=limit,
+                            to_cores=pending_target,
+                        )
                     )
-                )
-                limit = pending_target
-                last_enacted_minute = minute
-            pending_target = None
+                    if observer is not None:
+                        observer.resize(
+                            minute=minute,
+                            decided_minute=pending_decided_minute,
+                            from_cores=limit,
+                            to_cores=pending_target,
+                        )
+                    limit = pending_target
+                    last_enacted_minute = minute
+                pending_target = None
 
-        # 2. cgroup capping: observed usage can never exceed limits.
-        observed = min(float(demand_series[minute]), float(limit))
-        usage_series[minute] = observed
-        limit_series[minute] = limit
-        recommender.observe(minute, observed, limit)
-
-        # 3. Decision point.
-        is_decision_minute = (
-            minute > 0 and minute % config.decision_interval_minutes == 0
-        )
-        in_cooldown = minute - last_enacted_minute < config.cooldown_minutes
-        if is_decision_minute and pending_target is None and not in_cooldown:
-            target = int(recommender.recommend(minute, limit))
-            if target < 1:
-                raise SimulationError(
-                    f"{recommender.name} recommended non-positive cores "
-                    f"({target}) at minute {minute}"
+            # 2. cgroup capping: observed usage can never exceed limits.
+            observed = min(float(demand_series[minute]), float(limit))
+            usage_series[minute] = observed
+            limit_series[minute] = limit
+            recommender.observe(minute, observed, limit)
+            if observer is not None:
+                observer.sample(
+                    minute, float(demand_series[minute]), observed, float(limit)
                 )
-            target = max(config.min_cores, min(config.max_cores, target))
-            if target != limit:
-                pending_target = target
-                pending_decided_minute = minute
-                pending_effective_minute = minute + config.resize_delay_minutes
+
+            # 3. Decision point.
+            is_decision_minute = (
+                minute > 0 and minute % config.decision_interval_minutes == 0
+            )
+            in_cooldown = minute - last_enacted_minute < config.cooldown_minutes
+            if is_decision_minute and pending_target is None and not in_cooldown:
+                consult_start = (
+                    time.perf_counter() if observer is not None else 0.0
+                )
+                target = int(recommender.recommend(minute, limit))
+                if target < 1:
+                    raise SimulationError(
+                        f"{recommender.name} recommended non-positive cores "
+                        f"({target}) at minute {minute}"
+                    )
+                clamped = max(config.min_cores, min(config.max_cores, target))
+                if observer is not None:
+                    observer.decision(
+                        minute=minute,
+                        recommender=recommender.name,
+                        current_cores=limit,
+                        raw_target_cores=target,
+                        target_cores=clamped,
+                        derivation=recommender.last_decision,
+                        window_stats=recommender.window_stats(),
+                        elapsed_seconds=time.perf_counter() - consult_start,
+                    )
+                target = clamped
+                if target != limit:
+                    pending_target = target
+                    pending_decided_minute = minute
+                    pending_effective_minute = (
+                        minute + config.resize_delay_minutes
+                    )
+            elif is_decision_minute and observer is not None:
+                observer.resize_deferred(
+                    minute=minute,
+                    reason="resize in flight"
+                    if pending_target is not None
+                    else "cooldown",
+                    target_cores=pending_target,
+                )
+
+            if observer is not None:
+                observer.step_seconds(time.perf_counter() - step_start)
 
     price = config.billing.price(limit_series)
     metrics = SimulationMetrics.from_series(

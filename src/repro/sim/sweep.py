@@ -18,6 +18,8 @@ from ..baselines.base import Recommender
 from ..core.config import CaasperConfig
 from ..core.recommender import CaasperRecommender
 from ..errors import SimulationError
+from ..obs.observer import Observer
+from ..obs.spans import span
 from ..trace import CpuTrace
 from .billing import BillingModel
 from .results import SimulationResult
@@ -151,6 +153,7 @@ def run_sweep(
     traces: Sequence[CpuTrace],
     config: SweepConfig | None = None,
     recommender_factory: RecommenderFactory | None = None,
+    observer: Observer | None = None,
 ) -> SweepOutcome:
     """Evaluate one recommender family over many traces.
 
@@ -163,6 +166,9 @@ def run_sweep(
     recommender_factory:
         ``trace -> Recommender`` builder; defaults to CaaSPER with a
         per-trace core ceiling.
+    observer:
+        Optional telemetry sink shared across every per-trace run; each
+        trace additionally gets a ``sweep.trace.<name>`` timing span.
     """
     if not traces:
         raise SimulationError("sweep needs at least one trace")
@@ -175,7 +181,15 @@ def run_sweep(
     results: dict[str, SimulationResult] = {}
     for trace in traces:
         recommender = factory(trace)
-        result = simulate_trace(trace, recommender, config.simulator_for(trace))
+        if observer is not None:
+            with observer.active(), span(f"sweep.trace.{trace.name}"):
+                result = simulate_trace(
+                    trace, recommender, config.simulator_for(trace), observer
+                )
+        else:
+            result = simulate_trace(
+                trace, recommender, config.simulator_for(trace)
+            )
         results[trace.name] = SimulationResult(
             name=trace.name,
             demand=result.demand,

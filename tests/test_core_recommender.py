@@ -95,6 +95,11 @@ class TestRecommendation:
         feed(rec, pinned_trace.samples, limit=3)
         rec.recommend(len(pinned_trace), 3)
         assert rec.decisions == []
+        # The full trail is disabled, but the most recent derivation is
+        # still retained for the observability decision trail.
+        assert rec.last_decision is not None
+        assert rec.last_decision.branch == "scale_up"
+        rec.reset()
         assert rec.last_decision is None
 
     def test_proactive_name(self):
