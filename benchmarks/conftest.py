@@ -52,3 +52,44 @@ def once(benchmark):
         return run_once(benchmark, fn, *args, **kwargs)
 
     return _run
+
+
+def chaos_comparison(clean, chaos):
+    """Render a fault-free vs chaos K/C/N comparison block.
+
+    Both arguments are :class:`~repro.sim.results.SimulationResult`
+    instances from the same workload/recommender pair — one with
+    ``faults=None``, one under a chaos plan — so the deltas isolate what
+    the injected faults (and the degradations absorbing them) cost.
+    """
+    rows = (
+        (
+            "K (slack core-min)",
+            clean.metrics.total_slack,
+            chaos.metrics.total_slack,
+        ),
+        (
+            "C (insufficient)",
+            clean.metrics.total_insufficient_cpu,
+            chaos.metrics.total_insufficient_cpu,
+        ),
+        (
+            "N (resizes)",
+            float(clean.metrics.num_scalings),
+            float(chaos.metrics.num_scalings),
+        ),
+    )
+    lines = ["fault-free vs chaos:"]
+    for label, fault_free, chaotic in rows:
+        lines.append(
+            f"  {label:22s} {fault_free:10.1f} -> {chaotic:10.1f}  "
+            f"({chaotic - fault_free:+.1f})"
+        )
+    fires = chaos.detail.get("faults", {})
+    resilience = chaos.detail.get("resilience", {})
+    lines.append(f"  faults injected: {sum(fires.values())} {dict(fires)}")
+    lines.append(
+        "  degradations: "
+        + ", ".join(f"{k}={v}" for k, v in resilience.items() if v)
+    )
+    return "\n".join(lines)

@@ -23,7 +23,7 @@ from collections import deque
 import numpy as np
 
 from ..errors import ConfigError
-from ..trace import CpuTrace
+from ..trace import CpuTrace, validate_usage_sample
 
 __all__ = ["Recommender", "WindowedRecommender"]
 
@@ -105,6 +105,7 @@ class WindowedRecommender(Recommender):
     # -- Recommender interface -------------------------------------------------
 
     def observe(self, minute: int, usage: float, limit: int) -> None:
+        usage = validate_usage_sample(usage, context=f"{self.name} observe")
         if self._last_minute is not None and minute <= self._last_minute:
             # Tolerate replays of the same minute (controller retries) but
             # never let time run backwards silently.

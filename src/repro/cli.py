@@ -8,6 +8,7 @@ Examples::
     caasper run fig14 --containers c_1,c_48113
     caasper trace fig10-cyclical --out /tmp/cyclical.csv
     caasper obs --trace fig10-cyclical --jsonl /tmp/trace.jsonl --metrics-text
+    caasper chaos --scenario kitchen-sink --seed 3 --minutes 720 --strict
 """
 
 from __future__ import annotations
@@ -142,6 +143,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_parser.add_argument(
         "--min-cores", type=int, default=1, help="guardrail floor"
+    )
+
+    from .faults.scenarios import scenario_names
+
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="run a fault-injection scenario against the hardened live "
+        "loop and audit the degradations",
+    )
+    chaos_parser.add_argument(
+        "--scenario",
+        default="kitchen-sink",
+        choices=scenario_names(),
+        help="named chaos scenario (default: kitchen-sink)",
+    )
+    chaos_parser.add_argument(
+        "--seed", type=int, default=0, help="fault-plan seed (replayable)"
+    )
+    chaos_parser.add_argument(
+        "--minutes",
+        type=int,
+        default=720,
+        help="run length in simulated minutes",
+    )
+    chaos_parser.add_argument(
+        "--trace",
+        default=None,
+        choices=paper_trace_names(),
+        help="drive the run with a paper trace instead of the synthetic "
+        "cyclical day",
+    )
+    chaos_parser.add_argument(
+        "--proactive",
+        action="store_true",
+        help="enable the forecasting component",
+    )
+    chaos_parser.add_argument(
+        "--jsonl",
+        type=str,
+        default=None,
+        help="write every observability event to this JSONL file",
+    )
+    chaos_parser.add_argument(
+        "--metrics-text",
+        action="store_true",
+        help="print the Prometheus-style metrics exposition",
+    )
+    chaos_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero unless every fired fault kind has its "
+        "matching degradation in the audit trail",
     )
     return parser
 
@@ -278,6 +331,98 @@ def _run_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_chaos(args: argparse.Namespace) -> int:
+    """Run one fault-injection scenario and audit the degradation trail."""
+    from math import ceil
+
+    from .core.config import CaasperConfig
+    from .core.recommender import CaasperRecommender
+    from .faults.scenarios import make_scenario
+    from .obs import JsonlSink, Observer
+    from .sim.live import LiveSystemConfig, simulate_live
+    from .workloads.base import TraceWorkload
+    from .workloads.synthetic import cyclical_days
+
+    if args.trace:
+        trace = paper_trace(args.trace)
+    else:
+        days = max(1, ceil(args.minutes / 1440))
+        trace = cyclical_days(days=days, name="chaos-cyclical")
+    if args.minutes < trace.minutes:
+        trace = trace.window(0, args.minutes)
+    workload = TraceWorkload(trace)
+
+    plan = make_scenario(
+        args.scenario, seed=args.seed, horizon_minutes=workload.minutes
+    )
+    recommender = CaasperRecommender(
+        CaasperConfig(c_min=2, max_cores=16, proactive=args.proactive),
+        keep_decisions=False,
+    )
+    sinks: list[JsonlSink] = []
+    if args.jsonl:
+        sinks.append(JsonlSink(args.jsonl))
+    observer = Observer(sinks=sinks)
+    result = simulate_live(
+        workload,
+        recommender,
+        LiveSystemConfig(),
+        observer=observer,
+        faults=plan,
+    )
+    observer.close()
+
+    fires: dict[str, int] = result.detail["faults"]
+    resilience: dict[str, int] = result.detail["resilience"]
+    unpaired = result.detail["unpaired_resize_decisions"]
+    print(
+        f"chaos scenario {args.scenario!r} (seed {args.seed}): "
+        f"{workload.minutes} minutes, {sum(fires.values())} faults injected"
+    )
+    print(
+        f"K={result.metrics.total_slack:.0f} "
+        f"C={result.metrics.total_insufficient_cpu:.0f} "
+        f"N={result.metrics.num_scalings} "
+        f"unpaired_decisions={len(unpaired)}"
+    )
+    print("faults injected:")
+    for label, count in sorted(fires.items()):
+        print(f"  {label:24s} {count}")
+    print("degradations absorbed:")
+    for label, count in resilience.items():
+        print(f"  {label:24s} {count}")
+    if args.jsonl:
+        print(f"wrote {sinks[0].events_written} events to {args.jsonl}")
+    if args.metrics_text:
+        print()
+        print(observer.metrics.render_text(), end="")
+
+    # Every fired fault kind must have left its matching defense in the
+    # audit trail; --strict turns a gap into a non-zero exit for CI.
+    expectations = (
+        (("telemetry_drop", "telemetry_nan", "telemetry_stale"),
+         "safe_mode", "telemetry faults must trip safe-mode"),
+        (("actuation_reject",),
+         "retry", "rejected enactments must be retried"),
+        (("actuation_hang",),
+         "rollback", "hung rollouts must be rolled back"),
+        (("component_recommender", "component_forecaster"),
+         "quarantine", "component faults must be quarantined"),
+    )
+    violations = []
+    for labels, event_kind, message in expectations:
+        if any(fires.get(label, 0) for label in labels):
+            if not observer.events_of_kind(event_kind):
+                violations.append(message)
+    for message in violations:
+        print(f"MISSING DEGRADATION: {message}", file=sys.stderr)
+    if args.strict and violations:
+        return 1
+    if not violations:
+        print("degradation check: every fired fault kind was absorbed")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -342,6 +487,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "obs":
         return _run_obs(args)
+
+    if args.command == "chaos":
+        return _run_chaos(args)
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

@@ -19,6 +19,7 @@ from .metrics import MetricsServer
 from .node import Node
 from .operator_ import DbOperator, RollingUpdate
 from .pod import Container, Pod, PodPhase
+from .resilience import ResilienceConfig, ResilientControlLoop, RetryPolicy
 from .resources import ResourceSpec
 from .scaler import Scaler, ScalerConfig
 from .scheduler import Scheduler
@@ -39,6 +40,9 @@ __all__ = [
     "Container",
     "Pod",
     "PodPhase",
+    "ResilienceConfig",
+    "ResilientControlLoop",
+    "RetryPolicy",
     "ResourceSpec",
     "Scaler",
     "ScalerConfig",

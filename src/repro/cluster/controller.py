@@ -99,25 +99,38 @@ class ControlLoop:
             )
 
         # (3)→(6): periodic decision, safety-checked and enacted.
-        if minute > 0 and minute % self.config.decision_interval_minutes == 0:
+        if self._is_decision_minute(minute):
             current = int(round(outcome.client_limit_cores))
-            consult_start = time.perf_counter() if observer is not None else 0.0
-            target = int(
-                self.recommender.recommend(minute, max(current, 1))
-            )
-            if observer is not None:
-                observer.decision(
-                    minute=minute,
-                    recommender=self.recommender.name,
-                    current_cores=current,
-                    raw_target_cores=target,
-                    target_cores=self.scaler.clamp(target),
-                    derivation=self.recommender.last_decision,
-                    window_stats=self.recommender.window_stats(),
-                    elapsed_seconds=time.perf_counter() - consult_start,
-                )
+            target = self._consult(minute, current)
             self.scaler.try_enact(target, minute, self.events)
 
         if observer is not None:
             observer.step_seconds(time.perf_counter() - step_start)
         return outcome
+
+    def _is_decision_minute(self, minute: int) -> bool:
+        """True when the recommender is consulted this minute."""
+        return minute > 0 and minute % self.config.decision_interval_minutes == 0
+
+    def _consult(self, minute: int, current: int) -> int:
+        """One recommender consultation, with its decision-event audit.
+
+        Returns the raw (pre-guardrail) target; shared with
+        :class:`~repro.cluster.resilience.ResilientControlLoop`, which
+        wraps this call in its component-quarantine protection.
+        """
+        observer = self.observer
+        consult_start = time.perf_counter() if observer is not None else 0.0
+        target = int(self.recommender.recommend(minute, max(current, 1)))
+        if observer is not None:
+            observer.decision(
+                minute=minute,
+                recommender=self.recommender.name,
+                current_cores=current,
+                raw_target_cores=target,
+                target_cores=self.scaler.clamp(target),
+                derivation=self.recommender.last_decision,
+                window_stats=self.recommender.window_stats(),
+                elapsed_seconds=time.perf_counter() - consult_start,
+            )
+        return target

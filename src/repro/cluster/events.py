@@ -23,6 +23,7 @@ class EventKind(enum.Enum):
     POD_RESTART_FINISHED = "pod_restart_finished"
     ROLLING_UPDATE_STARTED = "rolling_update_started"
     ROLLING_UPDATE_FINISHED = "rolling_update_finished"
+    ROLLING_UPDATE_ABORTED = "rolling_update_aborted"
     FAILOVER = "failover"
     RESIZE_DECIDED = "resize_decided"
     RESIZE_REJECTED = "resize_rejected"

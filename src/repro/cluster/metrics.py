@@ -17,7 +17,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..errors import ConfigError
-from ..trace import CpuTrace
+from ..trace import CpuTrace, validate_usage_sample
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs.observer import Observer
@@ -65,9 +65,17 @@ class MetricsServer:
     def publish(
         self, target: str, minute: int, usage_cores: float, limit_cores: float
     ) -> None:
-        """Store one sample for ``target``."""
-        if usage_cores < 0:
-            raise ConfigError(f"usage must be >= 0, got {usage_cores}")
+        """Store one sample for ``target``.
+
+        Samples are validated at the boundary: NaN, infinite or negative
+        usage raises :class:`~repro.errors.TraceError` instead of
+        silently poisoning every window query downstream. (The resilient
+        control loop pre-validates and routes corrupt samples to
+        safe-mode before they ever reach this store.)
+        """
+        usage_cores = validate_usage_sample(
+            usage_cores, context=f"metrics server target {target!r}"
+        )
         series = self._series.setdefault(
             target, deque(maxlen=self.retention_minutes)
         )

@@ -54,12 +54,20 @@ class RollingUpdate:
         When the update began.
     restarts_done:
         Completed pod restarts so far.
+    update_id:
+        Monotonic per-operator identity correlating this update's
+        decided/started/finished/aborted events.
+    prev_spec:
+        The spec in force before this update — the rollback target if
+        the rollout wedges and the watchdog aborts it.
     """
 
     target_spec: ResourceSpec
     queue: list[int]
     started_minute: int
     restarts_done: int = 0
+    update_id: int = 0
+    prev_spec: ResourceSpec | None = None
 
 
 class DbOperator:
@@ -108,7 +116,12 @@ class DbOperator:
         #: each completed rollout as an enacted-resize event, closing
         #: the decide→enact latency loop of the audit trail.
         self.observer: "Observer | None" = None
+        #: Optional fault-injection seam (set by the resilient control
+        #: loop): consulted for the duration of each pod restart, so
+        #: chaos plans can slow or hang rollouts.
+        self.faults = None
         self._update_from_cores: float | None = None
+        self._update_counter = 0
 
     # -- roles ---------------------------------------------------------------------
 
@@ -135,6 +148,16 @@ class DbOperator:
         """True while a rolling update is running."""
         return self.update is not None
 
+    @property
+    def next_update_id(self) -> int:
+        """Identity the next :meth:`begin_update` call will be assigned.
+
+        The scaler stamps its ``RESIZE_DECIDED`` event with this before
+        starting the update, so decisions and completions correlate by
+        id rather than by fragile event ordering.
+        """
+        return self._update_counter + 1
+
     # -- rolling updates -------------------------------------------------------------
 
     def begin_update(
@@ -151,10 +174,12 @@ class DbOperator:
                 f"{self.stateful_set.name}: rolling update already in progress"
             )
         self._update_from_cores = self.client_visible_limit_cores
+        prev_spec = self.stateful_set.spec
         self.stateful_set.declare_spec(new_spec)
         outdated = self.stateful_set.pods_needing_update()
         if not outdated:
             return False
+        self._update_counter += 1
         if self.in_place_resize:
             self._apply_in_place(new_spec, outdated, minute, events)
             return True
@@ -165,7 +190,11 @@ class DbOperator:
             key=lambda ordinal: (ordinal == self.primary_ordinal, ordinal),
         )
         self.update = RollingUpdate(
-            target_spec=new_spec, queue=queue, started_minute=minute
+            target_spec=new_spec,
+            queue=queue,
+            started_minute=minute,
+            update_id=self._update_counter,
+            prev_spec=prev_spec,
         )
         events.record(
             minute,
@@ -175,6 +204,7 @@ class DbOperator:
             f"({len(queue)} pods)",
             cores=new_spec.limit_cores,
             pods=len(queue),
+            update_id=self._update_counter,
         )
         self._maybe_start_next_restart(minute, events)
         return True
@@ -196,6 +226,7 @@ class DbOperator:
             cores=new_spec.limit_cores,
             pods=len(outdated),
             in_place=True,
+            update_id=self._update_counter,
         )
         for pod in outdated:
             pod.container.spec = new_spec
@@ -213,6 +244,7 @@ class DbOperator:
             "in-place resize complete in 0 min",
             minutes=0,
             in_place=True,
+            update_id=self._update_counter,
         )
         self._emit_enacted(minute, minute, new_spec.limit_cores)
 
@@ -230,7 +262,10 @@ class DbOperator:
         if ordinal == self.primary_ordinal and self.stateful_set.replicas > 1:
             self._failover(minute, events)
         update.queue.pop(0)
-        pod.begin_restart(update.target_spec, self.restart_minutes_per_pod)
+        duration = self.restart_minutes_per_pod
+        if self.faults is not None:
+            duration = self.faults.restart_duration(minute, duration)
+        pod.begin_restart(update.target_spec, duration)
         events.record(
             minute,
             EventKind.POD_RESTART_STARTED,
@@ -291,11 +326,53 @@ class DbOperator:
                 self.stateful_set.name,
                 f"rolling update complete in {duration} min",
                 minutes=duration,
+                update_id=update.update_id,
             )
             self._emit_enacted(
                 minute, update.started_minute, update.target_spec.limit_cores
             )
             self.update = None
+
+    def abort_update(self, minute: int, events: EventLog) -> ResourceSpec:
+        """Roll a stuck update back to the spec in force before it began.
+
+        The rollout watchdog's escape hatch: restarting pods recover
+        immediately at the previous (known-healthy) spec, pods that
+        already moved to the target spec are reverted in place (a cgroup
+        limit revert is cheap — no further restart is modelled), the
+        declaration returns to the previous spec and the update is
+        discarded. Returns the restored spec.
+        """
+        update = self.update
+        if update is None:
+            raise ClusterStateError(
+                f"{self.stateful_set.name}: no rolling update to abort"
+            )
+        prev = update.prev_spec if update.prev_spec is not None else (
+            self.stateful_set.spec
+        )
+        self.stateful_set.declare_spec(prev)
+        for pod in self.stateful_set.pods:
+            if pod.phase is PodPhase.RESTARTING:
+                pod.container.spec = prev
+                pod.phase = PodPhase.RUNNING
+                pod.restart_remaining_minutes = 0
+            elif pod.spec != prev:
+                pod.container.spec = prev
+        stuck = minute - update.started_minute
+        events.record(
+            minute,
+            EventKind.ROLLING_UPDATE_ABORTED,
+            self.stateful_set.name,
+            f"rolling update aborted after {stuck} min; rolled back to "
+            f"{prev.limit_cores:.0f} cores",
+            minutes=stuck,
+            cores=prev.limit_cores,
+            update_id=update.update_id,
+        )
+        self.update = None
+        self._update_from_cores = None
+        return prev
 
     def _emit_enacted(
         self, minute: int, decided_minute: int, to_cores: float

@@ -82,6 +82,10 @@ class Scaler:
         self.scheduler = scheduler
         self.config = config
         self.observer = observer
+        #: Optional fault-injection seam (set by the resilient control
+        #: loop): consulted before every enactment so chaos plans can
+        #: model a resize API that rejects requests.
+        self.faults = None
         self._last_enacted_minute: int | None = None
         self._enacted_minutes: list[int] = []
         self.enacted_count = 0
@@ -100,6 +104,9 @@ class Scaler:
         if new_spec == current:
             return False
 
+        if self.faults is not None and self.faults.actuation_rejects(minute):
+            self._reject(minute, events, target_cores, "fault: resize api rejected")
+            return False
         if self.operator.update_in_progress:
             self._reject(minute, events, target_cores, "rolling update in flight")
             return False
@@ -143,6 +150,11 @@ class Scaler:
             f"resize {current.limit_cores:.0f} -> {target_cores} cores",
             from_cores=current.limit_cores,
             to_cores=target_cores,
+            # Correlates this decision with the rolling update it starts
+            # (the operator assigns exactly this id in begin_update), so
+            # decided/finished events pair by identity even when updates
+            # fail, roll back, or are still in flight at run end.
+            update_id=self.operator.next_update_id,
         )
         self.operator.begin_update(new_spec, minute, events)
         self._last_enacted_minute = minute

@@ -65,6 +65,16 @@ class ProactiveWindowBuilder:
     forecaster:
         Optional pre-built forecaster (overrides the registry lookup);
         used by tests and by callers plugging custom predictors.
+
+    Attributes
+    ----------
+    fault_gate:
+        Optional injection seam (set by :mod:`repro.faults`): a callable
+        invoked just before each forecast attempt. Raising
+        :class:`~repro.errors.ForecastError` from it degrades that
+        decision to the plain reactive window via the existing §4.3
+        fallback — injected forecaster failures take exactly the organic
+        failure path.
     """
 
     def __init__(
@@ -73,6 +83,7 @@ class ProactiveWindowBuilder:
         forecaster: Forecaster | None = None,
     ) -> None:
         self.config = config
+        self.fault_gate = None
         self._forecaster = forecaster
         self._detected_period: int | None = None
 
@@ -123,6 +134,8 @@ class ProactiveWindowBuilder:
         period = self._resolve_period(history)
         forecaster = self._resolve_forecaster(period)
         try:
+            if self.fault_gate is not None:
+                self.fault_gate()
             if config.forecast_confidence is not None:
                 with span(f"forecast.{forecaster.name}.predict_interval"):
                     interval = forecaster.forecast_interval(

@@ -22,7 +22,7 @@ import numpy as np
 from ..baselines.base import Recommender
 from ..errors import ConfigError
 from ..forecast.base import Forecaster
-from ..trace import CpuTrace
+from ..trace import CpuTrace, validate_usage_sample
 from .config import CaasperConfig
 from .proactive import ProactiveWindowBuilder
 from .reactive import ReactiveDecision, ReactivePolicy
@@ -85,8 +85,7 @@ class CaasperRecommender(Recommender):
     # -- Recommender interface ---------------------------------------------------
 
     def observe(self, minute: int, usage: float, limit: int) -> None:
-        if usage < 0:
-            raise ConfigError(f"usage must be >= 0, got {usage}")
+        usage = validate_usage_sample(usage, context=f"{self.name} observe")
         if self._last_minute is not None and minute < self._last_minute:
             raise ConfigError(
                 f"observations must be time-ordered ({minute} after "
@@ -153,3 +152,13 @@ class CaasperRecommender(Recommender):
     def last_decision(self) -> ReactiveDecision | None:
         """Most recent decision (kept even with ``keep_decisions=False``)."""
         return self._last_decision
+
+    @property
+    def window_builder(self) -> ProactiveWindowBuilder:
+        """The Eq. 4 window builder (fault-injection seam attachment point).
+
+        Chaos runs (:mod:`repro.faults`) use this to point the builder's
+        ``fault_gate`` at an injector, so forecaster faults degrade
+        through the existing ``ForecastError`` → reactive rule.
+        """
+        return self._window_builder

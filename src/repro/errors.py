@@ -35,6 +35,27 @@ class ForecastError(ReproError):
     """
 
 
+class DegradedModeError(ReproError):
+    """A component failed in a way the control plane should absorb.
+
+    The resilient control loop catches this (and every other
+    :class:`ReproError` raised during a recommender consultation) and
+    degrades — holding the last decision or falling back to reactive
+    mode — instead of crashing the run. This generalises the existing
+    ``ForecastError`` → reactive rule (§4.3) to all components.
+    """
+
+
+class FaultError(DegradedModeError):
+    """An injected fault fired (:mod:`repro.faults`).
+
+    Raised by fault injectors at component seams during chaos runs.
+    Subclasses :class:`DegradedModeError` so the hardened control plane
+    treats injected failures exactly like organic ones: quarantine the
+    component, hold the last known-good decision, keep running.
+    """
+
+
 class SchedulingError(ReproError):
     """The cluster scheduler cannot place a pod.
 

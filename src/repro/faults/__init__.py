@@ -1,0 +1,53 @@
+"""Deterministic fault injection (chaos) for the live substrate.
+
+The paper's control loop (Figure 1) assumes telemetry always arrives and
+every resize enacts cleanly; the production reality it targets — K8s
+stateful sets with 5–15 minute rolling updates, failovers and
+throttling-corrupted signals (§2.2, §6.2) — is exactly where autoscalers
+misbehave. This package makes the substrate *able to fail*, on purpose
+and reproducibly, so the hardened control plane
+(:mod:`repro.cluster.resilience`) can be demonstrated and tested:
+
+- :mod:`repro.faults.plan` — :class:`FaultPlan`: seeded, schedulable
+  (minute range × probability) compositions of typed fault specs for
+  telemetry, actuation, node capacity and component failures; activity
+  is a pure function of ``(seed, spec, minute)``, so the same plan
+  yields an identical fault schedule every run;
+- :mod:`repro.faults.injection` — :class:`FaultInjector`: the per-run
+  runtime consulted at small seams in the control loop, scaler,
+  operator and proactive window builder; every fire is counted and
+  emitted as a typed :class:`~repro.obs.events.FaultInjectedEvent`;
+- :mod:`repro.faults.scenarios` — named chaos scenarios for the
+  ``caasper chaos`` CLI and CI smoke runs.
+
+Pass a plan to :func:`~repro.sim.live.simulate_live` via ``faults=``;
+the default (``faults=None``) constructs no injector and leaves the
+simulation bit-identical to an unfaulted run.
+"""
+
+from __future__ import annotations
+
+from .injection import HANG_RESTART_MINUTES, FaultInjector
+from .plan import (
+    ActuationFault,
+    ComponentFault,
+    FaultPlan,
+    FaultSpec,
+    NodeFault,
+    TelemetryFault,
+)
+from .scenarios import SCENARIOS, make_scenario, scenario_names
+
+__all__ = [
+    "ActuationFault",
+    "ComponentFault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "HANG_RESTART_MINUTES",
+    "NodeFault",
+    "SCENARIOS",
+    "TelemetryFault",
+    "make_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,257 @@
+"""Fault plans: seeded, schedulable chaos for the live substrate.
+
+A :class:`FaultPlan` composes typed fault specs, each scheduled by a
+minute range and a per-minute probability. Whether a spec is *active* at
+a given minute is a pure function of ``(plan seed, spec index, minute)``
+— no shared RNG stream — so activity never depends on how often or in
+what order the substrate consults the injector. The same plan therefore
+produces bit-identical fault schedules across runs, which is what makes
+chaos runs replayable and their event trails diffable.
+
+Four fault kinds mirror how the paper's production reality breaks
+(§2.2, §6.2):
+
+- :class:`TelemetryFault` — usage samples dropped, frozen stale, or
+  corrupted to NaN before they reach the metrics server/recommender
+  (the throttling-corrupted-signal problem, generalised);
+- :class:`ActuationFault` — resize API rejections, slow pod restarts,
+  or restarts that hang outright (stuck rolling updates);
+- :class:`NodeFault` — capacity pressure on every node, making resized
+  specs unschedulable (evictions / noisy neighbours);
+- :class:`ComponentFault` — the forecaster or recommender raising at
+  consultation time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .injection import FaultInjector
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "TelemetryFault",
+    "ActuationFault",
+    "NodeFault",
+    "ComponentFault",
+]
+
+
+def _mix(*parts: int) -> int:
+    """Deterministic integer mix of ``parts`` (order-sensitive).
+
+    Used to seed a throwaway :class:`random.Random` per (spec, minute)
+    so each activity draw is independent of every other draw. Plain
+    integer arithmetic — no ``hash()`` — so the schedule is stable
+    across processes and platforms.
+    """
+    acc = 0x9E3779B1
+    for part in parts:
+        acc = (acc ^ (int(part) & 0xFFFFFFFFFFFF)) * 0x85EBCA6B
+        acc = (acc ^ (acc >> 13)) & 0xFFFFFFFFFFFFFFFF
+    return acc
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Base fault spec: a schedule window plus a per-minute probability.
+
+    Parameters
+    ----------
+    start_minute, end_minute:
+        Half-open active window ``[start, end)``; ``end_minute=None``
+        means "until the end of the run".
+    probability:
+        Chance the fault fires in each window minute (1.0 = always).
+    """
+
+    #: Fault-kind label used in events and ``faults_injected_total``.
+    kind = "fault"
+
+    start_minute: int = 0
+    end_minute: int | None = None
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.start_minute < 0:
+            raise ConfigError(
+                f"start_minute must be >= 0, got {self.start_minute}"
+            )
+        if self.end_minute is not None and self.end_minute <= self.start_minute:
+            raise ConfigError(
+                f"end_minute must exceed start_minute, got "
+                f"[{self.start_minute}, {self.end_minute})"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+
+    def in_window(self, minute: int) -> bool:
+        """True when ``minute`` falls inside the schedule window."""
+        if minute < self.start_minute:
+            return False
+        return self.end_minute is None or minute < self.end_minute
+
+    def active(self, seed: int, index: int, minute: int) -> bool:
+        """Whether this spec fires at ``minute`` under ``seed``.
+
+        A pure function of its arguments: repeated queries for the same
+        minute always agree, and no query advances any shared RNG.
+        """
+        if not self.in_window(minute):
+            return False
+        if self.probability >= 1.0:
+            return True
+        if self.probability <= 0.0:
+            return False
+        draw = random.Random(_mix(seed, index, minute)).random()
+        return draw < self.probability
+
+
+@dataclass(frozen=True)
+class TelemetryFault(FaultSpec):
+    """Corrupt the usage sample before the control plane sees it.
+
+    ``mode``:
+
+    - ``"drop"`` — the sample goes missing entirely;
+    - ``"stale"`` — the last healthy sample is replayed (frozen
+      exporter);
+    - ``"nan"`` — the sample arrives as NaN (corrupted pipeline).
+    """
+
+    kind = "telemetry"
+
+    mode: str = "drop"
+
+    _MODES = ("drop", "stale", "nan")
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.mode not in self._MODES:
+            raise ConfigError(
+                f"telemetry mode must be one of {self._MODES}, got {self.mode!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ActuationFault(FaultSpec):
+    """Break the resize path.
+
+    ``mode``:
+
+    - ``"reject"`` — the resize API refuses the request outright;
+    - ``"slow_restart"`` — each pod restart takes
+      ``extra_restart_minutes`` longer than configured;
+    - ``"hang_restart"`` — a pod restart never completes on its own
+      (the rollout watchdog must intervene).
+    """
+
+    kind = "actuation"
+
+    mode: str = "reject"
+    extra_restart_minutes: int = 10
+
+    _MODES = ("reject", "slow_restart", "hang_restart")
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.mode not in self._MODES:
+            raise ConfigError(
+                f"actuation mode must be one of {self._MODES}, got {self.mode!r}"
+            )
+        if self.extra_restart_minutes < 1:
+            raise ConfigError(
+                "extra_restart_minutes must be >= 1, got "
+                f"{self.extra_restart_minutes}"
+            )
+
+
+@dataclass(frozen=True)
+class NodeFault(FaultSpec):
+    """Capacity pressure: reserve CPU on every node while active.
+
+    Models evictions/noisy neighbours shrinking allocatable capacity so
+    that resized specs become unschedulable — the scaler's node-capacity
+    safety check starts rejecting scale-ups, which the resilient loop
+    must absorb via retry/backoff rather than queueing forever.
+    """
+
+    kind = "node"
+
+    pressure_cores: float = 4.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.pressure_cores <= 0:
+            raise ConfigError(
+                f"pressure_cores must be positive, got {self.pressure_cores}"
+            )
+
+
+@dataclass(frozen=True)
+class ComponentFault(FaultSpec):
+    """Make a pipeline component raise at consultation time.
+
+    ``component``:
+
+    - ``"recommender"`` — the consult raises
+      :class:`~repro.errors.FaultError`; the hardened loop quarantines
+      the decision (hold-last-allocation);
+    - ``"forecaster"`` — the proactive window builder's forecast raises
+      :class:`~repro.errors.ForecastError`; the existing §4.3 rule
+      degrades that decision to reactive mode.
+    """
+
+    kind = "component"
+
+    component: str = "recommender"
+
+    _COMPONENTS = ("recommender", "forecaster")
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.component not in self._COMPONENTS:
+            raise ConfigError(
+                f"component must be one of {self._COMPONENTS}, "
+                f"got {self.component!r}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, replayable composition of fault specs.
+
+    The plan itself is immutable configuration; :meth:`build` returns a
+    fresh :class:`~repro.faults.injection.FaultInjector` carrying the
+    per-run mutable state (fire counts, applied node pressure, last
+    healthy sample), so the same plan can drive any number of
+    independent, identical runs.
+    """
+
+    seed: int = 0
+    faults: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for spec in self.faults:
+            if not isinstance(spec, FaultSpec):
+                raise ConfigError(
+                    f"fault plan entries must be FaultSpec, got {spec!r}"
+                )
+
+    def build(self) -> "FaultInjector":
+        """Fresh per-run injector for this plan."""
+        from .injection import FaultInjector
+
+        return FaultInjector(self)
+
+    def of_kind(self, kind: str) -> tuple[FaultSpec, ...]:
+        """All specs of one fault kind, in plan order."""
+        return tuple(spec for spec in self.faults if spec.kind == kind)

@@ -1,0 +1,206 @@
+"""Named chaos scenarios for the ``caasper chaos`` CLI and CI smoke runs.
+
+Each scenario is a function ``(seed, horizon_minutes) -> FaultPlan``
+shaping a recognisable production failure. Windows scale with the
+horizon so a scenario stays meaningful for a 2-hour smoke run or a
+2-week trace replay.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ConfigError
+from .plan import (
+    ActuationFault,
+    ComponentFault,
+    FaultPlan,
+    NodeFault,
+    TelemetryFault,
+)
+
+__all__ = ["SCENARIOS", "make_scenario", "scenario_names"]
+
+
+def _window(horizon: int, start_frac: float, end_frac: float) -> tuple[int, int]:
+    start = int(horizon * start_frac)
+    end = max(int(horizon * end_frac), start + 1)
+    return start, end
+
+
+def telemetry_blackout(seed: int, horizon: int) -> FaultPlan:
+    """The metrics pipeline goes dark, then comes back flaky."""
+    dark = _window(horizon, 0.20, 0.30)
+    flaky = _window(horizon, 0.30, 0.55)
+    return FaultPlan(
+        seed=seed,
+        faults=(
+            TelemetryFault(mode="drop", start_minute=dark[0], end_minute=dark[1]),
+            TelemetryFault(
+                mode="nan",
+                start_minute=flaky[0],
+                end_minute=flaky[1],
+                probability=0.3,
+            ),
+            TelemetryFault(
+                mode="stale",
+                start_minute=flaky[0],
+                end_minute=flaky[1],
+                probability=0.2,
+            ),
+        ),
+    )
+
+
+def flaky_actuation(seed: int, horizon: int) -> FaultPlan:
+    """The resize API intermittently rejects; restarts run slow."""
+    window = _window(horizon, 0.10, 0.80)
+    return FaultPlan(
+        seed=seed,
+        faults=(
+            ActuationFault(
+                mode="reject",
+                start_minute=window[0],
+                end_minute=window[1],
+                probability=0.5,
+            ),
+            ActuationFault(
+                mode="slow_restart",
+                extra_restart_minutes=6,
+                start_minute=window[0],
+                end_minute=window[1],
+                probability=0.5,
+            ),
+        ),
+    )
+
+
+def stuck_rollout(seed: int, horizon: int) -> FaultPlan:
+    """One window in which every started restart hangs."""
+    window = _window(horizon, 0.25, 0.45)
+    return FaultPlan(
+        seed=seed,
+        faults=(
+            ActuationFault(
+                mode="hang_restart",
+                start_minute=window[0],
+                end_minute=window[1],
+            ),
+        ),
+    )
+
+
+def node_pressure(seed: int, horizon: int) -> FaultPlan:
+    """Noisy neighbours eat node capacity for a third of the run."""
+    window = _window(horizon, 0.30, 0.65)
+    return FaultPlan(
+        seed=seed,
+        faults=(
+            NodeFault(
+                pressure_cores=4.0,
+                start_minute=window[0],
+                end_minute=window[1],
+            ),
+        ),
+    )
+
+
+def component_crash(seed: int, horizon: int) -> FaultPlan:
+    """The recommender and forecaster intermittently raise."""
+    window = _window(horizon, 0.15, 0.85)
+    return FaultPlan(
+        seed=seed,
+        faults=(
+            ComponentFault(
+                component="recommender",
+                start_minute=window[0],
+                end_minute=window[1],
+                probability=0.35,
+            ),
+            ComponentFault(
+                component="forecaster",
+                start_minute=window[0],
+                end_minute=window[1],
+                probability=0.35,
+            ),
+        ),
+    )
+
+
+def kitchen_sink(seed: int, horizon: int) -> FaultPlan:
+    """All four fault kinds across staggered windows — the full gauntlet."""
+    telemetry = _window(horizon, 0.10, 0.30)
+    actuation = _window(horizon, 0.25, 0.55)
+    hang = _window(horizon, 0.55, 0.65)
+    pressure = _window(horizon, 0.60, 0.80)
+    component = _window(horizon, 0.35, 0.90)
+    return FaultPlan(
+        seed=seed,
+        faults=(
+            TelemetryFault(
+                mode="drop",
+                start_minute=telemetry[0],
+                end_minute=telemetry[1],
+                probability=0.4,
+            ),
+            TelemetryFault(
+                mode="nan",
+                start_minute=telemetry[0],
+                end_minute=telemetry[1],
+                probability=0.2,
+            ),
+            ActuationFault(
+                mode="reject",
+                start_minute=actuation[0],
+                end_minute=actuation[1],
+                probability=0.5,
+            ),
+            ActuationFault(
+                mode="hang_restart",
+                start_minute=hang[0],
+                end_minute=hang[1],
+            ),
+            NodeFault(
+                pressure_cores=3.0,
+                start_minute=pressure[0],
+                end_minute=pressure[1],
+            ),
+            ComponentFault(
+                component="recommender",
+                start_minute=component[0],
+                end_minute=component[1],
+                probability=0.25,
+            ),
+        ),
+    )
+
+
+SCENARIOS: dict[str, Callable[[int, int], FaultPlan]] = {
+    "telemetry-blackout": telemetry_blackout,
+    "flaky-actuation": flaky_actuation,
+    "stuck-rollout": stuck_rollout,
+    "node-pressure": node_pressure,
+    "component-crash": component_crash,
+    "kitchen-sink": kitchen_sink,
+}
+
+
+def scenario_names() -> list[str]:
+    """Registered scenario names, sorted."""
+    return sorted(SCENARIOS)
+
+
+def make_scenario(name: str, seed: int = 0, horizon_minutes: int = 720) -> FaultPlan:
+    """Build a named scenario's plan for one run."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown chaos scenario {name!r} (expected one of "
+            f"{scenario_names()})"
+        ) from None
+    if horizon_minutes < 10:
+        raise ConfigError(
+            f"horizon_minutes must be >= 10, got {horizon_minutes}"
+        )
+    return factory(seed, horizon_minutes)

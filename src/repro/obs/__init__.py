@@ -29,11 +29,16 @@ from __future__ import annotations
 from .events import (
     DecisionEvent,
     EventBus,
+    FaultInjectedEvent,
     LoggingSink,
     ObsEvent,
+    QuarantineEvent,
     ResizeDeferredEvent,
     ResizeEvent,
+    RetryEvent,
     RingBufferSink,
+    RollbackEvent,
+    SafeModeEvent,
     ThrottledMinuteEvent,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -45,6 +50,7 @@ __all__ = [
     "Counter",
     "DecisionEvent",
     "EventBus",
+    "FaultInjectedEvent",
     "Gauge",
     "Histogram",
     "JsonlSink",
@@ -52,9 +58,13 @@ __all__ = [
     "MetricsRegistry",
     "ObsEvent",
     "Observer",
+    "QuarantineEvent",
     "ResizeDeferredEvent",
     "ResizeEvent",
+    "RetryEvent",
     "RingBufferSink",
+    "RollbackEvent",
+    "SafeModeEvent",
     "SpanCollector",
     "SpanRecord",
     "ThrottledMinuteEvent",

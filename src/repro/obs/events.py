@@ -13,6 +13,19 @@ rely on (§4.2, §6):
 - :class:`ThrottledMinuteEvent` — one minute in which demand exceeded
   the limit (the paper's insufficient-CPU signal, metric ``C``).
 
+Five more cover chaos runs (:mod:`repro.faults`) and the hardened
+control plane's degradation ladder:
+
+- :class:`FaultInjectedEvent` — one injected fault firing;
+- :class:`SafeModeEvent` — the loop entering/leaving telemetry
+  safe-mode (missing/NaN/stale samples);
+- :class:`RetryEvent` — an actuation retry scheduled, succeeding, or
+  abandoned at its deadline;
+- :class:`RollbackEvent` — the rollout watchdog rolling a stuck
+  update back to the last healthy spec;
+- :class:`QuarantineEvent` — a component exception degraded instead
+  of crashing the run.
+
 Events are frozen dataclasses with a flat :meth:`ObsEvent.to_dict`
 serialisation so any sink — ring buffer, JSONL file, ``logging`` — can
 consume them without knowing the concrete type. This module depends on
@@ -32,6 +45,11 @@ __all__ = [
     "ResizeEvent",
     "ResizeDeferredEvent",
     "ThrottledMinuteEvent",
+    "FaultInjectedEvent",
+    "SafeModeEvent",
+    "RetryEvent",
+    "RollbackEvent",
+    "QuarantineEvent",
     "EventBus",
     "RingBufferSink",
     "LoggingSink",
@@ -164,9 +182,101 @@ class ThrottledMinuteEvent(ObsEvent):
         return max(self.demand_cores - self.limit_cores, 0.0)
 
 
+@dataclass(frozen=True)
+class FaultInjectedEvent(ObsEvent):
+    """One injected fault firing (:mod:`repro.faults`).
+
+    Attributes
+    ----------
+    fault:
+        Fault kind label (``telemetry_drop``, ``actuation_reject``,
+        ``node_pressure``, ``component_recommender``, ...).
+    target:
+        What the fault hit (pod/set/component name), when meaningful.
+    detail:
+        Free-form description of the concrete effect.
+    """
+
+    kind: ClassVar[str] = "fault_injected"
+
+    fault: str = ""
+    target: str = ""
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class SafeModeEvent(ObsEvent):
+    """Telemetry safe-mode transition (enter/exit).
+
+    While in safe-mode the loop holds the last allocation and feeds the
+    recommender nothing — corrupt samples never reach Algorithm 1.
+    """
+
+    kind: ClassVar[str] = "safe_mode"
+
+    action: str = "enter"  # "enter" | "exit"
+    reason: str = ""
+    minutes_in_safe_mode: int = 0
+
+
+@dataclass(frozen=True)
+class RetryEvent(ObsEvent):
+    """One actuation-retry state change.
+
+    ``outcome`` is ``scheduled`` (a failed enactment queued a backoff
+    retry), ``succeeded`` (a retry enacted the decision) or
+    ``abandoned`` (the per-decision deadline expired).
+    """
+
+    kind: ClassVar[str] = "retry"
+
+    target_cores: int = 0
+    attempt: int = 0
+    outcome: str = "scheduled"
+    delay_minutes: float = 0.0
+    decided_minute: int = 0
+
+
+@dataclass(frozen=True)
+class RollbackEvent(ObsEvent):
+    """The rollout watchdog rolled a stuck update back.
+
+    ``stuck_minutes`` is how long the rolling update had been in flight
+    when the watchdog fired; ``to_cores`` is the restored healthy spec.
+    """
+
+    kind: ClassVar[str] = "rollback"
+
+    update_id: int = 0
+    from_cores: int = 0
+    to_cores: int = 0
+    stuck_minutes: int = 0
+
+
+@dataclass(frozen=True)
+class QuarantineEvent(ObsEvent):
+    """A component exception was degraded instead of crashing the run."""
+
+    kind: ClassVar[str] = "quarantine"
+
+    component: str = ""
+    error: str = ""
+    degraded_to: str = "hold"  # "hold" | "reactive"
+
+
 _EVENT_TYPES: dict[str, type[ObsEvent]] = {
     cls.kind: cls
-    for cls in (DecisionEvent, ResizeEvent, ResizeDeferredEvent, ThrottledMinuteEvent)
+    for cls in (
+        DecisionEvent,
+        ResizeEvent,
+        ResizeDeferredEvent,
+        ThrottledMinuteEvent,
+        FaultInjectedEvent,
+        SafeModeEvent,
+        RetryEvent,
+        RollbackEvent,
+        QuarantineEvent,
+    )
 }
 
 

@@ -24,6 +24,11 @@ metric                          meaning
 ``resize_latency_minutes``      decide→enact latency histogram
 ``recommender_seconds{recommender=}``  per-consultation wall clock
 ``sim_step_seconds``            per-simulated-minute wall clock
+``faults_injected_total{kind=}``  injected faults by kind (chaos runs)
+``safe_mode_minutes``           minutes spent in telemetry safe-mode
+``retries_total{outcome=}``     actuation retries by outcome
+``rollbacks_total``             watchdog rollbacks of stuck updates
+``quarantines_total{component=}``  component exceptions degraded
 ==============================  ======================================
 """
 
@@ -35,10 +40,15 @@ from typing import TYPE_CHECKING, Any, Iterator
 from .events import (
     DecisionEvent,
     EventBus,
+    FaultInjectedEvent,
     ObsEvent,
+    QuarantineEvent,
     ResizeDeferredEvent,
     ResizeEvent,
+    RetryEvent,
     RingBufferSink,
+    RollbackEvent,
+    SafeModeEvent,
     ThrottledMinuteEvent,
 )
 from .metrics import MetricsRegistry
@@ -193,6 +203,114 @@ class Observer:
             "Resizes deferred or rejected by safety checks",
             labelnames=("reason",),
         ).inc(reason=reason)
+        return event
+
+    def fault_injected(
+        self, minute: int, fault: str, target: str = "", detail: str = ""
+    ) -> FaultInjectedEvent:
+        """Record one injected fault firing (chaos runs)."""
+        event = FaultInjectedEvent(
+            minute=minute, fault=fault, target=target, detail=detail
+        )
+        self.bus.emit(event)
+        self.metrics.counter(
+            "faults_injected_total",
+            "Injected faults by kind",
+            labelnames=("kind",),
+        ).inc(kind=fault)
+        return event
+
+    def safe_mode(
+        self, minute: int, reason: str, action: str, minutes_in_safe_mode: int = 0
+    ) -> SafeModeEvent | None:
+        """Record telemetry safe-mode state.
+
+        ``action`` is ``"enter"``, ``"hold"`` (another corrupt-sample
+        minute while already in safe-mode) or ``"exit"``. Enter/exit
+        emit a :class:`~repro.obs.events.SafeModeEvent`; enter and hold
+        both advance the ``safe_mode_minutes`` counter so the metric is
+        the total corrupted-telemetry dwell time.
+        """
+        if action in ("enter", "hold"):
+            self.metrics.counter(
+                "safe_mode_minutes",
+                "Minutes spent in telemetry safe-mode",
+            ).inc()
+        if action == "hold":
+            return None
+        event = SafeModeEvent(
+            minute=minute,
+            action=action,
+            reason=reason,
+            minutes_in_safe_mode=minutes_in_safe_mode,
+        )
+        self.bus.emit(event)
+        return event
+
+    def retry(
+        self,
+        minute: int,
+        target_cores: int,
+        attempt: int,
+        outcome: str,
+        delay_minutes: float = 0.0,
+        decided_minute: int = 0,
+    ) -> RetryEvent:
+        """Record one actuation-retry state change."""
+        event = RetryEvent(
+            minute=minute,
+            target_cores=target_cores,
+            attempt=attempt,
+            outcome=outcome,
+            delay_minutes=delay_minutes,
+            decided_minute=decided_minute,
+        )
+        self.bus.emit(event)
+        self.metrics.counter(
+            "retries_total",
+            "Actuation retries by outcome",
+            labelnames=("outcome",),
+        ).inc(outcome=outcome)
+        return event
+
+    def rollback(
+        self,
+        minute: int,
+        update_id: int,
+        from_cores: int,
+        to_cores: int,
+        stuck_minutes: int,
+    ) -> RollbackEvent:
+        """Record one watchdog rollback of a stuck rolling update."""
+        event = RollbackEvent(
+            minute=minute,
+            update_id=update_id,
+            from_cores=from_cores,
+            to_cores=to_cores,
+            stuck_minutes=stuck_minutes,
+        )
+        self.bus.emit(event)
+        self.metrics.counter(
+            "rollbacks_total", "Watchdog rollbacks of stuck rolling updates"
+        ).inc()
+        return event
+
+    def quarantine(
+        self, minute: int, component: str, error: str, degraded_to: str = "hold"
+    ) -> QuarantineEvent:
+        """Record a component exception degraded instead of crashing."""
+        event = QuarantineEvent(
+            minute=minute,
+            component=component,
+            error=error,
+            degraded_to=degraded_to,
+        )
+        self.bus.emit(event)
+        self.metrics.counter(
+            "quarantines_total",
+            "Component exceptions degraded by the control plane",
+            labelnames=("component",),
+        ).inc(component=component)
         return event
 
     def sample(

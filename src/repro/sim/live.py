@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -25,6 +26,7 @@ from ..baselines.base import Recommender
 from ..cluster.cluster import Cluster
 from ..cluster.controller import ControlLoop, ControlLoopConfig
 from ..cluster.events import EventKind
+from ..cluster.resilience import ResilienceConfig, ResilientControlLoop
 from ..db.service import DBaaSService, DbServiceConfig
 from ..db.transactions import TxnAccounting
 from ..errors import SimulationError
@@ -34,6 +36,9 @@ from ..workloads.base import Workload
 from .billing import BillingModel
 from .metrics import SimulationMetrics
 from .results import ScalingEvent, SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.plan import FaultPlan
 
 __all__ = ["LiveSystemConfig", "simulate_live"]
 
@@ -61,6 +66,13 @@ class LiveSystemConfig:
         Client retry policy (False for the Table 2 experiment).
     drops_per_restart:
         Transactions dropped per completed pod restart.
+    resilience:
+        When set, the run is driven by the hardened
+        :class:`~repro.cluster.resilience.ResilientControlLoop` with
+        these tunables. ``None`` (the default) keeps the plain loop —
+        unless a fault plan is passed to :func:`simulate_live`, which
+        hardens the loop with default tunables (chaos without the
+        defenses would just crash).
     """
 
     cluster_factory: str = "small"
@@ -71,6 +83,7 @@ class LiveSystemConfig:
     base_latency_ms: float = 60.0
     retry_dropped_txns: bool = True
     drops_per_restart: float = 1.0
+    resilience: ResilienceConfig | None = None
     cluster: Cluster | None = field(default=None, compare=False)
 
     def build_cluster(self) -> Cluster:
@@ -92,30 +105,52 @@ def simulate_live(
     recommender: Recommender,
     config: LiveSystemConfig,
     observer: Observer | None = None,
+    faults: "FaultPlan | None" = None,
 ) -> SimulationResult:
     """Run ``workload`` against the full substrate under ``recommender``.
 
     Returns a :class:`~repro.sim.results.SimulationResult` whose
     ``detail`` carries the transaction accounting (``"transactions"``
     summary dict and the ``TxnAccounting`` object under
-    ``"txn_accounting"``), the event log (``"events"``) and the failover
-    count.
+    ``"txn_accounting"``), the event log (``"events"``), the failover
+    count and any resize decisions whose rollout never completed
+    (``"unpaired_resize_decisions"``).
 
     ``observer`` (optional) is threaded into the control loop — the
     decision trail, resize enactments (reported by the operator when a
     rolling update completes, so latency is the *emergent* one) and
     safety-check deferrals are all recorded; the loop itself runs under
     a ``sim.simulate_live`` timing span.
+
+    ``faults`` (optional) is a seeded
+    :class:`~repro.faults.plan.FaultPlan`; passing one injects its
+    chaos schedule through the substrate's seams and hardens the loop
+    (``config.resilience`` or defaults). The run's ``detail`` then also
+    carries ``"faults"`` (fires per kind) and ``"resilience"``
+    (degradation counters). With ``faults=None`` and no
+    ``config.resilience``, the run is byte-for-byte the plain loop.
     """
     cluster = config.build_cluster()
     service = DBaaSService(config.service, cluster.scheduler, cluster.events)
-    loop = ControlLoop(
-        service,
-        recommender,
-        config.control,
-        events=cluster.events,
-        observer=observer,
-    )
+    injector = faults.build() if faults is not None else None
+    if injector is not None or config.resilience is not None:
+        loop: ControlLoop = ResilientControlLoop(
+            service,
+            recommender,
+            config.control,
+            events=cluster.events,
+            observer=observer,
+            resilience=config.resilience,
+            faults=injector,
+        )
+    else:
+        loop = ControlLoop(
+            service,
+            recommender,
+            config.control,
+            events=cluster.events,
+            observer=observer,
+        )
     txns = TxnAccounting(
         base_latency_ms=config.base_latency_ms,
         retry_dropped=config.retry_dropped_txns,
@@ -147,10 +182,21 @@ def simulate_live(
             )
 
     price = config.billing.price(limit_series)
-    events = _scaling_events(cluster)
+    events, unpaired = _scaling_events(cluster)
     metrics = SimulationMetrics.from_series(
         demand_series, usage_series, limit_series, len(events), price
     )
+    detail = {
+        "transactions": txns.summary(price=price),
+        "txn_accounting": txns,
+        "events": cluster.events,
+        "failovers": service.operator.failover_count,
+        "unpaired_resize_decisions": unpaired,
+    }
+    if isinstance(loop, ResilientControlLoop):
+        detail["resilience"] = loop.summary()
+    if injector is not None:
+        detail["faults"] = injector.summary()
     return SimulationResult(
         name=recommender.name,
         demand=demand_series,
@@ -158,25 +204,43 @@ def simulate_live(
         limits=limit_series,
         events=events,
         metrics=metrics,
-        detail={
-            "transactions": txns.summary(price=price),
-            "txn_accounting": txns,
-            "events": cluster.events,
-            "failovers": service.operator.failover_count,
-        },
+        detail=detail,
     )
 
 
-def _scaling_events(cluster: Cluster) -> tuple[ScalingEvent, ...]:
+def _scaling_events(
+    cluster: Cluster,
+) -> tuple[tuple[ScalingEvent, ...], tuple[dict, ...]]:
     """Translate rolling-update events into generic scaling events.
 
     A resize is "enacted" for clients when the rolling update finishes
-    (the primary — updated last — then runs the new spec).
+    (the primary — updated last — then runs the new spec). Decisions and
+    completions are paired by the ``update_id`` the scaler stamps at
+    decision time and the operator echoes at completion — positional
+    pairing would mis-attribute latencies as soon as one update is
+    aborted by the watchdog or still in flight at run end. Those
+    never-completed decisions are returned separately so chaos runs can
+    account for them instead of silently dropping them.
     """
-    decided = cluster.events.of_kind(EventKind.RESIZE_DECIDED)
-    finished = cluster.events.of_kind(EventKind.ROLLING_UPDATE_FINISHED)
+    completions: dict[int, object] = {}
+    for completion in cluster.events.of_kind(EventKind.ROLLING_UPDATE_FINISHED):
+        update_id = completion.data.get("update_id")
+        if update_id is not None and update_id not in completions:
+            completions[update_id] = completion
     events = []
-    for decision, completion in zip(decided, finished):
+    unpaired = []
+    for decision in cluster.events.of_kind(EventKind.RESIZE_DECIDED):
+        completion = completions.get(decision.data.get("update_id"))
+        if completion is None:
+            unpaired.append(
+                {
+                    "decided_minute": decision.minute,
+                    "from_cores": int(decision.data["from_cores"]),
+                    "to_cores": int(decision.data["to_cores"]),
+                    "update_id": decision.data.get("update_id"),
+                }
+            )
+            continue
         events.append(
             ScalingEvent(
                 decided_minute=decision.minute,
@@ -185,4 +249,4 @@ def _scaling_events(cluster: Cluster) -> tuple[ScalingEvent, ...]:
                 to_cores=int(decision.data["to_cores"]),
             )
         )
-    return tuple(events)
+    return tuple(events), tuple(unpaired)

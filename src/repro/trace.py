@@ -23,10 +23,36 @@ import numpy as np
 
 from .errors import TraceError
 
-__all__ = ["CpuTrace", "MINUTES_PER_HOUR", "MINUTES_PER_DAY"]
+__all__ = [
+    "CpuTrace",
+    "MINUTES_PER_HOUR",
+    "MINUTES_PER_DAY",
+    "validate_usage_sample",
+]
 
 MINUTES_PER_HOUR = 60
 MINUTES_PER_DAY = 24 * MINUTES_PER_HOUR
+
+
+def validate_usage_sample(usage_cores: float, context: str = "sample") -> float:
+    """Validate one CPU usage sample at a telemetry boundary.
+
+    The single-sample counterpart of :class:`CpuTrace`'s whole-series
+    validation, shared by the metrics server and the recommender
+    ``observe`` path so corrupt telemetry (NaN, infinite or negative
+    usage) fails loudly at the boundary instead of poisoning windows.
+
+    Raises
+    ------
+    TraceError
+        When the sample is not a finite, non-negative number.
+    """
+    value = float(usage_cores)
+    if not math.isfinite(value):
+        raise TraceError(f"{context}: non-finite usage sample {usage_cores!r}")
+    if value < 0:
+        raise TraceError(f"{context}: negative usage sample {usage_cores!r}")
+    return value
 
 
 @dataclass(frozen=True, eq=False)

@@ -26,6 +26,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["trace", "fig9-workday"])
 
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.command == "chaos"
+        assert args.scenario == "kitchen-sink"
+        assert args.minutes == 720
+        assert not args.strict
+
+    def test_chaos_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--scenario", "nope"])
+
 
 class TestMain:
     def test_list_output(self, capsys):
@@ -68,4 +79,24 @@ class TestMain:
         out = tmp_path / "trace.csv"
         assert main(["trace", "fig9-workday", "--out", str(out)]) == 0
         assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_chaos_stuck_rollout_strict(self, capsys):
+        assert main(
+            ["chaos", "--scenario", "stuck-rollout", "--seed", "1",
+             "--minutes", "300", "--strict"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "chaos scenario 'stuck-rollout'" in out
+        assert "faults injected" in out
+        assert "degradations absorbed" in out
+        assert "every fired fault kind was absorbed" in out
+
+    def test_chaos_jsonl_export(self, tmp_path, capsys):
+        path = tmp_path / "chaos.jsonl"
+        assert main(
+            ["chaos", "--scenario", "telemetry-blackout", "--seed", "2",
+             "--minutes", "240", "--jsonl", str(path), "--strict"]
+        ) == 0
+        assert path.exists()
         assert "wrote" in capsys.readouterr().out

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import CaasperConfig, CaasperRecommender
-from repro.errors import ConfigError
+from repro.errors import ConfigError, TraceError
 
 
 def recommender(**kwargs):
@@ -27,8 +27,12 @@ class TestObservation:
         assert list(history) == [1.0, 2.0, 3.0]
 
     def test_rejects_negative_usage(self):
-        with pytest.raises(ConfigError):
+        with pytest.raises(TraceError):
             recommender().observe(0, -1.0, 4)
+
+    def test_rejects_nan_usage(self):
+        with pytest.raises(TraceError):
+            recommender().observe(0, float("nan"), 4)
 
     def test_rejects_time_running_backwards(self):
         rec = recommender()
