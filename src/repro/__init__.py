@@ -23,6 +23,7 @@ See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
+from .baselines.base import Recommender
 from .core import (
     CaasperConfig,
     CaasperRecommender,
@@ -35,6 +36,8 @@ from .core import (
 from .errors import (
     ClusterStateError,
     ConfigError,
+    DegradedModeError,
+    FaultError,
     ForecastError,
     ReproError,
     SchedulingError,
@@ -42,6 +45,7 @@ from .errors import (
     TraceError,
     TuningError,
 )
+from .obs.observer import Observer
 from .sim import (
     BillingModel,
     SimulationMetrics,
@@ -72,6 +76,10 @@ __all__ = [
     "simulate_trace",
     "LiveSystemConfig",
     "simulate_live",
+    # recommender protocol
+    "Recommender",
+    # observability
+    "Observer",
     # traces
     "CpuTrace",
     # errors
@@ -83,4 +91,6 @@ __all__ = [
     "ClusterStateError",
     "SimulationError",
     "TuningError",
+    "DegradedModeError",
+    "FaultError",
 ]

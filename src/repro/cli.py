@@ -9,6 +9,8 @@ Examples::
     caasper trace fig10-cyclical --out /tmp/cyclical.csv
     caasper obs --trace fig10-cyclical --jsonl /tmp/trace.jsonl --metrics-text
     caasper chaos --scenario kitchen-sink --seed 3 --minutes 720 --strict
+    caasper lint --strict
+    caasper lint src/repro/core --format json
 """
 
 from __future__ import annotations
@@ -195,6 +197,48 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit non-zero unless every fired fault kind has its "
         "matching degradation in the audit trail",
+    )
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="run the domain-aware static analyser (repro.lint) over the "
+        "source tree",
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/repro and "
+        "benchmarks, resolved from the current directory)",
+    )
+    lint_parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    lint_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on any finding, warnings included",
+    )
+    lint_parser.add_argument(
+        "--select",
+        type=str,
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    lint_parser.add_argument(
+        "--ignore",
+        type=str,
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    lint_parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every registered rule code and exit",
     )
     return parser
 
@@ -423,6 +467,45 @@ def _run_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    """Run the domain-aware static analyser and render its report."""
+    import os
+
+    from .lint import lint_paths, render_json, render_rule_list, render_text
+
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+
+    paths = list(args.paths)
+    if not paths:
+        paths = [p for p in ("src/repro", "benchmarks") if os.path.exists(p)]
+        if not paths:
+            # Fall back to the installed package location so `caasper
+            # lint` works from any working directory.
+            paths = [os.path.dirname(os.path.abspath(__file__))]
+    select = (
+        [c.strip() for c in args.select.split(",") if c.strip()]
+        if args.select
+        else None
+    )
+    ignore = (
+        [c.strip() for c in args.ignore.split(",") if c.strip()]
+        if args.ignore
+        else None
+    )
+    try:
+        report = lint_paths(paths, select=select, ignore=ignore)
+    except ValueError as error:  # unknown rule codes
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return report.exit_code(strict=args.strict)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -490,6 +573,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "chaos":
         return _run_chaos(args)
+
+    if args.command == "lint":
+        return _run_lint(args)
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

@@ -126,7 +126,7 @@ class RetryPolicy:
         backoff sequence is independent yet replayable.
         """
         base = self.backoff_minutes(attempt)
-        if self.jitter_fraction == 0:
+        if self.jitter_fraction <= 0:
             return base
         unit = random.Random(int(key) * 1_000_003 + attempt).random()
         return base * (1.0 + self.jitter_fraction * unit)

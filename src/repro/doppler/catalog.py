@@ -8,7 +8,7 @@ from ("a large number of cloud offerings", §1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Iterable, Iterator, Mapping
 
 from ..errors import ConfigError
 
@@ -81,7 +81,7 @@ class SkuCatalog:
     def __len__(self) -> int:
         return len(self.skus)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Sku]:
         return iter(self.skus)
 
     def by_name(self, name: str) -> Sku:

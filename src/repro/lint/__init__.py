@@ -1,0 +1,56 @@
+"""Domain-aware static analysis for the CaaSPER reproduction.
+
+``repro.lint`` is an AST-based rule engine encoding this project's
+correctness invariants as checkable rules — the integer-core contract,
+Algorithm 1 threshold ordering, and the bit-identical chaos-replay
+guarantee (see docs/STATIC_ANALYSIS.md for every rule code):
+
+========  ==========================================================
+code      invariant
+========  ==========================================================
+DET001    no wall-clock reads in simulation/recommender/fault paths
+DET002    no process-global randomness outside injected generators
+DET003    no unordered set iteration feeding results/output
+NUM001    no exact float ==/!= in core algorithm modules
+EXC001    no bare/broad except that can swallow FaultError/TraceError
+API001    Recommender subclasses honour the driver protocol
+OBS001    every emitted event type is declared in repro.obs.events
+CFG001    frozen *Config dataclasses validate in __post_init__
+========  ==========================================================
+
+Run via ``caasper lint`` (``--strict`` for CI), or programmatically::
+
+    from repro.lint import lint_paths
+    report = lint_paths(["src/repro", "benchmarks"])
+    assert not report.findings, report
+
+Findings are suppressed in place with ``# lint: disable=CODE``.
+"""
+
+from .context import ClassInfo, MethodInfo, ModuleContext, ProjectIndex
+from .engine import LintEngine, LintReport, lint_paths, lint_sources
+from .findings import Finding, Severity, SuppressionTable
+from .registry import Rule, make_rules, register, registered_rules, rule_codes
+from .reporters import render_json, render_rule_list, render_text
+
+__all__ = [
+    "ClassInfo",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "MethodInfo",
+    "ModuleContext",
+    "ProjectIndex",
+    "Rule",
+    "Severity",
+    "SuppressionTable",
+    "lint_paths",
+    "lint_sources",
+    "make_rules",
+    "register",
+    "registered_rules",
+    "render_json",
+    "render_rule_list",
+    "render_text",
+    "rule_codes",
+]

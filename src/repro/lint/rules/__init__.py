@@ -1,0 +1,19 @@
+"""Built-in lint rules; importing this package registers them all."""
+
+from . import (  # noqa: F401  (import side effect: rule registration)
+    configs,
+    determinism,
+    exceptions,
+    numerics,
+    observability,
+    protocols,
+)
+
+__all__ = [
+    "configs",
+    "determinism",
+    "exceptions",
+    "numerics",
+    "observability",
+    "protocols",
+]

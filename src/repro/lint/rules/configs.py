@@ -1,0 +1,108 @@
+"""CFG001 — frozen config dataclasses must validate in ``__post_init__``.
+
+Every ``*Config`` dataclass in this codebase is a bag of numeric knobs
+with cross-field invariants — Algorithm 1 requires ``s_l < s_h`` and
+``m_l < m_h``, the simulator requires ``min_cores <= initial_cores <=
+max_cores``, retry policies require non-negative backoff. The project
+convention (set by :class:`repro.core.config.CaasperConfig`) is to
+validate *eagerly at construction*, so a bad tuning sample or a typo'd
+experiment fails loudly instead of producing silently nonsensical
+scaling decisions hours into a sweep.
+
+The rule fires on any ``@dataclass(frozen=True)`` class whose name ends
+in ``Config`` and that declares at least one field but either has no
+``__post_init__`` at all, or has one that can never reject anything
+(no ``raise`` and no delegated call).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..context import ModuleContext
+from ..findings import Finding, Severity
+from ..registry import Rule, register
+
+__all__ = ["ConfigValidationRule"]
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        func = decorator.func
+        name = func.id if isinstance(func, ast.Name) else getattr(
+            func, "attr", ""
+        )
+        if name != "dataclass":
+            continue
+        for keyword in decorator.keywords:
+            if (
+                keyword.arg == "frozen"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            ):
+                return True
+    return False
+
+
+def _has_fields(node: ast.ClassDef) -> bool:
+    return any(
+        isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name)
+        for stmt in node.body
+    )
+
+
+def _post_init(node: ast.ClassDef) -> ast.FunctionDef | None:
+    for stmt in node.body:
+        if (
+            isinstance(stmt, ast.FunctionDef)
+            and stmt.name == "__post_init__"
+        ):
+            return stmt
+    return None
+
+
+def _can_reject(post_init: ast.FunctionDef) -> bool:
+    """True when the validator can actually fail: raises or delegates."""
+    return any(
+        isinstance(inner, (ast.Raise, ast.Call, ast.Assert))
+        for inner in ast.walk(post_init)
+    )
+
+
+@register
+class ConfigValidationRule(Rule):
+    """CFG001 — config dataclasses validate their invariants eagerly."""
+
+    code = "CFG001"
+    title = "frozen *Config dataclass without __post_init__ validation"
+    severity = Severity.ERROR
+    node_types = (ast.ClassDef,)
+
+    def visit(
+        self, node: ast.AST, module: ModuleContext
+    ) -> Iterable[Finding]:
+        assert isinstance(node, ast.ClassDef)
+        if not node.name.endswith("Config"):
+            return
+        if not _is_frozen_dataclass(node) or not _has_fields(node):
+            return
+        post_init = _post_init(node)
+        if post_init is None:
+            yield self.finding(
+                module,
+                node,
+                f"{node.name} is a frozen config dataclass without a "
+                "__post_init__ validator; validate threshold ordering and "
+                "ranges eagerly so misconfiguration fails at construction",
+            )
+        elif not _can_reject(post_init):
+            yield self.finding(
+                module,
+                post_init,
+                f"{node.name}.__post_init__ can never reject anything "
+                "(no raise, assert or delegated check); validate the "
+                "config's invariants there",
+            )

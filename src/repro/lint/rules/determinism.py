@@ -1,0 +1,221 @@
+"""Determinism rules: DET001 wall-clock, DET002 unseeded RNG, DET003 sets.
+
+CaaSPER's chaos-replay guarantee (docs/RESILIENCE.md) is that every run
+is a pure function of ``(workload, config, seed)`` — a fault plan, a
+tuning search and a simulation replay bit-identically. Three classes of
+code break that silently:
+
+- reading the wall clock inside simulation/recommender/fault logic
+  (``time.time``, ``datetime.now``), which couples decisions to the
+  machine's clock instead of the simulated minute;
+- drawing from process-global RNG state (``random.random``,
+  ``np.random.rand``) instead of an injected seeded generator;
+- iterating an unordered ``set`` into results or emitted output, whose
+  order depends on hash randomisation across processes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..context import ModuleContext
+from ..findings import Finding, Severity
+from ..registry import Rule, register
+
+__all__ = ["WallClockRule", "UnseededRandomRule", "UnorderedIterationRule"]
+
+#: Packages whose behaviour must be a pure function of (inputs, seed).
+DETERMINISTIC_DOMAINS = (
+    "repro.core",
+    "repro.sim",
+    "repro.baselines",
+    "repro.faults",
+    "repro.forecast",
+    "repro.cluster",
+    "repro.workloads",
+    "repro.doppler",
+    "repro.tuning",
+    "repro.db",
+    "repro.analysis",
+)
+
+#: (resolved module, attribute) pairs that read the wall clock.
+#: ``time.perf_counter``/``time.monotonic`` are deliberately absent:
+#: measuring elapsed cost for observability is fine; reading absolute
+#: time to *decide* anything is not.
+_WALL_CLOCK: dict[str, frozenset[str]] = {
+    "time": frozenset(
+        {"time", "time_ns", "localtime", "gmtime", "ctime", "asctime",
+         "strftime"}
+    ),
+    "datetime.datetime": frozenset({"now", "utcnow", "today"}),
+    "datetime.date": frozenset({"today"}),
+}
+
+#: Attributes of ``numpy.random`` that construct *seeded* generators and
+#: are therefore allowed; everything else on the module is global state.
+_NP_RANDOM_ALLOWED = frozenset(
+    {"default_rng", "Generator", "BitGenerator", "SeedSequence",
+     "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64"}
+)
+
+#: ``random`` module attributes that are allowed: constructing an
+#: injectable instance is fine, the module-level shared state is not.
+_STDLIB_RANDOM_ALLOWED = frozenset({"Random", "SystemRandom"})
+
+
+def _chain_and_module(
+    node: ast.Attribute, module: ModuleContext
+) -> tuple[str, str | None]:
+    """``(attribute name, resolved defining module)`` for a chain."""
+    return node.attr, module.resolved_call_module(node)
+
+
+@register
+class WallClockRule(Rule):
+    """DET001 — no wall-clock reads in deterministic paths."""
+
+    code = "DET001"
+    title = "wall-clock read in a simulation/recommender/fault path"
+    severity = Severity.ERROR
+    node_types = (ast.Attribute, ast.Call)
+    domains = DETERMINISTIC_DOMAINS
+
+    def visit(
+        self, node: ast.AST, module: ModuleContext
+    ) -> Iterable[Finding]:
+        if isinstance(node, ast.Attribute):
+            attr, resolved = _chain_and_module(node, module)
+            banned = _WALL_CLOCK.get(resolved or "")
+            if banned and attr in banned:
+                yield self.finding(
+                    module,
+                    node,
+                    f"wall-clock read `{resolved}.{attr}` in deterministic "
+                    "code; derive behaviour from the simulated minute or "
+                    "an injected clock",
+                )
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            origin = module.from_imports.get(node.func.id)
+            if origin is not None:
+                source_module, original = origin
+                banned = _WALL_CLOCK.get(source_module)
+                if banned and original in banned:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"wall-clock read `{source_module}.{original}` in "
+                        "deterministic code; derive behaviour from the "
+                        "simulated minute or an injected clock",
+                    )
+
+
+@register
+class UnseededRandomRule(Rule):
+    """DET002 — no process-global RNG outside an injected generator."""
+
+    code = "DET002"
+    title = "module-level randomness instead of an injected seeded generator"
+    severity = Severity.ERROR
+    node_types = (ast.Attribute, ast.Call)
+    # Global RNG state is wrong everywhere in this codebase, including
+    # benchmarks: every stochastic choice must flow from a seed.
+    domains = ()
+
+    @staticmethod
+    def _violation(source_module: str, name: str) -> bool:
+        if source_module == "random":
+            return name not in _STDLIB_RANDOM_ALLOWED
+        if source_module == "numpy.random":
+            return name not in _NP_RANDOM_ALLOWED
+        return False
+
+    def visit(
+        self, node: ast.AST, module: ModuleContext
+    ) -> Iterable[Finding]:
+        if isinstance(node, ast.Attribute):
+            attr, resolved = _chain_and_module(node, module)
+            if resolved and self._violation(resolved, attr):
+                yield self.finding(
+                    module,
+                    node,
+                    f"`{resolved}.{attr}` uses process-global RNG state; "
+                    "inject a seeded `numpy.random.Generator` "
+                    "(np.random.default_rng(seed)) or `random.Random(seed)` "
+                    "instead",
+                )
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            origin = module.from_imports.get(node.func.id)
+            if origin is not None and self._violation(*origin):
+                source_module, original = origin
+                yield self.finding(
+                    module,
+                    node,
+                    f"`{source_module}.{original}` uses process-global RNG "
+                    "state; inject a seeded generator instead",
+                )
+
+
+def _is_unordered_expr(expr: ast.expr) -> bool:
+    """True when ``expr`` is statically known to be an unordered set."""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute):
+            if func.attr in (
+                "intersection",
+                "union",
+                "difference",
+                "symmetric_difference",
+            ) and _is_unordered_expr(func.value):
+                return True
+    if isinstance(expr, ast.BinOp) and isinstance(
+        expr.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+    ):
+        return _is_unordered_expr(expr.left) or _is_unordered_expr(
+            expr.right
+        )
+    return False
+
+
+#: Calls that materialise their argument's iteration order.
+_ORDER_SENSITIVE_WRAPPERS = frozenset({"list", "tuple", "enumerate"})
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """DET003 — unordered set iteration must go through ``sorted(...)``."""
+
+    code = "DET003"
+    title = "iteration over an unordered set without sorted(...)"
+    severity = Severity.ERROR
+    node_types = (ast.For, ast.comprehension, ast.Call)
+
+    _MESSAGE = (
+        "iteration order of a set depends on hash randomisation; wrap the "
+        "iterable in sorted(...) before it feeds results or output"
+    )
+
+    def visit(
+        self, node: ast.AST, module: ModuleContext
+    ) -> Iterable[Finding]:
+        if isinstance(node, (ast.For, ast.comprehension)):
+            if _is_unordered_expr(node.iter):
+                anchor = node if isinstance(node, ast.For) else node.iter
+                yield self.finding(module, anchor, self._MESSAGE)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            order_sensitive = (
+                isinstance(func, ast.Name)
+                and func.id in _ORDER_SENSITIVE_WRAPPERS
+            ) or (isinstance(func, ast.Attribute) and func.attr == "join")
+            if (
+                order_sensitive
+                and node.args
+                and _is_unordered_expr(node.args[0])
+            ):
+                yield self.finding(module, node, self._MESSAGE)

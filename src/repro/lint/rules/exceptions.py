@@ -1,0 +1,81 @@
+"""EXC001 — no bare/broad ``except`` that can swallow domain errors.
+
+The hardened control plane communicates through the exception hierarchy:
+``FaultError`` must reach the quarantine logic, ``TraceError`` must fail
+a run that was fed corrupt telemetry. A ``try: ... except Exception:
+pass`` anywhere on those paths silently converts an injected fault or a
+malformed trace into "nothing happened" — exactly the class of bug
+"CPU-Limits kill Performance" attributes tail-latency regressions to.
+
+Catch the narrowest type that models the failure (``ConfigError`` for
+invalid parameter combinations, ``ForecastError`` for fallback-to-
+reactive, ``KeyError``/``ValueError`` for lookups). A broad handler
+that *re-raises* (``except Exception: ...; raise``) is allowed — it
+observes, it does not swallow.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..context import ModuleContext
+from ..findings import Finding, Severity
+from ..registry import Rule, register
+
+__all__ = ["BroadExceptRule"]
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _names_in_handler_type(expr: ast.expr | None) -> list[str]:
+    if expr is None:
+        return []
+    if isinstance(expr, ast.Tuple):
+        names: list[str] = []
+        for element in expr.elts:
+            names.extend(_names_in_handler_type(element))
+        return names
+    if isinstance(expr, ast.Name):
+        return [expr.id]
+    if isinstance(expr, ast.Attribute):
+        return [expr.attr]
+    return []
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body contains a bare ``raise``."""
+    return any(
+        isinstance(node, ast.Raise) and node.exc is None
+        for node in ast.walk(handler)
+    )
+
+
+@register
+class BroadExceptRule(Rule):
+    """EXC001 — bare/broad except without re-raise."""
+
+    code = "EXC001"
+    title = "bare or broad except that can swallow FaultError/TraceError"
+    severity = Severity.ERROR
+    node_types = (ast.ExceptHandler,)
+
+    def visit(
+        self, node: ast.AST, module: ModuleContext
+    ) -> Iterable[Finding]:
+        assert isinstance(node, ast.ExceptHandler)
+        if node.type is None:
+            caught = "bare except"
+        else:
+            broad = _BROAD.intersection(_names_in_handler_type(node.type))
+            if not broad:
+                return
+            caught = f"except {sorted(broad)[0]}"
+        if _reraises(node):
+            return
+        yield self.finding(
+            module,
+            node,
+            f"{caught} swallows domain errors (FaultError, TraceError, "
+            "ConfigError); catch the narrowest failure type or re-raise",
+        )

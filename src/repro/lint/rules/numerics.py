@@ -1,0 +1,122 @@
+"""NUM001 — no float equality in core algorithm modules.
+
+Algorithm 1 thresholds, PvP-curve performance values and forecast
+outputs are all floats produced by chains of arithmetic; exact ``==`` /
+``!=`` against them is almost always a latent bug (``0.1 + 0.2 !=
+0.3``). Comparisons must use an explicit tolerance (``math.isclose``,
+``abs(a - b) < eps``) or ordering operators.
+
+The rule fires on:
+
+- ``==`` / ``!=`` where either operand is a float literal, and
+- ``==`` / ``!=`` between a numeric literal and ``self.<field>`` where
+  the enclosing class annotates ``<field>`` as a float — the
+  domain-aware case that catches sentinel checks like
+  ``self.jitter_fraction == 0`` on a float config field.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..context import ModuleContext
+from ..findings import Finding, Severity
+from ..registry import Rule, register
+
+__all__ = ["FloatEqualityRule"]
+
+#: Modules implementing the numeric core of the reproduction.
+NUMERIC_DOMAINS = (
+    "repro.core",
+    "repro.doppler",
+    "repro.forecast",
+    "repro.analysis",
+    "repro.sim",
+    "repro.cluster",
+    "repro.tuning",
+)
+
+_FLOAT_ANNOTATIONS = frozenset(
+    {"float", "float | None", "Optional[float]", "np.floating", "numpy.floating"}
+)
+
+
+def _is_float_literal(expr: ast.expr) -> bool:
+    if isinstance(expr, ast.Constant):
+        return isinstance(expr.value, float)
+    # Negative literals parse as UnaryOp(USub, Constant).
+    if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.USub):
+        return _is_float_literal(expr.operand)
+    return False
+
+
+def _is_numeric_literal(expr: ast.expr) -> bool:
+    if isinstance(expr, ast.Constant):
+        return isinstance(expr.value, (int, float)) and not isinstance(
+            expr.value, bool
+        )
+    if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.USub):
+        return _is_numeric_literal(expr.operand)
+    return False
+
+
+def _float_field_access(
+    expr: ast.expr, node: ast.AST, module: ModuleContext
+) -> str | None:
+    """``self.<field>`` where the enclosing class annotates it float."""
+    if not (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return None
+    enclosing = module.enclosing_class(node)
+    if enclosing is None:
+        return None
+    annotation = enclosing.field_annotations.get(expr.attr)
+    if annotation in _FLOAT_ANNOTATIONS:
+        return expr.attr
+    return None
+
+
+@register
+class FloatEqualityRule(Rule):
+    """NUM001 — exact float equality in numeric core modules."""
+
+    code = "NUM001"
+    title = "exact ==/!= on floats in a core algorithm module"
+    severity = Severity.ERROR
+    node_types = (ast.Compare,)
+    domains = NUMERIC_DOMAINS
+
+    def visit(
+        self, node: ast.AST, module: ModuleContext
+    ) -> Iterable[Finding]:
+        assert isinstance(node, ast.Compare)
+        operands = [node.left, *node.comparators]
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[index], operands[index + 1]
+            if _is_float_literal(left) or _is_float_literal(right):
+                yield self.finding(
+                    module,
+                    node,
+                    "exact ==/!= against a float literal; use "
+                    "math.isclose(...) or an explicit tolerance",
+                )
+                continue
+            for literal, other in ((left, right), (right, left)):
+                if not _is_numeric_literal(literal):
+                    continue
+                field = _float_field_access(other, node, module)
+                if field is not None:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"exact ==/!= between float field `self.{field}` "
+                        "and a numeric literal; use an ordering operator "
+                        "or math.isclose(...)",
+                    )
+                    break

@@ -1,0 +1,134 @@
+"""OBS001 — every emitted event type is declared in ``repro.obs.events``.
+
+The observability layer round-trips events through JSONL
+(:func:`repro.obs.trace_log.read_events` →
+:func:`repro.obs.events.event_from_dict`), which resolves the ``kind``
+discriminator against the registry in :mod:`repro.obs.events`. An event
+class defined elsewhere — or defined there but left out of ``__all__``
+and the registry — serialises fine and then *fails to deserialise*,
+breaking replay tooling long after the run that wrote the trace.
+
+The rule checks, project-wide:
+
+- every ``<obj>.emit(SomethingEvent(...))`` call site constructs a
+  class that is declared in ``repro.obs.events``;
+- every ``ObsEvent`` subclass is defined in ``repro.obs.events`` (not
+  scattered through other modules);
+- every ``ObsEvent`` subclass in ``repro.obs.events`` is exported via
+  ``__all__`` (the registry lists what ``__all__`` advertises).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..context import ModuleContext, ProjectIndex
+from ..findings import Finding, Severity
+from ..registry import Rule, register
+
+__all__ = ["DeclaredEventsRule"]
+
+#: The module that owns the event schema.
+EVENTS_MODULE = "repro.obs.events"
+
+
+@register
+class DeclaredEventsRule(Rule):
+    """OBS001 — emitted events must be declared event types."""
+
+    code = "OBS001"
+    title = "emit() of an event type not declared in repro.obs.events"
+    severity = Severity.ERROR
+    node_types = (ast.Call,)
+
+    def __init__(self) -> None:
+        #: ``(event class name, module path, node)`` per emit call site.
+        self._emit_sites: list[tuple[str, str, ast.Call]] = []
+
+    def visit(
+        self, node: ast.AST, module: ModuleContext
+    ) -> Iterable[Finding]:
+        assert isinstance(node, ast.Call)
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "emit"):
+            return ()
+        if not node.args:
+            return ()
+        argument = node.args[0]
+        if not isinstance(argument, ast.Call):
+            return ()  # a name bound earlier; best-effort only
+        constructor = argument.func
+        if isinstance(constructor, ast.Name):
+            name = constructor.id
+        elif isinstance(constructor, ast.Attribute):
+            name = constructor.attr
+        else:
+            return ()
+        if name.endswith("Event"):
+            self._emit_sites.append((name, module.path, argument))
+        return ()
+
+    def finish_project(self, project: ProjectIndex) -> Iterable[Finding]:
+        findings = list(self._finish(project))
+        self._emit_sites.clear()  # engine instances may run twice
+        return findings
+
+    def _finish(self, project: ProjectIndex) -> Iterable[Finding]:
+        events_modules = [
+            module
+            for module in project.modules.values()
+            if module.module == EVENTS_MODULE
+        ]
+        declared: set[str] = set()
+        exported: set[str] = set()
+        for module in events_modules:
+            exported.update(module.dunder_all)
+            declared.add("ObsEvent")
+        for info in project.subclasses_of("ObsEvent"):
+            if info.module == EVENTS_MODULE:
+                declared.add(info.name)
+                if events_modules and info.name not in exported:
+                    yield Finding(
+                        code=self.code,
+                        message=(
+                            f"event class {info.name} is declared in "
+                            f"{EVENTS_MODULE} but missing from __all__; "
+                            "add it so the registry and docs advertise it"
+                        ),
+                        path=info.path,
+                        line=info.lineno,
+                        column=0,
+                        severity=self.severity,
+                    )
+            else:
+                yield Finding(
+                    code=self.code,
+                    message=(
+                        f"event class {info.name} subclasses ObsEvent "
+                        f"outside {EVENTS_MODULE}; declare it there so "
+                        "event_from_dict can round-trip it"
+                    ),
+                    path=info.path,
+                    line=info.lineno,
+                    column=0,
+                    severity=self.severity,
+                )
+        if not events_modules:
+            # Linting a partial tree (tests, single files): the schema
+            # module is absent, so emit-site membership is unknowable.
+            return
+        for name, path, node in self._emit_sites:
+            if name not in declared:
+                yield Finding(
+                    code=self.code,
+                    message=(
+                        f"emit() of undeclared event type {name}; declare "
+                        f"it in {EVENTS_MODULE} (and its __all__/registry) "
+                        "so JSONL traces can be replayed"
+                    ),
+                    path=path,
+                    line=node.lineno,
+                    column=node.col_offset,
+                    severity=self.severity,
+                )

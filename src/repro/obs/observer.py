@@ -34,7 +34,7 @@ metric                          meaning
 
 from __future__ import annotations
 
-from contextlib import contextmanager
+from contextlib import AbstractContextManager, contextmanager
 from typing import TYPE_CHECKING, Any, Iterator
 
 from .events import (
@@ -52,7 +52,7 @@ from .events import (
     ThrottledMinuteEvent,
 )
 from .metrics import MetricsRegistry
-from .spans import SpanCollector, activate
+from .spans import SpanCollector, SpanStats, activate
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.reactive import ReactiveDecision
@@ -366,11 +366,11 @@ class Observer:
         with activate(self.spans):
             yield self
 
-    def span(self, name: str):
+    def span(self, name: str) -> AbstractContextManager[None]:
         """Time one region against this observer's collector."""
         return self.spans.span(name)
 
-    def top_spans(self, n: int = 5):
+    def top_spans(self, n: int = 5) -> list[SpanStats]:
         """The ``n`` most expensive span names (by total time)."""
         return self.spans.top(n)
 

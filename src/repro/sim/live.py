@@ -86,6 +86,30 @@ class LiveSystemConfig:
     resilience: ResilienceConfig | None = None
     cluster: Cluster | None = field(default=None, compare=False)
 
+    def __post_init__(self) -> None:
+        if self.cluster is None and self.cluster_factory not in (
+            "small",
+            "large",
+        ):
+            raise SimulationError(
+                f"unknown cluster_factory {self.cluster_factory!r} "
+                "(expected 'small' or 'large')"
+            )
+        if self.txns_per_core_minute <= 0:
+            raise SimulationError(
+                "txns_per_core_minute must be > 0, got "
+                f"{self.txns_per_core_minute}"
+            )
+        if self.base_latency_ms <= 0:
+            raise SimulationError(
+                f"base_latency_ms must be > 0, got {self.base_latency_ms}"
+            )
+        if self.drops_per_restart < 0:
+            raise SimulationError(
+                "drops_per_restart must be >= 0, got "
+                f"{self.drops_per_restart}"
+            )
+
     def build_cluster(self) -> Cluster:
         """Instantiate the run's cluster."""
         if self.cluster is not None:
@@ -94,7 +118,7 @@ class LiveSystemConfig:
             return Cluster.small()
         if self.cluster_factory == "large":
             return Cluster.large()
-        raise SimulationError(
+        raise SimulationError(  # pragma: no cover - caught in __post_init__
             f"unknown cluster_factory {self.cluster_factory!r} "
             "(expected 'small' or 'large')"
         )

@@ -13,7 +13,7 @@ import itertools
 from typing import Any, Mapping, Sequence
 
 from ..core.config import CaasperConfig
-from ..errors import TuningError
+from ..errors import ConfigError, TuningError
 from ..sim.simulator import SimulatorConfig
 from ..trace import CpuTrace
 from .search import RandomSearch, SearchOutcome
@@ -40,7 +40,11 @@ def grid_configs(
         updates = dict(zip(names, combo))
         try:
             configs.append(base.with_updates(**updates))
-        except Exception:
+        except ConfigError:
+            # Cross-field constraint violation (s_low >= s_high, ...):
+            # skip the combination. Anything else — a typo'd dimension
+            # name raising TypeError, an injected FaultError — must
+            # propagate rather than silently shrink the grid.
             continue
     if not configs:
         raise TuningError("no valid configuration in the grid")

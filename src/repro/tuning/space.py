@@ -16,7 +16,7 @@ from typing import Any
 import numpy as np
 
 from ..core.config import CaasperConfig
-from ..errors import TuningError
+from ..errors import ConfigError, TuningError
 
 __all__ = ["ParameterSpace", "FloatRange", "IntRange", "Choice"]
 
@@ -119,7 +119,10 @@ class ParameterSpace:
             updates = {name: dim.sample(rng) for name, dim in dims.items()}
             try:
                 return self.base.with_updates(**updates)
-            except Exception:
+            except ConfigError:
+                # Constraint-violating draw: reject and resample. Other
+                # errors (unknown field names, injected faults) must
+                # propagate instead of burning the retry budget.
                 continue
         raise TuningError(
             "could not draw a valid configuration in 100 attempts; "

@@ -100,3 +100,48 @@ class TestMain:
         ) == 0
         assert path.exists()
         assert "wrote" in capsys.readouterr().out
+
+    def test_lint_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("DET001", "DET002", "DET003", "NUM001", "EXC001",
+                     "API001", "OBS001", "CFG001"):
+            assert code in out
+
+    def test_lint_repo_is_clean_strict(self, capsys):
+        assert main(["lint", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "0 errors" in out
+
+    def test_lint_json_format(self, capsys):
+        import json
+
+        assert main(["lint", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        assert payload["files_checked"] > 0
+
+    def test_lint_flags_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "sim" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "import time\n\n\ndef stamp():\n    return time.time()\n"
+        )
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out
+
+    def test_lint_select_and_ignore(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "sim" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "import time\n\n\ndef stamp():\n    return time.time()\n"
+        )
+        assert main(["lint", str(bad), "--ignore", "DET001"]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(bad), "--select", "NUM001"]) == 0
+        capsys.readouterr()
+
+    def test_lint_unknown_code_fails_loudly(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path), "--select", "ZZZ999"]) == 2
+        assert "unknown rule code" in capsys.readouterr().err

@@ -1,0 +1,75 @@
+"""The repo must stay clean under its own static analysis.
+
+``caasper lint --strict`` over ``src/repro`` and ``benchmarks`` is the
+enforceable tier-1 guard (pure stdlib, always runnable). The mypy and
+ruff checks run the same configuration CI uses, but skip gracefully when
+the tools are not installed in the environment.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths
+
+REPO = Path(__file__).resolve().parent.parent
+LINT_TARGETS = [REPO / "src" / "repro", REPO / "benchmarks"]
+
+
+def test_repo_is_lint_clean():
+    report = lint_paths([str(path) for path in LINT_TARGETS if path.exists()])
+    assert not report.parse_errors, report.parse_errors
+    rendered = "\n".join(
+        f"{f.path}:{f.line}:{f.column} {f.code} {f.message}"
+        for f in report.findings
+    )
+    assert not report.findings, f"lint findings:\n{rendered}"
+
+
+def test_lint_cli_strict_exits_clean():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "lint", "--strict"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_py_typed_marker_present():
+    assert (REPO / "src" / "repro" / "py.typed").exists()
+
+
+def test_public_api_exports_resolve():
+    import repro
+
+    missing = [name for name in repro.__all__ if not hasattr(repro, name)]
+    assert not missing, missing
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_clean():
+    result = subprocess.run(
+        ["mypy", "src/repro"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_clean():
+    result = subprocess.run(
+        ["ruff", "check", "src", "tests", "benchmarks"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

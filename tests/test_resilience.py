@@ -121,6 +121,20 @@ class TestRetryPolicy:
         policy = RetryPolicy(jitter_fraction=0.0)
         assert policy.delay_minutes(2, key=99) == policy.backoff_minutes(2)
 
+    def test_zero_jitter_exact_for_every_key(self):
+        # NUM001 regression: the disable check is `<= 0`, not a float
+        # equality — jitter_fraction=0.0 must disable jitter for every
+        # (attempt, key) stream, never stretch the delay.
+        policy = RetryPolicy(jitter_fraction=0.0)
+        for attempt in range(1, 6):
+            base = policy.backoff_minutes(attempt)
+            for key in range(25):
+                assert policy.delay_minutes(attempt, key=key) == base
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(jitter_fraction=-0.1)
+
     def test_validation(self):
         with pytest.raises(ConfigError):
             RetryPolicy(base_delay_minutes=0)

@@ -69,6 +69,18 @@ class TestBasicRun:
                 live_config(cluster_factory="medium"),
             )
 
+    def test_config_validates_eagerly(self):
+        # CFG001 regression: the frozen config rejects bad shapes at
+        # construction, not at first use inside a run.
+        with pytest.raises(SimulationError):
+            LiveSystemConfig(cluster_factory="medium")
+        with pytest.raises(SimulationError):
+            LiveSystemConfig(txns_per_core_minute=0.0)
+        with pytest.raises(SimulationError):
+            LiveSystemConfig(base_latency_ms=-1.0)
+        with pytest.raises(SimulationError):
+            LiveSystemConfig(drops_per_restart=-0.5)
+
 
 class TestResizeDynamics:
     def test_resize_latency_matches_rolling_update(self):

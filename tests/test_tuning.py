@@ -16,6 +16,7 @@ from repro.tuning import (
     preference_config,
     sample_alphas,
 )
+from repro.tuning.grid import grid_configs
 from repro.tuning.space import Choice, FloatRange, IntRange
 from repro.workloads import cyclical_days
 
@@ -75,6 +76,49 @@ class TestParameterSpace:
     def test_sample_many_rejects_zero(self):
         with pytest.raises(TuningError):
             ParameterSpace().sample_many(0)
+
+    def test_typoed_dimension_name_propagates(self):
+        # A typo'd field name raises TypeError from with_updates; the
+        # rejection-sampling loop must not swallow it as "invalid combo"
+        # and burn the whole retry budget (EXC001 regression).
+        space = ParameterSpace(
+            base=CaasperConfig(max_cores=16),
+            dimensions={"s_hihg": FloatRange(1.0, 2.0)},
+        )
+        with pytest.raises(TypeError):
+            space.sample_many(1, seed=0)
+
+
+class TestGridConfigs:
+    def test_invalid_combinations_skipped(self):
+        configs = grid_configs(
+            CaasperConfig(max_cores=16),
+            {"s_low": [0.5, 5.0], "s_high": [4.0]},
+        )
+        # s_low=5.0 violates s_low < s_high and is dropped; the valid
+        # combination survives.
+        assert [config.s_low for config in configs] == [0.5]
+
+    def test_typoed_dimension_name_propagates(self):
+        # EXC001 regression: only ConfigError combos may be skipped —
+        # unknown field names must fail loudly, not shrink the grid.
+        with pytest.raises(TypeError):
+            grid_configs(
+                CaasperConfig(max_cores=16), {"s_hihg": [1.5, 2.0]}
+            )
+
+    def test_entirely_invalid_grid_raises(self):
+        with pytest.raises(TuningError):
+            grid_configs(
+                CaasperConfig(max_cores=16),
+                {"s_low": [5.0], "s_high": [4.0]},
+            )
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(TuningError):
+            grid_configs(CaasperConfig(max_cores=16), {})
+        with pytest.raises(TuningError):
+            grid_configs(CaasperConfig(max_cores=16), {"s_low": []})
 
 
 class TestObjective:
