@@ -38,6 +38,7 @@ from .errors import (
     ConfigError,
     DegradedModeError,
     FaultError,
+    FleetError,
     ForecastError,
     ReproError,
     SchedulingError,
@@ -45,6 +46,7 @@ from .errors import (
     TraceError,
     TuningError,
 )
+from .fleet import FleetPlan, FleetRunner
 from .obs.observer import Observer
 from .sim import (
     BillingModel,
@@ -80,6 +82,9 @@ __all__ = [
     "Recommender",
     # observability
     "Observer",
+    # fleet execution
+    "FleetPlan",
+    "FleetRunner",
     # traces
     "CpuTrace",
     # errors
@@ -93,4 +98,5 @@ __all__ = [
     "TuningError",
     "DegradedModeError",
     "FaultError",
+    "FleetError",
 ]

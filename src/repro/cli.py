@@ -199,6 +199,69 @@ def build_parser() -> argparse.ArgumentParser:
         "matching degradation in the audit trail",
     )
 
+    fleet_parser = sub.add_parser(
+        "fleet",
+        help="shard a multi-trace evaluation across worker processes "
+        "(deterministic merge, checkpoint journal, resume)",
+    )
+    fleet_parser.add_argument(
+        "--traces",
+        type=str,
+        default=None,
+        help="comma-separated paper-trace names (default: every paper "
+        "trace; see `caasper list`)",
+    )
+    fleet_parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes (1 = serial in-process; default: 2)",
+    )
+    fleet_parser.add_argument(
+        "--journal",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="checkpoint finished jobs to this JSONL file",
+    )
+    fleet_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip jobs already completed in the --journal file",
+    )
+    fleet_parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    fleet_parser.add_argument(
+        "--seed", type=int, default=0, help="plan seed (replayable)"
+    )
+    fleet_parser.add_argument(
+        "--min-cores", type=int, default=1, help="guardrail floor"
+    )
+    fleet_parser.add_argument(
+        "--proactive",
+        action="store_true",
+        help="enable the forecasting component",
+    )
+    fleet_parser.add_argument(
+        "--timeout-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-job wall-clock deadline (stalled jobs become typed "
+        "timeout failures)",
+    )
+    fleet_parser.add_argument(
+        "--scenario",
+        default=None,
+        choices=scenario_names(),
+        help="run the hardened live loop under this chaos scenario "
+        "instead of the open-loop sweep",
+    )
+
     lint_parser = sub.add_parser(
         "lint",
         help="run the domain-aware static analyser (repro.lint) over the "
@@ -467,6 +530,104 @@ def _run_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_fleet(args: argparse.Namespace) -> int:
+    """Run a fleet-sharded evaluation and render its merged report."""
+    import json
+    import time
+
+    from .core.config import CaasperConfig
+    from .fleet import FleetRunner, chaos_plan, sweep_outcome, sweep_plan
+    from .sim.sweep import SweepConfig, default_recommender_factory
+
+    if args.traces:
+        names = [n.strip() for n in args.traces.split(",") if n.strip()]
+    else:
+        names = paper_trace_names()
+    traces = [paper_trace(name) for name in names]
+
+    if args.scenario is not None:
+        plan = chaos_plan(
+            traces,
+            scenario=args.scenario,
+            recommender_config=CaasperConfig(
+                c_min=max(2, args.min_cores),
+                max_cores=16,
+                proactive=args.proactive,
+            ),
+            seed=args.seed,
+        )
+    else:
+        sweep_config = SweepConfig(min_cores=args.min_cores)
+        base = CaasperConfig(
+            c_min=args.min_cores,
+            max_cores=max(args.min_cores + 1, 64),
+            proactive=args.proactive,
+        )
+        plan = sweep_plan(
+            traces,
+            config=sweep_config,
+            recommender_factory=default_recommender_factory(
+                base, sweep_config
+            ),
+            seed=args.seed,
+        )
+
+    runner = FleetRunner(
+        workers=args.workers,
+        job_timeout_seconds=args.timeout_seconds,
+        journal_path=args.journal,
+        resume=args.resume,
+    )
+    start = time.perf_counter()
+    outcome = runner.run(plan)
+    wall = time.perf_counter() - start
+
+    if args.format == "json":
+        payload = {
+            "plan": outcome.plan_name,
+            "signature": outcome.signature,
+            "workers": outcome.workers,
+            "ok": outcome.ok_count,
+            "failed": outcome.failed_count,
+            "resumed": outcome.resumed_count,
+            "wall_seconds": wall,
+            "failures": [
+                {
+                    "job_id": failure.job_id,
+                    "kind": failure.failure_kind,
+                    "error": failure.summary(),
+                }
+                for failure in outcome.failures()
+            ],
+        }
+        if outcome.failed_count == 0:
+            payload["aggregate"] = sweep_outcome(outcome).aggregate()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 1 if outcome.failed_count else 0
+
+    if outcome.failed_count == 0:
+        sweep = sweep_outcome(outcome)
+        print(sweep.table())
+        aggregate = sweep.aggregate()
+        print()
+        print(
+            f"fleet means: slack {aggregate['mean_avg_slack']:.2f} cores, "
+            f"insufficient CPU "
+            f"{aggregate['mean_avg_insufficient_cpu']:.3f} cores, "
+            f"throttled obs {aggregate['mean_throttled_obs_pct']:.2f}%, "
+            f"{aggregate['mean_scalings']:.0f} scalings/trace"
+        )
+    else:
+        for failure in outcome.failures():
+            print(f"FAILED [{failure.failure_kind}] {failure.summary()}")
+    print(
+        f"fleet: {outcome.ok_count} ok, {outcome.failed_count} failed, "
+        f"{outcome.resumed_count} resumed from journal, "
+        f"workers={outcome.workers}, wall={wall:.2f}s"
+    )
+    return 1 if outcome.failed_count else 0
+
+
 def _run_lint(args: argparse.Namespace) -> int:
     """Run the domain-aware static analyser and render its report."""
     import os
@@ -553,10 +714,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             max_cores=max(args.min_cores + 1, 64),
             proactive=args.proactive,
         )
+        sweep_config = SweepConfig(min_cores=args.min_cores)
         outcome = run_sweep(
             traces,
-            SweepConfig(min_cores=args.min_cores),
-            default_recommender_factory(base),
+            sweep_config,
+            default_recommender_factory(base, sweep_config),
         )
         print(outcome.table())
         aggregate = outcome.aggregate()
@@ -567,6 +729,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"{aggregate['mean_scalings']:.0f} scalings/trace"
         )
         return 0
+
+    if args.command == "fleet":
+        return _run_fleet(args)
 
     if args.command == "obs":
         return _run_obs(args)

@@ -82,3 +82,14 @@ class SimulationError(ReproError):
 
 class TuningError(ReproError):
     """Parameter search was configured with an empty or invalid space."""
+
+
+class FleetError(ReproError):
+    """A fleet-scale run was misconfigured or could not be merged.
+
+    Raised by :mod:`repro.fleet` for plan-level problems — duplicate job
+    ids, a checkpoint journal written by a *different* plan, a merge
+    requested over failed jobs. Individual job crashes never raise this
+    during a run; they are captured as typed
+    :class:`~repro.fleet.jobs.JobFailure` records instead.
+    """

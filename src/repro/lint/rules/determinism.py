@@ -38,6 +38,7 @@ DETERMINISTIC_DOMAINS = (
     "repro.tuning",
     "repro.db",
     "repro.analysis",
+    "repro.fleet",
 )
 
 #: (resolved module, attribute) pairs that read the wall clock.

@@ -30,6 +30,9 @@ from .events import (
     DecisionEvent,
     EventBus,
     FaultInjectedEvent,
+    FleetJobFailedEvent,
+    FleetJobFinishedEvent,
+    FleetJobStartedEvent,
     LoggingSink,
     ObsEvent,
     QuarantineEvent,
@@ -51,6 +54,9 @@ __all__ = [
     "DecisionEvent",
     "EventBus",
     "FaultInjectedEvent",
+    "FleetJobFailedEvent",
+    "FleetJobFinishedEvent",
+    "FleetJobStartedEvent",
     "Gauge",
     "Histogram",
     "JsonlSink",

@@ -26,6 +26,16 @@ control plane's degradation ladder:
 - :class:`QuarantineEvent` — a component exception degraded instead
   of crashing the run.
 
+Three more cover fleet-scale parallel runs (:mod:`repro.fleet`); for
+these the ``minute`` field carries the job's *plan index* (fleet events
+are not tied to a simulated minute):
+
+- :class:`FleetJobStartedEvent` — one job dispatched to a worker;
+- :class:`FleetJobFinishedEvent` — one job completed (or restored from
+  a checkpoint journal, ``journaled=True``);
+- :class:`FleetJobFailedEvent` — one job captured as a typed failure
+  (exception, timeout, or broken worker pool).
+
 Events are frozen dataclasses with a flat :meth:`ObsEvent.to_dict`
 serialisation so any sink — ring buffer, JSONL file, ``logging`` — can
 consume them without knowing the concrete type. This module depends on
@@ -50,6 +60,9 @@ __all__ = [
     "RetryEvent",
     "RollbackEvent",
     "QuarantineEvent",
+    "FleetJobStartedEvent",
+    "FleetJobFinishedEvent",
+    "FleetJobFailedEvent",
     "EventBus",
     "RingBufferSink",
     "LoggingSink",
@@ -264,6 +277,56 @@ class QuarantineEvent(ObsEvent):
     degraded_to: str = "hold"  # "hold" | "reactive"
 
 
+@dataclass(frozen=True)
+class FleetJobStartedEvent(ObsEvent):
+    """One fleet job dispatched (``minute`` is the job's plan index).
+
+    Attributes
+    ----------
+    job_id:
+        Stable job identifier within its :class:`~repro.fleet.jobs.FleetPlan`.
+    workers:
+        Worker-pool size of the dispatching runner.
+    """
+
+    kind: ClassVar[str] = "fleet_job_started"
+
+    job_id: str = ""
+    workers: int = 1
+
+
+@dataclass(frozen=True)
+class FleetJobFinishedEvent(ObsEvent):
+    """One fleet job completed successfully.
+
+    ``journaled`` is True when the result was restored from a checkpoint
+    journal (``resume=``) instead of being recomputed; ``elapsed_seconds``
+    then reports the *original* run's cost.
+    """
+
+    kind: ClassVar[str] = "fleet_job_finished"
+
+    job_id: str = ""
+    elapsed_seconds: float = 0.0
+    journaled: bool = False
+
+
+@dataclass(frozen=True)
+class FleetJobFailedEvent(ObsEvent):
+    """One fleet job captured as a typed failure.
+
+    ``failure_kind`` is ``exception`` (the job raised in its worker),
+    ``timeout`` (the per-job deadline expired) or ``broken-pool`` (the
+    worker process died without returning).
+    """
+
+    kind: ClassVar[str] = "fleet_job_failed"
+
+    job_id: str = ""
+    error: str = ""
+    failure_kind: str = "exception"
+
+
 _EVENT_TYPES: dict[str, type[ObsEvent]] = {
     cls.kind: cls
     for cls in (
@@ -276,6 +339,9 @@ _EVENT_TYPES: dict[str, type[ObsEvent]] = {
         RetryEvent,
         RollbackEvent,
         QuarantineEvent,
+        FleetJobStartedEvent,
+        FleetJobFinishedEvent,
+        FleetJobFailedEvent,
     )
 }
 

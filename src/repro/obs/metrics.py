@@ -84,6 +84,21 @@ class Counter(_Metric):
         """Current total for one labelled child (0 when never touched)."""
         return self._values.get(_label_key(labels, self.labelnames), 0.0)
 
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter's totals into this one (child-wise sums).
+
+        Used by :mod:`repro.fleet.relay` to aggregate per-worker
+        registries into the parent's; both metrics must declare the same
+        label names.
+        """
+        if self.labelnames != other.labelnames:
+            raise ConfigError(
+                f"cannot merge {self.name!r}: labels {other.labelnames} "
+                f"do not match {self.labelnames}"
+            )
+        for key, value in other._values.items():
+            self._values[key] = self._values.get(key, 0.0) + value
+
     def render(self) -> list[str]:
         lines = self._header()
         for key in sorted(self._values):
@@ -140,6 +155,13 @@ class _HistogramChild:
         self.total += value
         self.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
         self.reservoir.append(value)
+
+    def merge(self, other: "_HistogramChild") -> None:
+        self.count += other.count
+        self.total += other.total
+        for index, bucket_count in enumerate(other.bucket_counts):
+            self.bucket_counts[index] += bucket_count
+        self.reservoir.extend(other.reservoir)
 
     def percentile(self, q: float) -> float:
         if not self.reservoir:
@@ -207,6 +229,20 @@ class Histogram(_Metric):
         if child is None:
             return math.nan
         return child.percentile(q)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's buckets/reservoirs into this one.
+
+        Both histograms must declare the same label names and bucket
+        bounds (they always do for same-named metrics produced by this
+        codebase's instrumentation points).
+        """
+        if self.labelnames != other.labelnames or self.buckets != other.buckets:
+            raise ConfigError(
+                f"cannot merge {self.name!r}: label/bucket layout differs"
+            )
+        for key, child in other._children.items():
+            self._child(dict(key)).merge(child)
 
     def render(self) -> list[str]:
         lines = self._header()
@@ -294,6 +330,30 @@ class MetricsRegistry:
     def get(self, name: str) -> _Metric | None:
         """Look up a registered metric by name."""
         return self._metrics.get(name)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold every metric of ``other`` into this registry.
+
+        Metrics absent here are registered with the same type, labels
+        and (for histograms) buckets; same-named metrics are merged
+        child-wise (counters/gauges sum, histogram buckets and
+        reservoirs combine). A same-named metric of a *different* type
+        is a :class:`~repro.errors.ConfigError`. This is the primitive
+        :mod:`repro.fleet.relay` uses to aggregate worker-process
+        telemetry into the parent observer.
+        """
+        for name in sorted(other._metrics):
+            metric = other._metrics[name]
+            if isinstance(metric, Histogram):
+                self.histogram(
+                    name, metric.help, metric.labelnames, metric.buckets
+                ).merge(metric)
+            elif isinstance(metric, Gauge):
+                self.gauge(name, metric.help, metric.labelnames).merge(metric)
+            elif isinstance(metric, Counter):
+                self.counter(name, metric.help, metric.labelnames).merge(metric)
+            else:  # pragma: no cover - no other metric kinds exist
+                raise ConfigError(f"metric {name!r} has unknown kind")
 
     def render_text(self) -> str:
         """Prometheus text exposition of every registered metric."""

@@ -29,6 +29,8 @@ metric                          meaning
 ``retries_total{outcome=}``     actuation retries by outcome
 ``rollbacks_total``             watchdog rollbacks of stuck updates
 ``quarantines_total{component=}``  component exceptions degraded
+``fleet_jobs_total{status=}``   fleet jobs by terminal status
+``fleet_job_seconds``           per-job wall clock across workers
 ==============================  ======================================
 """
 
@@ -41,6 +43,9 @@ from .events import (
     DecisionEvent,
     EventBus,
     FaultInjectedEvent,
+    FleetJobFailedEvent,
+    FleetJobFinishedEvent,
+    FleetJobStartedEvent,
     ObsEvent,
     QuarantineEvent,
     ResizeDeferredEvent,
@@ -311,6 +316,61 @@ class Observer:
             "Component exceptions degraded by the control plane",
             labelnames=("component",),
         ).inc(component=component)
+        return event
+
+    def fleet_job_started(
+        self, index: int, job_id: str, workers: int = 1
+    ) -> FleetJobStartedEvent:
+        """Record one fleet job dispatched (``index`` is its plan index)."""
+        event = FleetJobStartedEvent(minute=index, job_id=job_id, workers=workers)
+        self.bus.emit(event)
+        return event
+
+    def fleet_job_finished(
+        self,
+        index: int,
+        job_id: str,
+        elapsed_seconds: float,
+        journaled: bool = False,
+    ) -> FleetJobFinishedEvent:
+        """Record one fleet job completing (or restored from a journal)."""
+        event = FleetJobFinishedEvent(
+            minute=index,
+            job_id=job_id,
+            elapsed_seconds=elapsed_seconds,
+            journaled=journaled,
+        )
+        self.bus.emit(event)
+        status = "journaled" if journaled else "ok"
+        self.metrics.counter(
+            "fleet_jobs_total",
+            "Fleet jobs by terminal status",
+            labelnames=("status",),
+        ).inc(status=status)
+        if not journaled:
+            self.metrics.histogram(
+                "fleet_job_seconds",
+                "Wall-clock seconds per fleet job (worker-side)",
+            ).observe(elapsed_seconds)
+        return event
+
+    def fleet_job_failed(
+        self,
+        index: int,
+        job_id: str,
+        error: str,
+        failure_kind: str = "exception",
+    ) -> FleetJobFailedEvent:
+        """Record one fleet job captured as a typed failure."""
+        event = FleetJobFailedEvent(
+            minute=index, job_id=job_id, error=error, failure_kind=failure_kind
+        )
+        self.bus.emit(event)
+        self.metrics.counter(
+            "fleet_jobs_total",
+            "Fleet jobs by terminal status",
+            labelnames=("status",),
+        ).inc(status="failed")
         return event
 
     def sample(

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 from ..analysis.tables import format_table
 from ..baselines.base import Recommender
@@ -24,6 +24,9 @@ from ..trace import CpuTrace
 from .billing import BillingModel
 from .results import SimulationResult
 from .simulator import SimulatorConfig, simulate_trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..fleet.runner import FleetRunner
 
 __all__ = ["SweepConfig", "SweepOutcome", "run_sweep"]
 
@@ -123,6 +126,9 @@ class SweepOutcome:
             "mean_avg_slack": sum(
                 r.metrics.average_slack for r in results
             ) / n,
+            "mean_avg_insufficient_cpu": sum(
+                r.metrics.average_insufficient_cpu for r in results
+            ) / n,
             "mean_throttled_obs_pct": sum(
                 r.metrics.throttled_observation_pct for r in results
             ) / n,
@@ -135,16 +141,28 @@ class SweepOutcome:
 
 def default_recommender_factory(
     base: CaasperConfig | None = None,
+    config: SweepConfig | None = None,
 ) -> RecommenderFactory:
-    """CaaSPER with the per-trace ceiling wired into its config."""
+    """CaaSPER with the per-trace ceiling wired into its config.
+
+    The recommender's ceiling follows the *sweep's* sizing rule —
+    ``max(min_cores + 1, ceil(peak × headroom_factor))`` — so the
+    recommender and the simulator guardrails always agree, including for
+    non-default :class:`SweepConfig` values (this used to hardcode the
+    default ``1.3`` headroom and a floor of 2).
+    """
     base = base or CaasperConfig()
+    sweep = config or SweepConfig()
 
     def factory(trace: CpuTrace) -> Recommender:
-        max_cores = max(2, int(math.ceil(trace.peak() * 1.3)))
-        config = base.with_updates(
+        max_cores = max(
+            sweep.min_cores + 1,
+            int(math.ceil(trace.peak() * sweep.headroom_factor)),
+        )
+        recommender_config = base.with_updates(
             max_cores=max_cores, c_min=min(base.c_min, max_cores)
         )
-        return CaasperRecommender(config, keep_decisions=False)
+        return CaasperRecommender(recommender_config, keep_decisions=False)
 
     return factory
 
@@ -154,6 +172,7 @@ def run_sweep(
     config: SweepConfig | None = None,
     recommender_factory: RecommenderFactory | None = None,
     observer: Observer | None = None,
+    executor: "FleetRunner | None" = None,
 ) -> SweepOutcome:
     """Evaluate one recommender family over many traces.
 
@@ -169,6 +188,14 @@ def run_sweep(
     observer:
         Optional telemetry sink shared across every per-trace run; each
         trace additionally gets a ``sweep.trace.<name>`` timing span.
+        With an ``executor`` the runner is bound to this observer
+        (worker telemetry replays into it in plan order), overriding
+        any observer the runner was constructed with.
+    executor:
+        Optional :class:`~repro.fleet.runner.FleetRunner` to shard the
+        per-trace simulations across worker processes. ``None`` (the
+        default) runs serially in-process; the parallel outcome is
+        bit-identical to the serial one for any worker count.
     """
     if not traces:
         raise SimulationError("sweep needs at least one trace")
@@ -176,7 +203,17 @@ def run_sweep(
     if len(set(names)) != len(names):
         raise SimulationError(f"duplicate trace names in sweep: {names}")
     config = config or SweepConfig()
-    factory = recommender_factory or default_recommender_factory()
+    factory = recommender_factory or default_recommender_factory(config=config)
+
+    if executor is not None:
+        from ..fleet.plans import sweep_outcome, sweep_plan
+
+        if observer is not None:
+            executor = executor.with_observer(observer)
+        plan = sweep_plan(
+            traces, config=config, recommender_factory=factory
+        )
+        return sweep_outcome(executor.run(plan).require_success())
 
     results: dict[str, SimulationResult] = {}
     for trace in traces:

@@ -10,13 +10,16 @@ Pareto extraction and the Eq. 5 objective work unchanged.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from ..core.config import CaasperConfig
 from ..errors import ConfigError, TuningError
 from ..sim.simulator import SimulatorConfig
 from ..trace import CpuTrace
 from .search import RandomSearch, SearchOutcome
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..fleet.runner import FleetRunner
 
 __all__ = ["GridSearch", "grid_configs"]
 
@@ -77,8 +80,23 @@ class GridSearch:
     def __len__(self) -> int:
         return len(self.configs)
 
-    def run(self) -> SearchOutcome:
-        """Evaluate every grid point (deterministic, no seed needed)."""
+    def run(self, executor: "FleetRunner | None" = None) -> SearchOutcome:
+        """Evaluate every grid point (deterministic, no seed needed).
+
+        With an ``executor`` (a :class:`~repro.fleet.runner.FleetRunner`)
+        the grid points shard across worker processes; the outcome is
+        bit-identical to the serial run.
+        """
+        if executor is not None:
+            from .search import _trial_outcome
+
+            return _trial_outcome(
+                self.configs,
+                self._driver.simulator_config,
+                self._driver.demand,
+                executor,
+                prefix="grid",
+            )
         return SearchOutcome(
             trials=tuple(
                 self._driver.evaluate(config) for config in self.configs

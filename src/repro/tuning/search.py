@@ -13,6 +13,7 @@ answers the two §5 questions: the Pareto frontier of the population
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -25,7 +26,51 @@ from .objective import sample_alphas
 from .pareto import pareto_frontier
 from .space import ParameterSpace
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..fleet.runner import FleetRunner
+
 __all__ = ["RandomSearch", "SearchOutcome", "TrialResult"]
+
+
+def _trial_outcome(
+    configs: list[CaasperConfig],
+    simulator_config: SimulatorConfig,
+    demand: CpuTrace,
+    executor: "FleetRunner",
+    prefix: str,
+) -> SearchOutcome:
+    """Shard one config list across a fleet executor, in config order.
+
+    Shared by the random and grid drivers. Job ids are positional
+    (``<prefix>-00042``) so the merged trial tuple keeps the exact
+    order a serial run would produce.
+    """
+    from ..fleet.jobs import FleetPlan, TrialJob
+
+    plan = FleetPlan(
+        jobs=tuple(
+            TrialJob(
+                job_id=f"{prefix}-{index:05d}",
+                config=config,
+                demand=demand,
+                simulator=simulator_config,
+            )
+            for index, config in enumerate(configs)
+        ),
+        name=prefix,
+    )
+    outcome = executor.run(plan).require_success()
+    results = outcome.results()
+    trials = []
+    for job_id in plan.job_ids():
+        trial = results[job_id]
+        if not isinstance(trial, TrialResult):  # pragma: no cover - defensive
+            raise TuningError(
+                f"fleet job {job_id!r} returned {type(trial).__name__}, "
+                "expected TrialResult"
+            )
+        trials.append(trial)
+    return SearchOutcome(trials=tuple(trials))
 
 
 @dataclass(frozen=True)
@@ -132,11 +177,29 @@ class RandomSearch:
             num_scalings=metrics.num_scalings,
         )
 
-    def run(self, trials: int, seed: int = 0) -> SearchOutcome:
-        """Evaluate ``trials`` sampled configurations (deterministic)."""
+    def run(
+        self,
+        trials: int,
+        seed: int = 0,
+        executor: "FleetRunner | None" = None,
+    ) -> SearchOutcome:
+        """Evaluate ``trials`` sampled configurations (deterministic).
+
+        With an ``executor`` (a :class:`~repro.fleet.runner.FleetRunner`)
+        the trials shard across worker processes; the outcome is
+        bit-identical to the serial run for any worker count.
+        """
         if trials < 1:
             raise TuningError(f"trials must be >= 1, got {trials}")
         configs = self.space.sample_many(trials, seed=seed)
+        if executor is not None:
+            return _trial_outcome(
+                list(configs),
+                self.simulator_config,
+                self.demand,
+                executor,
+                prefix="trial",
+            )
         return SearchOutcome(
             trials=tuple(self.evaluate(config) for config in configs)
         )

@@ -1,6 +1,8 @@
-"""Shared fixtures: canonical traces and configurations."""
+"""Shared fixtures: canonical traces, configurations, hang guards."""
 
 from __future__ import annotations
+
+import signal
 
 import numpy as np
 import pytest
@@ -8,6 +10,36 @@ import pytest
 from repro.core import CaasperConfig
 from repro.trace import CpuTrace
 from repro.workloads.synthetic import noisy
+
+#: Seconds before :func:`hard_timeout` aborts a wedged test.
+HARD_TIMEOUT_SECONDS = 60
+
+
+@pytest.fixture
+def hard_timeout():
+    """Fail the requesting test after 60s (pytest-timeout fallback).
+
+    Shared by the chaos, resilience and fleet suites — any test that
+    spins an event loop, injects faults, or waits on worker processes
+    opts in via a module-level autouse fixture that depends on this one.
+    No-op where ``SIGALRM`` is unavailable (non-POSIX).
+    """
+    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - non-POSIX
+        yield
+        return
+
+    def _expired(signum, frame):  # pragma: no cover - only on hang
+        raise TimeoutError(
+            f"test exceeded the {HARD_TIMEOUT_SECONDS}s hard timeout"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(HARD_TIMEOUT_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

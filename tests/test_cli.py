@@ -37,6 +37,36 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["chaos", "--scenario", "nope"])
 
+    def test_fleet_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.command == "fleet"
+        assert args.workers == 2
+        assert args.traces is None
+        assert args.journal is None
+        assert not args.resume
+        assert args.scenario is None
+        assert args.timeout_seconds is None
+
+    def test_fleet_options(self):
+        args = build_parser().parse_args(
+            [
+                "fleet",
+                "--traces",
+                "fig9-workday",
+                "--workers",
+                "4",
+                "--journal",
+                "j.jsonl",
+                "--resume",
+                "--format",
+                "json",
+            ]
+        )
+        assert args.workers == 4
+        assert args.journal == "j.jsonl"
+        assert args.resume
+        assert args.format == "json"
+
 
 class TestMain:
     def test_list_output(self, capsys):
@@ -70,6 +100,68 @@ class TestMain:
         out = capsys.readouterr().out
         assert "workday-12h" in out
         assert "fleet means" in out
+
+    def test_fleet_command_serial(self, capsys):
+        assert main(
+            ["fleet", "--traces", "fig9-workday", "--workers", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "workday-12h" in out
+        assert "1 ok, 0 failed" in out
+        assert "workers=1" in out
+
+    def test_fleet_journal_then_resume(self, tmp_path, capsys):
+        journal = tmp_path / "fleet.jsonl"
+        argv = [
+            "fleet",
+            "--traces",
+            "fig9-workday",
+            "--workers",
+            "1",
+            "--journal",
+            str(journal),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "0 resumed from journal" in first
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "1 resumed from journal" in second
+        # Resuming does not change the merged table.
+        assert first.splitlines()[:4] == second.splitlines()[:4]
+
+    def test_fleet_json_format(self, capsys):
+        import json
+
+        assert main(
+            [
+                "fleet",
+                "--traces",
+                "fig9-workday",
+                "--workers",
+                "1",
+                "--format",
+                "json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] == 1
+        assert payload["failed"] == 0
+        assert "mean_avg_insufficient_cpu" in payload["aggregate"]
+
+    def test_fleet_chaos_scenario(self, capsys):
+        assert main(
+            [
+                "fleet",
+                "--traces",
+                "fig9-workday",
+                "--workers",
+                "1",
+                "--scenario",
+                "flaky-actuation",
+            ]
+        ) == 0
+        assert "1 ok, 0 failed" in capsys.readouterr().out
 
     def test_run_fig8(self, capsys):
         assert main(["run", "fig8"]) == 0

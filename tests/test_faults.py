@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import math
-import signal
 
 import numpy as np
 import pytest
@@ -39,22 +38,9 @@ CHAOS_EVENT_KINDS = (
 
 
 @pytest.fixture(autouse=True)
-def _hard_timeout():
-    """Fail any wedged test after 60s (pytest-timeout fallback)."""
-    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - non-POSIX
-        yield
-        return
-
-    def _expired(signum, frame):  # pragma: no cover - only on hang
-        raise TimeoutError("test exceeded the 60s chaos hard timeout")
-
-    previous = signal.signal(signal.SIGALRM, _expired)
-    signal.alarm(60)
-    try:
-        yield
-    finally:
-        signal.alarm(0)
-        signal.signal(signal.SIGALRM, previous)
+def _hard_timeout(hard_timeout):
+    """Every chaos test runs under the shared conftest hang guard."""
+    yield
 
 
 def short_workload(minutes=240):

@@ -39,6 +39,7 @@ ALL_CODES = (
 
 SIM_PATH = "src/repro/sim/snippet.py"
 CORE_PATH = "src/repro/core/snippet.py"
+FLEET_PATH = "src/repro/fleet/snippet.py"
 TEST_PATH = "tests/snippet.py"
 
 
@@ -130,6 +131,34 @@ def test_det001_ignores_modules_outside_domain():
     assert "DET001" not in codes(findings)
 
 
+def test_det001_covers_fleet_domain():
+    # repro.fleet merges results deterministically, so wall-clock reads
+    # are as illegal there as in the simulator.
+    findings = run_lint(
+        """
+        import time
+
+        def stamp() -> float:
+            return time.time()
+        """,
+        path=FLEET_PATH,
+    )
+    assert "DET001" in codes(findings)
+
+
+def test_det001_allows_monotonic_deadlines_in_fleet():
+    findings = run_lint(
+        """
+        import time
+
+        def deadline(timeout: float) -> float:
+            return time.monotonic() + timeout
+        """,
+        path=FLEET_PATH,
+    )
+    assert "DET001" not in codes(findings)
+
+
 # ---------------------------------------------------------------------------
 # DET002: unseeded randomness
 
@@ -154,6 +183,21 @@ def test_det002_flags_random_module_function():
         def draw() -> int:
             return randint(0, 10)
         """
+    )
+    assert "DET002" in codes(findings)
+
+
+def test_det002_covers_fleet_domain():
+    # Per-job seeds must derive from the plan seed; an ambient RNG in
+    # the fleet layer would break bit-identical parallel replays.
+    findings = run_lint(
+        """
+        import random
+
+        def shard() -> float:
+            return random.random()
+        """,
+        path=FLEET_PATH,
     )
     assert "DET002" in codes(findings)
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import signal
 
 import numpy as np
 import pytest
@@ -31,22 +30,9 @@ from repro.workloads.synthetic import noisy
 
 
 @pytest.fixture(autouse=True)
-def _hard_timeout():
-    """Fail any wedged test after 60s (pytest-timeout fallback)."""
-    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - non-POSIX
-        yield
-        return
-
-    def _expired(signum, frame):  # pragma: no cover - only on hang
-        raise TimeoutError("test exceeded the 60s resilience hard timeout")
-
-    previous = signal.signal(signal.SIGALRM, _expired)
-    signal.alarm(60)
-    try:
-        yield
-    finally:
-        signal.alarm(0)
-        signal.signal(signal.SIGALRM, previous)
+def _hard_timeout(hard_timeout):
+    """Every resilience test runs under the shared conftest hang guard."""
+    yield
 
 
 def flat_workload(cores=3.0, minutes=240):

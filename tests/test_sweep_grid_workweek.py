@@ -106,6 +106,42 @@ class TestSweep:
         recommender = factory(CpuTrace.constant(5.0, 100))
         assert recommender.config.c_min == 3
 
+    def test_default_factory_honours_sweep_headroom(self):
+        # Regression: the factory used to hardcode the default 1.3
+        # headroom regardless of the SweepConfig it ran under, so the
+        # recommender's ceiling disagreed with the simulator guardrail.
+        trace = CpuTrace.constant(10.0, 100)
+        config = SweepConfig(headroom_factor=2.0)
+        recommender = default_recommender_factory(config=config)(trace)
+        assert recommender.config.max_cores == 20
+        assert (
+            recommender.config.max_cores
+            == config.simulator_for(trace).max_cores
+        )
+
+    def test_default_factory_honours_min_cores_floor(self):
+        # Regression: the floor used to be a hardcoded 2 instead of the
+        # sweep's min_cores + 1.
+        tiny = CpuTrace.constant(0.2, 100)
+        config = SweepConfig(min_cores=4)
+        recommender = default_recommender_factory(config=config)(tiny)
+        assert recommender.config.max_cores == 5
+        assert (
+            recommender.config.max_cores
+            == config.simulator_for(tiny).max_cores
+        )
+
+    def test_aggregate_reports_mean_insufficient_cpu(self):
+        outcome = run_sweep(self.make_traces())
+        aggregate = outcome.aggregate()
+        expected = sum(
+            r.metrics.average_insufficient_cpu
+            for r in outcome.results.values()
+        ) / len(outcome.results)
+        assert aggregate["mean_avg_insufficient_cpu"] == pytest.approx(
+            expected
+        )
+
     def test_config_validation(self):
         with pytest.raises(SimulationError):
             SweepConfig(min_cores=0)
