@@ -10,7 +10,9 @@ the degradation ladder (safe-mode, retry/backoff, watchdog rollback,
 quarantine) instead of crashing the loop.
 """
 
-from conftest import chaos_comparison
+import time
+
+from conftest import chaos_comparison, kcn_of, write_bench_json
 
 from repro.cluster.controller import ControlLoopConfig
 from repro.cluster.scaler import ScalerConfig
@@ -45,9 +47,16 @@ def _run(faults=None):
 
 def test_chaos_resilience(once):
     plan = make_scenario("kitchen-sink", seed=SEED, horizon_minutes=MINUTES)
+    walls = {}
 
     def run_both():
-        return _run(), _run(faults=plan)
+        start = time.perf_counter()
+        clean = _run()
+        walls["clean"] = time.perf_counter() - start
+        start = time.perf_counter()
+        chaos = _run(faults=plan)
+        walls["chaos"] = time.perf_counter() - start
+        return clean, chaos
 
     clean, chaos = once(run_both)
     print()
@@ -68,4 +77,17 @@ def test_chaos_resilience(once):
     assert (
         chaos.metrics.total_insufficient_cpu
         >= clean.metrics.total_insufficient_cpu
+    )
+
+    write_bench_json(
+        "chaos_resilience",
+        wall_seconds=dict(walls),
+        kcn={"clean": kcn_of(clean), "chaos": kcn_of(chaos)},
+        cache_hit_rate=None,  # no result store in this benchmark
+        extra={
+            "minutes": MINUTES,
+            "seed": SEED,
+            "faults_injected": int(sum(fires.values())),
+            "degradations": {k: int(v) for k, v in resilience.items()},
+        },
     )

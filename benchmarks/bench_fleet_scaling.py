@@ -13,6 +13,8 @@ everywhere and is always enforced.
 import os
 import time
 
+from conftest import kcn_of, write_bench_json
+
 from repro.fleet import FleetRunner
 from repro.fleet.codec import canonical_json, encode
 from repro.sim.sweep import SweepConfig, run_sweep
@@ -92,3 +94,25 @@ def test_fleet_scaling(once):
             f"expected >=2x speedup at 4 workers on {cores} cores, got "
             f"{serial_wall / walls[4]:.2f}x"
         )
+
+    def _totals(outcome):
+        kcn = {"K": 0.0, "C": 0.0, "N": 0.0}
+        for result in outcome.results.values():
+            for axis, value in kcn_of(result).items():
+                kcn[axis] += value
+        return kcn
+
+    write_bench_json(
+        "fleet_scaling",
+        wall_seconds={f"workers={w}": walls[w] for w in (1, 2, 4)},
+        kcn={
+            "workers=1": _totals(serial),
+            **{f"workers={w}": _totals(o) for w, o in outcomes.items()},
+        },
+        cache_hit_rate=None,  # no result store in this benchmark
+        extra={
+            "traces": len(traces),
+            "usable_cores": cores,
+            "speedup_at_4_workers": serial_wall / walls[4],
+        },
+    )

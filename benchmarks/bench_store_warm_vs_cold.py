@@ -1,0 +1,111 @@
+"""Result store: warm-cache sweep vs cold sweep wall-clock.
+
+Not a paper figure — this measures the repo's own `repro.store`
+incremental-recomputation layer (see `docs/STORE.md`). The same
+multi-trace sweep runs three ways: uncached (`store=None`), cold
+(empty store, every trace simulated and written back), and warm
+(fresh handle on the populated store, every trace served from disk).
+The acceptance claims, both enforced here:
+
+- the warm sweep is at least 5× faster than the cold one;
+- all three runs are byte-identical under canonical JSON.
+
+Emits ``BENCH_store_warm_vs_cold.json`` (schema: `conftest.py`).
+"""
+
+import time
+
+from conftest import kcn_of, write_bench_json
+
+from repro.fleet.codec import canonical_json, encode
+from repro.sim.sweep import SweepConfig, run_sweep
+from repro.store import ResultStore
+from repro.workloads.traces import paper_trace, paper_trace_names
+
+#: Every named paper trace — the store must win on the full library,
+#: not a cherry-picked short trace.
+TRACES = tuple(paper_trace_names())
+
+
+def _sweep(store=None):
+    traces = [paper_trace(name) for name in TRACES]
+    return run_sweep(traces, config=SweepConfig(min_cores=2), store=store)
+
+
+def test_store_warm_vs_cold(once, tmp_path):
+    root = tmp_path / "cas"
+
+    start = time.perf_counter()
+    uncached = _sweep()
+    uncached_wall = time.perf_counter() - start
+
+    cold_store = ResultStore(root)
+    start = time.perf_counter()
+    cold = _sweep(store=cold_store)
+    cold_wall = time.perf_counter() - start
+
+    warm_store = ResultStore(root)  # fresh handle: all hits come from disk
+    start = time.perf_counter()
+    warm = _sweep(store=warm_store)
+    warm_wall = time.perf_counter() - start
+
+    # Benchmark the warm path for the pytest-benchmark timing record.
+    once(_sweep, store=ResultStore(root))
+
+    print()
+    print(f"store warm vs cold over {len(TRACES)} traces")
+    print(f"{'variant':>8}  {'wall (s)':>9}  {'speedup':>8}  {'hit rate':>8}")
+    rows = (
+        ("none", uncached_wall, None),
+        ("cold", cold_wall, cold_store.stats.hit_rate),
+        ("warm", warm_wall, warm_store.stats.hit_rate),
+    )
+    for variant, wall, hit_rate in rows:
+        speedup = cold_wall / wall
+        rate = "-" if hit_rate is None else f"{hit_rate * 100:.0f}%"
+        print(f"{variant:>8}  {wall:>9.3f}  {speedup:>7.2f}x  {rate:>8}")
+
+    # Byte-identity: cold, warm, and store=None all produce the same
+    # canonical JSON — the store may only change *when* work happens.
+    oracle = canonical_json(encode(uncached.results))
+    assert canonical_json(encode(cold.results)) == oracle
+    assert canonical_json(encode(warm.results)) == oracle
+
+    # The cold run missed everything; the warm run hit everything.
+    assert cold_store.stats.hit_rate == 0.0
+    assert cold_store.stats.puts == len(TRACES)
+    assert warm_store.stats.hit_rate == 1.0
+    assert warm_store.stats.misses == 0
+
+    # The headline claim: warm is at least 5× faster than cold.
+    assert cold_wall >= 5 * warm_wall, (
+        f"warm sweep not >=5x faster: cold={cold_wall:.3f}s "
+        f"warm={warm_wall:.3f}s ({cold_wall / warm_wall:.1f}x)"
+    )
+
+    def _totals(outcome):
+        kcn = {"K": 0.0, "C": 0.0, "N": 0.0}
+        for result in outcome.results.values():
+            for axis, value in kcn_of(result).items():
+                kcn[axis] += value
+        return kcn
+
+    write_bench_json(
+        "store_warm_vs_cold",
+        wall_seconds={
+            "none": uncached_wall,
+            "cold": cold_wall,
+            "warm": warm_wall,
+        },
+        kcn={
+            "none": _totals(uncached),
+            "cold": _totals(cold),
+            "warm": _totals(warm),
+        },
+        cache_hit_rate=warm_store.stats.hit_rate,
+        extra={
+            "traces": len(TRACES),
+            "speedup_warm_over_cold": cold_wall / warm_wall,
+            "store_bytes": warm_store.total_bytes(),
+        },
+    )

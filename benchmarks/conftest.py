@@ -16,9 +16,68 @@ recorded while the benchmark body ran.
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.obs import SpanCollector, activate
+
+#: Version of the machine-readable benchmark record schema below. Bump
+#: when a field changes meaning so cross-PR trajectory tooling can tell.
+BENCH_SCHEMA_VERSION = 1
+
+
+def write_bench_json(
+    name: str,
+    wall_seconds: dict[str, float],
+    kcn: dict[str, dict[str, float]],
+    cache_hit_rate: float | None = None,
+    extra: dict[str, object] | None = None,
+) -> Path:
+    """Emit one machine-readable ``BENCH_<name>.json`` record.
+
+    Every benchmark that makes a performance claim writes the same
+    schema so the perf trajectory is trackable across PRs:
+
+    - ``wall_seconds``: variant name → wall-clock seconds
+      (e.g. ``{"cold": 4.1, "warm": 0.2}`` or ``{"workers=1": ...}``);
+    - ``kcn``: variant name → ``{"K": slack, "C": insufficient,
+      "N": scalings}`` — the paper's three metrics, proving the timed
+      variants computed the same answer;
+    - ``cache_hit_rate``: result-store hit rate in [0, 1], or ``None``
+      for benchmarks that do not exercise the store.
+
+    Records land in ``$CAASPER_BENCH_DIR`` (default: the working
+    directory), one file per benchmark, overwritten each run.
+    """
+    payload = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "benchmark": name,
+        "wall_seconds": wall_seconds,
+        "kcn": kcn,
+        "cache_hit_rate": cache_hit_rate,
+        "extra": extra or {},
+    }
+    out_dir = Path(os.environ.get("CAASPER_BENCH_DIR", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"bench record: {path}")
+    return path
+
+
+def kcn_of(result) -> dict[str, float]:
+    """The paper's (K, C, N) triple from a result carrying ``.metrics``."""
+    metrics = result.metrics
+    return {
+        "K": float(metrics.total_slack),
+        "C": float(metrics.total_insufficient_cpu),
+        "N": float(metrics.num_scalings),
+    }
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -43,11 +43,13 @@ from .errors import (
     ReproError,
     SchedulingError,
     SimulationError,
+    StoreError,
     TraceError,
     TuningError,
 )
 from .fleet import FleetPlan, FleetRunner
 from .obs.observer import Observer
+from .store import ResultStore
 from .sim import (
     BillingModel,
     SimulationMetrics,
@@ -85,6 +87,8 @@ __all__ = [
     # fleet execution
     "FleetPlan",
     "FleetRunner",
+    # result store
+    "ResultStore",
     # traces
     "CpuTrace",
     # errors
@@ -99,4 +103,5 @@ __all__ = [
     "DegradedModeError",
     "FaultError",
     "FleetError",
+    "StoreError",
 ]

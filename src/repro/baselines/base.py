@@ -17,8 +17,10 @@ recommender process accumulates a decayed histogram across restarts.
 
 from __future__ import annotations
 
+import dataclasses
 from abc import ABC, abstractmethod
 from collections import deque
+from typing import Any
 
 import numpy as np
 
@@ -54,6 +56,29 @@ class Recommender(ABC):
         with no inspectable window. Windowed recommenders report sample
         count and the usage distribution the decision will see.
         """
+        return None
+
+    def store_payload(self) -> dict[str, Any] | None:
+        """Content description of this recommender for result-store keys.
+
+        A recommender is cacheable iff its behaviour is a pure function
+        of describable content. The default covers the common shape — a
+        frozen dataclass ``config`` attribute plus the class identity —
+        and returns ``None`` otherwise, which makes the recommender
+        *uncacheable*: :func:`repro.store.keys.simulate_key` yields no
+        key and every caller falls through to recomputation. Subclasses
+        whose behaviour depends on anything beyond their config (an
+        injected forecaster instance, ambient state) must override this
+        to return ``None``; constructor-parameterised baselines without
+        a config dataclass are conservatively uncacheable already.
+        """
+        config = getattr(self, "config", None)
+        if config is not None and dataclasses.is_dataclass(config):
+            return {
+                "class": f"{type(self).__module__}.{type(self).__qualname__}",
+                "name": self.name,
+                "config": config,
+            }
         return None
 
     def observe(self, minute: int, usage: float, limit: int) -> None:

@@ -9,6 +9,9 @@ Examples::
     caasper trace fig10-cyclical --out /tmp/cyclical.csv
     caasper obs --trace fig10-cyclical --jsonl /tmp/trace.jsonl --metrics-text
     caasper chaos --scenario kitchen-sink --seed 3 --minutes 720 --strict
+    caasper sweep --traces fig9-workday,fig10-cyclical --store-dir /tmp/cas
+    caasper store stats --store-dir /tmp/cas
+    caasper store verify && caasper store gc --max-bytes 0
     caasper lint --strict
     caasper lint src/repro/core --format json
 """
@@ -100,6 +103,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--proactive",
         action="store_true",
         help="enable the forecasting component (daily seasonality)",
+    )
+    sweep_parser.add_argument(
+        "--store-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="memoise per-trace results in this result store "
+        "(warm re-runs short-circuit; see `caasper store`)",
     )
 
     obs_parser = sub.add_parser(
@@ -261,6 +272,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the hardened live loop under this chaos scenario "
         "instead of the open-loop sweep",
     )
+    fleet_parser.add_argument(
+        "--store-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="memoise job results in this result store (cache hits "
+        "short-circuit before process dispatch)",
+    )
+
+    store_parser = sub.add_parser(
+        "store",
+        help="inspect and maintain the content-addressed result store",
+    )
+    store_sub = store_parser.add_subparsers(dest="store_command", required=True)
+    store_commands = {
+        "stats": "summarise the store (entries, bytes, kinds)",
+        "ls": "list cached blobs (oldest first)",
+        "gc": "evict least-recently-written blobs down to a size budget",
+        "clear": "remove every blob and reset the index",
+        "verify": "checksum every blob; exit 1 if any is corrupt",
+    }
+    for name, help_text in store_commands.items():
+        cmd_parser = store_sub.add_parser(name, help=help_text)
+        cmd_parser.add_argument(
+            "--store-dir",
+            type=str,
+            default=None,
+            metavar="DIR",
+            help="store directory (default: ~/.cache/caasper or "
+            "$CAASPER_STORE_DIR)",
+        )
+        if name == "gc":
+            cmd_parser.add_argument(
+                "--max-bytes",
+                type=int,
+                required=True,
+                metavar="N",
+                help="size budget; oldest blobs are evicted until the "
+                "store fits (0 empties it)",
+            )
 
     lint_parser = sub.add_parser(
         "lint",
@@ -572,11 +623,17 @@ def _run_fleet(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
 
+    store = None
+    if args.store_dir:
+        from .store import ResultStore
+
+        store = ResultStore(args.store_dir)
     runner = FleetRunner(
         workers=args.workers,
         job_timeout_seconds=args.timeout_seconds,
         journal_path=args.journal,
         resume=args.resume,
+        store=store,
     )
     start = time.perf_counter()
     outcome = runner.run(plan)
@@ -600,6 +657,12 @@ def _run_fleet(args: argparse.Namespace) -> int:
                 for failure in outcome.failures()
             ],
         }
+        if store is not None:
+            payload["store"] = {
+                "hits": store.stats.hits,
+                "misses": store.stats.misses,
+                "hit_rate": store.stats.hit_rate,
+            }
         if outcome.failed_count == 0:
             payload["aggregate"] = sweep_outcome(outcome).aggregate()
         print(json.dumps(payload, indent=2, sort_keys=True))
@@ -625,7 +688,70 @@ def _run_fleet(args: argparse.Namespace) -> int:
         f"{outcome.resumed_count} resumed from journal, "
         f"workers={outcome.workers}, wall={wall:.2f}s"
     )
+    if store is not None:
+        print(_store_summary_line(store))
     return 1 if outcome.failed_count else 0
+
+
+def _store_summary_line(store: "object") -> str:
+    """One-line hit/miss summary printed after store-backed runs."""
+    stats = store.stats  # type: ignore[attr-defined]
+    return (
+        f"store: {stats.hits} hits, {stats.misses} misses "
+        f"(hit rate {stats.hit_rate * 100:.1f}%)"
+    )
+
+
+def _run_store(args: argparse.Namespace) -> int:
+    """Inspect or maintain the content-addressed result store."""
+    from .store import ResultStore, default_store_root
+
+    root = args.store_dir or str(default_store_root())
+    store = ResultStore(root)
+    command = args.store_command
+
+    if command == "stats":
+        entries = store.entries()
+        total = sum(entry["nbytes"] for entry in entries)
+        by_kind: dict[str, int] = {}
+        for entry in entries:
+            by_kind[entry["kind"]] = by_kind.get(entry["kind"], 0) + 1
+        print(f"store: {root}")
+        print(f"entries: {len(entries)}")
+        print(f"bytes: {total}")
+        for kind in sorted(by_kind):
+            print(f"  {kind:10s} {by_kind[kind]}")
+        return 0
+
+    if command == "ls":
+        for entry in store.entries():
+            print(f"{entry['key']}  {entry['kind']:10s} {entry['nbytes']:>10d}")
+        return 0
+
+    if command == "gc":
+        evicted = store.gc(max_bytes=args.max_bytes)
+        print(
+            f"evicted {len(evicted)} blobs; {len(store)} remain "
+            f"({store.total_bytes()} bytes)"
+        )
+        return 0
+
+    if command == "clear":
+        removed = store.clear()
+        print(f"removed {removed} blobs")
+        return 0
+
+    if command == "verify":
+        report = store.verify()
+        print(
+            f"checked {report['checked']} blobs: {report['ok']} ok, "
+            f"{len(report['corrupt'])} corrupt"
+        )
+        for key in report["corrupt"]:
+            print(f"  corrupt: {key}", file=sys.stderr)
+        return 1 if report["corrupt"] else 0
+
+    raise AssertionError(f"unknown store command {command!r}")  # pragma: no cover
 
 
 def _run_lint(args: argparse.Namespace) -> int:
@@ -715,10 +841,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             proactive=args.proactive,
         )
         sweep_config = SweepConfig(min_cores=args.min_cores)
+        store = None
+        if args.store_dir:
+            from .store import ResultStore
+
+            store = ResultStore(args.store_dir)
         outcome = run_sweep(
             traces,
             sweep_config,
             default_recommender_factory(base, sweep_config),
+            store=store,
         )
         print(outcome.table())
         aggregate = outcome.aggregate()
@@ -728,10 +860,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"throttled obs {aggregate['mean_throttled_obs_pct']:.2f}%, "
             f"{aggregate['mean_scalings']:.0f} scalings/trace"
         )
+        if store is not None:
+            print(_store_summary_line(store))
         return 0
 
     if args.command == "fleet":
         return _run_fleet(args)
+
+    if args.command == "store":
+        return _run_store(args)
 
     if args.command == "obs":
         return _run_obs(args)

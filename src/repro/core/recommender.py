@@ -60,6 +60,7 @@ class CaasperRecommender(Recommender):
     ) -> None:
         self.config = config or CaasperConfig()
         self.policy = ReactivePolicy(self.config)
+        self._custom_forecaster = forecaster is not None
         self._window_builder = ProactiveWindowBuilder(self.config, forecaster)
         self._keep_decisions = keep_decisions
         self.decisions: list[ReactiveDecision] = []
@@ -114,6 +115,14 @@ class CaasperRecommender(Recommender):
         self._last_minute = None
         self.decisions.clear()
         self._last_decision = None
+
+    def store_payload(self) -> dict[str, object] | None:
+        """Result-store identity: the config, unless a custom forecaster
+        was injected (an arbitrary instance has no content signature, so
+        such a recommender is uncacheable)."""
+        if self._custom_forecaster:
+            return None
+        return super().store_payload()
 
     # -- CaaSPER-specific API ------------------------------------------------------
 

@@ -84,6 +84,18 @@ class TuningError(ReproError):
     """Parameter search was configured with an empty or invalid space."""
 
 
+class StoreError(ReproError):
+    """The result store was misconfigured or asked to cache the uncacheable.
+
+    Raised by :mod:`repro.store` for caller-side problems — a key
+    requested for a value that has no canonical content signature, a
+    negative size budget. Blob-level trouble (a corrupt or torn file, a
+    checksum mismatch) never raises: the store treats it as a cache miss
+    and recomputes, because a damaged cache must degrade to slow, not to
+    wrong or crashed.
+    """
+
+
 class FleetError(ReproError):
     """A fleet-scale run was misconfigured or could not be merged.
 

@@ -108,6 +108,16 @@ class FleetJob(ABC):
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
+    def store_key(self, seed: int) -> str | None:
+        """Result-store cache key for this job, or ``None`` if uncacheable.
+
+        ``None`` (the default) means the runner always executes the job.
+        Subclasses whose results are pure functions of signable content
+        return a :mod:`repro.store.keys` key; jobs whose result depends
+        on the derived seed (chaos) must fold ``seed`` into it.
+        """
+        return None
+
 
 @dataclass(frozen=True)
 class SimulateJob(FleetJob):
@@ -148,6 +158,11 @@ class SimulateJob(FleetJob):
             simulator=repr(self.simulator),
         )
         return payload
+
+    def store_key(self, seed: int) -> str | None:
+        from ..store.keys import simulate_key
+
+        return simulate_key(self.trace, self.recommender, self.simulator)
 
 
 @dataclass(frozen=True)
@@ -196,6 +211,11 @@ class TrialJob(FleetJob):
             simulator=repr(self.simulator),
         )
         return payload
+
+    def store_key(self, seed: int) -> str | None:
+        from ..store.keys import trial_key
+
+        return trial_key(self.config, self.demand, self.simulator)
 
 
 @dataclass(frozen=True)
@@ -277,6 +297,11 @@ class ChaosJob(FleetJob):
             config=repr(self.recommender_config),
         )
         return payload
+
+    def store_key(self, seed: int) -> str | None:
+        from ..store.keys import chaos_key
+
+        return chaos_key(self.trace, self.scenario, self.recommender_config, seed)
 
 
 @dataclass(frozen=True)

@@ -26,12 +26,16 @@ from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wai
 from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import get_context
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from ..errors import FleetError
 from ..obs.observer import Observer
 from .jobs import FleetJob, FleetPlan, JobFailure, JobRecord
 from .journal import FleetJournal
 from .relay import WorkerTelemetry, collect, replay, worker_observer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..store.cas import ResultStore
 
 __all__ = ["FleetRunner", "FleetOutcome"]
 
@@ -40,15 +44,40 @@ __all__ = ["FleetRunner", "FleetOutcome"]
 #: cgroup limit) looping forever.
 _MAX_POOL_REBUILDS = 3
 
+#: Per-process cache of worker-side store handles, keyed by root path.
+#: Workers write results back through the same atomic blob path the
+#: parent reads, so concurrent writers (including the parent) are safe.
+_WORKER_STORES: dict[str, "ResultStore"] = {}
+
+
+def _worker_store(root: str) -> "ResultStore":
+    """The (cached) store handle for ``root`` in this process."""
+    store = _WORKER_STORES.get(root)
+    if store is None:
+        from ..store.cas import ResultStore
+
+        store = ResultStore(root, memory_entries=0)
+        _WORKER_STORES[root] = store
+    return store
+
 
 def _execute_job(
-    job: FleetJob, seed: int, capture_telemetry: bool
+    job: FleetJob,
+    seed: int,
+    capture_telemetry: bool,
+    store_root: str | None = None,
+    store_key: str | None = None,
 ) -> tuple[str, str, object, JobFailure | None, WorkerTelemetry | None, float]:
     """Worker-side entry point: run one job, capture crash or result.
 
     Module-level so spawn workers can unpickle a reference to it. The
     broad except is the failure-isolation seam — any job exception must
     become a typed record, never a worker crash.
+
+    ``store_root``/``store_key`` (both set or neither) write a
+    successful result back to the result store; write-back is best
+    effort — a full disk or unencodable result degrades to uncached,
+    never to a failed job.
     """
     observer = worker_observer() if capture_telemetry else None
     start = time.perf_counter()
@@ -68,6 +97,11 @@ def _execute_job(
         )
         return (job.job_id, "failed", None, failure, telemetry, elapsed)
     elapsed = time.perf_counter() - start
+    if store_root is not None and store_key is not None:
+        try:
+            _worker_store(store_root).put(store_key, job.kind, result)
+        except Exception:  # lint: disable=EXC001 - write-back is best effort
+            pass
     telemetry = collect(job.job_id, observer) if observer is not None else None
     return (job.job_id, "ok", result, None, telemetry, elapsed)
 
@@ -163,6 +197,13 @@ class FleetRunner:
     max_in_flight:
         Bound on simultaneously submitted jobs (default ``2 × workers``)
         so million-job plans don't materialise a million futures.
+    store:
+        Optional :class:`~repro.store.cas.ResultStore`. Cacheable jobs
+        (those with a :meth:`~repro.fleet.jobs.FleetJob.store_key`)
+        that hit the store short-circuit *before* process dispatch —
+        recorded as ``ok`` with zero elapsed seconds — and workers
+        write missing results back through the store's atomic blob
+        path. After the run, a size-budgeted store is GC'd.
     """
 
     def __init__(
@@ -173,6 +214,7 @@ class FleetRunner:
         resume: bool = False,
         observer: Observer | None = None,
         max_in_flight: int | None = None,
+        store: "ResultStore | None" = None,
     ) -> None:
         if workers < 1:
             raise FleetError(f"workers must be >= 1, got {workers}")
@@ -192,6 +234,7 @@ class FleetRunner:
         self.resume = resume
         self.observer = observer
         self.max_in_flight = max_in_flight or workers * 2
+        self.store = store
 
     def with_observer(self, observer: Observer | None) -> "FleetRunner":
         """A copy of this runner bound to ``observer``.
@@ -209,6 +252,22 @@ class FleetRunner:
             resume=self.resume,
             observer=observer,
             max_in_flight=self.max_in_flight,
+            store=self.store,
+        )
+
+    def with_store(self, store: "ResultStore | None") -> "FleetRunner":
+        """A copy of this runner bound to ``store`` (same pattern as
+        :meth:`with_observer`, used by the ``store=`` seams)."""
+        if store is self.store:
+            return self
+        return FleetRunner(
+            workers=self.workers,
+            job_timeout_seconds=self.job_timeout_seconds,
+            journal_path=self.journal_path,
+            resume=self.resume,
+            observer=self.observer,
+            max_in_flight=self.max_in_flight,
+            store=store,
         )
 
     # -- public API ---------------------------------------------------
@@ -229,6 +288,8 @@ class FleetRunner:
                 computed = self._run_parallel(plan, pending, journal)
             merged = {**restored, **computed}
             records = tuple(merged[job_id] for job_id in plan.job_ids())
+            if self.store is not None and self.store.max_bytes is not None:
+                self.store.gc(observer=self.observer)
             return FleetOutcome(plan, records, self.workers)
         finally:
             if journal is not None:
@@ -246,10 +307,39 @@ class FleetRunner:
         capture = self.observer is not None
         for job in pending:
             self._emit_started(plan, job)
-            outcome = _execute_job(job, plan.seed_for(job), capture)
+            seed = plan.seed_for(job)
+            key = self._cache_key(job, seed)
+            hit = self._cache_get(job, key)
+            if hit is not None:
+                outcome = (job.job_id, "ok", hit, None, None, 0.0)
+            else:
+                outcome = _execute_job(job, seed, capture)
+                if key is not None and outcome[1] == "ok":
+                    self._cache_put(key, job.kind, outcome[2])
             record = self._merge_one(plan, outcome, journal)
             records[record.job_id] = record
         return records
+
+    # -- store shortcut -----------------------------------------------
+
+    def _cache_key(self, job: FleetJob, seed: int) -> str | None:
+        if self.store is None:
+            return None
+        return job.store_key(seed)
+
+    def _cache_get(self, job: FleetJob, key: str | None) -> object | None:
+        if key is None or self.store is None:
+            return None
+        return self.store.get(key, job.kind, observer=self.observer)
+
+    def _cache_put(self, key: str, kind: str, result: object) -> None:
+        """Parent-side write-back (serial path); best effort only."""
+        if self.store is None:
+            return
+        try:
+            self.store.put(key, kind, result, observer=self.observer)
+        except Exception:  # lint: disable=EXC001 - write-back is best effort
+            pass
 
     # -- parallel path ------------------------------------------------
 
@@ -285,8 +375,21 @@ class FleetRunner:
                 while queue and len(in_flight) < self.max_in_flight:
                     job = queue.pop(0)
                     self._emit_started(plan, job)
+                    seed = plan.seed_for(job)
+                    key = self._cache_key(job, seed)
+                    hit = self._cache_get(job, key)
+                    if hit is not None:
+                        # Short-circuit before process dispatch: the
+                        # cached result never crosses a pool boundary.
+                        settle(job.job_id, (job.job_id, "ok", hit, None, None, 0.0))
+                        continue
+                    store_root = (
+                        str(self.store.root)
+                        if key is not None and self.store is not None
+                        else None
+                    )
                     future = pool.submit(
-                        _execute_job, job, plan.seed_for(job), capture
+                        _execute_job, job, seed, capture, store_root, key
                     )
                     deadline = (
                         time.monotonic() + self.job_timeout_seconds
@@ -294,6 +397,8 @@ class FleetRunner:
                         else None
                     )
                     in_flight[future] = (job, deadline)
+                if not in_flight:
+                    continue
                 timeout = self._next_wait(in_flight)
                 done, _ = wait(
                     in_flight, timeout=timeout, return_when=FIRST_COMPLETED

@@ -39,6 +39,7 @@ DETERMINISTIC_DOMAINS = (
     "repro.db",
     "repro.analysis",
     "repro.fleet",
+    "repro.store",
 )
 
 #: (resolved module, attribute) pairs that read the wall clock.

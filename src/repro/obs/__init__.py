@@ -27,6 +27,9 @@ without an attached observer.
 from __future__ import annotations
 
 from .events import (
+    CacheEvictedEvent,
+    CacheHitEvent,
+    CacheMissEvent,
     DecisionEvent,
     EventBus,
     FaultInjectedEvent,
@@ -50,6 +53,9 @@ from .spans import SpanCollector, SpanRecord, activate, current_collector, span,
 from .trace_log import JsonlSink, read_events
 
 __all__ = [
+    "CacheEvictedEvent",
+    "CacheHitEvent",
+    "CacheMissEvent",
     "Counter",
     "DecisionEvent",
     "EventBus",

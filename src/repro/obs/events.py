@@ -36,6 +36,13 @@ are not tied to a simulated minute):
 - :class:`FleetJobFailedEvent` — one job captured as a typed failure
   (exception, timeout, or broken worker pool).
 
+Three more cover the content-addressed result store (:mod:`repro.store`);
+store events are not tied to a simulated minute, so ``minute`` is 0:
+
+- :class:`CacheHitEvent` — a stored result served instead of recomputed;
+- :class:`CacheMissEvent` — a key absent from (or corrupt in) the store;
+- :class:`CacheEvictedEvent` — a blob removed by size-budgeted GC.
+
 Events are frozen dataclasses with a flat :meth:`ObsEvent.to_dict`
 serialisation so any sink — ring buffer, JSONL file, ``logging`` — can
 consume them without knowing the concrete type. This module depends on
@@ -63,6 +70,9 @@ __all__ = [
     "FleetJobStartedEvent",
     "FleetJobFinishedEvent",
     "FleetJobFailedEvent",
+    "CacheHitEvent",
+    "CacheMissEvent",
+    "CacheEvictedEvent",
     "EventBus",
     "RingBufferSink",
     "LoggingSink",
@@ -327,6 +337,56 @@ class FleetJobFailedEvent(ObsEvent):
     failure_kind: str = "exception"
 
 
+@dataclass(frozen=True)
+class CacheHitEvent(ObsEvent):
+    """One stored result served instead of recomputed (:mod:`repro.store`).
+
+    Attributes
+    ----------
+    key:
+        Full content-addressed store key (``<kind>-<sha256>``).
+    result_kind:
+        Key namespace (``simulate``, ``trial``, ``chaos``) — the label
+        on ``store_hits_total{kind=}``.
+    source:
+        ``"memory"`` (in-process LRU front) or ``"disk"``.
+    """
+
+    kind: ClassVar[str] = "cache_hit"
+
+    key: str = ""
+    result_kind: str = ""
+    source: str = "disk"
+
+
+@dataclass(frozen=True)
+class CacheMissEvent(ObsEvent):
+    """One store lookup that found nothing servable.
+
+    ``reason`` is ``"absent"`` (no blob for the key) or ``"corrupt"``
+    (a blob existed but failed its checksum/shape validation and was
+    quarantined — the store recomputes rather than trusting it).
+    """
+
+    kind: ClassVar[str] = "cache_miss"
+
+    key: str = ""
+    result_kind: str = ""
+    reason: str = "absent"
+
+
+@dataclass(frozen=True)
+class CacheEvictedEvent(ObsEvent):
+    """One blob removed from the store by size-budgeted GC."""
+
+    kind: ClassVar[str] = "cache_evicted"
+
+    key: str = ""
+    result_kind: str = ""
+    bytes: int = 0
+    reason: str = "gc"
+
+
 _EVENT_TYPES: dict[str, type[ObsEvent]] = {
     cls.kind: cls
     for cls in (
@@ -342,6 +402,9 @@ _EVENT_TYPES: dict[str, type[ObsEvent]] = {
         FleetJobStartedEvent,
         FleetJobFinishedEvent,
         FleetJobFailedEvent,
+        CacheHitEvent,
+        CacheMissEvent,
+        CacheEvictedEvent,
     )
 }
 

@@ -31,6 +31,10 @@ metric                          meaning
 ``quarantines_total{component=}``  component exceptions degraded
 ``fleet_jobs_total{status=}``   fleet jobs by terminal status
 ``fleet_job_seconds``           per-job wall clock across workers
+``store_hits_total{kind=}``     result-store hits by key namespace
+``store_misses_total{kind=}``   result-store misses by key namespace
+``store_evictions_total``       blobs removed by size-budgeted GC
+``store_bytes``                 on-disk size of the result store
 ==============================  ======================================
 """
 
@@ -40,6 +44,9 @@ from contextlib import AbstractContextManager, contextmanager
 from typing import TYPE_CHECKING, Any, Iterator
 
 from .events import (
+    CacheEvictedEvent,
+    CacheHitEvent,
+    CacheMissEvent,
     DecisionEvent,
     EventBus,
     FaultInjectedEvent,
@@ -372,6 +379,54 @@ class Observer:
             labelnames=("status",),
         ).inc(status="failed")
         return event
+
+    def cache_hit(
+        self, key: str, result_kind: str, source: str = "disk"
+    ) -> CacheHitEvent:
+        """Record one result-store hit (``source`` is ``memory``/``disk``)."""
+        event = CacheHitEvent(minute=0, key=key, result_kind=result_kind, source=source)
+        self.bus.emit(event)
+        self.metrics.counter(
+            "store_hits_total",
+            "Result-store hits by key namespace",
+            labelnames=("kind",),
+        ).inc(kind=result_kind)
+        return event
+
+    def cache_miss(
+        self, key: str, result_kind: str, reason: str = "absent"
+    ) -> CacheMissEvent:
+        """Record one result-store miss (``reason``: absent/corrupt/epoch)."""
+        event = CacheMissEvent(
+            minute=0, key=key, result_kind=result_kind, reason=reason
+        )
+        self.bus.emit(event)
+        self.metrics.counter(
+            "store_misses_total",
+            "Result-store misses by key namespace",
+            labelnames=("kind",),
+        ).inc(kind=result_kind)
+        return event
+
+    def cache_evicted(
+        self, key: str, result_kind: str, nbytes: int, reason: str = "gc"
+    ) -> CacheEvictedEvent:
+        """Record one blob removed by the store's size-budgeted GC."""
+        event = CacheEvictedEvent(
+            minute=0, key=key, result_kind=result_kind, bytes=nbytes, reason=reason
+        )
+        self.bus.emit(event)
+        self.metrics.counter(
+            "store_evictions_total",
+            "Result-store blobs removed by size-budgeted GC",
+        ).inc()
+        return event
+
+    def store_bytes(self, nbytes: int) -> None:
+        """Record the store's current on-disk size (gauge)."""
+        self.metrics.gauge(
+            "store_bytes", "On-disk size of the result store in bytes"
+        ).set(float(nbytes))
 
     def sample(
         self, minute: int, demand_cores: float, usage_cores: float, limit_cores: float

@@ -27,6 +27,7 @@ from .simulator import SimulatorConfig, simulate_trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..fleet.runner import FleetRunner
+    from ..store.cas import ResultStore
 
 __all__ = ["SweepConfig", "SweepOutcome", "run_sweep"]
 
@@ -173,6 +174,7 @@ def run_sweep(
     recommender_factory: RecommenderFactory | None = None,
     observer: Observer | None = None,
     executor: "FleetRunner | None" = None,
+    store: "ResultStore | None" = None,
 ) -> SweepOutcome:
     """Evaluate one recommender family over many traces.
 
@@ -196,6 +198,12 @@ def run_sweep(
         per-trace simulations across worker processes. ``None`` (the
         default) runs serially in-process; the parallel outcome is
         bit-identical to the serial one for any worker count.
+    store:
+        Optional :class:`~repro.store.cas.ResultStore` memoising the
+        per-trace simulations. Previously computed traces short-circuit
+        (byte-identical decoded results); with an ``executor`` the
+        runner is rebound to this store and hits skip process dispatch
+        entirely. ``store=None`` is exactly the uncached behaviour.
     """
     if not traces:
         raise SimulationError("sweep needs at least one trace")
@@ -210,6 +218,8 @@ def run_sweep(
 
         if observer is not None:
             executor = executor.with_observer(observer)
+        if store is not None:
+            executor = executor.with_store(store)
         plan = sweep_plan(
             traces, config=config, recommender_factory=factory
         )
@@ -221,11 +231,15 @@ def run_sweep(
         if observer is not None:
             with observer.active(), span(f"sweep.trace.{trace.name}"):
                 result = simulate_trace(
-                    trace, recommender, config.simulator_for(trace), observer
+                    trace,
+                    recommender,
+                    config.simulator_for(trace),
+                    observer,
+                    store=store,
                 )
         else:
             result = simulate_trace(
-                trace, recommender, config.simulator_for(trace)
+                trace, recommender, config.simulator_for(trace), store=store
             )
         results[trace.name] = SimulationResult(
             name=trace.name,

@@ -1,0 +1,490 @@
+"""Content-addressed on-disk store for simulation results.
+
+Layout under the store root (``~/.cache/caasper`` by default, or any
+``--store-dir``):
+
+- ``objects/<k0k1>/<key>.json`` — one blob per cache key (the first two
+  hex characters bucket the directory). Each blob is a JSON object
+  carrying the result payload (in :mod:`repro.fleet.codec` encoding)
+  plus a sha256 checksum of the payload's canonical JSON.
+- ``index.jsonl`` — an append-only recency log (one JSON line per
+  write). It orders the size-budgeted GC and backs ``caasper store ls``;
+  the blobs themselves are the ground truth, so a lost or torn index
+  never loses data.
+
+Durability and concurrency discipline:
+
+- **Atomic blobs.** A blob is written to a same-directory temp file,
+  fsynced, then published with ``os.replace``. Readers see either the
+  complete old blob, the complete new blob, or nothing — never a torn
+  write. Two processes racing on the same key both write the same
+  deterministic content, so whichever ``replace`` lands last is
+  indistinguishable from the other.
+- **Append-only index.** Index lines are single ``write`` calls on an
+  ``O_APPEND`` descriptor (atomic for lines far below ``PIPE_BUF``),
+  fsynced per line. A crash mid-append leaves at most one torn tail
+  line, which the reader skips.
+- **Corruption degrades to a miss.** A blob that fails to parse or
+  whose checksum mismatches is treated as absent (and unlinked best
+  effort); the caller recomputes. A damaged cache can make runs slow,
+  never wrong, and never crashes them.
+
+An in-memory LRU front caches the canonical payload *text* of recent
+keys; every hit — memory or disk — decodes fresh result objects, so two
+callers can never observe each other's mutations through the cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from hashlib import sha256
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterator
+
+from ..errors import StoreError
+from ..fleet.codec import encode
+from .keys import STORE_EPOCH
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.observer import Observer
+
+__all__ = ["ResultStore", "StoreStats", "default_store_root"]
+
+#: Environment override for the default store location.
+STORE_DIR_ENV = "CAASPER_STORE_DIR"
+
+
+def default_store_root() -> Path:
+    """The default on-disk location: ``$CAASPER_STORE_DIR``, else
+    ``$XDG_CACHE_HOME/caasper``, else ``~/.cache/caasper``."""
+    env = os.environ.get(STORE_DIR_ENV)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "caasper"
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Counters of one store handle's lifetime (not persisted)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups, in [0, 1] (0.0 when never queried)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultStore:
+    """Disk-backed, content-addressed result cache.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created on first write); defaults to
+        :func:`default_store_root`.
+    max_bytes:
+        Optional size budget. When set, :meth:`gc` (called by the batch
+        entry points after a run) evicts least-recently-written blobs
+        until the store fits.
+    memory_entries:
+        Capacity of the in-memory LRU front (0 disables it).
+    observer:
+        Default telemetry sink for hit/miss/eviction events; individual
+        calls can override it.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike[str] | None = None,
+        max_bytes: int | None = None,
+        memory_entries: int = 256,
+        observer: "Observer | None" = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise StoreError(f"max_bytes must be >= 0, got {max_bytes}")
+        if memory_entries < 0:
+            raise StoreError(f"memory_entries must be >= 0, got {memory_entries}")
+        self.root = Path(root) if root is not None else default_store_root()
+        self.max_bytes = max_bytes
+        self.memory_entries = int(memory_entries)
+        self.observer = observer
+        self._memory: OrderedDict[str, tuple[str, str]] = OrderedDict()
+        self._stats_hits = 0
+        self._stats_misses = 0
+        self._stats_puts = 0
+        self._stats_evictions = 0
+
+    # -- paths -----------------------------------------------------------------
+
+    @property
+    def objects_dir(self) -> Path:
+        """Directory holding the content-addressed blobs."""
+        return self.root / "objects"
+
+    @property
+    def index_path(self) -> Path:
+        """The append-only recency log."""
+        return self.root / "index.jsonl"
+
+    def _blob_path(self, key: str) -> Path:
+        return self.objects_dir / key[:2] / f"{key}.json"
+
+    # -- read path -------------------------------------------------------------
+
+    def get(
+        self, key: str, kind: str, observer: "Observer | None" = None
+    ) -> Any | None:
+        """Fetch and decode the result cached under ``key``.
+
+        Returns ``None`` on a miss — absent blob, unparseable blob, or
+        checksum mismatch (the latter two unlink the damaged file best
+        effort so the slot heals on the next write). Every hit decodes
+        fresh objects from the stored canonical JSON.
+        """
+        from ..fleet.codec import decode_json
+
+        observer = observer if observer is not None else self.observer
+        cached = self._memory.get(key)
+        if cached is not None:
+            self._memory.move_to_end(key)
+            self._stats_hits += 1
+            if observer is not None:
+                observer.cache_hit(key, kind, source="memory")
+            return decode_json(cached[1])
+        payload_text = self._read_blob(key)
+        if payload_text is None:
+            self._stats_misses += 1
+            if observer is not None:
+                observer.cache_miss(key, kind, reason="absent")
+            return None
+        if payload_text == "":
+            self._stats_misses += 1
+            if observer is not None:
+                observer.cache_miss(key, kind, reason="corrupt")
+            return None
+        self._remember(key, kind, payload_text)
+        self._stats_hits += 1
+        if observer is not None:
+            observer.cache_hit(key, kind, source="disk")
+        return decode_json(payload_text)
+
+    def _read_blob(self, key: str) -> str | None:
+        """Canonical payload text for ``key``.
+
+        ``None`` means absent; ``""`` means present-but-corrupt (the
+        damaged blob has been unlinked best effort).
+        """
+        path = self._blob_path(key)
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        except OSError:  # lint: disable=EXC001 - unreadable blob is a miss
+            return ""
+        try:
+            blob = json.loads(data.decode("utf-8"))
+            payload_text = json.dumps(
+                blob["payload"], sort_keys=True, separators=(",", ":")
+            )
+            ok = (
+                blob.get("epoch") == STORE_EPOCH
+                and blob.get("checksum")
+                == sha256(payload_text.encode("utf-8")).hexdigest()
+            )
+        except Exception:  # lint: disable=EXC001 - torn/garbled JSON is a miss
+            ok = False
+            payload_text = ""
+        if not ok:
+            try:
+                path.unlink()
+            except OSError:  # lint: disable=EXC001 - racing unlink is fine
+                pass
+            return ""
+        return payload_text
+
+    def _remember(self, key: str, kind: str, payload_text: str) -> None:
+        if self.memory_entries <= 0:
+            return
+        self._memory[key] = (kind, payload_text)
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+
+    # -- write path ------------------------------------------------------------
+
+    def put(
+        self, key: str, kind: str, value: Any, observer: "Observer | None" = None
+    ) -> int:
+        """Write ``value`` under ``key`` atomically; returns blob bytes.
+
+        The blob lands via same-directory temp file + fsync +
+        ``os.replace``, then one fsynced index line records the write.
+        Safe under concurrent writers: both produce identical content
+        for the same key, so the losing ``replace`` changes nothing.
+        """
+        payload_text = json.dumps(
+            encode(value), sort_keys=True, separators=(",", ":")
+        )
+        blob_text = json.dumps(
+            {
+                "checksum": sha256(payload_text.encode("utf-8")).hexdigest(),
+                "epoch": STORE_EPOCH,
+                "kind": kind,
+                "payload": json.loads(payload_text),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        data = blob_text.encode("utf-8")
+        path = self._blob_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{key}.{os.getpid()}.tmp"
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, path)
+        self._append_index(key, kind, len(data))
+        self._remember(key, kind, payload_text)
+        self._stats_puts += 1
+        observer = observer if observer is not None else self.observer
+        if observer is not None:
+            observer.store_bytes(self.total_bytes())
+        return len(data)
+
+    def _append_index(self, key: str, kind: str, nbytes: int) -> None:
+        line = (
+            json.dumps(
+                {"key": key, "kind": kind, "nbytes": nbytes},
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+            + "\n"
+        ).encode("utf-8")
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd = os.open(
+            self.index_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, line)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # -- enumeration -----------------------------------------------------------
+
+    def _blob_files(self) -> dict[str, Path]:
+        """All blobs on disk, keyed by cache key (deterministic order)."""
+        blobs: dict[str, Path] = {}
+        if not self.objects_dir.is_dir():
+            return blobs
+        for bucket in sorted(self.objects_dir.iterdir()):
+            if not bucket.is_dir():
+                continue
+            for path in sorted(bucket.glob("*.json")):
+                blobs[path.stem] = path
+        return blobs
+
+    def _index_entries(self) -> list[tuple[str, str]]:
+        """``(key, kind)`` pairs in recency order (oldest first).
+
+        Re-writes of the same key keep only the newest position; torn
+        or garbled lines (crash mid-append) are skipped.
+        """
+        try:
+            raw = self.index_path.read_text(encoding="utf-8")
+        except (FileNotFoundError, OSError):  # lint: disable=EXC001
+            return []
+        latest: OrderedDict[str, str] = OrderedDict()
+        for line in raw.splitlines():
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+                key = entry["key"]
+                kind = entry["kind"]
+            except Exception:  # lint: disable=EXC001 - torn tail line
+                continue
+            if key in latest:
+                del latest[key]
+            latest[key] = kind
+        return list(latest.items())
+
+    def entries(self) -> list[dict[str, Any]]:
+        """Live blobs as ``{"key", "kind", "nbytes"}``, oldest first.
+
+        Orders by the index's recency log; blobs missing from the index
+        (a lost index is legal) sort first with their kind read from the
+        blob itself.
+        """
+        blobs = self._blob_files()
+        indexed = [(k, kind) for k, kind in self._index_entries() if k in blobs]
+        known = {k for k, _ in indexed}
+        orphans = [
+            (key, self._blob_kind(blobs[key]))
+            for key in blobs
+            if key not in known
+        ]
+        return [
+            {"key": key, "kind": kind, "nbytes": blobs[key].stat().st_size}
+            for key, kind in orphans + indexed
+        ]
+
+    def _blob_kind(self, path: Path) -> str:
+        try:
+            return str(json.loads(path.read_text(encoding="utf-8"))["kind"])
+        except Exception:  # lint: disable=EXC001 - corrupt blob
+            return "unknown"
+
+    def total_bytes(self) -> int:
+        """On-disk size of all blobs (the index file is not counted)."""
+        return sum(path.stat().st_size for path in self._blob_files().values())
+
+    def __len__(self) -> int:
+        return len(self._blob_files())
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._blob_files())
+
+    # -- maintenance -----------------------------------------------------------
+
+    def gc(
+        self, max_bytes: int | None = None, observer: "Observer | None" = None
+    ) -> list[str]:
+        """Evict least-recently-written blobs until the store fits.
+
+        ``max_bytes`` overrides the configured budget; with neither set
+        this is a no-op. Also compacts the index to the survivors.
+        Returns the evicted keys.
+        """
+        budget = self.max_bytes if max_bytes is None else max_bytes
+        if budget is None:
+            return []
+        if budget < 0:
+            raise StoreError(f"max_bytes must be >= 0, got {budget}")
+        entries = self.entries()
+        total = sum(entry["nbytes"] for entry in entries)
+        observer = observer if observer is not None else self.observer
+        evicted: list[str] = []
+        survivors = list(entries)
+        while total > budget and survivors:
+            entry = survivors.pop(0)
+            key = entry["key"]
+            try:
+                self._blob_path(key).unlink()
+            except OSError:  # lint: disable=EXC001 - already gone is fine
+                pass
+            self._memory.pop(key, None)
+            total -= entry["nbytes"]
+            evicted.append(key)
+            self._stats_evictions += 1
+            if observer is not None:
+                observer.cache_evicted(
+                    key, entry["kind"], entry["nbytes"], reason="gc"
+                )
+        if evicted:
+            self._rewrite_index(survivors)
+        if observer is not None:
+            observer.store_bytes(self.total_bytes())
+        return evicted
+
+    def _rewrite_index(self, entries: list[dict[str, Any]]) -> None:
+        """Atomically replace the index with the given entries."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self.root / f".index.{os.getpid()}.tmp"
+        lines = "".join(
+            json.dumps(
+                {
+                    "key": e["key"],
+                    "kind": e["kind"],
+                    "nbytes": e["nbytes"],
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+            + "\n"
+            for e in entries
+        )
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, lines.encode("utf-8"))
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, self.index_path)
+
+    def clear(self) -> int:
+        """Remove every blob and reset the index; returns blobs removed."""
+        blobs = self._blob_files()
+        for path in blobs.values():
+            try:
+                path.unlink()
+            except OSError:  # lint: disable=EXC001 - racing unlink is fine
+                pass
+        try:
+            self.index_path.unlink()
+        except (FileNotFoundError, OSError):  # lint: disable=EXC001
+            pass
+        self._memory.clear()
+        return len(blobs)
+
+    def verify(self) -> dict[str, Any]:
+        """Check every blob's checksum; report without mutating.
+
+        Returns ``{"checked", "ok", "corrupt": [keys...]}``. Use
+        ``caasper store verify`` for the CLI form (exit 1 on damage).
+        """
+        blobs = self._blob_files()
+        corrupt: list[str] = []
+        for key, path in blobs.items():
+            try:
+                blob = json.loads(path.read_text(encoding="utf-8"))
+                payload_text = json.dumps(
+                    blob["payload"], sort_keys=True, separators=(",", ":")
+                )
+                ok = (
+                    blob.get("epoch") == STORE_EPOCH
+                    and blob.get("checksum")
+                    == sha256(payload_text.encode("utf-8")).hexdigest()
+                )
+            except Exception:  # lint: disable=EXC001 - torn/garbled JSON
+                ok = False
+            if not ok:
+                corrupt.append(key)
+        return {
+            "checked": len(blobs),
+            "ok": len(blobs) - len(corrupt),
+            "corrupt": corrupt,
+        }
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def stats(self) -> StoreStats:
+        """This handle's lifetime hit/miss/put/eviction counters."""
+        return StoreStats(
+            hits=self._stats_hits,
+            misses=self._stats_misses,
+            puts=self._stats_puts,
+            evictions=self._stats_evictions,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        budget = self.max_bytes if self.max_bytes is not None else "unbounded"
+        return f"ResultStore(root={str(self.root)!r}, max_bytes={budget})"

@@ -20,6 +20,7 @@ from .search import RandomSearch, SearchOutcome
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..fleet.runner import FleetRunner
+    from ..store.cas import ResultStore
 
 __all__ = ["GridSearch", "grid_configs"]
 
@@ -80,12 +81,18 @@ class GridSearch:
     def __len__(self) -> int:
         return len(self.configs)
 
-    def run(self, executor: "FleetRunner | None" = None) -> SearchOutcome:
+    def run(
+        self,
+        executor: "FleetRunner | None" = None,
+        store: "ResultStore | None" = None,
+    ) -> SearchOutcome:
         """Evaluate every grid point (deterministic, no seed needed).
 
         With an ``executor`` (a :class:`~repro.fleet.runner.FleetRunner`)
         the grid points shard across worker processes; the outcome is
-        bit-identical to the serial run.
+        bit-identical to the serial run. A ``store`` memoises grid
+        points across invocations — re-running a grid that overlaps a
+        previous one only simulates the new cells.
         """
         if executor is not None:
             from .search import _trial_outcome
@@ -96,9 +103,11 @@ class GridSearch:
                 self._driver.demand,
                 executor,
                 prefix="grid",
+                store=store,
             )
         return SearchOutcome(
             trials=tuple(
-                self._driver.evaluate(config) for config in self.configs
+                self._driver.evaluate(config, store=store)
+                for config in self.configs
             )
         )

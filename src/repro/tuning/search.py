@@ -28,6 +28,7 @@ from .space import ParameterSpace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..fleet.runner import FleetRunner
+    from ..store.cas import ResultStore
 
 __all__ = ["RandomSearch", "SearchOutcome", "TrialResult"]
 
@@ -38,15 +39,19 @@ def _trial_outcome(
     demand: CpuTrace,
     executor: "FleetRunner",
     prefix: str,
+    store: "ResultStore | None" = None,
 ) -> SearchOutcome:
     """Shard one config list across a fleet executor, in config order.
 
     Shared by the random and grid drivers. Job ids are positional
     (``<prefix>-00042``) so the merged trial tuple keeps the exact
-    order a serial run would produce.
+    order a serial run would produce. A ``store`` rebinds the executor
+    so previously evaluated configs short-circuit before dispatch.
     """
     from ..fleet.jobs import FleetPlan, TrialJob
 
+    if store is not None:
+        executor = executor.with_store(store)
     plan = FleetPlan(
         jobs=tuple(
             TrialJob(
@@ -165,8 +170,21 @@ class RandomSearch:
         self.simulator_config = simulator_config
         self.space = space or ParameterSpace()
 
-    def evaluate(self, config: CaasperConfig) -> TrialResult:
-        """Simulate one configuration and extract (K, C, N)."""
+    def evaluate(
+        self, config: CaasperConfig, store: "ResultStore | None" = None
+    ) -> TrialResult:
+        """Simulate one configuration and extract (K, C, N).
+
+        A ``store`` memoises the trial: a previously evaluated
+        (config, demand, simulator) triple decodes byte-identically
+        instead of re-simulating.
+        """
+        if store is not None:
+            from ..store.memo import cached_trial
+
+            return cached_trial(
+                config, self.demand, self.simulator_config, store=store
+            )
         recommender = CaasperRecommender(config, keep_decisions=False)
         result = simulate_trace(self.demand, recommender, self.simulator_config)
         metrics = result.metrics
@@ -182,12 +200,15 @@ class RandomSearch:
         trials: int,
         seed: int = 0,
         executor: "FleetRunner | None" = None,
+        store: "ResultStore | None" = None,
     ) -> SearchOutcome:
         """Evaluate ``trials`` sampled configurations (deterministic).
 
         With an ``executor`` (a :class:`~repro.fleet.runner.FleetRunner`)
         the trials shard across worker processes; the outcome is
-        bit-identical to the serial run for any worker count.
+        bit-identical to the serial run for any worker count. A
+        ``store`` memoises trials across invocations (and, with an
+        executor, short-circuits cached trials before dispatch).
         """
         if trials < 1:
             raise TuningError(f"trials must be >= 1, got {trials}")
@@ -199,9 +220,10 @@ class RandomSearch:
                 self.demand,
                 executor,
                 prefix="trial",
+                store=store,
             )
         return SearchOutcome(
-            trials=tuple(self.evaluate(config) for config in configs)
+            trials=tuple(self.evaluate(config, store=store) for config in configs)
         )
 
     def tuned_config(

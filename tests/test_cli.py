@@ -237,3 +237,119 @@ class TestMain:
     def test_lint_unknown_code_fails_loudly(self, tmp_path, capsys):
         assert main(["lint", str(tmp_path), "--select", "ZZZ999"]) == 2
         assert "unknown rule code" in capsys.readouterr().err
+
+
+class TestStoreCommands:
+    """`caasper store` maintenance plus the `--store-dir` seams."""
+
+    def test_store_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store"])
+
+    def test_store_gc_requires_max_bytes(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store", "gc"])
+
+    def test_sweep_store_dir_cold_then_warm_identical(self, tmp_path, capsys):
+        argv = [
+            "sweep",
+            "--traces",
+            "fig3-square-wave",
+            "--min-cores",
+            "2",
+            "--store-dir",
+            str(tmp_path / "cas"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "hit rate 0.0%" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "hit rate 100.0%" in warm
+        # Byte-identical sweep output; only the store summary differs.
+        strip = lambda out: [  # noqa: E731
+            line for line in out.splitlines() if not line.startswith("store:")
+        ]
+        assert strip(cold) == strip(warm)
+
+    def test_fleet_store_dir_short_circuits_second_run(self, tmp_path, capsys):
+        argv = [
+            "fleet",
+            "--traces",
+            "fig3-square-wave",
+            "--workers",
+            "1",
+            "--store-dir",
+            str(tmp_path / "cas"),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "1 ok, 0 failed" in out
+        assert "hit rate 100.0%" in out
+
+    def test_fleet_json_format_reports_store_stats(self, tmp_path, capsys):
+        import json as json_module
+
+        argv = [
+            "fleet",
+            "--traces",
+            "fig3-square-wave",
+            "--workers",
+            "1",
+            "--store-dir",
+            str(tmp_path / "cas"),
+            "--format",
+            "json",
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["store"] == {"hits": 1, "misses": 0, "hit_rate": 1.0}
+
+    def test_stats_ls_verify_gc_clear_lifecycle(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "cas")
+        assert main(
+            [
+                "sweep",
+                "--traces",
+                "fig3-square-wave",
+                "--min-cores",
+                "2",
+                "--store-dir",
+                store_dir,
+            ]
+        ) == 0
+        capsys.readouterr()
+
+        assert main(["store", "stats", "--store-dir", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 1" in out
+        assert "simulate" in out
+
+        assert main(["store", "ls", "--store-dir", store_dir]) == 0
+        assert "simulate" in capsys.readouterr().out
+
+        assert main(["store", "verify", "--store-dir", store_dir]) == 0
+        assert "1 ok, 0 corrupt" in capsys.readouterr().out
+
+        assert main(["store", "gc", "--max-bytes", "0", "--store-dir", store_dir]) == 0
+        assert "evicted 1 blobs" in capsys.readouterr().out
+
+        assert main(["store", "clear", "--store-dir", store_dir]) == 0
+        assert "removed 0 blobs" in capsys.readouterr().out
+
+    def test_verify_flags_corruption_with_exit_1(self, tmp_path, capsys):
+        from repro.store import ResultStore, store_key
+
+        store_dir = tmp_path / "cas"
+        store = ResultStore(store_dir)
+        key = store_key("simulate", {"x": 1})
+        store.put(key, "simulate", {"x": 1})
+        store._blob_path(key).write_bytes(b"garbage")
+        assert main(["store", "verify", "--store-dir", str(store_dir)]) == 1
+        captured = capsys.readouterr()
+        assert "1 corrupt" in captured.out
+        assert key in captured.err
