@@ -9,6 +9,8 @@ CaaSPER's savings the billing granularity itself gives or takes — and
 shows the control runs are billing-invariant (their limits never move).
 """
 
+from conftest import kcn_of, timed_variant, write_bench_json
+
 from repro.analysis.tables import format_table
 from repro.baselines import FixedRecommender
 from repro.core import CaasperConfig, CaasperRecommender
@@ -44,7 +46,8 @@ def test_ablation_billing_period(once):
             for period in PERIODS
         }
 
-    results = once(run_all)
+    walls: dict[str, float] = {}
+    results = once(timed_variant(walls, "billing_sweep", run_all))
 
     rows = []
     for period in PERIODS:
@@ -71,3 +74,17 @@ def test_ablation_billing_period(once):
     assert ratios[0] <= ratios[-1] + 1e-9   # minutely ≤ hourly
     # Savings are substantial at every granularity on this workload.
     assert all(ratio < 0.8 for ratio in ratios)
+
+    write_bench_json(
+        "ablation_billing",
+        wall_seconds=walls,
+        kcn={
+            f"caasper@p{period}": kcn_of(results[period][1])
+            for period in PERIODS
+        },
+        extra={
+            "price_ratios": {
+                str(period): ratio for period, ratio in zip(PERIODS, ratios)
+            }
+        },
+    )

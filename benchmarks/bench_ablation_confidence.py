@@ -20,6 +20,8 @@ noisy trace the upper band buys less throttling at more slack
 forecasts it cannot trust.
 """
 
+from conftest import kcn_of, timed_variant, write_bench_json
+
 from repro.analysis.tables import format_table
 from repro.core import CaasperConfig, CaasperRecommender
 from repro.sim import SimulatorConfig, simulate_trace
@@ -71,7 +73,8 @@ def test_ablation_confidence_prefilter(once):
             for sigma in (0.05, 0.40)
         }
 
-    results = once(run_all)
+    walls: dict[str, float] = {}
+    results = once(timed_variant(walls, "confidence_sweep", run_all))
 
     rows = []
     for (variant, sigma), result in sorted(results.items()):
@@ -114,3 +117,12 @@ def test_ablation_confidence_prefilter(once):
     for result in results.values():
         served = 1 - result.metrics.total_insufficient_cpu / result.demand.sum()
         assert served > 0.95
+
+    write_bench_json(
+        "ablation_confidence",
+        wall_seconds=walls,
+        kcn={
+            f"{variant}@sigma={sigma}": kcn_of(result)
+            for (variant, sigma), result in sorted(results.items())
+        },
+    )

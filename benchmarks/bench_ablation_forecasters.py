@@ -18,6 +18,8 @@ keeping it simple.
 
 import numpy as np
 
+from conftest import kcn_of, timed_variant, write_bench_json
+
 from repro.analysis.tables import format_table
 from repro.core import CaasperConfig, CaasperRecommender
 from repro.forecast import available_forecasters, make_forecaster
@@ -72,7 +74,8 @@ def test_ablation_forecasters(once):
             for name in names
         }
 
-    results = once(run_all)
+    walls: dict[str, float] = {}
+    results = once(timed_variant(walls, "forecaster_sweep", run_all))
 
     rows = []
     for name, (mae, sim) in sorted(results.items(), key=lambda kv: kv[1][0]):
@@ -109,3 +112,10 @@ def test_ablation_forecasters(once):
         sim = results[name][1]
         served = 1.0 - sim.metrics.total_insufficient_cpu / total_demand
         assert served > 0.98, name
+
+    write_bench_json(
+        "ablation_forecasters",
+        wall_seconds=walls,
+        kcn={name: kcn_of(sim) for name, (_, sim) in sorted(results.items())},
+        extra={"day3_mae": {name: mae for name, mae in sorted(maes.items())}},
+    )

@@ -10,6 +10,8 @@ The ablation runs the Figure 9 workday under both resize mechanisms and
 verifies exactly those two effects.
 """
 
+from conftest import kcn_of, timed_variant, write_bench_json
+
 from repro.analysis.tables import format_table
 from repro.core import CaasperRecommender
 from repro.db.service import DbServiceConfig
@@ -43,7 +45,14 @@ def _run_mode(in_place: bool):
 
 
 def test_ablation_resize_modes(once):
-    rolling, in_place = once(lambda: (_run_mode(False), _run_mode(True)))
+    walls: dict[str, float] = {}
+    rolling, in_place = once(
+        timed_variant(
+            walls,
+            "both_modes",
+            lambda: (_run_mode(False), _run_mode(True)),
+        )
+    )
 
     rows = []
     for label, result in (("rolling-restart", rolling), ("in-place", in_place)):
@@ -105,4 +114,20 @@ def test_ablation_resize_modes(once):
     assert (
         in_place.detail["transactions"]["total_completed"]
         >= rolling.detail["transactions"]["total_completed"]
+    )
+
+    write_bench_json(
+        "ablation_resize_modes",
+        wall_seconds=walls,
+        kcn={
+            "rolling_restart": kcn_of(rolling),
+            "in_place": kcn_of(in_place),
+        },
+        extra={
+            "rolling_max_lag_min": max(rolling_lags),
+            "in_place_max_lag_min": max(in_place_lags),
+            "rolling_restart_drops": (
+                rolling.detail["transactions"]["restart_dropped"]
+            ),
+        },
     )

@@ -11,6 +11,8 @@ do the opposite. CaaSPER needs no such knob — its reactive window plus
 PvP slopes handles both directions — which is the point of Figure 3.
 """
 
+from conftest import kcn_of, timed_variant, write_bench_json
+
 from repro.analysis.tables import format_table
 from repro.baselines import VpaRecommender
 from repro.core import CaasperRecommender
@@ -54,7 +56,8 @@ def test_ablation_vpa_half_life(once):
         )
         return runs, caasper
 
-    runs, caasper = once(run_all)
+    walls: dict[str, float] = {}
+    runs, caasper = once(timed_variant(walls, "half_life_sweep", run_all))
 
     rows = [
         [
@@ -95,3 +98,7 @@ def test_ablation_vpa_half_life(once):
     demand_total = float(caasper.demand.sum())
     served = 1.0 - caasper.metrics.total_insufficient_cpu / demand_total
     assert served > 0.97
+
+    kcn = {f"vpa@hl={hl // 60}h": kcn_of(runs[hl]) for hl in HALF_LIVES}
+    kcn["caasper_reactive"] = kcn_of(caasper)
+    write_bench_json("ablation_vpa_half_life", wall_seconds=walls, kcn=kcn)

@@ -10,6 +10,8 @@ bursts stop triggering scale-ups — at the cost of slower reaction to the
 genuine load shift (more throttling).
 """
 
+from conftest import kcn_of, timed_variant, write_bench_json
+
 from repro.analysis.tables import format_table
 from repro.core import CaasperConfig, CaasperRecommender
 from repro.sim import SimulatorConfig, simulate_trace
@@ -49,7 +51,12 @@ def _run(window_minutes: int):
 
 
 def test_ablation_window_size(once):
-    results = once(lambda: {w: _run(w) for w in WINDOWS})
+    walls: dict[str, float] = {}
+    results = once(
+        timed_variant(
+            walls, "window_sweep", lambda: {w: _run(w) for w in WINDOWS}
+        )
+    )
 
     rows = [
         [
@@ -78,3 +85,9 @@ def test_ablation_window_size(once):
     # ...while the smallest window reacts hardest (least throttling).
     throttling = [results[w].metrics.total_insufficient_cpu for w in WINDOWS]
     assert throttling[0] <= min(throttling) + 1e-9
+
+    write_bench_json(
+        "ablation_window_size",
+        wall_seconds=walls,
+        kcn={f"window={w}": kcn_of(results[w]) for w in WINDOWS},
+    )

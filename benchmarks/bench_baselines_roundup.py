@@ -10,6 +10,8 @@ near-zero everything, Autopilot's burst reaction, the step scaler's slow
 climbs, OpenShift's starvation.
 """
 
+from conftest import kcn_of, timed_variant, write_bench_json
+
 from repro.analysis.tables import metrics_table
 from repro.baselines import (
     AutopilotRecommender,
@@ -60,7 +62,8 @@ def test_baselines_roundup(once):
             results.append(simulate_trace(demand, recommender, _config()))
         return demand, results
 
-    demand, results = once(run_all)
+    walls: dict[str, float] = {}
+    demand, results = once(timed_variant(walls, "roundup", run_all))
     print()
     print("Baselines roundup (Figure 3 square wave)")
     print(metrics_table(results))
@@ -94,4 +97,11 @@ def test_baselines_roundup(once):
     )                                               # 1-core crawling
     assert by_name["control"].metrics.total_slack == max(
         r.metrics.total_slack for r in results
+    )
+
+    write_bench_json(
+        "baselines_roundup",
+        wall_seconds=walls,
+        kcn={result.name: kcn_of(result) for result in results},
+        extra={"frontier_size": len(frontier)},
     )

@@ -7,11 +7,14 @@ for the Day-2+ spikes ("no throttling as the limits jump to 14 cores")
 while the reactive mode throttles at each spike onset.
 """
 
+from conftest import kcn_of, timed_variant, write_bench_json
+
 from repro.experiments import fig10
 
 
 def test_fig10_table1_cyclical(once):
-    result = once(fig10.run)
+    walls: dict[str, float] = {}
+    result = once(timed_variant(walls, "fig10", fig10.run))
     print()
     print(fig10.render(result, charts=False))
 
@@ -36,3 +39,19 @@ def test_fig10_table1_cyclical(once):
         txn = run.detail["transactions"]
         assert txn["total_completed"] > 0.97 * control_txn["total_completed"]
         assert txn["avg_latency_ms"] < 1.3 * control_txn["avg_latency_ms"]
+
+    write_bench_json(
+        "fig10_table1_cyclical",
+        wall_seconds=walls,
+        kcn={
+            "control": kcn_of(result.control),
+            "reactive": kcn_of(result.reactive),
+            "proactive": kcn_of(result.proactive),
+        },
+        extra={
+            "reactive_price_ratio": result.reactive_price_ratio,
+            "proactive_price_ratio": result.proactive_price_ratio,
+            "reactive_spike_throttling": reactive_day2,
+            "proactive_spike_throttling": proactive_day2,
+        },
+    )

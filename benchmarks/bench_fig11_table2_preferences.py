@@ -7,11 +7,14 @@ transactions at 0.49× the price with higher average (but flat median)
 latency.
 """
 
+from conftest import kcn_of, timed_variant, write_bench_json
+
 from repro.experiments import fig11
 
 
 def test_fig11_table2_preferences(once):
-    result = once(fig11.run)
+    walls: dict[str, float] = {}
+    result = once(timed_variant(walls, "fig11", fig11.run))
     print()
     print(fig11.render(result, charts=False))
 
@@ -43,3 +46,18 @@ def test_fig11_table2_preferences(once):
 
     # No retries in this experiment: drops are real losses.
     assert savings_txn["total_dropped"] > 0
+
+    write_bench_json(
+        "fig11_table2_preferences",
+        wall_seconds=walls,
+        kcn={
+            "control": kcn_of(result.control),
+            "prefer_performance": kcn_of(perf),
+            "prefer_savings": kcn_of(savings),
+        },
+        extra={
+            "performance_price_ratio": result.price_ratio(perf),
+            "savings_price_ratio": result.price_ratio(savings),
+            "savings_throughput_ratio": result.throughput_ratio(savings),
+        },
+    )

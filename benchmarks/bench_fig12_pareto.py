@@ -12,13 +12,21 @@ pass --trials via fig12.run for bigger sweeps).
 
 import numpy as np
 
+from conftest import timed_variant, write_bench_json
+
 from repro.experiments import fig12
 
 TRIALS = 150
 
 
 def test_fig12_pareto_frontier(once):
-    result = once(fig12.run, trials=TRIALS, seed=0, resample_minutes=5)
+    walls: dict[str, float] = {}
+    result = once(
+        timed_variant(walls, "fig12", fig12.run),
+        trials=TRIALS,
+        seed=0,
+        resample_minutes=5,
+    )
     print()
     print(fig12.render(result))
 
@@ -51,3 +59,21 @@ def test_fig12_pareto_frontier(once):
     mean_c_proactive = np.mean([t.total_insufficient_cpu for t in proactive])
     mean_c_reactive = np.mean([t.total_insufficient_cpu for t in reactive])
     assert mean_c_proactive < mean_c_reactive
+
+    best = min(ordered, key=lambda i: throttle[i])
+    write_bench_json(
+        "fig12_pareto",
+        wall_seconds=walls,
+        kcn={
+            "frontier_min_throttle": {
+                "K": float(slack[best]),
+                "C": float(throttle[best]),
+                "N": float(outcome.trials[best].num_scalings),
+            }
+        },
+        extra={
+            "trials": TRIALS,
+            "frontier_size": len(frontier),
+            "kc_correlation": float(correlation),
+        },
+    )

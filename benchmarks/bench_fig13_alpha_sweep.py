@@ -5,11 +5,19 @@ sampled α values (0.0, 0.063, 0.447, 2.28) shows slack diminishing and
 throttling rising monotonically with α.
 """
 
+from conftest import timed_variant, write_bench_json
+
 from repro.experiments import fig13
 
 
 def test_fig13_alpha_sweep(once):
-    result = once(fig13.run, trials=150, seed=0, resample_minutes=5)
+    walls: dict[str, float] = {}
+    result = once(
+        timed_variant(walls, "fig13", fig13.run),
+        trials=150,
+        seed=0,
+        resample_minutes=5,
+    )
     print()
     print(fig13.render(result))
 
@@ -32,3 +40,18 @@ def test_fig13_alpha_sweep(once):
     # alpha = 0 ignores slack entirely: it picks the minimum-C trial.
     min_c = min(t.total_insufficient_cpu for t in result.outcome.trials)
     assert result.best_by_alpha[0.0].total_insufficient_cpu == min_c
+
+    write_bench_json(
+        "fig13_alpha_sweep",
+        wall_seconds=walls,
+        kcn={
+            f"alpha={alpha}": {
+                "K": float(result.best_by_alpha[alpha].total_slack),
+                "C": float(
+                    result.best_by_alpha[alpha].total_insufficient_cpu
+                ),
+                "N": float(result.best_by_alpha[alpha].num_scalings),
+            }
+            for alpha in alphas
+        },
+    )

@@ -11,13 +11,20 @@ c_29247's Day-3 outlier spike inflates post-spike slack through the
 naïve forecast until the reactive component corrects it.
 """
 
+from conftest import kcn_of, timed_variant, write_bench_json
+
 from repro.experiments import fig14
 from repro.trace import MINUTES_PER_DAY
 from repro.workloads import ALIBABA_CONTAINER_IDS
 
 
 def test_fig14_table3_alibaba(once):
-    result = once(fig14.run, container_ids=ALIBABA_CONTAINER_IDS, tune_trials=25)
+    walls: dict[str, float] = {}
+    result = once(
+        timed_variant(walls, "fig14", fig14.run),
+        container_ids=ALIBABA_CONTAINER_IDS,
+        tune_trials=25,
+    )
     print()
     print(fig14.render(result))
 
@@ -41,3 +48,13 @@ def test_fig14_table3_alibaba(once):
     pre_spike = slack[: 2 * MINUTES_PER_DAY].mean()
     post_spike = slack[3 * MINUTES_PER_DAY : 6 * MINUTES_PER_DAY].mean()
     assert post_spike > pre_spike
+
+    write_bench_json(
+        "fig14_table3_alibaba",
+        wall_seconds=walls,
+        kcn={
+            container_id: kcn_of(run)
+            for container_id, run in sorted(result.results.items())
+        },
+        extra={"tune_trials": 25, "containers": len(result.results)},
+    )

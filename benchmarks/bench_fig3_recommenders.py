@@ -9,11 +9,14 @@ Paper claims reproduced in shape:
 - CaaSPER: both low slack (−78.3% in the paper) and low throttling.
 """
 
+from conftest import kcn_of, timed_variant, write_bench_json
+
 from repro.experiments import fig3
 
 
 def test_fig3_recommender_comparison(once):
-    result = once(fig3.run)
+    walls: dict[str, float] = {}
+    result = once(timed_variant(walls, "fig3", fig3.run))
     print()
     print(fig3.render(result, charts=False))
 
@@ -36,3 +39,18 @@ def test_fig3_recommender_comparison(once):
 
     # Billing follows slack: CaaSPER is the cheapest non-starving scheme.
     assert caasper.price < vpa.price < control.price
+
+    write_bench_json(
+        "fig3_recommenders",
+        wall_seconds=walls,
+        kcn={
+            "control": kcn_of(result.control),
+            "vpa": kcn_of(result.vpa),
+            "openshift": kcn_of(result.openshift),
+            "caasper": kcn_of(result.caasper),
+        },
+        extra={
+            "vpa_slack_reduction": result.vpa_slack_reduction,
+            "caasper_slack_reduction": result.caasper_slack_reduction,
+        },
+    )

@@ -7,11 +7,14 @@ a steep slope at the pinned allocation and a single-step multi-core
 correction landing near the true requirement.
 """
 
+from conftest import timed_variant, write_bench_json
+
 from repro.experiments import fig4
 
 
 def test_fig4_inflection_scale_up(once):
-    result = once(fig4.run)
+    walls: dict[str, float] = {}
+    result = once(timed_variant(walls, "fig4", fig4.run))
     print()
     print(fig4.render(result))
 
@@ -26,3 +29,15 @@ def test_fig4_inflection_scale_up(once):
     new = decision.target_cores
     assert result.post_scale_curve.slope_at(new) < 3.0
     assert result.post_scale_curve.performance_at(new) > 0.55
+
+    write_bench_json(
+        "fig4_scale_up",
+        wall_seconds=walls,
+        kcn={},
+        extra={
+            "branch": decision.branch,
+            "slope": decision.slope,
+            "raw_scaling_factor": decision.raw_scaling_factor,
+            "scaled_to": result.scaled_to,
+        },
+    )

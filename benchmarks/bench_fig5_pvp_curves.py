@@ -6,11 +6,14 @@ shows a moderate slope — "a throttled workload is usually associated
 with a steep slope".
 """
 
+from conftest import timed_variant, write_bench_json
+
 from repro.experiments import fig5
 
 
 def test_fig5_pvp_curve_shapes(once):
-    result = once(fig5.run)
+    walls: dict[str, float] = {}
+    result = once(timed_variant(walls, "fig5", fig5.run))
     print()
     print(fig5.render(result))
 
@@ -25,3 +28,10 @@ def test_fig5_pvp_curve_shapes(once):
     # climbs gradually across its usage range.
     assert result.curve_a.performance_at(9) > 0.95
     assert 0.3 < result.curve_b.performance_at(20) < 1.0
+
+    write_bench_json(
+        "fig5_pvp_curves",
+        wall_seconds=walls,
+        kcn={},
+        extra={"slope_throttled": result.slope_a, "slope_sized": result.slope_b},
+    )

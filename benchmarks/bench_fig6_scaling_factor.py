@@ -7,11 +7,14 @@ aggressiveness — "scale-ups happen more aggressively for large s".
 
 import numpy as np
 
+from conftest import timed_variant, write_bench_json
+
 from repro.experiments import fig6
 
 
 def test_fig6_scaling_factor_shape(once):
-    result = once(fig6.run)
+    walls: dict[str, float] = {}
+    result = once(timed_variant(walls, "fig6", fig6.run))
     print()
     print(fig6.render(result))
 
@@ -33,3 +36,16 @@ def test_fig6_scaling_factor_shape(once):
     # At slope 0 the function collapses to ln(c_min) regardless of skew.
     at_zero = {skew: result.values[skew][0] for skew in result.skews}
     assert max(at_zero.values()) - min(at_zero.values()) < 1e-9
+
+    write_bench_json(
+        "fig6_scaling_factor",
+        wall_seconds=walls,
+        kcn={},
+        extra={
+            "skews": [float(skew) for skew in result.skews],
+            "sf_at_max_slope": {
+                str(skew): float(result.values[skew][-1])
+                for skew in result.skews
+            },
+        },
+    )

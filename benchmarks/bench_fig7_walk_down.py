@@ -6,11 +6,14 @@ scale-up; a zero slope on the flat right tail triggers the walk-down,
 customer at 12 cores.
 """
 
+from conftest import timed_variant, write_bench_json
+
 from repro.experiments import fig7
 
 
 def test_fig7_walk_down(once):
-    result = once(fig7.run)
+    walls: dict[str, float] = {}
+    result = once(timed_variant(walls, "fig7", fig7.run))
     print()
     print(fig7.render(result))
 
@@ -29,3 +32,16 @@ def test_fig7_walk_down(once):
     assert over.target_cores >= result.over_walk_down_target
     # The walk-down target still covers the observed workload (~3.2 cores).
     assert result.over_walk_down_target >= 4
+
+    write_bench_json(
+        "fig7_walk_down",
+        wall_seconds=walls,
+        kcn={},
+        extra={
+            "under_branch": under.branch,
+            "under_delta": under.delta,
+            "over_branch": over.branch,
+            "over_delta": over.delta,
+            "walk_down_target": result.over_walk_down_target,
+        },
+    )

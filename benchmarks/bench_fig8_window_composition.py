@@ -7,11 +7,14 @@ recurring spike, the combined window already carries the spike capacity
 while the purely observed window does not.
 """
 
+from conftest import timed_variant, write_bench_json
+
 from repro.experiments import fig8
 
 
 def test_fig8_window_composition(once):
-    result = once(fig8.run)
+    walls: dict[str, float] = {}
+    result = once(timed_variant(walls, "fig8", fig8.run))
     print()
     print(fig8.render(result))
 
@@ -37,3 +40,17 @@ def test_fig8_window_composition(once):
     forecast_tail = window.samples[result.before_spike.observed_minutes :]
     assert observed_head.max() < 9.0
     assert forecast_tail.max() > 10.0
+
+    write_bench_json(
+        "fig8_window_composition",
+        wall_seconds=walls,
+        kcn={},
+        extra={
+            "period1_window_minutes": result.period1.window.minutes,
+            "period2_window_minutes": result.period2.window.minutes,
+            "forecast_horizon_minutes": (
+                result.config.forecast_horizon_minutes
+            ),
+            "pre_spike_forecast_peak": float(forecast_tail.max()),
+        },
+    )

@@ -6,11 +6,14 @@ throughput "within the margin of error" of the 6-core control, resizing
 three times (~0h, ~3h, ~9h).
 """
 
+from conftest import kcn_of, timed_variant, write_bench_json
+
 from repro.experiments import fig9
 
 
 def test_fig9_table1_noncyclical(once):
-    result = once(fig9.run)
+    walls: dict[str, float] = {}
+    result = once(timed_variant(walls, "fig9", fig9.run))
     print()
     print(fig9.render(result, charts=False))
 
@@ -32,3 +35,17 @@ def test_fig9_table1_noncyclical(once):
     # A handful of resizings (paper: 3), each costing one retried txn.
     assert 2 <= result.caasper.metrics.num_scalings <= 10
     assert caasper_txn["total_retried"] >= result.caasper.metrics.num_scalings
+
+    write_bench_json(
+        "fig9_table1_noncyclical",
+        wall_seconds=walls,
+        kcn={
+            "control": kcn_of(result.control),
+            "caasper": kcn_of(result.caasper),
+        },
+        extra={
+            "slack_reduction": result.slack_reduction,
+            "price_ratio": result.price_ratio,
+            "throughput_ratio": result.throughput_ratio,
+        },
+    )

@@ -15,6 +15,8 @@ instance-size of demand:
   load.
 """
 
+from conftest import kcn_of, timed_variant, write_bench_json
+
 from repro.analysis.tables import metrics_table
 from repro.core import CaasperConfig, CaasperRecommender
 from repro.db.horizontal import HorizontalScalingConfig, simulate_horizontal, write_ceiling
@@ -65,7 +67,10 @@ def test_motivation_vertical_vs_horizontal(once):
         )
         return demand, horizontal, vertical
 
-    demand, horizontal, vertical = once(run_both)
+    walls: dict[str, float] = {}
+    demand, horizontal, vertical = once(
+        timed_variant(walls, "motivation", run_both)
+    )
 
     print()
     print("Motivation: write-heavy ramp, vertical (CaaSPER) vs horizontal (HPA)")
@@ -93,3 +98,17 @@ def test_motivation_vertical_vs_horizontal(once):
     # The replica fleet did grow (the scaler tried) — the failure is
     # structural, not a lazy scaler.
     assert horizontal.detail["final_replicas"] >= 3
+
+    write_bench_json(
+        "motivation_horizontal",
+        wall_seconds=walls,
+        kcn={
+            "horizontal": kcn_of(horizontal),
+            "vertical": kcn_of(vertical),
+        },
+        extra={
+            "horizontal_served": h_served,
+            "vertical_served": v_served,
+            "final_replicas": horizontal.detail["final_replicas"],
+        },
+    )

@@ -10,16 +10,32 @@ applied across multiple workloads, mirroring "the consistency in our
 findings across all tested workloads".
 """
 
+from conftest import kcn_of, timed_variant, write_bench_json
+
 from repro.experiments import correctness
 from repro.workloads import cyclical_days, square_wave, workday
 
 
 def test_simulator_correctness_workday(once):
-    result = once(correctness.run)
+    walls: dict[str, float] = {}
+    result = once(timed_variant(walls, "workday", correctness.run))
     print()
     print(correctness.render(result))
     assert result.equivalent
     assert abs(result.ttest.mean_difference) < 1.0
+
+    write_bench_json(
+        "sim_correctness_workday",
+        wall_seconds=walls,
+        kcn={
+            "simulated": kcn_of(result.simulated),
+            "live": kcn_of(result.live),
+        },
+        extra={
+            "p_value": result.ttest.p_value,
+            "mean_difference_cores": result.ttest.mean_difference,
+        },
+    )
 
 
 def test_simulator_correctness_across_workloads(once):
@@ -30,9 +46,25 @@ def test_simulator_correctness_across_workloads(once):
             "cyclical": correctness.run(cyclical_days(days=1)),
         }
 
-    results = once(run_all)
+    walls: dict[str, float] = {}
+    results = once(timed_variant(walls, "all_workloads", run_all))
     print()
     for name, result in results.items():
         print(f"--- {name} ---")
         print(correctness.render(result))
         assert result.equivalent, name
+
+    write_bench_json(
+        "sim_correctness_workloads",
+        wall_seconds=walls,
+        kcn={
+            f"{name}_simulated": kcn_of(result.simulated)
+            for name, result in results.items()
+        },
+        extra={
+            "p_values": {
+                name: result.ttest.p_value
+                for name, result in results.items()
+            }
+        },
+    )

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 
 import pytest
@@ -68,6 +69,25 @@ def write_bench_json(
     )
     print(f"bench record: {path}")
     return path
+
+
+def timed_variant(walls: dict[str, float], label: str, fn):
+    """Wrap ``fn`` so its wall clock lands in ``walls[label]``.
+
+    Benchmarks that time several variants inside one ``once`` body use
+    this to populate the ``wall_seconds`` dict for
+    :func:`write_bench_json` without sprinkling ``perf_counter`` calls
+    through every file.
+    """
+
+    def _timed(*args, **kwargs):
+        start = time.perf_counter()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            walls[label] = time.perf_counter() - start
+
+    return _timed
 
 
 def kcn_of(result) -> dict[str, float]:

@@ -9,6 +9,7 @@ Examples::
     caasper trace fig10-cyclical --out /tmp/cyclical.csv
     caasper obs --trace fig10-cyclical --jsonl /tmp/trace.jsonl --metrics-text
     caasper chaos --scenario kitchen-sink --seed 3 --minutes 720 --strict
+    caasper report --events /tmp/trace.jsonl --chrome /tmp/trace.json
     caasper sweep --traces fig9-workday,fig10-cyclical --store-dir /tmp/cas
     caasper store stats --store-dir /tmp/cas
     caasper store verify && caasper store gc --max-bytes 0
@@ -19,6 +20,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -75,15 +77,53 @@ def build_parser() -> argparse.ArgumentParser:
 
     report_parser = sub.add_parser(
         "report",
-        help="run every experiment and write a markdown report",
+        help="write a markdown experiment report (--out) or run offline "
+        "diagnostics over a recorded trace log (--events)",
     )
     report_parser.add_argument(
-        "--out", type=str, required=True, help="output markdown path"
+        "--out", type=str, default=None, help="output markdown path"
     )
     report_parser.add_argument(
         "--fast",
         action="store_true",
         help="reduce search sizes and skip the slow fig14 sweep",
+    )
+    report_parser.add_argument(
+        "--events",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="JSONL trace log (from `caasper obs/chaos --jsonl`) to "
+        "analyse: decision timelines, throttling root causes, K/C/N "
+        "decomposition, fleet rollup",
+    )
+    report_parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="diagnostics format (default: text)",
+    )
+    report_parser.add_argument(
+        "--chrome",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also export the stamped events as Chrome "
+        "chrome://tracing / Perfetto JSON",
+    )
+    report_parser.add_argument(
+        "--trace-id",
+        type=str,
+        default=None,
+        help="restrict diagnostics to one trace id",
+    )
+    report_parser.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="MIN",
+        help="attribution lookback window in simulated minutes "
+        "(default: 60)",
     )
 
     sweep_parser = sub.add_parser(
@@ -280,6 +320,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="memoise job results in this result store (cache hits "
         "short-circuit before process dispatch)",
     )
+    fleet_parser.add_argument(
+        "--jsonl",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write every observability event (worker events relayed in "
+        "plan order) to this JSONL file; feed it to `caasper report "
+        "--events`",
+    )
 
     store_parser = sub.add_parser(
         "store",
@@ -430,6 +479,45 @@ def _build_report(fast: bool = False) -> str:
         sections.append(body)
         sections.append("```")
     return "\n".join(sections) + "\n"
+
+
+def _run_trace_report(args: argparse.Namespace) -> int:
+    """Offline diagnostics over a recorded JSONL trace log."""
+    from .obs.tracing import export_chrome_trace
+    from .obs.trace_log import load_trace
+    from .report import (
+        ATTRIBUTION_WINDOW_MINUTES,
+        build_fleet_report,
+        build_run_report,
+        render_json,
+        render_text,
+    )
+
+    read = load_trace(args.events)
+    window = (
+        args.window if args.window is not None else ATTRIBUTION_WINDOW_MINUTES
+    )
+    if args.trace_id:
+        report = build_run_report(read.events, args.trace_id, window)
+    else:
+        report = build_fleet_report(read.events, window)
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    if read.skipped_total:
+        skipped = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(read.skipped.items())
+        )
+        print(
+            f"note: skipped {read.skipped_total} events of unknown "
+            f"kind(s): {skipped}",
+            file=sys.stderr,
+        )
+    if args.chrome:
+        export_chrome_trace(read.events, args.chrome, trace_id=args.trace_id)
+        print(f"wrote Chrome trace to {args.chrome}", file=sys.stderr)
+    return 0
 
 
 def _run_obs(args: argparse.Namespace) -> int:
@@ -628,16 +716,30 @@ def _run_fleet(args: argparse.Namespace) -> int:
         from .store import ResultStore
 
         store = ResultStore(args.store_dir)
+    observer = None
+    jsonl_sink = None
+    if args.jsonl:
+        from .obs import JsonlSink, Observer
+
+        jsonl_sink = JsonlSink(args.jsonl)
+        observer = Observer(sinks=(jsonl_sink,), buffer_events=False)
     runner = FleetRunner(
         workers=args.workers,
         job_timeout_seconds=args.timeout_seconds,
         journal_path=args.journal,
         resume=args.resume,
         store=store,
+        observer=observer,
     )
     start = time.perf_counter()
-    outcome = runner.run(plan)
+    try:
+        outcome = runner.run(plan)
+    finally:
+        if jsonl_sink is not None:
+            jsonl_sink.close()
     wall = time.perf_counter() - start
+    if jsonl_sink is not None:
+        print(f"wrote {jsonl_sink.events_written} events to {args.jsonl}")
 
     if args.format == "json":
         payload = {
@@ -819,6 +921,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "report":
+        if args.events:
+            return _run_trace_report(args)
+        if not args.out:
+            parser.error("report requires --out (markdown) or --events "
+                         "(trace diagnostics)")
         text = _build_report(fast=args.fast)
         with open(args.out, "w") as handle:
             handle.write(text)
@@ -884,4 +991,12 @@ def main(argv: Sequence[str] | None = None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Long reports piped into `head`/`less -F` close stdout early;
+        # that is normal pipeline behaviour, not an error. Point stdout
+        # at devnull so interpreter shutdown doesn't re-raise on flush.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        sys.exit(0)

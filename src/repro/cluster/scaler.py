@@ -179,6 +179,11 @@ class Scaler:
             # availability-budget/capacity variants to a stable stem so
             # the label space stays bounded.
             label = reason.split(" (")[0].split(" for ")[0]
+            # The rejected decision was consulted this same minute, so
+            # it is the deferral's causal parent.
             self.observer.resize_deferred(
-                minute=minute, reason=label, target_cores=target_cores
+                minute=minute,
+                reason=label,
+                target_cores=target_cores,
+                decided_minute=minute,
             )

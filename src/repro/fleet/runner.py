@@ -24,12 +24,14 @@ import time
 import traceback as traceback_module
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import nullcontext
 from multiprocessing import get_context
 from pathlib import Path
 from typing import TYPE_CHECKING
 
 from ..errors import FleetError
 from ..obs.observer import Observer
+from ..obs.tracing import fleet_trace_name
 from .jobs import FleetJob, FleetPlan, JobFailure, JobRecord
 from .journal import FleetJournal
 from .relay import WorkerTelemetry, collect, replay, worker_observer
@@ -59,6 +61,22 @@ def _worker_store(root: str) -> "ResultStore":
         store = ResultStore(root, memory_entries=0)
         _WORKER_STORES[root] = store
     return store
+
+
+def _producer_trace_id(telemetry: WorkerTelemetry | None) -> str:
+    """Trace id of the run that produced a job result (for provenance).
+
+    Every traced job execution opens exactly one run trace, so the first
+    ``trace_started`` event in the worker's telemetry identifies the
+    producing run. Untraced executions (no observer) yield ``""`` — the
+    blob is still written, just without a producer stamp.
+    """
+    if telemetry is None:
+        return ""
+    for payload in telemetry.events:
+        if payload.get("kind") == "trace_started":
+            return str(payload.get("trace_id", ""))
+    return ""
 
 
 def _execute_job(
@@ -97,12 +115,17 @@ def _execute_job(
         )
         return (job.job_id, "failed", None, failure, telemetry, elapsed)
     elapsed = time.perf_counter() - start
+    telemetry = collect(job.job_id, observer) if observer is not None else None
     if store_root is not None and store_key is not None:
         try:
-            _worker_store(store_root).put(store_key, job.kind, result)
+            _worker_store(store_root).put(
+                store_key,
+                job.kind,
+                result,
+                producer_trace_id=_producer_trace_id(telemetry),
+            )
         except Exception:  # lint: disable=EXC001 - write-back is best effort
             pass
-    telemetry = collect(job.job_id, observer) if observer is not None else None
     return (job.job_id, "ok", result, None, telemetry, elapsed)
 
 
@@ -279,18 +302,28 @@ class FleetRunner:
             if self.journal_path is not None
             else None
         )
+        # Open a fleet-level causal trace unless the caller already did.
+        # Job-level events ride worker observers (fresh per job, so they
+        # open their own run traces); the fleet trace stamps the
+        # parent-side progress and cache events.
+        tracing = (
+            self.observer.trace(fleet_trace_name(plan.name), seed=plan.seed)
+            if self.observer is not None and self.observer.tracer is None
+            else nullcontext()
+        )
         try:
-            restored = journal.completed() if journal is not None else {}
-            pending = [job for job in plan if job.job_id not in restored]
-            if self.workers == 1:
-                computed = self._run_serial(plan, pending, journal)
-            else:
-                computed = self._run_parallel(plan, pending, journal)
-            merged = {**restored, **computed}
-            records = tuple(merged[job_id] for job_id in plan.job_ids())
-            if self.store is not None and self.store.max_bytes is not None:
-                self.store.gc(observer=self.observer)
-            return FleetOutcome(plan, records, self.workers)
+            with tracing:
+                restored = journal.completed() if journal is not None else {}
+                pending = [job for job in plan if job.job_id not in restored]
+                if self.workers == 1:
+                    computed = self._run_serial(plan, pending, journal)
+                else:
+                    computed = self._run_parallel(plan, pending, journal)
+                merged = {**restored, **computed}
+                records = tuple(merged[job_id] for job_id in plan.job_ids())
+                if self.store is not None and self.store.max_bytes is not None:
+                    self.store.gc(observer=self.observer)
+                return FleetOutcome(plan, records, self.workers)
         finally:
             if journal is not None:
                 journal.close()
@@ -315,7 +348,9 @@ class FleetRunner:
             else:
                 outcome = _execute_job(job, seed, capture)
                 if key is not None and outcome[1] == "ok":
-                    self._cache_put(key, job.kind, outcome[2])
+                    self._cache_put(
+                        key, job.kind, outcome[2], _producer_trace_id(outcome[4])
+                    )
             record = self._merge_one(plan, outcome, journal)
             records[record.job_id] = record
         return records
@@ -332,12 +367,20 @@ class FleetRunner:
             return None
         return self.store.get(key, job.kind, observer=self.observer)
 
-    def _cache_put(self, key: str, kind: str, result: object) -> None:
+    def _cache_put(
+        self, key: str, kind: str, result: object, producer_trace_id: str = ""
+    ) -> None:
         """Parent-side write-back (serial path); best effort only."""
         if self.store is None:
             return
         try:
-            self.store.put(key, kind, result, observer=self.observer)
+            self.store.put(
+                key,
+                kind,
+                result,
+                observer=self.observer,
+                producer_trace_id=producer_trace_id,
+            )
         except Exception:  # lint: disable=EXC001 - write-back is best effort
             pass
 

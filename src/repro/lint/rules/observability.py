@@ -1,5 +1,6 @@
-"""OBS001 — every emitted event type is declared in ``repro.obs.events``.
+"""OBS001/OBS002 — observability vocabularies must be registered.
 
+OBS001: every emitted event type is declared in ``repro.obs.events``.
 The observability layer round-trips events through JSONL
 (:func:`repro.obs.trace_log.read_events` →
 :func:`repro.obs.events.event_from_dict`), which resolves the ``kind``
@@ -16,6 +17,12 @@ The rule checks, project-wide:
   scattered through other modules);
 - every ``ObsEvent`` subclass in ``repro.obs.events`` is exported via
   ``__all__`` (the registry lists what ``__all__`` advertises).
+
+OBS002: every span/trace name is declared in ``repro.obs.names``. Span
+statistics aggregate by name and trace analyses key on trace names; an
+unregistered ad-hoc name fragments both silently. Literal names must
+appear in the registry tuples; f-string names must open with a
+registered prefix (``span(f"sweep.trace.{trace.name}")``).
 """
 
 from __future__ import annotations
@@ -27,10 +34,13 @@ from ..context import ModuleContext, ProjectIndex
 from ..findings import Finding, Severity
 from ..registry import Rule, register
 
-__all__ = ["DeclaredEventsRule"]
+__all__ = ["DeclaredEventsRule", "RegisteredNamesRule"]
 
 #: The module that owns the event schema.
 EVENTS_MODULE = "repro.obs.events"
+
+#: The module that owns the span/trace name registry.
+NAMES_MODULE = "repro.obs.names"
 
 
 @register
@@ -132,3 +142,150 @@ class DeclaredEventsRule(Rule):
                     column=node.col_offset,
                     severity=self.severity,
                 )
+
+
+def _fstring_literal_head(node: ast.JoinedStr) -> str:
+    """Leading constant text of an f-string, up to the first placeholder."""
+    head = []
+    for value in node.values:
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            head.append(value.value)
+        else:
+            break
+    return "".join(head)
+
+
+@register
+class RegisteredNamesRule(Rule):
+    """OBS002 — span/trace names must come from the names registry."""
+
+    code = "OBS002"
+    title = "span/trace name not registered in repro.obs.names"
+    severity = Severity.ERROR
+    node_types = (ast.Call,)
+
+    def __init__(self) -> None:
+        #: ``(category, name, is_prefix_only, module path, node)`` per site.
+        self._sites: list[tuple[str, str, bool, str, ast.Call]] = []
+
+    @staticmethod
+    def _call_category(func: ast.expr) -> str | None:
+        """``"span"``/``"trace"`` for name-taking calls, else None."""
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        else:
+            return None
+        if name in ("span", "timed"):
+            return "span"
+        if name in ("trace", "start_trace"):
+            return "trace"
+        return None
+
+    def visit(
+        self, node: ast.AST, module: ModuleContext
+    ) -> Iterable[Finding]:
+        assert isinstance(node, ast.Call)
+        category = self._call_category(node.func)
+        if category is None or not node.args:
+            return ()
+        argument = node.args[0]
+        if isinstance(argument, ast.Constant) and isinstance(
+            argument.value, str
+        ):
+            self._sites.append(
+                (category, argument.value, False, module.path, node)
+            )
+        elif isinstance(argument, ast.JoinedStr):
+            # Dynamic suffixes are fine; the literal head must still
+            # anchor the name under a registered prefix.
+            self._sites.append(
+                (
+                    category,
+                    _fstring_literal_head(argument),
+                    True,
+                    module.path,
+                    node,
+                )
+            )
+        return ()
+
+    def finish_project(self, project: ProjectIndex) -> Iterable[Finding]:
+        findings = list(self._finish(project))
+        self._sites.clear()  # engine instances may run twice
+        return findings
+
+    @staticmethod
+    def _registry_tuples(project: ProjectIndex) -> dict[str, tuple[str, ...]] | None:
+        """The four registry tuples, read statically from the AST."""
+        modules = [
+            module
+            for module in project.modules.values()
+            if module.module == NAMES_MODULE
+        ]
+        if not modules:
+            return None
+        registry: dict[str, tuple[str, ...]] = {}
+        wanted = (
+            "SPAN_NAMES",
+            "SPAN_NAME_PREFIXES",
+            "TRACE_NAMES",
+            "TRACE_NAME_PREFIXES",
+        )
+        for module in modules:
+            for stmt in module.tree.body:
+                if not (
+                    isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and stmt.targets[0].id in wanted
+                    and isinstance(stmt.value, (ast.Tuple, ast.List))
+                ):
+                    continue
+                values = tuple(
+                    element.value
+                    for element in stmt.value.elts
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                )
+                registry[stmt.targets[0].id] = values
+        for name in wanted:
+            registry.setdefault(name, ())
+        return registry
+
+    def _finish(self, project: ProjectIndex) -> Iterable[Finding]:
+        registry = self._registry_tuples(project)
+        if registry is None:
+            # Linting a partial tree: the registry module is absent, so
+            # membership is unknowable (mirrors OBS001).
+            return
+        exact = {
+            "span": registry["SPAN_NAMES"],
+            "trace": registry["TRACE_NAMES"],
+        }
+        prefixes = {
+            "span": registry["SPAN_NAME_PREFIXES"],
+            "trace": registry["TRACE_NAME_PREFIXES"],
+        }
+        for category, name, prefix_only, path, node in self._sites:
+            allowed_prefixes = prefixes[category]
+            if not prefix_only and name in exact[category]:
+                continue
+            if allowed_prefixes and name.startswith(allowed_prefixes):
+                continue
+            shape = "f-string head" if prefix_only else "literal"
+            yield Finding(
+                code=self.code,
+                message=(
+                    f"{category} name {shape} {name!r} is not registered "
+                    f"in {NAMES_MODULE}; add it to "
+                    f"{'SPAN' if category == 'span' else 'TRACE'}_NAMES or "
+                    "a registered prefix so span statistics and trace "
+                    "analyses stay keyed on a known vocabulary"
+                ),
+                path=path,
+                line=node.lineno,
+                column=node.col_offset,
+                severity=self.severity,
+            )

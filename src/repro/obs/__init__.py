@@ -16,6 +16,13 @@ substrate with three pillars:
   context manager, ``@timed`` decorator) with nesting support, used to
   profile the hot simulation paths.
 
+Two further modules layer causal structure on top:
+
+- :mod:`repro.obs.tracing` — deterministic trace/span ids stamped onto
+  every event, with JSONL and Chrome ``chrome://tracing`` exporters;
+- :mod:`repro.obs.names` — the registered span/trace-name vocabulary
+  (enforced by lint rule OBS002).
+
 Everything is tied together by :class:`~repro.obs.observer.Observer`,
 which the simulator, sweep runner, live-system loop and cluster control
 loop accept via an optional ``observer=`` parameter. The default
@@ -46,14 +53,36 @@ from .events import (
     RollbackEvent,
     SafeModeEvent,
     ThrottledMinuteEvent,
+    TraceStartedEvent,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .observer import Observer
 from .spans import SpanCollector, SpanRecord, activate, current_collector, span, timed
-from .trace_log import JsonlSink, read_events
+from .trace_log import (
+    EVENT_SCHEMA_VERSION,
+    JsonlSink,
+    TraceRead,
+    load_trace,
+    read_events,
+)
+from .tracing import (
+    TraceGraph,
+    Tracer,
+    TraceSpan,
+    build_trace_graph,
+    derive_trace_id,
+    export_chrome_trace,
+    export_trace_jsonl,
+    render_chrome_trace,
+    render_trace_jsonl,
+    span_id_for,
+)
 
 __all__ = [
     "CacheEvictedEvent",
+    "EVENT_SCHEMA_VERSION",
+    "TraceRead",
+    "load_trace",
     "CacheHitEvent",
     "CacheMissEvent",
     "Counter",
@@ -80,9 +109,20 @@ __all__ = [
     "SpanCollector",
     "SpanRecord",
     "ThrottledMinuteEvent",
+    "TraceGraph",
+    "TraceSpan",
+    "TraceStartedEvent",
+    "Tracer",
     "activate",
+    "build_trace_graph",
     "current_collector",
+    "derive_trace_id",
+    "export_chrome_trace",
+    "export_trace_jsonl",
     "read_events",
+    "render_chrome_trace",
+    "render_trace_jsonl",
     "span",
+    "span_id_for",
     "timed",
 ]

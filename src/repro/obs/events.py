@@ -43,10 +43,19 @@ store events are not tied to a simulated minute, so ``minute`` is 0:
 - :class:`CacheMissEvent` — a key absent from (or corrupt in) the store;
 - :class:`CacheEvictedEvent` — a blob removed by size-budgeted GC.
 
+One more anchors causal traces (:mod:`repro.obs.tracing`):
+
+- :class:`TraceStartedEvent` — a run-scoped trace opened; every event
+  stamped with the same ``trace_id`` belongs to that run.
+
 Events are frozen dataclasses with a flat :meth:`ObsEvent.to_dict`
 serialisation so any sink — ring buffer, JSONL file, ``logging`` — can
-consume them without knowing the concrete type. This module depends on
-nothing else in ``repro`` (the rest of the system depends on *it*).
+consume them without knowing the concrete type. Every event carries
+three optional trace fields (``trace_id``, ``span_id``,
+``parent_span_id``) stamped by the observer when a tracer is active;
+they are empty strings otherwise, so untraced runs serialise exactly as
+before plus three constant keys. This module depends on nothing else in
+``repro`` (the rest of the system depends on *it*).
 """
 
 from __future__ import annotations
@@ -58,6 +67,7 @@ from typing import Any, Callable, ClassVar, Iterator
 
 __all__ = [
     "ObsEvent",
+    "TraceStartedEvent",
     "DecisionEvent",
     "ResizeEvent",
     "ResizeDeferredEvent",
@@ -82,18 +92,43 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ObsEvent:
-    """Base observability event: a timestamped, flat-serialisable record."""
+    """Base observability event: a timestamped, flat-serialisable record.
+
+    The three trace fields are stamped by the observer when a
+    :class:`~repro.obs.tracing.Tracer` is active. They are derived from
+    seed + trace name + minute (never wall clock), so equal runs stamp
+    byte-equal ids. Empty strings mean "untraced".
+    """
 
     #: Discriminator used in serialised form; unique per concrete class.
     kind: ClassVar[str] = "event"
 
     minute: int
+    trace_id: str = ""
+    span_id: str = ""
+    parent_span_id: str = ""
 
     def to_dict(self) -> dict[str, Any]:
         """Flat dict form: ``{"kind": ..., <all fields>}``."""
         payload = asdict(self)
         payload["kind"] = self.kind
         return payload
+
+
+@dataclass(frozen=True)
+class TraceStartedEvent(ObsEvent):
+    """A run-scoped causal trace opened (:mod:`repro.obs.tracing`).
+
+    ``span_id`` carries the trace's root span; events without a more
+    specific causal parent link to it. ``seed`` and ``name`` are the
+    inputs the ``trace_id`` was derived from, recorded so an exported
+    trace is self-describing.
+    """
+
+    kind: ClassVar[str] = "trace_started"
+
+    name: str = ""
+    seed: int = 0
 
 
 @dataclass(frozen=True)
@@ -130,12 +165,12 @@ class DecisionEvent(ObsEvent):
 
     kind: ClassVar[str] = "decision"
 
-    recommender: str
-    current_cores: int
-    raw_target_cores: int
-    target_cores: int
-    branch: str
-    reason: str
+    recommender: str = ""
+    current_cores: int = 0
+    raw_target_cores: int = 0
+    target_cores: int = 0
+    branch: str = ""
+    reason: str = ""
     slope: float | None = None
     skew: float | None = None
     scaling_factor: float | None = None
@@ -350,6 +385,12 @@ class CacheHitEvent(ObsEvent):
         on ``store_hits_total{kind=}``.
     source:
         ``"memory"`` (in-process LRU front) or ``"disk"``.
+    producer_trace_id:
+        Trace id of the run that originally computed the blob (empty
+        when the blob predates provenance stamping).
+    producer_epoch:
+        :data:`~repro.store.keys.STORE_EPOCH` the blob was written
+        under (0 when the blob predates provenance stamping).
     """
 
     kind: ClassVar[str] = "cache_hit"
@@ -357,6 +398,8 @@ class CacheHitEvent(ObsEvent):
     key: str = ""
     result_kind: str = ""
     source: str = "disk"
+    producer_trace_id: str = ""
+    producer_epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -390,6 +433,7 @@ class CacheEvictedEvent(ObsEvent):
 _EVENT_TYPES: dict[str, type[ObsEvent]] = {
     cls.kind: cls
     for cls in (
+        TraceStartedEvent,
         DecisionEvent,
         ResizeEvent,
         ResizeDeferredEvent,

@@ -38,10 +38,24 @@ def _label_key(labels: Mapping[str, str], allowed: tuple[str, ...]) -> LabelKey:
     return tuple(sorted((name, str(value)) for name, value in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape per the Prometheus exposition format: ``\\``, ``"``, newline.
+
+    Label values are free-form strings (deferral reasons, error text),
+    so without escaping a single embedded quote or newline corrupts the
+    whole scrape.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _render_labels(key: LabelKey) -> str:
     if not key:
         return ""
-    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in key
+    )
     return "{" + inner + "}"
 
 

@@ -63,8 +63,10 @@ from .events import (
     SafeModeEvent,
     ThrottledMinuteEvent,
 )
+from .events import TraceStartedEvent
 from .metrics import MetricsRegistry
 from .spans import SpanCollector, SpanStats, activate
+from .tracing import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.reactive import ReactiveDecision
@@ -107,6 +109,81 @@ class Observer:
             self.bus.subscribe(sink)
         self.metrics = metrics or MetricsRegistry()
         self.spans = spans or SpanCollector()
+        #: Active causal tracer; when set, every helper stamps the
+        #: events it builds with deterministic trace/span/parent ids.
+        self.tracer: Tracer | None = None
+
+    # -- causal tracing --------------------------------------------------------
+
+    def start_trace(self, name: str, seed: int = 0) -> Tracer:
+        """Open a causal trace and emit its :class:`TraceStartedEvent`.
+
+        Prefer the scoped :meth:`trace` context manager; this method is
+        the primitive for callers that manage scope themselves.
+        """
+        tracer = Tracer(name, seed=seed)
+        self.tracer = tracer
+        self.bus.emit(
+            TraceStartedEvent(
+                minute=0,
+                trace_id=tracer.trace_id,
+                span_id=tracer.root_span_id,
+                name=name,
+                seed=tracer.seed,
+            )
+        )
+        return tracer
+
+    @contextmanager
+    def trace(self, name: str, seed: int = 0) -> Iterator[Tracer]:
+        """Scope one run's causal trace; restores the previous tracer.
+
+        Run entry points (:func:`~repro.sim.simulator.simulate_trace`,
+        :func:`~repro.sim.live.simulate_live`, the fleet runner) open a
+        trace here when none is active, so a shared observer sweeping
+        many traces partitions its event stream into one trace per run.
+        """
+        previous = self.tracer
+        tracer = self.start_trace(name, seed=seed)
+        try:
+            yield tracer
+        finally:
+            self.tracer = previous
+
+    def _trace_fields(
+        self,
+        kind: str,
+        minute: int,
+        parent_span_id: str | None = None,
+        discriminator: str = "",
+    ) -> dict[str, str]:
+        """Stamp kwargs for one event, or ``{}`` when no trace is open."""
+        tracer = self.tracer
+        if tracer is None:
+            return {}
+        return {
+            "trace_id": tracer.trace_id,
+            "span_id": tracer.span_id(kind, minute, discriminator),
+            "parent_span_id": (
+                parent_span_id
+                if parent_span_id is not None
+                else tracer.root_span_id
+            ),
+        }
+
+    def _enactment_parent(self, decided_minute: int) -> str | None:
+        """Parent span for an act caused by the decision at ``decided_minute``.
+
+        When the enactment attempt at that minute was a successful
+        retry, the retry span is the causal parent (and itself links to
+        the original decision); otherwise the decision span is.
+        """
+        tracer = self.tracer
+        if tracer is None:
+            return None
+        if decided_minute in tracer.retry_success_minutes:
+            return tracer.span_id("retry", decided_minute, "succeeded")
+        return tracer.span_id("decision", decided_minute)
 
     # -- event emission --------------------------------------------------------
 
@@ -146,6 +223,7 @@ class Observer:
             slope = skew = scaling_factor = usage_quantile = None
         event = DecisionEvent(
             minute=minute,
+            **self._trace_fields("decision", minute),
             recommender=recommender,
             current_cores=current_cores,
             raw_target_cores=raw_target_cores,
@@ -184,6 +262,9 @@ class Observer:
         """Record one enacted resize (metric ``N`` contribution)."""
         event = ResizeEvent(
             minute=minute,
+            **self._trace_fields(
+                "resize", minute, self._enactment_parent(decided_minute)
+            ),
             decided_minute=decided_minute,
             from_cores=from_cores,
             to_cores=to_cores,
@@ -204,10 +285,25 @@ class Observer:
         minute: int,
         reason: str,
         target_cores: int | None = None,
+        decided_minute: int | None = None,
     ) -> ResizeDeferredEvent:
-        """Record a resize that could not be enacted this minute."""
+        """Record a resize that could not be enacted this minute.
+
+        ``decided_minute`` is the minute of the decision this deferral
+        answers to (the rejected decision itself, or the in-flight one
+        blocking it); when known, the deferral joins that decision's
+        causal chain instead of hanging off the run root.
+        """
+        parent = (
+            self._enactment_parent(decided_minute)
+            if decided_minute is not None
+            else None
+        )
         event = ResizeDeferredEvent(
-            minute=minute, reason=reason, target_cores=target_cores
+            minute=minute,
+            **self._trace_fields("resize_deferred", minute, parent, reason),
+            reason=reason,
+            target_cores=target_cores,
         )
         self.bus.emit(event)
         self.metrics.counter(
@@ -222,7 +318,13 @@ class Observer:
     ) -> FaultInjectedEvent:
         """Record one injected fault firing (chaos runs)."""
         event = FaultInjectedEvent(
-            minute=minute, fault=fault, target=target, detail=detail
+            minute=minute,
+            **self._trace_fields(
+                "fault_injected", minute, None, f"{fault}:{target}"
+            ),
+            fault=fault,
+            target=target,
+            detail=detail,
         )
         self.bus.emit(event)
         self.metrics.counter(
@@ -252,6 +354,7 @@ class Observer:
             return None
         event = SafeModeEvent(
             minute=minute,
+            **self._trace_fields("safe_mode", minute, None, action),
             action=action,
             reason=reason,
             minutes_in_safe_mode=minutes_in_safe_mode,
@@ -269,8 +372,16 @@ class Observer:
         decided_minute: int = 0,
     ) -> RetryEvent:
         """Record one actuation-retry state change."""
+        if self.tracer is not None and outcome == "succeeded":
+            self.tracer.retry_success_minutes.add(minute)
+        parent = (
+            self.tracer.span_id("decision", decided_minute)
+            if self.tracer is not None
+            else None
+        )
         event = RetryEvent(
             minute=minute,
+            **self._trace_fields("retry", minute, parent, outcome),
             target_cores=target_cores,
             attempt=attempt,
             outcome=outcome,
@@ -296,6 +407,11 @@ class Observer:
         """Record one watchdog rollback of a stuck rolling update."""
         event = RollbackEvent(
             minute=minute,
+            **self._trace_fields(
+                "rollback",
+                minute,
+                self._enactment_parent(minute - stuck_minutes),
+            ),
             update_id=update_id,
             from_cores=from_cores,
             to_cores=to_cores,
@@ -313,6 +429,7 @@ class Observer:
         """Record a component exception degraded instead of crashing."""
         event = QuarantineEvent(
             minute=minute,
+            **self._trace_fields("quarantine", minute, None, component),
             component=component,
             error=error,
             degraded_to=degraded_to,
@@ -329,7 +446,12 @@ class Observer:
         self, index: int, job_id: str, workers: int = 1
     ) -> FleetJobStartedEvent:
         """Record one fleet job dispatched (``index`` is its plan index)."""
-        event = FleetJobStartedEvent(minute=index, job_id=job_id, workers=workers)
+        event = FleetJobStartedEvent(
+            minute=index,
+            **self._trace_fields("fleet_job_started", index, None, job_id),
+            job_id=job_id,
+            workers=workers,
+        )
         self.bus.emit(event)
         return event
 
@@ -343,6 +465,7 @@ class Observer:
         """Record one fleet job completing (or restored from a journal)."""
         event = FleetJobFinishedEvent(
             minute=index,
+            **self._trace_fields("fleet_job_finished", index, None, job_id),
             job_id=job_id,
             elapsed_seconds=elapsed_seconds,
             journaled=journaled,
@@ -370,7 +493,11 @@ class Observer:
     ) -> FleetJobFailedEvent:
         """Record one fleet job captured as a typed failure."""
         event = FleetJobFailedEvent(
-            minute=index, job_id=job_id, error=error, failure_kind=failure_kind
+            minute=index,
+            **self._trace_fields("fleet_job_failed", index, None, job_id),
+            job_id=job_id,
+            error=error,
+            failure_kind=failure_kind,
         )
         self.bus.emit(event)
         self.metrics.counter(
@@ -381,10 +508,28 @@ class Observer:
         return event
 
     def cache_hit(
-        self, key: str, result_kind: str, source: str = "disk"
+        self,
+        key: str,
+        result_kind: str,
+        source: str = "disk",
+        producer_trace_id: str = "",
+        producer_epoch: int = 0,
     ) -> CacheHitEvent:
-        """Record one result-store hit (``source`` is ``memory``/``disk``)."""
-        event = CacheHitEvent(minute=0, key=key, result_kind=result_kind, source=source)
+        """Record one result-store hit (``source`` is ``memory``/``disk``).
+
+        ``producer_trace_id``/``producer_epoch`` carry the blob's
+        provenance stamp when the store has one: which run computed the
+        cached bytes, under which :data:`~repro.store.keys.STORE_EPOCH`.
+        """
+        event = CacheHitEvent(
+            minute=0,
+            **self._trace_fields("cache_hit", 0, None, key),
+            key=key,
+            result_kind=result_kind,
+            source=source,
+            producer_trace_id=producer_trace_id,
+            producer_epoch=producer_epoch,
+        )
         self.bus.emit(event)
         self.metrics.counter(
             "store_hits_total",
@@ -398,7 +543,11 @@ class Observer:
     ) -> CacheMissEvent:
         """Record one result-store miss (``reason``: absent/corrupt/epoch)."""
         event = CacheMissEvent(
-            minute=0, key=key, result_kind=result_kind, reason=reason
+            minute=0,
+            **self._trace_fields("cache_miss", 0, None, key),
+            key=key,
+            result_kind=result_kind,
+            reason=reason,
         )
         self.bus.emit(event)
         self.metrics.counter(
@@ -413,7 +562,12 @@ class Observer:
     ) -> CacheEvictedEvent:
         """Record one blob removed by the store's size-budgeted GC."""
         event = CacheEvictedEvent(
-            minute=0, key=key, result_kind=result_kind, bytes=nbytes, reason=reason
+            minute=0,
+            **self._trace_fields("cache_evicted", 0, None, key),
+            key=key,
+            result_kind=result_kind,
+            bytes=nbytes,
+            reason=reason,
         )
         self.bus.emit(event)
         self.metrics.counter(
@@ -455,6 +609,7 @@ class Observer:
             self.bus.emit(
                 ThrottledMinuteEvent(
                     minute=minute,
+                    **self._trace_fields("throttled", minute),
                     demand_cores=demand_cores,
                     limit_cores=limit_cores,
                 )

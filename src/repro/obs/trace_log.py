@@ -1,25 +1,49 @@
 """JSONL decision-trace recording and replay.
 
 One JSON object per line, one line per event — the same flat schema as
-:meth:`~repro.obs.events.ObsEvent.to_dict`. JSONL keeps traces
-streamable (a crashed run leaves every completed line readable),
-greppable, and trivially ingestible by external tooling.
+:meth:`~repro.obs.events.ObsEvent.to_dict` plus a ``schema_version``
+field. JSONL keeps traces streamable (a crashed run leaves every
+completed line readable), greppable, and trivially ingestible by
+external tooling.
 
 Round-trip guarantee: ``read_events(path)`` reconstructs the exact typed
 events a :class:`JsonlSink` recorded, so offline analysis
-(:mod:`repro.analysis.explain`) renders the same audit log as a live
-ring buffer would.
+(:mod:`repro.analysis.explain`, :mod:`repro.report`) renders the same
+audit log as a live ring buffer would.
+
+Forward compatibility: the event vocabulary grows over time, so a log
+written by a newer build may contain kinds this build does not know.
+The readers here *tolerate* unknown kinds — they skip them and count
+them per kind (:func:`load_trace` surfaces the counts) — while
+:func:`~repro.obs.events.event_from_dict` itself still fails loudly,
+preserving the strict contract for callers that need it.
 """
 
 from __future__ import annotations
 
 import json
+from collections import Counter
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Iterable, Iterator
 
 from .events import DecisionEvent, ObsEvent, event_from_dict
 
-__all__ = ["JsonlSink", "read_events", "iter_events", "decision_events"]
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "JsonlSink",
+    "TraceRead",
+    "load_trace",
+    "read_events",
+    "iter_events",
+    "decision_events",
+]
+
+#: Version of the JSONL event-record schema. v1 records had neither
+#: this field nor the trace-id fields; v2 adds ``schema_version`` and
+#: the ``trace_id``/``span_id``/``parent_span_id`` stamps. Readers
+#: accept both.
+EVENT_SCHEMA_VERSION = 2
 
 
 class JsonlSink:
@@ -50,7 +74,9 @@ class JsonlSink:
             if self._path is None:
                 raise ValueError("JsonlSink already closed")
             self._handle = open(self._path, "w")
-        json.dump(event.to_dict(), self._handle, separators=(",", ":"))
+        payload = event.to_dict()
+        payload["schema_version"] = EVENT_SCHEMA_VERSION
+        json.dump(payload, self._handle, separators=(",", ":"))
         self._handle.write("\n")
         self.events_written += 1
 
@@ -70,17 +96,64 @@ class JsonlSink:
         self.close()
 
 
-def iter_events(path: str | Path) -> Iterator[ObsEvent]:
-    """Stream typed events back from a JSONL trace, in recorded order."""
+@dataclass
+class TraceRead:
+    """A loaded JSONL trace plus what had to be skipped to load it."""
+
+    events: list[ObsEvent] = field(default_factory=list)
+    #: Unknown event kind → number of skipped records of that kind.
+    skipped: Counter[str] = field(default_factory=Counter)
+
+    @property
+    def skipped_total(self) -> int:
+        return sum(self.skipped.values())
+
+
+def load_trace(path: str | Path) -> TraceRead:
+    """Load a JSONL trace, tolerating and counting unknown event kinds.
+
+    Records whose ``kind`` this build does not know are skipped and
+    tallied in :attr:`TraceRead.skipped` — an old binary reading a
+    newer log degrades to a partial (but typed) view instead of
+    crashing.
+    """
+    result = TraceRead()
     with open(path) as handle:
         for line in handle:
             line = line.strip()
-            if line:
-                yield event_from_dict(json.loads(line))
+            if not line:
+                continue
+            payload = json.loads(line)
+            payload.pop("schema_version", None)
+            try:
+                result.events.append(event_from_dict(payload))
+            except KeyError:
+                result.skipped[str(payload.get("kind", "?"))] += 1
+    return result
+
+
+def iter_events(path: str | Path) -> Iterator[ObsEvent]:
+    """Stream typed events back from a JSONL trace, in recorded order.
+
+    Unknown event kinds are skipped (use :func:`load_trace` to see how
+    many); ``schema_version`` is reader metadata and never reaches the
+    reconstructed events.
+    """
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            payload.pop("schema_version", None)
+            try:
+                yield event_from_dict(payload)
+            except KeyError:
+                continue
 
 
 def read_events(path: str | Path) -> list[ObsEvent]:
-    """Load a full JSONL trace as typed events."""
+    """Load a full JSONL trace as typed events (unknown kinds skipped)."""
     return list(iter_events(path))
 
 

@@ -1,0 +1,52 @@
+"""Offline diagnostics over recorded observability traces.
+
+``caasper report --events trace.jsonl`` answers the attribution
+questions operators actually ask after a run — *why was this interval
+throttled?*, *which decisions cost the most resizes?*, *what did the
+fleet reuse from the store?* — without re-running anything. The engine
+(:mod:`repro.report.engine`) consumes the stamped event stream written
+by :class:`~repro.obs.trace_log.JsonlSink`, reassembles the causal
+graph (:mod:`repro.obs.tracing`) and distils:
+
+- per-decision timelines (consultation → enactment/deferral → retries
+  → rollback),
+- throttling episodes with root-cause attribution — each episode is
+  attributed to a causal decision chain or *explicitly* marked
+  unattributed, never silently dropped,
+- K/C/N decomposition by Algorithm 1 branch,
+- SLO-violation attribution tables,
+- fleet-level rollups with cache-provenance (which run produced each
+  reused blob).
+
+Reporters (:mod:`repro.report.reporters`) render text and JSON,
+mirroring the :mod:`repro.lint` reporter pattern.
+"""
+
+from .engine import (
+    ATTRIBUTION_WINDOW_MINUTES,
+    BranchBreakdown,
+    CausalLink,
+    DecisionRecord,
+    FleetReport,
+    RunReport,
+    ThrottleEpisode,
+    build_fleet_report,
+    build_run_report,
+    split_runs,
+)
+from .reporters import render_json, render_text
+
+__all__ = [
+    "ATTRIBUTION_WINDOW_MINUTES",
+    "BranchBreakdown",
+    "CausalLink",
+    "DecisionRecord",
+    "FleetReport",
+    "RunReport",
+    "ThrottleEpisode",
+    "build_fleet_report",
+    "build_run_report",
+    "split_runs",
+    "render_json",
+    "render_text",
+]

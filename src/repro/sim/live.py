@@ -32,6 +32,7 @@ from ..db.transactions import TxnAccounting
 from ..errors import SimulationError
 from ..obs.observer import Observer
 from ..obs.spans import span
+from ..obs.tracing import live_trace_name
 from ..workloads.base import Workload
 from .billing import BillingModel
 from .metrics import SimulationMetrics
@@ -186,7 +187,18 @@ def simulate_live(
     limit_series = np.empty(minutes, dtype=float)
 
     ambient = observer.active() if observer is not None else nullcontext()
-    with ambient, span("sim.simulate_live"):
+    # Open a run-scoped causal trace unless the caller already did. The
+    # fault-plan seed is folded in: the same workload under a different
+    # chaos schedule is a different run (matching chaos_key's contract).
+    tracing = (
+        observer.trace(
+            live_trace_name(workload.name, recommender.name),
+            seed=faults.seed if faults is not None else 0,
+        )
+        if observer is not None and observer.tracer is None
+        else nullcontext()
+    )
+    with ambient, tracing, span("sim.simulate_live"):
         for minute in range(minutes):
             demand = workload.demand(minute)
             outcome = loop.step(minute, demand)

@@ -33,6 +33,7 @@ from ..baselines.base import Recommender
 from ..errors import ConfigError, SimulationError
 from ..obs.observer import Observer
 from ..obs.spans import span
+from ..obs.tracing import simulate_trace_name
 from ..trace import CpuTrace
 from .billing import BillingModel
 from .metrics import SimulationMetrics
@@ -138,7 +139,15 @@ def simulate_trace(
     pending_decided_minute = -1
 
     ambient = observer.active() if observer is not None else nullcontext()
-    with ambient, span("sim.simulate_trace"):
+    # Open a run-scoped causal trace unless the caller already did; the
+    # trace id derives from the demand/recommender names only, so serial
+    # and fleet executions of the same run stamp identical ids.
+    tracing = (
+        observer.trace(simulate_trace_name(demand.name, recommender.name))
+        if observer is not None and observer.tracer is None
+        else nullcontext()
+    )
+    with ambient, tracing, span("sim.simulate_trace"):
         for minute in range(minutes):
             step_start = time.perf_counter() if observer is not None else 0.0
 
@@ -209,12 +218,19 @@ def simulate_trace(
                         minute + config.resize_delay_minutes
                     )
             elif is_decision_minute and observer is not None:
+                # The deferral's causal parent is the decision whose
+                # resize is in flight (or whose enactment started the
+                # cooldown window) — pending_decided_minute tracks it
+                # in both cases.
                 observer.resize_deferred(
                     minute=minute,
                     reason="resize in flight"
                     if pending_target is not None
                     else "cooldown",
                     target_cores=pending_target,
+                    decided_minute=pending_decided_minute
+                    if pending_decided_minute >= 0
+                    else None,
                 )
 
             if observer is not None:

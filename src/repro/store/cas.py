@@ -5,8 +5,12 @@ Layout under the store root (``~/.cache/caasper`` by default, or any
 
 - ``objects/<k0k1>/<key>.json`` — one blob per cache key (the first two
   hex characters bucket the directory). Each blob is a JSON object
-  carrying the result payload (in :mod:`repro.fleet.codec` encoding)
-  plus a sha256 checksum of the payload's canonical JSON.
+  carrying the result payload (in :mod:`repro.fleet.codec` encoding),
+  a sha256 checksum of the payload's canonical JSON, and a
+  ``provenance`` stamp (the producing run's trace id, the key — which
+  *is* the config signature digest — and the ``STORE_EPOCH`` written
+  under). The checksum covers the payload only, so blobs written
+  before provenance stamping still validate.
 - ``index.jsonl`` — an append-only recency log (one JSON line per
   write). It orders the size-budgeted GC and backs ``caasper store ls``;
   the blobs themselves are the ground truth, so a lost or torn index
@@ -122,7 +126,10 @@ class ResultStore:
         self.max_bytes = max_bytes
         self.memory_entries = int(memory_entries)
         self.observer = observer
-        self._memory: OrderedDict[str, tuple[str, str]] = OrderedDict()
+        #: key → (kind, canonical payload text, provenance stamp).
+        self._memory: OrderedDict[str, tuple[str, str, dict[str, Any]]] = (
+            OrderedDict()
+        )
         self._stats_hits = 0
         self._stats_misses = 0
         self._stats_puts = 0
@@ -153,7 +160,9 @@ class ResultStore:
         Returns ``None`` on a miss — absent blob, unparseable blob, or
         checksum mismatch (the latter two unlink the damaged file best
         effort so the slot heals on the next write). Every hit decodes
-        fresh objects from the stored canonical JSON.
+        fresh objects from the stored canonical JSON; the hit event
+        carries the blob's provenance stamp (producing run's trace id
+        and store epoch) so cached results stay attributable.
         """
         from ..fleet.codec import decode_json
 
@@ -163,30 +172,48 @@ class ResultStore:
             self._memory.move_to_end(key)
             self._stats_hits += 1
             if observer is not None:
-                observer.cache_hit(key, kind, source="memory")
+                self._emit_hit(observer, key, kind, "memory", cached[2])
             return decode_json(cached[1])
-        payload_text = self._read_blob(key)
-        if payload_text is None:
+        read = self._read_blob(key)
+        if read is None:
             self._stats_misses += 1
             if observer is not None:
                 observer.cache_miss(key, kind, reason="absent")
             return None
+        payload_text, provenance = read
         if payload_text == "":
             self._stats_misses += 1
             if observer is not None:
                 observer.cache_miss(key, kind, reason="corrupt")
             return None
-        self._remember(key, kind, payload_text)
+        self._remember(key, kind, payload_text, provenance)
         self._stats_hits += 1
         if observer is not None:
-            observer.cache_hit(key, kind, source="disk")
+            self._emit_hit(observer, key, kind, "disk", provenance)
         return decode_json(payload_text)
 
-    def _read_blob(self, key: str) -> str | None:
-        """Canonical payload text for ``key``.
+    @staticmethod
+    def _emit_hit(
+        observer: "Observer",
+        key: str,
+        kind: str,
+        source: str,
+        provenance: dict[str, Any],
+    ) -> None:
+        observer.cache_hit(
+            key,
+            kind,
+            source=source,
+            producer_trace_id=str(provenance.get("trace_id", "")),
+            producer_epoch=int(provenance.get("epoch", 0)),
+        )
 
-        ``None`` means absent; ``""`` means present-but-corrupt (the
-        damaged blob has been unlinked best effort).
+    def _read_blob(self, key: str) -> tuple[str, dict[str, Any]] | None:
+        """``(canonical payload text, provenance stamp)`` for ``key``.
+
+        ``None`` means absent; ``("", {})`` means present-but-corrupt
+        (the damaged blob has been unlinked best effort). Blobs written
+        before provenance stamping read back with an empty stamp.
         """
         path = self._blob_path(key)
         try:
@@ -194,7 +221,8 @@ class ResultStore:
         except FileNotFoundError:
             return None
         except OSError:  # lint: disable=EXC001 - unreadable blob is a miss
-            return ""
+            return ("", {})
+        provenance: dict[str, Any] = {}
         try:
             blob = json.loads(data.decode("utf-8"))
             payload_text = json.dumps(
@@ -205,6 +233,9 @@ class ResultStore:
                 and blob.get("checksum")
                 == sha256(payload_text.encode("utf-8")).hexdigest()
             )
+            raw_provenance = blob.get("provenance")
+            if isinstance(raw_provenance, dict):
+                provenance = raw_provenance
         except Exception:  # lint: disable=EXC001 - torn/garbled JSON is a miss
             ok = False
             payload_text = ""
@@ -213,13 +244,19 @@ class ResultStore:
                 path.unlink()
             except OSError:  # lint: disable=EXC001 - racing unlink is fine
                 pass
-            return ""
-        return payload_text
+            return ("", {})
+        return (payload_text, provenance)
 
-    def _remember(self, key: str, kind: str, payload_text: str) -> None:
+    def _remember(
+        self,
+        key: str,
+        kind: str,
+        payload_text: str,
+        provenance: dict[str, Any],
+    ) -> None:
         if self.memory_entries <= 0:
             return
-        self._memory[key] = (kind, payload_text)
+        self._memory[key] = (kind, payload_text, provenance)
         self._memory.move_to_end(key)
         while len(self._memory) > self.memory_entries:
             self._memory.popitem(last=False)
@@ -227,14 +264,25 @@ class ResultStore:
     # -- write path ------------------------------------------------------------
 
     def put(
-        self, key: str, kind: str, value: Any, observer: "Observer | None" = None
+        self,
+        key: str,
+        kind: str,
+        value: Any,
+        observer: "Observer | None" = None,
+        producer_trace_id: str = "",
     ) -> int:
         """Write ``value`` under ``key`` atomically; returns blob bytes.
 
         The blob lands via same-directory temp file + fsync +
         ``os.replace``, then one fsynced index line records the write.
         Safe under concurrent writers: both produce identical content
-        for the same key, so the losing ``replace`` changes nothing.
+        for the same key, so the losing ``replace`` changes nothing —
+        ``producer_trace_id`` is itself derived deterministically from
+        the run's inputs, keeping that invariant.
+
+        The provenance stamp (trace id, key, epoch) rides outside the
+        checksummed payload: later ``get`` calls report which run
+        computed the bytes they are serving.
         """
         payload_text = json.dumps(
             encode(value), sort_keys=True, separators=(",", ":")
@@ -245,6 +293,11 @@ class ResultStore:
                 "epoch": STORE_EPOCH,
                 "kind": kind,
                 "payload": json.loads(payload_text),
+                "provenance": {
+                    "epoch": STORE_EPOCH,
+                    "key": key,
+                    "trace_id": producer_trace_id,
+                },
             },
             sort_keys=True,
             separators=(",", ":"),
@@ -261,7 +314,12 @@ class ResultStore:
             os.close(fd)
         os.replace(tmp, path)
         self._append_index(key, kind, len(data))
-        self._remember(key, kind, payload_text)
+        self._remember(
+            key,
+            kind,
+            payload_text,
+            {"epoch": STORE_EPOCH, "key": key, "trace_id": producer_trace_id},
+        )
         self._stats_puts += 1
         observer = observer if observer is not None else self.observer
         if observer is not None:

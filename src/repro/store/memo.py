@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING
 
 from ..baselines.base import Recommender
 from ..core.config import CaasperConfig
+from ..obs.tracing import derive_trace_id, simulate_trace_name
 from ..sim.results import SimulationResult
 from ..sim.simulator import SimulatorConfig, simulate_trace
 from ..trace import CpuTrace
@@ -62,7 +63,18 @@ def cached_simulate(
     if hit is not None:
         return hit  # type: ignore[no-any-return]
     result = simulate_trace(demand, recommender, config, observer)
-    store.put(key, "simulate", result, observer=observer)
+    # Provenance: the same (seed=0, name) derivation simulate_trace uses
+    # to open its run trace, so the stamp matches the run's trace id
+    # whether or not an observer was attached.
+    store.put(
+        key,
+        "simulate",
+        result,
+        observer=observer,
+        producer_trace_id=derive_trace_id(
+            0, simulate_trace_name(demand.name, recommender.name)
+        ),
+    )
     return result
 
 
@@ -94,5 +106,13 @@ def cached_trial(
         num_scalings=metrics.num_scalings,
     )
     if store is not None and key is not None:
-        store.put(key, "trial", trial, observer=observer)
+        store.put(
+            key,
+            "trial",
+            trial,
+            observer=observer,
+            producer_trace_id=derive_trace_id(
+                0, simulate_trace_name(demand.name, recommender.name)
+            ),
+        )
     return trial

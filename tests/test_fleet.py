@@ -359,6 +359,13 @@ class TestObserverIntegration:
             for event in events:
                 if event.kind.startswith("fleet_"):
                     continue
+                # The fleet executor opens its own fleet-level trace;
+                # the serial path has no fleet, so that root event is
+                # executor-specific (job-level traces are identical).
+                if event.kind == "trace_started" and event.name.startswith(
+                    "fleet:"
+                ):
+                    continue
                 payload = event.to_dict()
                 # Wall-clock measurements legitimately differ run to
                 # run; everything decision-relevant must not.

@@ -35,6 +35,7 @@ ALL_CODES = (
     "EXC001",
     "NUM001",
     "OBS001",
+    "OBS002",
 )
 
 SIM_PATH = "src/repro/sim/snippet.py"
@@ -550,6 +551,118 @@ def test_obs001_flags_declared_class_missing_from_all():
         [("src/repro/obs/events.py", textwrap.dedent(events_module))]
     )
     assert "OBS001" in codes(report.findings)
+
+
+# ---------------------------------------------------------------------------
+# OBS002: span/trace names must come from the registered vocabulary
+
+NAMES_MODULE_SOURCE = """
+    SPAN_NAMES = (
+        "sim.simulate_trace",
+    )
+
+    SPAN_NAME_PREFIXES = (
+        "sweep.trace.",
+    )
+
+    TRACE_NAMES = ()
+
+    TRACE_NAME_PREFIXES = (
+        "simulate:",
+    )
+"""
+
+
+def lint_with_names(snippet: str, path: str = SIM_PATH):
+    return lint_sources(
+        [
+            ("src/repro/obs/names.py", textwrap.dedent(NAMES_MODULE_SOURCE)),
+            (path, textwrap.dedent(snippet)),
+        ]
+    )
+
+
+def test_obs002_flags_unregistered_span_literal():
+    report = lint_with_names(
+        """
+        from repro.obs.spans import span
+
+        def run():
+            with span("sim.simulte_trace"):
+                pass
+        """
+    )
+    assert "OBS002" in codes(report.findings)
+
+
+def test_obs002_flags_unregistered_fstring_head():
+    report = lint_with_names(
+        """
+        from repro.obs.spans import span
+
+        def run(trace):
+            with span(f"adhoc.{trace.name}"):
+                pass
+        """
+    )
+    assert "OBS002" in codes(report.findings)
+
+
+def test_obs002_flags_unregistered_trace_name():
+    report = lint_with_names(
+        """
+        def run(observer):
+            with observer.trace("experiment:foo"):
+                pass
+        """
+    )
+    assert "OBS002" in codes(report.findings)
+
+
+def test_obs002_quiet_on_registered_names():
+    report = lint_with_names(
+        """
+        from repro.obs.spans import span, timed
+
+        @timed("sim.simulate_trace")
+        def run(observer, trace):
+            with span("sim.simulate_trace"):
+                pass
+            with span(f"sweep.trace.{trace.name}"):
+                pass
+            with observer.trace(f"simulate:{trace.name}"):
+                pass
+        """
+    )
+    assert "OBS002" not in codes(report.findings)
+
+
+def test_obs002_quiet_on_dynamic_name_variables():
+    # A name bound earlier is best-effort-skipped (mirrors OBS001's
+    # treatment of pre-bound event objects).
+    report = lint_with_names(
+        """
+        from repro.obs.spans import span
+
+        def run(name):
+            with span(name):
+                pass
+        """
+    )
+    assert "OBS002" not in codes(report.findings)
+
+
+def test_obs002_skips_partial_tree_without_registry():
+    findings = run_lint(
+        """
+        from repro.obs.spans import span
+
+        def run():
+            with span("totally.unregistered"):
+                pass
+        """
+    )
+    assert "OBS002" not in codes(findings)
 
 
 # ---------------------------------------------------------------------------

@@ -14,6 +14,7 @@ from repro.core.config import CaasperConfig
 from repro.core.recommender import CaasperRecommender
 from repro.errors import ConfigError
 from repro.obs import (
+    EVENT_SCHEMA_VERSION,
     DecisionEvent,
     EventBus,
     JsonlSink,
@@ -154,6 +155,8 @@ class TestJsonlRoundTrip:
         payload = json.loads(path.read_text().strip())
         assert payload["kind"] == "throttled"
         assert payload["minute"] == 7
+        assert payload["schema_version"] == EVENT_SCHEMA_VERSION
+        payload.pop("schema_version")
         assert event_from_dict(payload).insufficient_cores == 2.0
 
     def test_unknown_kind_fails_loudly(self):
@@ -209,6 +212,45 @@ class TestMetricsRegistry:
         assert hist.percentile(0.0) == 1.0
         assert hist.percentile(100.0) == 100.0
         assert math.isnan(registry.histogram("empty").percentile(50.0))
+
+    def test_label_values_are_escaped_in_exposition(self):
+        # Deferral reasons and error text are free-form: embedded
+        # backslashes, quotes and newlines must not corrupt the scrape.
+        registry = MetricsRegistry()
+        counter = registry.counter(
+            "deferrals_total", "d", labelnames=("reason",)
+        )
+        counter.inc(reason='path\\to "thing"\nnext line')
+        text = registry.render_text()
+        expected = (
+            'deferrals_total{reason="path\\\\to \\"thing\\"\\nnext line"} 1'
+        )
+        assert expected in text
+        # The exposition stays one record per line: no raw newline leaks.
+        for line in text.splitlines():
+            if line.startswith("deferrals_total{"):
+                assert line == expected
+
+    def test_histogram_percentile_edge_cases(self):
+        registry = MetricsRegistry()
+        # Empty series: NaN at every quantile, never a crash.
+        empty = registry.histogram("empty_lat", buckets=(1.0,))
+        for q in (0.0, 50.0, 100.0):
+            assert math.isnan(empty.percentile(q))
+        # Single sample: every quantile collapses to that sample.
+        single = registry.histogram("single_lat", buckets=(1.0,))
+        single.observe(0.25)
+        for q in (0.0, 50.0, 99.0, 100.0):
+            assert single.percentile(q) == pytest.approx(0.25)
+        # Labelled child that was never observed is empty too.
+        labelled = registry.histogram(
+            "lab_lat", buckets=(1.0,), labelnames=("op",)
+        )
+        labelled.observe(2.0, op="seen")
+        assert math.isnan(labelled.percentile(50.0, op="unseen"))
+        assert labelled.percentile(50.0, op="seen") == pytest.approx(2.0)
+        with pytest.raises(ConfigError):
+            labelled.percentile(101.0, op="seen")
 
     def test_histogram_cumulative_buckets_render(self):
         registry = MetricsRegistry()
