@@ -9,6 +9,8 @@ Examples::
     caasper trace fig10-cyclical --out /tmp/cyclical.csv
     caasper obs --trace fig10-cyclical --jsonl /tmp/trace.jsonl --metrics-text
     caasper chaos --scenario kitchen-sink --seed 3 --minutes 720 --strict
+    caasper serve --tenants 3 --port 8080 --tick-seconds 0.05 --state-dir /tmp/serve
+    caasper serve --drill --tenants 200 --minutes 720 --kill-cycles 10
     caasper report --events /tmp/trace.jsonl --chrome /tmp/trace.json
     caasper sweep --traces fig9-workday,fig10-cyclical --store-dir /tmp/cas
     caasper store stats --store-dir /tmp/cas
@@ -361,6 +363,118 @@ def build_parser() -> argparse.ArgumentParser:
                 help="size budget; oldest blobs are evicted until the "
                 "store fits (0 empties it)",
             )
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the multi-tenant serve daemon (or its chaos drill)",
+    )
+    serve_parser.add_argument(
+        "--tenants",
+        type=int,
+        default=0,
+        metavar="N",
+        help="tenants to pre-register with varied seeded workloads "
+        "(default: 0 — register via POST /tenants)",
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="listen on 127.0.0.1:PORT (0 = ephemeral); omitted = "
+        "headless mode driven by the built-in harness",
+    )
+    serve_parser.add_argument(
+        "--state-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="crash-safe state directory (journal + snapshot); "
+        "restarting from the same DIR resumes at the exact tick",
+    )
+    serve_parser.add_argument(
+        "--seed", type=int, default=0, help="root seed (default: 0)"
+    )
+    serve_parser.add_argument(
+        "--scenario",
+        type=str,
+        default="",
+        metavar="NAME",
+        help="repro.faults scenario injected into every tenant "
+        "(default: none; the drill defaults to kitchen-sink)",
+    )
+    serve_parser.add_argument(
+        "--minutes",
+        type=int,
+        default=720,
+        metavar="N",
+        help="simulated minutes: headless run length and drill chaos "
+        "horizon (default: 720)",
+    )
+    serve_parser.add_argument(
+        "--crash-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="per-tick tenant crash probability exercising the "
+        "supervision tree (default: 0)",
+    )
+    serve_parser.add_argument(
+        "--tick-seconds",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="server mode: wall seconds per simulated-minute tick "
+        "(default: 0 — tick only via POST /tick)",
+    )
+    serve_parser.add_argument(
+        "--max-ticks",
+        type=int,
+        default=0,
+        metavar="N",
+        help="server mode: drain and exit after N ticks (default: "
+        "0 — run until SIGTERM)",
+    )
+    serve_parser.add_argument(
+        "--kcn-out",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write the final per-tenant K/C/N ledger as canonical "
+        "JSON (crash-recovery tests byte-compare this)",
+    )
+    serve_parser.add_argument(
+        "--jsonl",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write the typed observability event trail as JSONL at exit",
+    )
+    serve_parser.add_argument(
+        "--access-log",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="server mode: JSONL access log (wall-clock timestamps; "
+        "the one I/O edge)",
+    )
+    serve_parser.add_argument(
+        "--metrics-text",
+        action="store_true",
+        help="print the Prometheus metrics exposition at exit",
+    )
+    serve_parser.add_argument(
+        "--drill",
+        action="store_true",
+        help="run the chaos + SIGKILL self-check instead of serving",
+    )
+    serve_parser.add_argument(
+        "--kill-cycles",
+        type=int,
+        default=10,
+        metavar="N",
+        help="drill: SIGKILL/restart cycles to inject (default: 10)",
+    )
 
     lint_parser = sub.add_parser(
         "lint",
@@ -856,6 +970,126 @@ def _run_store(args: argparse.Namespace) -> int:
     raise AssertionError(f"unknown store command {command!r}")  # pragma: no cover
 
 
+def _serve_outputs(args: argparse.Namespace, plane, observer) -> None:
+    """Shared `caasper serve` exit artifacts (K/C/N, events, metrics)."""
+    import json as json_module
+
+    if args.kcn_out:
+        with open(args.kcn_out, "w", encoding="utf-8") as handle:
+            handle.write(
+                json_module.dumps(
+                    plane.kcn(), sort_keys=True, separators=(",", ":")
+                )
+            )
+        print(f"wrote K/C/N ledger to {args.kcn_out}")
+    if args.jsonl and observer is not None and observer.ring is not None:
+        from .obs.tracing import render_trace_jsonl
+
+        with open(args.jsonl, "w", encoding="utf-8") as handle:
+            handle.write(render_trace_jsonl(observer.ring.events))
+        print(f"wrote {len(observer.ring.events)} events to {args.jsonl}")
+    if args.metrics_text and observer is not None:
+        print(observer.metrics.render_text(), end="")
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """`caasper serve`: chaos drill, headless harness run, or HTTP daemon."""
+    from .obs import Observer
+    from .serve.config import ServeConfig
+    from .serve.drill import run_drill
+    from .serve.harness import ServeHarness, build_specs
+    from .serve.plane import ControlPlane
+    from .serve.server import ServeDaemon
+
+    if args.drill:
+        report = run_drill(
+            tenants=args.tenants or 200,
+            minutes=args.minutes,
+            seed=args.seed,
+            kill_cycles=args.kill_cycles,
+            state_dir=args.state_dir,
+            scenario=args.scenario or "kitchen-sink",
+            crash_rate=args.crash_rate or 0.005,
+            on_progress=lambda message: print(f"drill: {message}"),
+        )
+        for check in report["checks"]:
+            mark = "PASS" if check["ok"] else "FAIL"
+            print(f"{mark} {check['name']}: {check['detail']}")
+        print(
+            f"drill {'passed' if report['ok'] else 'FAILED'}: "
+            f"{report['tenants']} tenants, {report['ticks']} ticks, "
+            f"{len(report['kill_ticks'])} kill/restart cycles, "
+            f"K/C/N digest {report['kcn_digest']}"
+        )
+        return 0 if report["ok"] else 1
+
+    wants_observer = bool(
+        args.jsonl or args.metrics_text or args.port is not None
+    )
+    observer = Observer() if wants_observer else None
+    config = ServeConfig(seed=args.seed)
+
+    if args.port is None:
+        # Headless: the built-in harness streams seeded telemetry. With
+        # --state-dir, a rerun resumes at the recovered tick and runs to
+        # the same total, so interrupted and clean runs converge.
+        harness = ServeHarness(
+            args.tenants or 10,
+            config=config,
+            state_dir=args.state_dir,
+            observer=observer,
+            seed=args.seed,
+            scenario=args.scenario,
+            scenario_minutes=args.minutes,
+            crash_rate=args.crash_rate,
+            crash_horizon_ticks=args.minutes,
+        )
+        if harness.plane.recovery is not None:
+            recovery = harness.plane.recovery
+            print(
+                f"recovered {recovery['recovered_tenants']} tenants at "
+                f"tick {recovery['tick']} from {args.state_dir}"
+            )
+        harness.run(max(0, args.minutes - harness.plane.tick))
+        audit = harness.audit()
+        print(
+            f"served {audit['tenants']} tenants to tick {audit['tick']}: "
+            f"{audit['supervisor']['restarts']} restarts, "
+            f"{audit['supervisor']['quarantines']} quarantines, "
+            f"{audit['admission']['shed']} samples shed, "
+            f"{audit['breakers']['opens']} breaker opens"
+        )
+        _serve_outputs(args, harness.plane, observer)
+        if args.state_dir:
+            harness.plane.quiesce("headless_complete")
+        return 0
+
+    import asyncio
+
+    plane = ControlPlane(config, state_dir=args.state_dir, observer=observer)
+    for spec in build_specs(
+        args.tenants,
+        seed=args.seed,
+        scenario=args.scenario,
+        scenario_minutes=args.minutes,
+        crash_rate=args.crash_rate,
+        crash_horizon_ticks=args.minutes,
+    ):
+        if spec.tenant not in plane.specs:
+            plane.register(spec)
+    daemon = ServeDaemon(
+        plane,
+        port=args.port,
+        tick_seconds=args.tick_seconds,
+        max_ticks=args.max_ticks,
+        jsonl_path=args.access_log,
+        announce=True,
+    )
+    code = asyncio.run(daemon.run())
+    _serve_outputs(args, plane, observer)
+    return code
+
+
 def _run_lint(args: argparse.Namespace) -> int:
     """Run the domain-aware static analyser and render its report."""
     import os
@@ -982,6 +1216,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "chaos":
         return _run_chaos(args)
+
+    if args.command == "serve":
+        return _run_serve(args)
 
     if args.command == "lint":
         return _run_lint(args)

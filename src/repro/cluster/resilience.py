@@ -78,6 +78,13 @@ class RetryPolicy:
     deadline_minutes:
         A decision older than this is abandoned rather than retried —
         by then fresher consultations describe the workload better.
+    max_total_delay_minutes:
+        Optional cap on the *cumulative* delay across attempts. A
+        supervisor reusing this policy for restart backoff passes the
+        minutes already spent waiting; once the budget is exhausted the
+        delay collapses to zero so a misconfigured policy (huge
+        multiplier, huge per-attempt cap) can never stall a tenant
+        restart forever. ``None`` leaves backoff unbounded in total.
     """
 
     base_delay_minutes: float = 1.0
@@ -85,6 +92,7 @@ class RetryPolicy:
     max_delay_minutes: float = 8.0
     jitter_fraction: float = 0.25
     deadline_minutes: int = 30
+    max_total_delay_minutes: float | None = None
 
     def __post_init__(self) -> None:
         if self.base_delay_minutes <= 0:
@@ -108,6 +116,14 @@ class RetryPolicy:
             raise ConfigError(
                 f"deadline_minutes must be >= 1, got {self.deadline_minutes}"
             )
+        if (
+            self.max_total_delay_minutes is not None
+            and self.max_total_delay_minutes <= 0
+        ):
+            raise ConfigError(
+                "max_total_delay_minutes must be > 0 or None, got "
+                f"{self.max_total_delay_minutes}"
+            )
 
     def backoff_minutes(self, attempt: int) -> float:
         """Deterministic (pre-jitter) delay for 1-based ``attempt``."""
@@ -118,18 +134,29 @@ class RetryPolicy:
             self.max_delay_minutes,
         )
 
-    def delay_minutes(self, attempt: int, key: int = 0) -> float:
+    def delay_minutes(
+        self, attempt: int, key: int = 0, spent_minutes: float = 0.0
+    ) -> float:
         """Jittered delay for ``attempt``; pure in ``(attempt, key)``.
 
         ``key`` folds in whatever identifies the retry stream (the
         resilience seed and the decision minute), so each decision's
         backoff sequence is independent yet replayable.
+
+        ``spent_minutes`` is the cumulative delay already consumed by
+        earlier attempts of the same stream. When
+        ``max_total_delay_minutes`` is set, the returned delay is
+        clamped so ``spent + delay`` never exceeds the budget — an
+        exhausted budget yields ``0.0`` (retry immediately).
         """
         base = self.backoff_minutes(attempt)
-        if self.jitter_fraction <= 0:
-            return base
-        unit = random.Random(int(key) * 1_000_003 + attempt).random()
-        return base * (1.0 + self.jitter_fraction * unit)
+        if self.jitter_fraction > 0:
+            unit = random.Random(int(key) * 1_000_003 + attempt).random()
+            base *= 1.0 + self.jitter_fraction * unit
+        if self.max_total_delay_minutes is not None:
+            remaining = self.max_total_delay_minutes - spent_minutes
+            base = min(base, max(0.0, remaining))
+        return base
 
 
 @dataclass(frozen=True)
@@ -211,12 +238,16 @@ class ResilientControlLoop(ControlLoop):
         self._safe_mode_entered_minute = 0
         self._pending: _PendingDecision | None = None
         self.safe_mode_minutes = 0
+        self.safe_mode_entries = 0
+        self.safe_mode_exits = 0
         self.retries_scheduled = 0
         self.retries_succeeded = 0
         self.retries_abandoned = 0
         self.rollbacks = 0
         self.quarantined_consults = 0
+        self.quarantine_exits = 0
         self.forecaster_degradations = 0
+        self._quarantine_streak = 0
         if faults is not None:
             self.scaler.faults = faults
             service.operator.faults = faults
@@ -285,6 +316,7 @@ class ResilientControlLoop(ControlLoop):
         self.safe_mode_minutes += 1
         if not self.safe_mode:
             self.safe_mode = True
+            self.safe_mode_entries += 1
             self._safe_mode_entered_minute = minute
             if self.observer is not None:
                 self.observer.safe_mode(minute, reason=reason, action="enter")
@@ -295,6 +327,7 @@ class ResilientControlLoop(ControlLoop):
         if not self.safe_mode:
             return
         self.safe_mode = False
+        self.safe_mode_exits += 1
         if self.observer is not None:
             self.observer.safe_mode(
                 minute,
@@ -313,6 +346,7 @@ class ResilientControlLoop(ControlLoop):
             target = self._consult(minute, current)
         except ReproError as exc:
             self.quarantined_consults += 1
+            self._quarantine_streak += 1
             if self.observer is not None:
                 self.observer.quarantine(
                     minute,
@@ -330,6 +364,11 @@ class ResilientControlLoop(ControlLoop):
                     error="injected forecast failure",
                     degraded_to="reactive",
                 )
+        # The consult landed: a previously-quarantined recommender has
+        # recovered, which the summary reports as a quarantine exit.
+        if self._quarantine_streak > 0:
+            self._quarantine_streak = 0
+            self.quarantine_exits += 1
         # A fresh decision supersedes whatever older target was queued.
         self._pending = None
         if self.scaler.try_enact(target, minute, self.events):
@@ -438,16 +477,36 @@ class ResilientControlLoop(ControlLoop):
                 stuck_minutes=stuck,
             )
 
+    # -- supervision support -------------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear transient decision state so a supervisor can reuse the loop.
+
+        A supervision tree that restarts a crashed tenant wants the same
+        loop object back without a stale pending retry or a safe-mode
+        latch from before the crash — both describe a world the restart
+        invalidated. Cumulative degradation counters are deliberately
+        preserved: they are the tenant's lifetime audit trail, and
+        :meth:`summary` keeps reporting across restarts.
+        """
+        self._pending = None
+        self.safe_mode = False
+        self._safe_mode_entered_minute = 0
+        self._quarantine_streak = 0
+
     # -- reporting -----------------------------------------------------------------
 
     def summary(self) -> dict[str, int]:
         """Degradation counters for result ``detail`` blocks."""
         return {
             "safe_mode_minutes": self.safe_mode_minutes,
+            "safe_mode_entries": self.safe_mode_entries,
+            "safe_mode_exits": self.safe_mode_exits,
             "retries_scheduled": self.retries_scheduled,
             "retries_succeeded": self.retries_succeeded,
             "retries_abandoned": self.retries_abandoned,
             "rollbacks": self.rollbacks,
             "quarantined_consults": self.quarantined_consults,
+            "quarantine_exits": self.quarantine_exits,
             "forecaster_degradations": self.forecaster_degradations,
         }

@@ -105,3 +105,15 @@ class FleetError(ReproError):
     during a run; they are captured as typed
     :class:`~repro.fleet.jobs.JobFailure` records instead.
     """
+
+
+class ServeError(ReproError):
+    """The serve control plane was misconfigured or its state is unusable.
+
+    Raised by :mod:`repro.serve` for operator-side problems — a state
+    directory written by a different configuration (signature mismatch),
+    a recovery replay that disagrees with its committed audit, a tenant
+    registered twice. Individual tenant crashes never raise this during
+    a run; the supervision tree captures them and restarts or
+    quarantines the tenant instead.
+    """

@@ -40,6 +40,7 @@ DETERMINISTIC_DOMAINS = (
     "repro.analysis",
     "repro.fleet",
     "repro.store",
+    "repro.serve",
 )
 
 #: (resolved module, attribute) pairs that read the wall clock.

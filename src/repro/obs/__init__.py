@@ -34,10 +34,13 @@ without an attached observer.
 from __future__ import annotations
 
 from .events import (
+    AdmissionRejectedEvent,
+    BreakerTransitionEvent,
     CacheEvictedEvent,
     CacheHitEvent,
     CacheMissEvent,
     DecisionEvent,
+    DrainEvent,
     EventBus,
     FaultInjectedEvent,
     FleetJobFailedEvent,
@@ -52,6 +55,11 @@ from .events import (
     RingBufferSink,
     RollbackEvent,
     SafeModeEvent,
+    StateRecoveredEvent,
+    TelemetryShedEvent,
+    TenantQuarantineEvent,
+    TenantRegisteredEvent,
+    TenantRestartEvent,
     ThrottledMinuteEvent,
     TraceStartedEvent,
 )
@@ -79,6 +87,8 @@ from .tracing import (
 )
 
 __all__ = [
+    "AdmissionRejectedEvent",
+    "BreakerTransitionEvent",
     "CacheEvictedEvent",
     "EVENT_SCHEMA_VERSION",
     "TraceRead",
@@ -87,6 +97,7 @@ __all__ = [
     "CacheMissEvent",
     "Counter",
     "DecisionEvent",
+    "DrainEvent",
     "EventBus",
     "FaultInjectedEvent",
     "FleetJobFailedEvent",
@@ -108,6 +119,11 @@ __all__ = [
     "SafeModeEvent",
     "SpanCollector",
     "SpanRecord",
+    "StateRecoveredEvent",
+    "TelemetryShedEvent",
+    "TenantQuarantineEvent",
+    "TenantRegisteredEvent",
+    "TenantRestartEvent",
     "ThrottledMinuteEvent",
     "TraceGraph",
     "TraceSpan",

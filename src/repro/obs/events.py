@@ -48,6 +48,27 @@ One more anchors causal traces (:mod:`repro.obs.tracing`):
 - :class:`TraceStartedEvent` — a run-scoped trace opened; every event
   stamped with the same ``trace_id`` belongs to that run.
 
+Eight more cover the multi-tenant control plane (:mod:`repro.serve`);
+for these the ``minute`` field carries the daemon's global *tick* and
+every event names its tenant (daemon-scoped events use ``tenant=""``):
+
+- :class:`TenantRegisteredEvent` — a tenant admitted to the plane
+  (``source="recovery"`` when replayed from the state journal);
+- :class:`TelemetryShedEvent` — a bounded tenant queue dropped its
+  oldest samples to admit newer ones (load shedding);
+- :class:`AdmissionRejectedEvent` — an ingest refused outright
+  (global saturation, drain, unknown tenant) — the 429 path;
+- :class:`BreakerTransitionEvent` — a per-tenant circuit breaker
+  moving between closed/open/half-open;
+- :class:`TenantRestartEvent` — the supervisor scheduling
+  (``action="scheduled"``) or completing (``action="completed"``) a
+  crashed tenant's restart;
+- :class:`TenantQuarantineEvent` — a flapping tenant entering or
+  leaving supervisor quarantine;
+- :class:`DrainEvent` — graceful drain beginning/completing;
+- :class:`StateRecoveredEvent` — crash-safe state replayed from the
+  journal/snapshot on startup (the ``recovered_tenants`` audit).
+
 Events are frozen dataclasses with a flat :meth:`ObsEvent.to_dict`
 serialisation so any sink — ring buffer, JSONL file, ``logging`` — can
 consume them without knowing the concrete type. Every event carries
@@ -83,6 +104,14 @@ __all__ = [
     "CacheHitEvent",
     "CacheMissEvent",
     "CacheEvictedEvent",
+    "TenantRegisteredEvent",
+    "TelemetryShedEvent",
+    "AdmissionRejectedEvent",
+    "BreakerTransitionEvent",
+    "TenantRestartEvent",
+    "TenantQuarantineEvent",
+    "DrainEvent",
+    "StateRecoveredEvent",
     "EventBus",
     "RingBufferSink",
     "LoggingSink",
@@ -430,6 +459,137 @@ class CacheEvictedEvent(ObsEvent):
     reason: str = "gc"
 
 
+@dataclass(frozen=True)
+class TenantRegisteredEvent(ObsEvent):
+    """A tenant admitted to the serve control plane.
+
+    ``source`` is ``"api"`` for a live registration and ``"recovery"``
+    when the registration was replayed from the state journal during
+    crash recovery.
+    """
+
+    kind: ClassVar[str] = "tenant_registered"
+
+    tenant: str = ""
+    seed: int = 0
+    source: str = "api"
+
+
+@dataclass(frozen=True)
+class TelemetryShedEvent(ObsEvent):
+    """A bounded tenant queue dropped its oldest samples (load shedding).
+
+    Backpressure policy: the queue admits the new samples and sheds from
+    the *front*, so under overload the plane keeps the freshest
+    telemetry rather than the oldest.
+    """
+
+    kind: ClassVar[str] = "telemetry_shed"
+
+    tenant: str = ""
+    dropped: int = 0
+    queue_capacity: int = 0
+
+
+@dataclass(frozen=True)
+class AdmissionRejectedEvent(ObsEvent):
+    """An ingest refused outright — the HTTP 429/503 path.
+
+    ``reason`` is ``"saturated"`` (global in-flight sample cap hit),
+    ``"draining"`` (graceful shutdown in progress) or
+    ``"unknown-tenant"``.
+    """
+
+    kind: ClassVar[str] = "admission_rejected"
+
+    tenant: str = ""
+    reason: str = "saturated"
+
+
+@dataclass(frozen=True)
+class BreakerTransitionEvent(ObsEvent):
+    """A per-tenant circuit breaker changed state.
+
+    States are ``closed`` (consults flow), ``open`` (consults skipped,
+    allocation held) and ``half_open`` (one probe consult allowed).
+    ``failures`` is the consecutive-failure count that drove the
+    transition.
+    """
+
+    kind: ClassVar[str] = "breaker_transition"
+
+    tenant: str = ""
+    from_state: str = "closed"
+    to_state: str = "open"
+    failures: int = 0
+
+
+@dataclass(frozen=True)
+class TenantRestartEvent(ObsEvent):
+    """The supervisor restarting a crashed tenant task.
+
+    ``action="scheduled"`` records the crash and the backoff chosen for
+    it; ``action="completed"`` records the tenant resuming after the
+    backoff elapsed (its loop reset via
+    :meth:`~repro.cluster.resilience.ResilientControlLoop.reset`).
+    """
+
+    kind: ClassVar[str] = "tenant_restart"
+
+    tenant: str = ""
+    attempt: int = 0
+    backoff_ticks: int = 0
+    action: str = "scheduled"
+    error: str = ""
+
+
+@dataclass(frozen=True)
+class TenantQuarantineEvent(ObsEvent):
+    """A flapping tenant entering/leaving supervisor quarantine.
+
+    ``restarts`` is the restart count inside the flap-detection window
+    that triggered the quarantine (0 on release).
+    """
+
+    kind: ClassVar[str] = "tenant_quarantine"
+
+    tenant: str = ""
+    action: str = "enter"  # "enter" | "exit"
+    restarts: int = 0
+
+
+@dataclass(frozen=True)
+class DrainEvent(ObsEvent):
+    """Graceful drain lifecycle (``action``: ``begin``/``complete``).
+
+    Between the two events the plane stops admitting telemetry,
+    finishes in-flight decisions and snapshots its state.
+    """
+
+    kind: ClassVar[str] = "drain"
+
+    action: str = "begin"
+    reason: str = ""
+    pending: int = 0
+
+
+@dataclass(frozen=True)
+class StateRecoveredEvent(ObsEvent):
+    """Crash-safe state replayed on startup (``minute`` is the recovered tick).
+
+    ``recovered_tenants`` is the number of tenants rebuilt from the
+    journal/snapshot; ``records`` the input records replayed;
+    ``snapshot_tick`` the tick of the compacted snapshot the replay
+    started from (0 when recovery used the journal alone).
+    """
+
+    kind: ClassVar[str] = "state_recovered"
+
+    recovered_tenants: int = 0
+    records: int = 0
+    snapshot_tick: int = 0
+
+
 _EVENT_TYPES: dict[str, type[ObsEvent]] = {
     cls.kind: cls
     for cls in (
@@ -449,6 +609,14 @@ _EVENT_TYPES: dict[str, type[ObsEvent]] = {
         CacheHitEvent,
         CacheMissEvent,
         CacheEvictedEvent,
+        TenantRegisteredEvent,
+        TelemetryShedEvent,
+        AdmissionRejectedEvent,
+        BreakerTransitionEvent,
+        TenantRestartEvent,
+        TenantQuarantineEvent,
+        DrainEvent,
+        StateRecoveredEvent,
     )
 }
 

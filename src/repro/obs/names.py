@@ -38,6 +38,7 @@ SPAN_NAMES = (
 SPAN_NAME_PREFIXES = (
     "sweep.trace.",
     "forecast.",
+    "serve.",
 )
 
 #: Exact trace names usable as literals in ``observer.trace(...)``.
@@ -49,6 +50,7 @@ TRACE_NAME_PREFIXES = (
     "simulate:",
     "live:",
     "fleet:",
+    "serve:",
 )
 
 

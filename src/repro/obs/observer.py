@@ -35,6 +35,14 @@ metric                          meaning
 ``store_misses_total{kind=}``   result-store misses by key namespace
 ``store_evictions_total``       blobs removed by size-budgeted GC
 ``store_bytes``                 on-disk size of the result store
+``serve_tenants_total{source=}``  tenants registered (api vs recovery)
+``serve_shed_samples_total``    telemetry samples dropped by shedding
+``serve_rejections_total{reason=}``  ingests refused (429/503 path)
+``serve_breaker_transitions_total{to_state=}``  breaker state changes
+``serve_restarts_total{action=}``  supervisor restarts by phase
+``serve_quarantines_total{action=}``  tenant quarantine enters/exits
+``serve_drains_total{action=}``  graceful drains begun/completed
+``serve_recovered_tenants``     tenants rebuilt by last state recovery
 ==============================  ======================================
 """
 
@@ -44,10 +52,13 @@ from contextlib import AbstractContextManager, contextmanager
 from typing import TYPE_CHECKING, Any, Iterator
 
 from .events import (
+    AdmissionRejectedEvent,
+    BreakerTransitionEvent,
     CacheEvictedEvent,
     CacheHitEvent,
     CacheMissEvent,
     DecisionEvent,
+    DrainEvent,
     EventBus,
     FaultInjectedEvent,
     FleetJobFailedEvent,
@@ -61,6 +72,11 @@ from .events import (
     RingBufferSink,
     RollbackEvent,
     SafeModeEvent,
+    StateRecoveredEvent,
+    TelemetryShedEvent,
+    TenantQuarantineEvent,
+    TenantRegisteredEvent,
+    TenantRestartEvent,
     ThrottledMinuteEvent,
 )
 from .events import TraceStartedEvent
@@ -574,6 +590,183 @@ class Observer:
             "store_evictions_total",
             "Result-store blobs removed by size-budgeted GC",
         ).inc()
+        return event
+
+    # -- serve control-plane lifecycle -----------------------------------------
+
+    def tenant_registered(
+        self, tick: int, tenant: str, seed: int = 0, source: str = "api"
+    ) -> TenantRegisteredEvent:
+        """Record a tenant admitted to the serve plane."""
+        event = TenantRegisteredEvent(
+            minute=tick,
+            **self._trace_fields("tenant_registered", tick, None, tenant),
+            tenant=tenant,
+            seed=seed,
+            source=source,
+        )
+        self.bus.emit(event)
+        self.metrics.counter(
+            "serve_tenants_total",
+            "Tenants registered with the serve plane",
+            labelnames=("source",),
+        ).inc(source=source)
+        return event
+
+    def telemetry_shed(
+        self, tick: int, tenant: str, dropped: int, queue_capacity: int
+    ) -> TelemetryShedEvent:
+        """Record oldest-drop load shedding on one tenant queue."""
+        event = TelemetryShedEvent(
+            minute=tick,
+            **self._trace_fields("telemetry_shed", tick, None, tenant),
+            tenant=tenant,
+            dropped=dropped,
+            queue_capacity=queue_capacity,
+        )
+        self.bus.emit(event)
+        self.metrics.counter(
+            "serve_shed_samples_total",
+            "Telemetry samples dropped by queue load shedding",
+        ).inc(dropped)
+        return event
+
+    def admission_rejected(
+        self, tick: int, tenant: str, reason: str
+    ) -> AdmissionRejectedEvent:
+        """Record an ingest refused outright (the 429/503 path)."""
+        event = AdmissionRejectedEvent(
+            minute=tick,
+            **self._trace_fields(
+                "admission_rejected", tick, None, f"{tenant}:{reason}"
+            ),
+            tenant=tenant,
+            reason=reason,
+        )
+        self.bus.emit(event)
+        self.metrics.counter(
+            "serve_rejections_total",
+            "Ingests refused by admission control",
+            labelnames=("reason",),
+        ).inc(reason=reason)
+        return event
+
+    def breaker_transition(
+        self,
+        tick: int,
+        tenant: str,
+        from_state: str,
+        to_state: str,
+        failures: int = 0,
+    ) -> BreakerTransitionEvent:
+        """Record a per-tenant circuit-breaker state change."""
+        event = BreakerTransitionEvent(
+            minute=tick,
+            **self._trace_fields(
+                "breaker_transition", tick, None, f"{tenant}:{to_state}"
+            ),
+            tenant=tenant,
+            from_state=from_state,
+            to_state=to_state,
+            failures=failures,
+        )
+        self.bus.emit(event)
+        self.metrics.counter(
+            "serve_breaker_transitions_total",
+            "Circuit-breaker transitions by target state",
+            labelnames=("to_state",),
+        ).inc(to_state=to_state)
+        return event
+
+    def tenant_restart(
+        self,
+        tick: int,
+        tenant: str,
+        attempt: int,
+        action: str,
+        backoff_ticks: int = 0,
+        error: str = "",
+    ) -> TenantRestartEvent:
+        """Record a supervisor restart (``action``: scheduled/completed)."""
+        event = TenantRestartEvent(
+            minute=tick,
+            **self._trace_fields(
+                "tenant_restart", tick, None, f"{tenant}:{action}:{attempt}"
+            ),
+            tenant=tenant,
+            attempt=attempt,
+            backoff_ticks=backoff_ticks,
+            action=action,
+            error=error,
+        )
+        self.bus.emit(event)
+        self.metrics.counter(
+            "serve_restarts_total",
+            "Supervisor tenant restarts by phase",
+            labelnames=("action",),
+        ).inc(action=action)
+        return event
+
+    def tenant_quarantine(
+        self, tick: int, tenant: str, action: str, restarts: int = 0
+    ) -> TenantQuarantineEvent:
+        """Record a flapping tenant entering/leaving quarantine."""
+        event = TenantQuarantineEvent(
+            minute=tick,
+            **self._trace_fields(
+                "tenant_quarantine", tick, None, f"{tenant}:{action}"
+            ),
+            tenant=tenant,
+            action=action,
+            restarts=restarts,
+        )
+        self.bus.emit(event)
+        self.metrics.counter(
+            "serve_quarantines_total",
+            "Tenant quarantine transitions",
+            labelnames=("action",),
+        ).inc(action=action)
+        return event
+
+    def drain(
+        self, tick: int, action: str, reason: str = "", pending: int = 0
+    ) -> DrainEvent:
+        """Record graceful-drain lifecycle (``action``: begin/complete)."""
+        event = DrainEvent(
+            minute=tick,
+            **self._trace_fields("drain", tick, None, action),
+            action=action,
+            reason=reason,
+            pending=pending,
+        )
+        self.bus.emit(event)
+        self.metrics.counter(
+            "serve_drains_total",
+            "Graceful drains by phase",
+            labelnames=("action",),
+        ).inc(action=action)
+        return event
+
+    def state_recovered(
+        self,
+        tick: int,
+        recovered_tenants: int,
+        records: int,
+        snapshot_tick: int = 0,
+    ) -> StateRecoveredEvent:
+        """Record crash-safe state replayed on startup."""
+        event = StateRecoveredEvent(
+            minute=tick,
+            **self._trace_fields("state_recovered", tick),
+            recovered_tenants=recovered_tenants,
+            records=records,
+            snapshot_tick=snapshot_tick,
+        )
+        self.bus.emit(event)
+        self.metrics.gauge(
+            "serve_recovered_tenants",
+            "Tenants rebuilt by the most recent state recovery",
+        ).set(float(recovered_tenants))
         return event
 
     def store_bytes(self, nbytes: int) -> None:

@@ -1,0 +1,60 @@
+"""Multi-tenant serve daemon: CaaSPER control loops as a service.
+
+This package turns the single-run simulator into a long-lived control
+plane — ``caasper serve`` — that registers tenants, ingests per-tenant
+telemetry, steps one hardened control loop per tenant on a
+simulated-minute tick, and survives the failures a daemon actually
+meets: crashing tenant tasks (supervision with bounded-backoff restart
+and quarantine), overload (bounded queues with oldest-drop shedding and
+a global admission gate), flapping recommenders (per-tenant circuit
+breakers), and its own death (an input-sourced journal + snapshot that
+recovers the exact tick, byte-for-byte, after SIGKILL).
+
+Layering, bottom-up:
+
+- :mod:`repro.serve.config` — :class:`ServeConfig` / :class:`TenantSpec`
+- :mod:`repro.serve.admission` — queues, shedding, the 429 path
+- :mod:`repro.serve.breaker` — closed/open/half-open consult breaker
+- :mod:`repro.serve.supervisor` — restart backoff + quarantine
+- :mod:`repro.serve.tenant` — one tenant's deployment + guarded loop
+- :mod:`repro.serve.state` — crash-safe journal/snapshot
+- :mod:`repro.serve.plane` — the deterministic engine tying it together
+- :mod:`repro.serve.harness` — seeded multi-tenant load driver
+- :mod:`repro.serve.drill` — the chaos + SIGKILL self-check
+- :mod:`repro.serve.server` — the asyncio HTTP edge (the only module
+  here allowed wall-clock access, for its access log)
+
+Everything below :mod:`~repro.serve.server` is deterministic and
+clock-free (lint rule DET001 enforces it for the whole domain).
+"""
+
+from .admission import AdmissionController, AdmissionDecision, TelemetryQueue
+from .breaker import CircuitBreaker
+from .config import ServeConfig, TenantSpec
+from .drill import drill_config, run_drill
+from .harness import ServeHarness, build_specs
+from .plane import ControlPlane
+from .server import ServeDaemon
+from .state import RecoveredInputs, ServeState
+from .supervisor import Supervisor, TenantSupervision
+from .tenant import GuardedControlLoop, TenantRuntime
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "CircuitBreaker",
+    "ControlPlane",
+    "GuardedControlLoop",
+    "RecoveredInputs",
+    "ServeConfig",
+    "ServeDaemon",
+    "ServeHarness",
+    "ServeState",
+    "Supervisor",
+    "TelemetryQueue",
+    "TenantRuntime",
+    "TenantSpec",
+    "build_specs",
+    "drill_config",
+    "run_drill",
+]

@@ -1,0 +1,129 @@
+"""Per-tenant circuit breaker around recommender/actuation calls.
+
+The hardened loop already *absorbs* individual failures (quarantined
+consults, actuation retries). The breaker adds the fleet-operator
+concern on top: a tenant whose recommender is crashing every consult
+should stop being consulted for a while, both to shed the wasted work
+and to give the failing component a quiet window to recover — the
+classic closed → open → half-open automaton:
+
+- **closed** — consults flow; consecutive failures are counted, and
+  reaching ``failure_threshold`` opens the breaker.
+- **open** — consults are skipped (the loop holds its allocation, the
+  same degraded mode as a quarantined consult). After ``open_ticks``
+  the next consult is allowed through as a half-open probe.
+- **half-open** — exactly one probe: success closes the breaker,
+  failure re-opens it for another ``open_ticks``.
+
+Failure semantics reuse the loop's own accounting — a consult that
+raised a :class:`~repro.errors.ReproError` (which covers
+``FaultError``/``DegradedModeError``) counts as a failure; a clean
+decision counts as success. Enactment rejections are deliberately *not*
+failures: cooldowns, availability budgets and in-flight updates reject
+resizes during perfectly healthy operation, and the loop's retry
+ladder already owns that path. Transitions
+are reported through a callback so the owning plane can emit
+:class:`~repro.obs.events.BreakerTransitionEvent` with its tenant id.
+
+State is a pure function of the (minute, outcome) call sequence — no
+clocks, no randomness — so journal replay reproduces every transition.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ServeError
+
+__all__ = ["CircuitBreaker"]
+
+#: ``on_transition(minute, from_state, to_state, failures)``
+TransitionCallback = Callable[[int, str, str, int], None]
+
+
+class CircuitBreaker:
+    """Closed/open/half-open automaton for one tenant's consults."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int,
+        open_ticks: int,
+        on_transition: TransitionCallback | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ServeError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if open_ticks < 1:
+            raise ServeError(f"open_ticks must be >= 1, got {open_ticks}")
+        self.failure_threshold = failure_threshold
+        self.open_ticks = open_ticks
+        self.on_transition = on_transition
+        self.state = self.CLOSED
+        self.failures = 0
+        self.opened_minute = 0
+        self.opens = 0
+        self.closes = 0
+        self.skipped_consults = 0
+
+    def _transition(self, minute: int, to_state: str) -> None:
+        from_state = self.state
+        self.state = to_state
+        if to_state == self.OPEN:
+            self.opened_minute = minute
+            self.opens += 1
+        elif to_state == self.CLOSED:
+            self.closes += 1
+        if self.on_transition is not None:
+            self.on_transition(minute, from_state, to_state, self.failures)
+
+    def allow(self, minute: int) -> bool:
+        """True when a consult may run at ``minute``.
+
+        An open breaker whose quiet window elapsed moves to half-open
+        and admits the caller as its probe; the caller must report the
+        probe's outcome via :meth:`record_success`/:meth:`record_failure`.
+        """
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            if minute - self.opened_minute >= self.open_ticks:
+                self._transition(minute, self.HALF_OPEN)
+                return True
+            self.skipped_consults += 1
+            return False
+        # Half-open with a probe already granted this call sequence:
+        # nothing else gets through until the probe's outcome lands.
+        self.skipped_consults += 1
+        return False
+
+    def record_success(self, minute: int) -> None:
+        """A consult completed cleanly; half-open probes close the breaker."""
+        self.failures = 0
+        if self.state != self.CLOSED:
+            self._transition(minute, self.CLOSED)
+
+    def record_failure(self, minute: int) -> None:
+        """A consult failed; threshold or probe failure opens the breaker."""
+        self.failures += 1
+        if self.state == self.HALF_OPEN:
+            self._transition(minute, self.OPEN)
+        elif (
+            self.state == self.CLOSED
+            and self.failures >= self.failure_threshold
+        ):
+            self._transition(minute, self.OPEN)
+
+    def summary(self) -> dict[str, int | str]:
+        """Deterministic state snapshot for status blocks."""
+        return {
+            "state": self.state,
+            "failures": self.failures,
+            "opens": self.opens,
+            "closes": self.closes,
+            "skipped_consults": self.skipped_consults,
+        }

@@ -1,0 +1,202 @@
+"""Deterministic multi-tenant load harness for the serve plane.
+
+:class:`ServeHarness` is the in-process stand-in for a fleet of
+telemetry agents: it builds N tenant specs with varied diurnal
+workloads, streams their samples into a :class:`~repro.serve.plane
+.ControlPlane` on a seeded burst/gap schedule, and ticks the plane —
+the same drive used by the chaos drill, the crash-recovery tests, the
+throughput benchmark and the CLI's headless mode.
+
+The load schedule is a **pure function of (seed, tick)** — which batch
+each tenant offers at tick *T* never depends on what was admitted
+before. Rejected samples are dropped, not retried. Those two choices
+make the whole run replayable: a harness attached to a recovered plane
+recomputes its stream offsets from the tick counter alone and resumes
+pushing the exact samples the dead process would have pushed, so an
+interrupted run converges byte-for-byte with an uninterrupted one.
+
+The one crash-edge subtlety lives in :meth:`_sync`: a SIGKILL can land
+either side of the interrupted tick's (atomic) telemetry journal
+record. The harness asks the recovered plane whether that batch is
+already in its world (:meth:`~repro.serve.plane.ControlPlane
+.last_ingest_tick`) and either skips or re-offers it accordingly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from ..obs.observer import Observer
+from ..workloads import synthetic
+from .config import ServeConfig, TenantSpec
+from .plane import ControlPlane
+
+__all__ = ["ServeHarness", "build_specs"]
+
+
+def build_specs(
+    tenants: int,
+    seed: int = 0,
+    scenario: str = "",
+    scenario_minutes: int = 720,
+    crash_rate: float = 0.0,
+    crash_horizon_ticks: int = 0,
+    replicas: int = 2,
+) -> list[TenantSpec]:
+    """N tenant specs with varied guardrails and per-tenant seeds."""
+    width = max(3, len(str(max(tenants - 1, 0))))
+    specs: list[TenantSpec] = []
+    for index in range(tenants):
+        max_cores = 8 + (index % 3) * 4  # 8 / 12 / 16
+        specs.append(
+            TenantSpec(
+                tenant=f"t{index:0{width}d}",
+                seed=seed * 100_003 + index * 31 + 7,
+                min_cores=2,
+                max_cores=max_cores,
+                initial_cores=4,
+                replicas=replicas,
+                decision_interval_minutes=5 + (index % 3) * 5,
+                proactive=index % 4 == 0,
+                scenario=scenario,
+                scenario_minutes=scenario_minutes,
+                crash_rate=crash_rate,
+                crash_horizon_ticks=crash_horizon_ticks,
+            )
+        )
+    return specs
+
+
+class ServeHarness:
+    """Streams seeded tenant telemetry into a plane and ticks it."""
+
+    def __init__(
+        self,
+        tenants: int,
+        config: ServeConfig | None = None,
+        state_dir: str | None = None,
+        observer: Observer | None = None,
+        seed: int = 0,
+        scenario: str = "",
+        scenario_minutes: int = 720,
+        crash_rate: float = 0.0,
+        crash_horizon_ticks: int = 0,
+        replicas: int = 2,
+        trace_minutes: int = 1440,
+    ) -> None:
+        if tenants < 1:
+            raise ValueError(f"tenants must be >= 1, got {tenants}")
+        self.seed = seed
+        self.config = config or ServeConfig()
+        self.state_dir = state_dir
+        self.observer = observer
+        self.specs = build_specs(
+            tenants,
+            seed=seed,
+            scenario=scenario,
+            scenario_minutes=scenario_minutes,
+            crash_rate=crash_rate,
+            crash_horizon_ticks=crash_horizon_ticks,
+            replicas=replicas,
+        )
+        self._traces = [
+            self._trace(index, trace_minutes) for index in range(tenants)
+        ]
+        self._offsets = [0] * tenants
+        self._resume_skip_tick = -1
+        self.plane = ControlPlane(
+            self.config, state_dir=state_dir, observer=observer
+        )
+        self._sync()
+
+    def _trace(self, index: int, minutes: int) -> list[float]:
+        """One tenant's demand stream (consumed modulo its length)."""
+        trace = synthetic.diurnal_sine(
+            days=minutes / 1440.0,
+            base_cores=1.5 + (index % 5) * 0.6,
+            amplitude_cores=2.0 + (index % 7) * 0.7,
+            peak_hour=float((5 * index) % 24),
+            sigma=0.10,
+            seed=self.seed * 9176 + index,
+            name=f"serve-load-{index}",
+        )
+        return [float(sample) for sample in trace.samples]
+
+    # -- resumable scheduling ------------------------------------------------------
+
+    def _batch_sizes(self, tick: int) -> list[int]:
+        """Per-tenant batch sizes for one tick: gaps, singles, bursts."""
+        rng = random.Random(self.seed * 1_000_003 + tick * 97)
+        capacity = self.config.queue_capacity
+        sizes: list[int] = []
+        for _ in self.specs:
+            unit = rng.random()
+            if unit < 0.06:
+                sizes.append(0)  # a gap: the tenant's agent went quiet
+            elif unit > 0.93:
+                sizes.append(rng.randint(2, capacity + 2))  # a burst
+            else:
+                sizes.append(1)
+        return sizes
+
+    def _sync(self) -> None:
+        """Align the stream offsets with a (possibly recovered) plane."""
+        for spec in self.specs:
+            if spec.tenant not in self.plane.specs:
+                self.plane.register(spec)
+        skip = self.plane.last_ingest_tick() >= self.plane.tick
+        self._resume_skip_tick = self.plane.tick if skip else -1
+        self._offsets = [0] * len(self.specs)
+        through = self.plane.tick + (1 if skip else 0)
+        for tick in range(through):
+            for index, size in enumerate(self._batch_sizes(tick)):
+                self._offsets[index] += size
+
+    def _take(self, index: int, count: int) -> list[float]:
+        trace = self._traces[index]
+        offset = self._offsets[index]
+        self._offsets[index] = offset + count
+        return [trace[(offset + at) % len(trace)] for at in range(count)]
+
+    # -- driving -------------------------------------------------------------------
+
+    def push_tick(self, tick: int) -> None:
+        """Offer every tenant's scheduled batch for one tick."""
+        batch: dict[str, list[float]] = {}
+        sizes = self._batch_sizes(tick)
+        for index, spec in enumerate(self.specs):
+            size = sizes[index]
+            if size:
+                batch[spec.tenant] = self._take(index, size)
+        if batch:
+            self.plane.ingest_batch(batch)
+
+    def run(self, ticks: int) -> None:
+        """Push and step ``ticks`` simulated minutes."""
+        for _ in range(ticks):
+            tick = self.plane.tick
+            if tick != self._resume_skip_tick:
+                self.push_tick(tick)
+            self.plane.step_tick()
+
+    # -- crash / recovery ----------------------------------------------------------
+
+    def crash(self) -> None:
+        """Simulate a SIGKILL of the serving process (no drain, no snapshot)."""
+        self.plane.abandon()
+
+    def reopen(self) -> None:
+        """Restart: rebuild the plane from the state dir and resume."""
+        self.plane = ControlPlane(
+            self.config, state_dir=self.state_dir, observer=self.observer
+        )
+        self._sync()
+
+    # -- reporting -----------------------------------------------------------------
+
+    def kcn(self) -> dict[str, dict[str, float | int]]:
+        return self.plane.kcn()
+
+    def audit(self) -> dict[str, Any]:
+        return self.plane.audit()

@@ -1,0 +1,309 @@
+"""The asyncio I/O edge of ``caasper serve``.
+
+:class:`ServeDaemon` wraps a :class:`~repro.serve.plane.ControlPlane`
+with a deliberately thin line-oriented HTTP/1.1 server. Every route is
+a direct call into the plane, and all handlers run on the single event
+loop thread, so the plane needs no locks — request handling is
+serialised exactly like the journal that records it.
+
+Routes::
+
+    GET  /healthz     liveness (200 while the process serves)
+    GET  /readyz      readiness (503 + reasons while degraded/draining)
+    GET  /metrics     Prometheus text exposition of the observer registry
+    GET  /state       full deterministic plane status (JSON)
+    POST /tenants     register one tenant (TenantSpec fields as JSON)
+    POST /telemetry   ingest samples: {"tenant":..., "samples":[...]}
+                      or {"batch": {tenant: [...], ...}}
+    POST /tick        step one simulated minute (manual drive)
+    POST /drain       graceful drain + shutdown
+
+``SIGTERM``/``SIGINT`` trigger the graceful path: stop admitting,
+finish queued work (bounded), snapshot, exit 0. A ``tick_seconds``
+interval runs the simulated-minute tick loop off ``asyncio.sleep``;
+``tick_seconds=0`` leaves ticking to ``POST /tick`` (how tests and the
+CI smoke drive time deterministically).
+
+This module is the *only* place in :mod:`repro.serve` allowed to read
+the wall clock, and only to timestamp its JSONL access log — every
+control decision below it is keyed on the simulated tick.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+from pathlib import Path
+from typing import Any
+
+from ..errors import ServeError
+from .config import TenantSpec
+from .plane import ControlPlane
+
+__all__ = ["ServeDaemon"]
+
+_MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+def _wall_seconds() -> float:
+    """Wall-clock timestamp for the access log — the marked I/O edge."""
+    return time.time()  # lint: disable=DET001 - serve I/O edge: access-log timestamps only
+
+
+class ServeDaemon:
+    """One plane behind one listening socket, with graceful shutdown."""
+
+    def __init__(
+        self,
+        plane: ControlPlane,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tick_seconds: float = 0.0,
+        max_ticks: int = 0,
+        jsonl_path: str | None = None,
+        announce: bool = False,
+    ) -> None:
+        self.plane = plane
+        self.host = host
+        self.port = port
+        self.tick_seconds = tick_seconds
+        self.max_ticks = max_ticks
+        self.jsonl_path = Path(jsonl_path) if jsonl_path else None
+        self.announce = announce
+        self.bound_port: int | None = None
+        self.exit_code = 0
+        self._server: asyncio.base_events.Server | None = None
+        self._shutdown = asyncio.Event()
+        self._drain_reason = "shutdown"
+        self._ticks_run = 0
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    async def run(self) -> int:
+        """Serve until drained; returns the process exit code."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.bound_port = sockets[0].getsockname()[1]
+        self._log("listening", port=self.bound_port)
+        if self.announce:
+            print(f"serving on {self.host}:{self.bound_port}", flush=True)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum, self.request_shutdown, signal.Signals(signum).name
+                )
+            except (NotImplementedError, RuntimeError):  # lint: disable=EXC001 - platform without signal handlers
+                pass
+        ticker = (
+            asyncio.ensure_future(self._tick_loop())
+            if self.tick_seconds > 0
+            else None
+        )
+        await self._shutdown.wait()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.remove_signal_handler(signum)
+            except (NotImplementedError, RuntimeError, ValueError):  # lint: disable=EXC001 - platform without signal handlers
+                pass
+        if ticker is not None:
+            ticker.cancel()
+        self._server.close()
+        await self._server.wait_closed()
+        result = self.plane.drain(self._drain_reason)
+        self._log("drained", **result)
+        return self.exit_code
+
+    def request_shutdown(self, reason: str = "shutdown") -> None:
+        """Begin the graceful drain (signal handlers land here)."""
+        self._drain_reason = reason
+        self._log("shutdown_requested", reason=reason)
+        self._shutdown.set()
+
+    async def _tick_loop(self) -> None:
+        while not self._shutdown.is_set():
+            await asyncio.sleep(self.tick_seconds)
+            if self._shutdown.is_set() or self.plane.drained:
+                return
+            self.plane.step_tick()
+            self._ticks_run += 1
+            if self.max_ticks and self._ticks_run >= self.max_ticks:
+                self.request_shutdown("max_ticks")
+                return
+
+    # -- request handling ----------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._serve_one(reader)
+        except Exception as exc:  # lint: disable=EXC001 - daemon must outlive any request
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        content_type = "application/json"
+        if isinstance(payload, dict) and "_text" in payload:
+            body = str(payload["_text"]).encode("utf-8")
+            content_type = "text/plain; charset=utf-8"
+        head = (
+            f"HTTP/1.1 {status} {_reason(status)}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("ascii")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):  # lint: disable=EXC001 - client went away mid-response
+            pass
+        finally:
+            writer.close()
+
+    async def _serve_one(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, dict[str, Any]]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            return 400, {"error": "empty request"}
+        parts = request_line.split()
+        if len(parts) < 2:
+            return 400, {"error": f"malformed request line {request_line!r}"}
+        method, path = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                content_length = int(value.strip())
+        if content_length > _MAX_BODY_BYTES:
+            return 413, {"error": "request body too large"}
+        body: dict[str, Any] = {}
+        if content_length:
+            raw = await reader.readexactly(content_length)
+            try:
+                body = json.loads(raw)
+            except ValueError:
+                return 400, {"error": "request body is not valid JSON"}
+        status, payload = self._route(method, path, body)
+        self._log("request", method=method, path=path, status=status)
+        return status, payload
+
+    def _route(
+        self, method: str, path: str, body: dict[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        if method == "GET":
+            if path == "/healthz":
+                return 200, {"ok": True, "tick": self.plane.tick}
+            if path == "/readyz":
+                ready, reasons = self.plane.ready()
+                return (200 if ready else 503), {
+                    "ready": ready,
+                    "reasons": reasons,
+                    "tick": self.plane.tick,
+                }
+            if path == "/metrics":
+                observer = self.plane.observer
+                text = (
+                    observer.metrics.render_text()
+                    if observer is not None
+                    else ""
+                )
+                return 200, {"_text": text}
+            if path == "/state":
+                return 200, self.plane.status()
+            return 404, {"error": f"no route GET {path}"}
+        if method == "POST":
+            if path == "/tenants":
+                return self._post_tenants(body)
+            if path == "/telemetry":
+                return self._post_telemetry(body)
+            if path == "/tick":
+                return 200, self.plane.step_tick()
+            if path == "/drain":
+                self.request_shutdown("drain_requested")
+                return 202, {"ok": True, "draining": True}
+            return 404, {"error": f"no route POST {path}"}
+        return 405, {"error": f"method {method} not allowed"}
+
+    def _post_tenants(self, body: dict[str, Any]) -> tuple[int, dict[str, Any]]:
+        try:
+            spec = TenantSpec.from_dict(body)
+        except (ServeError, TypeError) as exc:
+            return 400, {"error": str(exc)}
+        result = self.plane.register(spec)
+        if result["ok"]:
+            return 201, result
+        status = {"duplicate": 409, "capacity": 429, "draining": 503}.get(
+            result["reason"], 400
+        )
+        return status, result
+
+    def _post_telemetry(
+        self, body: dict[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        if "batch" in body:
+            batch = {
+                str(tenant): [float(sample) for sample in samples]
+                for tenant, samples in dict(body["batch"]).items()
+            }
+        elif "tenant" in body:
+            batch = {
+                str(body["tenant"]): [
+                    float(sample) for sample in body.get("samples", [])
+                ]
+            }
+        else:
+            return 400, {"error": "expected 'tenant'+'samples' or 'batch'"}
+        decisions = self.plane.ingest_batch(batch)
+        payload = {
+            tenant: {
+                "admitted": decision.admitted,
+                "shed": decision.shed,
+                "reason": decision.reason,
+            }
+            for tenant, decision in decisions.items()
+        }
+        reasons = {
+            decision.reason
+            for decision in decisions.values()
+            if not decision.admitted
+        }
+        if "draining" in reasons:
+            return 503, {"decisions": payload}
+        if "saturated" in reasons:
+            return 429, {"decisions": payload}
+        if "unknown-tenant" in reasons:
+            return 404, {"decisions": payload}
+        return 200, {"decisions": payload}
+
+    # -- access log ----------------------------------------------------------------
+
+    def _log(self, kind: str, **fields: Any) -> None:
+        if self.jsonl_path is None:
+            return
+        line = {"ts": _wall_seconds(), "kind": kind, **fields}
+        with open(self.jsonl_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(line, sort_keys=True) + "\n")
+
+
+def _reason(status: int) -> str:
+    return {
+        200: "OK",
+        201: "Created",
+        202: "Accepted",
+        400: "Bad Request",
+        404: "Not Found",
+        405: "Method Not Allowed",
+        409: "Conflict",
+        413: "Payload Too Large",
+        429: "Too Many Requests",
+        500: "Internal Server Error",
+        503: "Service Unavailable",
+    }.get(status, "Unknown")

@@ -1,0 +1,274 @@
+"""Crash-safe serve state: append-only input journal + compacted snapshot.
+
+The recovery model is **input sourcing**, not state dumping. Every
+tenant loop is deterministic, so the plane's exact state at tick *T* is
+a pure function of the inputs it absorbed: tenant registrations,
+admitted telemetry, and the tick boundaries between them. The journal
+records exactly those three kinds:
+
+- ``{"kind": "register", "seq": n, "tick": t, "spec": {...}}``
+- ``{"kind": "telemetry", "seq": n, "tick": t, "batch": {tenant: [...]}}``
+- ``{"kind": "tick", "seq": n, "tick": t, "digest": "..."}`` — the
+  commit marker: tick *t* fully executed, with a digest of the
+  per-tenant K/C/N ledger it produced.
+
+Recovery replays the records in sequence through freshly-built (and
+therefore identical) machinery. A SIGKILL mid-tick leaves no commit
+marker for that tick, so replay stops at the last committed tick and
+the interrupted tick re-executes from its inputs — byte-identically,
+which the recovered digest cross-check proves.
+
+File discipline mirrors :mod:`repro.store.cas` and
+:mod:`repro.fleet.journal`: journal records are appended with
+``flush`` + ``fsync`` (so a record either exists completely or not at
+all, torn tails excepted), the snapshot is written to a temp file,
+fsynced and ``os.replace``d (readers never observe a partial snapshot),
+and a torn journal tail — the one artifact a SIGKILL can leave — is
+tolerated by dropping the unparseable final line. A snapshot compacts
+the journal: it embeds every input record up to its ``seq``, after
+which the journal is atomically truncated back to its header. Replay
+deduplicates by ``seq``, so a crash *between* snapshot replace and
+journal truncation double-counts nothing.
+
+A header signature (:meth:`~repro.serve.config.ServeConfig.signature`)
+guards cross-configuration reuse, exactly like the fleet journal's plan
+signature.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Any
+
+from ..errors import ServeError
+
+__all__ = ["RecoveredInputs", "ServeState"]
+
+_JOURNAL = "journal.jsonl"
+_SNAPSHOT = "snapshot.json"
+_VERSION = 1
+
+
+@dataclass
+class RecoveredInputs:
+    """Everything :meth:`ServeState.load` salvages from a state dir."""
+
+    records: list[dict[str, Any]] = field(default_factory=list)
+    last_seq: int = 0
+    snapshot_tick: int = 0
+    dropped_torn_tail: bool = False
+
+    @property
+    def empty(self) -> bool:
+        return not self.records
+
+
+def _fsync_dir(path: Path) -> None:
+    """Best-effort directory fsync (rename durability on POSIX)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # lint: disable=EXC001 - platform without dir fsync
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class ServeState:
+    """One state directory: its journal, snapshot and sequence counter."""
+
+    def __init__(
+        self, root: str | Path, signature: str, fsync: bool = True
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.signature = signature
+        self.fsync = fsync
+        self.journal_path = self.root / _JOURNAL
+        self.snapshot_path = self.root / _SNAPSHOT
+        self.seq = 0
+        self._fh: IO[str] | None = None
+
+    # -- recovery ------------------------------------------------------------------
+
+    def load(self) -> RecoveredInputs:
+        """Read snapshot + journal into one deduplicated input sequence.
+
+        Call before :meth:`open_append`. Raises
+        :class:`~repro.errors.ServeError` on a signature mismatch or a
+        snapshot that fails to parse — a snapshot is written atomically,
+        so damage there is not a crash artifact and must not be guessed
+        around. A torn journal *tail* (the one artifact a SIGKILL can
+        leave) is dropped and reported.
+        """
+        recovered = RecoveredInputs()
+        snapshot_seq = 0
+        if self.snapshot_path.exists():
+            try:
+                snapshot = json.loads(
+                    self.snapshot_path.read_text(encoding="utf-8")
+                )
+            except (OSError, ValueError) as exc:
+                raise ServeError(
+                    f"unreadable snapshot {self.snapshot_path}: {exc}"
+                ) from exc
+            if snapshot.get("kind") != "serve-snapshot":
+                raise ServeError(
+                    f"{self.snapshot_path} is not a serve snapshot"
+                )
+            self._check_signature(snapshot.get("signature"), "snapshot")
+            recovered.records.extend(snapshot.get("records", ()))
+            snapshot_seq = int(snapshot.get("seq", 0))
+            recovered.snapshot_tick = int(snapshot.get("tick", 0))
+            recovered.last_seq = snapshot_seq
+
+        if self.journal_path.exists():
+            lines = self.journal_path.read_text(encoding="utf-8").splitlines()
+            if lines:
+                header = self._parse_header(lines[0])
+                for position, line in enumerate(lines[1:], start=2):
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        if position == len(lines):
+                            recovered.dropped_torn_tail = True
+                            break
+                        raise ServeError(
+                            f"corrupt journal record at "
+                            f"{self.journal_path}:{position}"
+                        ) from None
+                    seq = int(record.get("seq", 0))
+                    if seq <= snapshot_seq:
+                        continue  # compacted into the snapshot already
+                    if seq <= recovered.last_seq:
+                        raise ServeError(
+                            "journal sequence regressed at "
+                            f"{self.journal_path}:{position} "
+                            f"({seq} after {recovered.last_seq})"
+                        )
+                    recovered.last_seq = seq
+                    recovered.records.append(record)
+                del header
+        self.seq = recovered.last_seq
+        return recovered
+
+    def _parse_header(self, line: str) -> dict[str, Any]:
+        try:
+            header = json.loads(line)
+        except ValueError as exc:
+            raise ServeError(
+                f"corrupt journal header in {self.journal_path}"
+            ) from exc
+        if header.get("kind") != "serve-journal":
+            raise ServeError(f"{self.journal_path} is not a serve journal")
+        self._check_signature(header.get("signature"), "journal")
+        return header
+
+    def _check_signature(self, found: object, what: str) -> None:
+        if found != self.signature:
+            raise ServeError(
+                f"state {what} was written under signature {found!r}; "
+                f"this configuration has {self.signature!r} — refusing to "
+                "replay inputs through different machinery"
+            )
+
+    # -- appending -----------------------------------------------------------------
+
+    def open_append(self) -> None:
+        """Open the journal for appending, writing the header if fresh."""
+        fresh = (
+            not self.journal_path.exists()
+            or self.journal_path.stat().st_size == 0
+        )
+        self._fh = open(  # noqa: SIM115 - held across appends
+            self.journal_path, "a", encoding="utf-8"
+        )
+        if fresh:
+            self._write_line(
+                {
+                    "kind": "serve-journal",
+                    "version": _VERSION,
+                    "signature": self.signature,
+                }
+            )
+
+    def append(self, record: dict[str, Any]) -> int:
+        """Append one input record; returns its assigned ``seq``."""
+        if self._fh is None:
+            raise ServeError("journal not open (call open_append first)")
+        self.seq += 1
+        stamped = {"seq": self.seq, **record}
+        self._write_line(stamped)
+        return self.seq
+
+    def _write_line(self, payload: dict[str, Any]) -> None:
+        assert self._fh is not None
+        self._fh.write(json.dumps(payload, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+
+    # -- compaction ----------------------------------------------------------------
+
+    def snapshot(
+        self, tick: int, records: list[dict[str, Any]]
+    ) -> None:
+        """Atomically compact all inputs up to the current ``seq``.
+
+        ``records`` must be every input record (register/telemetry and
+        tick commit markers alike) with ``seq`` <= the current
+        sequence — the plane passes its in-memory input ledger.
+        After the snapshot lands, the journal is truncated back to its
+        header; a crash between the two steps is safe because replay
+        deduplicates by ``seq``.
+        """
+        payload = {
+            "kind": "serve-snapshot",
+            "version": _VERSION,
+            "signature": self.signature,
+            "tick": tick,
+            "seq": self.seq,
+            "records": records,
+        }
+        tmp = self.snapshot_path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, separators=(",", ":")))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.snapshot_path)
+        _fsync_dir(self.root)
+
+        # Truncate the journal back to a bare header, atomically.
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        tmp_journal = self.journal_path.with_suffix(".tmp")
+        with open(tmp_journal, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(
+                    {
+                        "kind": "serve-journal",
+                        "version": _VERSION,
+                        "signature": self.signature,
+                    },
+                    separators=(",", ":"),
+                )
+                + "\n"
+            )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_journal, self.journal_path)
+        _fsync_dir(self.root)
+        self._fh = open(  # noqa: SIM115 - held across appends
+            self.journal_path, "a", encoding="utf-8"
+        )
+
+    def close(self) -> None:
+        """Close the journal handle (appends are already durable)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None

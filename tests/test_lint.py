@@ -41,6 +41,7 @@ ALL_CODES = (
 SIM_PATH = "src/repro/sim/snippet.py"
 CORE_PATH = "src/repro/core/snippet.py"
 FLEET_PATH = "src/repro/fleet/snippet.py"
+SERVE_PATH = "src/repro/serve/snippet.py"
 TEST_PATH = "tests/snippet.py"
 
 
@@ -156,6 +157,50 @@ def test_det001_allows_monotonic_deadlines_in_fleet():
             return time.monotonic() + timeout
         """,
         path=FLEET_PATH,
+    )
+    assert "DET001" not in codes(findings)
+
+
+def test_det001_covers_serve_domain():
+    # The serve plane replays its journal through the same code paths
+    # that ran live, so a wall-clock read anywhere in repro.serve would
+    # silently break crash recovery.
+    findings = run_lint(
+        """
+        import time
+
+        def stamp() -> float:
+            return time.time()
+        """,
+        path=SERVE_PATH,
+    )
+    assert "DET001" in codes(findings)
+
+
+def test_det001_serve_io_edge_suppression():
+    # The daemon's access log is the one sanctioned wall-clock read;
+    # it carries an inline suppression with a reason.
+    findings = run_lint(
+        """
+        import time
+
+        def wall_seconds() -> float:
+            return time.time()  # lint: disable=DET001 - serve I/O edge
+        """,
+        path=SERVE_PATH,
+    )
+    assert "DET001" not in codes(findings)
+
+
+def test_det001_allows_perf_counter_in_serve():
+    findings = run_lint(
+        """
+        import time
+
+        def elapsed(start: float) -> float:
+            return time.perf_counter() - start
+        """,
+        path=SERVE_PATH,
     )
     assert "DET001" not in codes(findings)
 

@@ -163,6 +163,55 @@ class TestJsonlRoundTrip:
         with pytest.raises(KeyError):
             event_from_dict({"kind": "wat", "minute": 0})
 
+    def test_serve_events_round_trip(self, tmp_path):
+        # The eight control-plane kinds must survive the same JSONL
+        # round trip the simulator events do, or `caasper serve --jsonl`
+        # traces become unreadable by the replay tooling.
+        from repro.obs.events import (
+            AdmissionRejectedEvent,
+            BreakerTransitionEvent,
+            DrainEvent,
+            StateRecoveredEvent,
+            TelemetryShedEvent,
+            TenantQuarantineEvent,
+            TenantRegisteredEvent,
+            TenantRestartEvent,
+        )
+
+        originals = [
+            TenantRegisteredEvent(minute=0, tenant="t0", seed=7),
+            TelemetryShedEvent(
+                minute=3, tenant="t0", dropped=2, queue_capacity=4
+            ),
+            AdmissionRejectedEvent(
+                minute=4, tenant="t1", reason="saturated"
+            ),
+            BreakerTransitionEvent(
+                minute=9,
+                tenant="t0",
+                from_state="closed",
+                to_state="open",
+                failures=3,
+            ),
+            TenantRestartEvent(
+                minute=10,
+                tenant="t0",
+                attempt=1,
+                backoff_ticks=2,
+                error="FaultError: injected",
+            ),
+            TenantQuarantineEvent(minute=15, tenant="t0", restarts=3),
+            DrainEvent(minute=20, action="begin", reason="sigterm", pending=5),
+            StateRecoveredEvent(
+                minute=21, recovered_tenants=2, records=40, snapshot_tick=12
+            ),
+        ]
+        path = tmp_path / "serve.jsonl"
+        with JsonlSink(path) as sink:
+            for event in originals:
+                sink.accept(event)
+        assert read_events(path) == originals
+
 
 class TestLoggingSink:
     def test_bridges_to_stdlib_logging(self, caplog):

@@ -137,6 +137,114 @@ class TestRetryPolicy:
         with pytest.raises(ConfigError):
             ResilienceConfig(watchdog_timeout_minutes=0)
 
+    def test_max_total_delay_budget_clamps_cumulative_delay(self):
+        # Regression for the serve supervisor's restart budget: a
+        # misconfigured policy (huge multiplier, huge per-attempt cap)
+        # must never stall a stream forever — once the cumulative
+        # budget is spent, the delay collapses to zero.
+        policy = RetryPolicy(
+            base_delay_minutes=4.0,
+            multiplier=4.0,
+            max_delay_minutes=64.0,
+            jitter_fraction=0.0,
+            max_total_delay_minutes=10.0,
+        )
+        spent = 0.0
+        delays = []
+        for attempt in range(1, 6):
+            delay = policy.delay_minutes(
+                attempt, key=0, spent_minutes=spent
+            )
+            delays.append(delay)
+            spent += delay
+        # 4, then 16 clamps to the remaining 6, then the budget is gone.
+        assert delays == [4.0, 6.0, 0.0, 0.0, 0.0]
+        assert spent == 10.0
+
+    def test_max_total_delay_unset_is_unbounded(self):
+        policy = RetryPolicy(jitter_fraction=0.0)
+        assert policy.delay_minutes(
+            3, key=0, spent_minutes=1e9
+        ) == policy.backoff_minutes(3)
+
+    def test_max_total_delay_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_total_delay_minutes=0.0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_total_delay_minutes=-5.0)
+        RetryPolicy(max_total_delay_minutes=None)  # explicitly unbounded
+
+
+class TestSummaryAndReset:
+    """Satellite: lifetime counters survive a supervisor reset."""
+
+    BLACKOUT = FaultPlan(
+        faults=(
+            TelemetryFault(mode="drop", start_minute=20, end_minute=40),
+        )
+    )
+
+    def test_summary_counts_safe_mode_episodes(self):
+        loop, _ = hardened_loop(FixedRecommender(7), plan=self.BLACKOUT)
+        for minute in range(60):
+            loop.step(minute, 3.0)
+        summary = loop.summary()
+        assert summary["safe_mode_entries"] == 1
+        assert summary["safe_mode_exits"] == 1
+        assert summary["safe_mode_minutes"] == 20
+        assert set(summary) == {
+            "safe_mode_minutes",
+            "safe_mode_entries",
+            "safe_mode_exits",
+            "retries_scheduled",
+            "retries_succeeded",
+            "retries_abandoned",
+            "rollbacks",
+            "quarantined_consults",
+            "quarantine_exits",
+            "forecaster_degradations",
+        }
+
+    def test_reset_clears_latch_but_preserves_counters(self):
+        loop, _ = hardened_loop(FixedRecommender(7), plan=self.BLACKOUT)
+        for minute in range(30):  # stop mid-blackout
+            loop.step(minute, 3.0)
+        assert loop.safe_mode
+        before = loop.summary()
+        assert before["safe_mode_entries"] == 1
+
+        loop.reset()
+        assert not loop.safe_mode
+        after = loop.summary()
+        # Lifetime audit counters are preserved across the restart.
+        assert after["safe_mode_entries"] == before["safe_mode_entries"]
+        assert after["safe_mode_minutes"] == before["safe_mode_minutes"]
+
+    def test_reset_drops_pending_retry(self):
+        plan = FaultPlan(
+            faults=(ActuationFault(mode="reject", start_minute=0),)
+        )
+        loop, _ = hardened_loop(
+            FixedRecommender(7),
+            plan=plan,
+            resilience=ResilienceConfig(
+                retry=RetryPolicy(deadline_minutes=30)
+            ),
+        )
+        for minute in range(15):
+            loop.step(minute, 3.0)
+        summary = loop.summary()
+        assert summary["retries_scheduled"] >= 1
+        assert loop._pending is not None  # a retry is waiting
+        loop.reset()
+        # The stale pending retry is gone, but the audit counter stays.
+        assert loop._pending is None
+        assert loop.summary()["retries_scheduled"] == summary[
+            "retries_scheduled"
+        ]
+        for minute in range(15, 40):
+            loop.step(minute, 3.0)  # restarting the loop keeps working
+
 
 class TestSampleValidation:
     """Satellite: NaN/negative samples rejected at the boundaries."""

@@ -1,0 +1,174 @@
+"""Tests for serve admission control (:mod:`repro.serve.admission`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServeError
+from repro.obs import Observer
+from repro.serve.admission import AdmissionController, TelemetryQueue
+from repro.serve.config import ServeConfig
+
+
+@pytest.fixture(autouse=True)
+def _hard_timeout(hard_timeout):
+    yield
+
+
+def controller(observer=None, **overrides):
+    defaults = dict(queue_capacity=4, global_sample_cap=10)
+    defaults.update(overrides)
+    config = ServeConfig(**defaults)
+    return AdmissionController(config, (lambda: observer))
+
+
+class TestTelemetryQueue:
+    def test_push_within_capacity_sheds_nothing(self):
+        queue = TelemetryQueue(capacity=4)
+        assert queue.push_many([1.0, 2.0, 3.0]) == 0
+        assert len(queue) == 3
+        assert queue.admitted_total == 3
+
+    def test_overflow_sheds_oldest_first(self):
+        queue = TelemetryQueue(capacity=3)
+        queue.push_many([1.0, 2.0, 3.0])
+        shed = queue.push_many([4.0, 5.0])
+        assert shed == 2
+        # The two oldest samples (1.0, 2.0) were dropped.
+        assert [queue.pop() for _ in range(3)] == [3.0, 4.0, 5.0]
+        assert queue.shed_total == 2
+
+    def test_pop_empty_returns_none(self):
+        queue = TelemetryQueue(capacity=2)
+        assert queue.pop() is None
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ServeError, match="capacity"):
+            TelemetryQueue(capacity=0)
+
+
+class TestAdmissionController:
+    def test_admits_registered_tenant(self):
+        gate = controller()
+        gate.register("a")
+        decision = gate.offer(0, "a", [1.0, 2.0])
+        assert decision.admitted
+        assert decision.shed == 0
+        assert gate.total_queued() == 2
+
+    def test_running_total_tracks_offers_sheds_and_pops(self):
+        # total_queued() is a maintained counter (the O(1) cap check),
+        # so it must agree with the real queue depths through every
+        # mutation path: plain admits, shedding admits, and pops.
+        gate = controller(queue_capacity=3, global_sample_cap=100)
+        gate.register("a")
+        gate.register("b")
+        gate.offer(0, "a", [1.0, 2.0])
+        gate.offer(0, "b", [1.0, 2.0, 3.0, 4.0, 5.0])  # sheds 2
+        gate.pop("a")
+        gate.pop("b")
+        gate.pop("b")
+        gate.pop("b")
+        gate.pop("b")  # empty: no-op
+        assert gate.total_queued() == sum(
+            len(queue) for queue in gate.queues.values()
+        )
+        assert gate.total_queued() == 1
+
+    def test_unknown_tenant_rejected(self):
+        gate = controller()
+        decision = gate.offer(0, "ghost", [1.0])
+        assert not decision.admitted
+        assert decision.reason == "unknown-tenant"
+        assert gate.rejected_by_reason == {"unknown-tenant": 1}
+
+    def test_duplicate_registration_is_an_error(self):
+        gate = controller()
+        gate.register("a")
+        with pytest.raises(ServeError, match="already has a queue"):
+            gate.register("a")
+
+    def test_draining_rejects_everything(self):
+        gate = controller()
+        gate.register("a")
+        gate.draining = True
+        decision = gate.offer(5, "a", [1.0])
+        assert not decision.admitted
+        assert decision.reason == "draining"
+
+    def test_per_tenant_shed_does_not_reject(self):
+        gate = controller(queue_capacity=2, global_sample_cap=100)
+        gate.register("a")
+        decision = gate.offer(0, "a", [1.0, 2.0, 3.0, 4.0])
+        assert decision.admitted
+        assert decision.shed == 2
+        assert gate.total_queued() == 2
+
+    def test_global_cap_rejects_with_saturated(self):
+        gate = controller(queue_capacity=6, global_sample_cap=8)
+        gate.register("a")
+        gate.register("b")
+        assert gate.offer(0, "a", [1.0] * 6).admitted
+        decision = gate.offer(0, "b", [1.0] * 4)
+        assert not decision.admitted
+        assert decision.reason == "saturated"
+        # The rejected batch never touched the queue.
+        assert gate.total_queued() == 6
+
+    def test_global_cap_counts_net_growth_not_batch_size(self):
+        # Tenant a's queue is full: a huge batch sheds down to capacity,
+        # so its *net* growth is zero and must not trip the global cap.
+        gate = controller(queue_capacity=3, global_sample_cap=6)
+        gate.register("a")
+        gate.register("b")
+        gate.offer(0, "a", [1.0, 1.0, 1.0])
+        gate.offer(0, "b", [1.0, 1.0, 1.0])
+        decision = gate.offer(1, "a", [2.0] * 5)
+        assert decision.admitted
+        assert decision.shed == 5
+        assert gate.total_queued() == 6
+
+    def test_empty_batch_is_admitted_quietly(self):
+        gate = controller()
+        gate.register("a")
+        assert gate.offer(0, "a", []).admitted
+        assert gate.total_queued() == 0
+
+    def test_summary_is_deterministic(self):
+        gate = controller(queue_capacity=2, global_sample_cap=3)
+        gate.register("a")
+        gate.offer(0, "a", [1.0, 2.0, 3.0])
+        gate.offer(1, "ghost", [1.0])
+        summary = gate.summary()
+        assert summary["queued"] == 2
+        assert summary["shed"] == 1
+        assert summary["rejected"] == 1
+        assert summary["rejected_unknown-tenant"] == 1
+
+    def test_shed_and_rejection_emit_typed_events(self):
+        observer = Observer()
+        observer.start_trace("serve:test", seed=1)
+        gate = controller(
+            observer=observer, queue_capacity=2, global_sample_cap=100
+        )
+        gate.register("a")
+        gate.offer(3, "a", [1.0, 2.0, 3.0])
+        gate.offer(4, "ghost", [1.0])
+        assert observer.ring is not None
+        shed_events = observer.ring.of_kind("telemetry_shed")
+        assert len(shed_events) == 1
+        assert shed_events[0].tenant == "a"
+        assert shed_events[0].dropped == 1
+        assert shed_events[0].trace_id
+        rejected = observer.ring.of_kind("admission_rejected")
+        assert len(rejected) == 1
+        assert rejected[0].reason == "unknown-tenant"
+
+    def test_silenced_observer_emits_nothing(self):
+        observer = Observer()
+        gate = AdmissionController(
+            ServeConfig(queue_capacity=2), (lambda: None)
+        )
+        gate.register("a")
+        gate.offer(0, "a", [1.0, 2.0, 3.0])
+        assert observer.ring is not None and not observer.ring.events

@@ -1,0 +1,119 @@
+"""Tests for the per-tenant circuit breaker (:mod:`repro.serve.breaker`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.breaker import CircuitBreaker
+
+
+@pytest.fixture(autouse=True)
+def _hard_timeout(hard_timeout):
+    yield
+
+
+def test_closed_allows_and_counts_nothing():
+    breaker = CircuitBreaker(failure_threshold=2, open_ticks=5)
+    assert breaker.allow(0)
+    assert breaker.state == "closed"
+    assert breaker.skipped_consults == 0
+
+
+def test_opens_at_failure_threshold():
+    breaker = CircuitBreaker(failure_threshold=3, open_ticks=5)
+    breaker.record_failure(1)
+    breaker.record_failure(2)
+    assert breaker.state == "closed"
+    breaker.record_failure(3)
+    assert breaker.state == "open"
+    assert breaker.opens == 1
+
+
+def test_success_resets_the_failure_streak():
+    breaker = CircuitBreaker(failure_threshold=2, open_ticks=5)
+    breaker.record_failure(1)
+    breaker.record_success(2)
+    breaker.record_failure(3)
+    assert breaker.state == "closed"
+
+
+def test_open_skips_until_quiet_window_elapses():
+    breaker = CircuitBreaker(failure_threshold=1, open_ticks=10)
+    breaker.record_failure(5)
+    assert breaker.state == "open"
+    assert not breaker.allow(6)
+    assert not breaker.allow(14)
+    assert breaker.skipped_consults == 2
+    # Window elapsed: exactly one probe goes through.
+    assert breaker.allow(15)
+    assert breaker.state == "half_open"
+
+
+def test_half_open_probe_success_closes():
+    breaker = CircuitBreaker(failure_threshold=1, open_ticks=5)
+    breaker.record_failure(0)
+    assert breaker.allow(5)
+    breaker.record_success(5)
+    assert breaker.state == "closed"
+    assert breaker.closes == 1
+    assert breaker.failures == 0
+
+
+def test_half_open_probe_failure_reopens():
+    breaker = CircuitBreaker(failure_threshold=1, open_ticks=5)
+    breaker.record_failure(0)
+    assert breaker.allow(5)
+    breaker.record_failure(5)
+    assert breaker.state == "open"
+    assert breaker.opens == 2
+    # The quiet window restarts from the probe failure.
+    assert not breaker.allow(8)
+    assert breaker.allow(10)
+
+
+def test_half_open_admits_only_one_probe():
+    breaker = CircuitBreaker(failure_threshold=1, open_ticks=3)
+    breaker.record_failure(0)
+    assert breaker.allow(3)
+    assert not breaker.allow(3)
+    assert not breaker.allow(4)
+
+
+def test_transition_callback_sees_every_edge():
+    seen: list[tuple[int, str, str]] = []
+    breaker = CircuitBreaker(
+        failure_threshold=1,
+        open_ticks=2,
+        on_transition=lambda minute, a, b, failures: seen.append(
+            (minute, a, b)
+        ),
+    )
+    breaker.record_failure(1)
+    breaker.allow(3)
+    breaker.record_success(3)
+    assert seen == [
+        (1, "closed", "open"),
+        (3, "open", "half_open"),
+        (3, "half_open", "closed"),
+    ]
+
+
+def test_summary_shape():
+    breaker = CircuitBreaker(failure_threshold=1, open_ticks=2)
+    breaker.record_failure(0)
+    summary = breaker.summary()
+    assert summary == {
+        "state": "open",
+        "failures": 1,
+        "opens": 1,
+        "closes": 0,
+        "skipped_consults": 0,
+    }
+
+
+def test_validation():
+    with pytest.raises(ServeError, match="failure_threshold"):
+        CircuitBreaker(failure_threshold=0, open_ticks=1)
+    with pytest.raises(ServeError, match="open_ticks"):
+        CircuitBreaker(failure_threshold=1, open_ticks=0)

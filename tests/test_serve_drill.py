@@ -1,0 +1,65 @@
+"""Tests for the self-check drill (:mod:`repro.serve.drill`).
+
+The acceptance-sized drill (200 tenants, 10 kills) runs in CI's smoke
+job; here a scaled-down drill proves the machinery end to end — chaos
+actually happened (sheds, breakers, restarts, quarantines, safe mode),
+every SIGKILL recovered byte-identically, and the verdict is
+deterministic in the seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.drill import drill_config, run_drill
+
+pytestmark = pytest.mark.usefixtures("hard_timeout")
+
+
+def small_drill(tmp_path, seed=0, tag="a"):
+    return run_drill(
+        tenants=8,
+        minutes=240,
+        seed=seed,
+        kill_cycles=3,
+        state_dir=str(tmp_path / f"drill-{seed}-{tag}"),
+        crash_rate=0.01,
+    )
+
+
+def test_small_drill_passes_every_check(tmp_path):
+    report = small_drill(tmp_path)
+    assert report["ok"], report["checks"]
+    assert all(check["ok"] for check in report["checks"]), report["checks"]
+    assert len(report["checks"]) == 10
+    assert len(report["kill_ticks"]) == 3
+    # The degradation audit proves the chaos was real, not a no-op run.
+    audit = report["audit"]
+    assert audit["admission"]["shed"] > 0
+    assert audit["supervisor"]["restarts"] > 0
+
+
+def test_drill_verdict_is_deterministic(tmp_path):
+    first = small_drill(tmp_path, seed=4, tag="first")
+    second = small_drill(tmp_path, seed=4, tag="second")
+    assert first["kcn_digest"] == second["kcn_digest"]
+    assert first["kill_ticks"] == second["kill_ticks"]
+
+
+def test_drill_refuses_dirty_state_dir(tmp_path):
+    dirty = tmp_path / "dirty"
+    dirty.mkdir()
+    (dirty / "journal.jsonl").write_text("{}\n")
+    with pytest.raises(ServeError, match="not empty"):
+        run_drill(tenants=2, minutes=10, state_dir=str(dirty))
+
+
+def test_drill_config_is_deliberately_tight():
+    config = drill_config(tenants=200, seed=0)
+    # Small queues and a low global cap force shedding/saturation; a
+    # hair-trigger breaker and quarantine force the degradation paths.
+    assert config.queue_capacity <= 8
+    assert config.breaker_failure_threshold <= 2
+    assert config.quarantine_restarts <= 3
+    assert config.global_sample_cap >= 4 * 200

@@ -1,0 +1,269 @@
+"""Tests for the asyncio daemon (:mod:`repro.serve.server`).
+
+Each test spins up a real :class:`ServeDaemon` on an ephemeral port
+inside ``asyncio.run`` and talks to it over a raw socket — the same
+line-oriented HTTP/1.1 the CI smoke job uses with ``curl``. No HTTP
+client library, no pytest-asyncio: the scenario coroutine runs on the
+daemon's own event loop, so it can also poke plane internals directly
+(e.g. forcing a breaker open to observe ``/readyz`` flip).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs import Observer
+from repro.serve.config import ServeConfig
+from repro.serve.plane import ControlPlane
+from repro.serve.server import ServeDaemon
+
+
+@pytest.fixture(autouse=True)
+def _hard_timeout(hard_timeout):
+    yield
+
+
+def make_daemon(observer=None, state_dir=None, **overrides):
+    defaults = dict(
+        queue_capacity=4,
+        global_sample_cap=8,
+        max_tenants=3,
+        fsync_journal=False,
+    )
+    defaults.update(overrides)
+    plane = ControlPlane(
+        ServeConfig(**defaults), state_dir=state_dir, observer=observer
+    )
+    return ServeDaemon(plane, port=0)
+
+
+async def http(port, method, path, body=None):
+    """One request/response over a raw socket; parses status + JSON."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = b"" if body is None else json.dumps(body).encode("utf-8")
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        "Host: test\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "Connection: close\r\n\r\n"
+    )
+    writer.write(head.encode("ascii") + payload)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head_part, _, body_part = raw.partition(b"\r\n\r\n")
+    status = int(head_part.split()[1])
+    if b"application/json" in head_part.lower():
+        return status, json.loads(body_part.decode("utf-8"))
+    return status, body_part.decode("utf-8")
+
+
+def drive(scenario, daemon):
+    """Run the daemon and the scenario together; return the exit code."""
+
+    async def main():
+        task = asyncio.ensure_future(daemon.run())
+        while daemon.bound_port is None:
+            if task.done():
+                task.result()  # surface startup errors
+            await asyncio.sleep(0.005)
+        try:
+            await scenario(daemon.bound_port)
+        finally:
+            if not daemon._shutdown.is_set():
+                daemon.request_shutdown("test_teardown")
+        return await task
+
+    return asyncio.run(main())
+
+
+SPEC = {"tenant": "a", "seed": 3, "replicas": 1}
+
+
+def test_healthz_state_and_metrics():
+    daemon = make_daemon(observer=Observer())
+
+    async def scenario(port):
+        status, body = await http(port, "GET", "/healthz")
+        assert status == 200
+        assert body == {"ok": True, "tick": 0}
+
+        status, _ = await http(port, "POST", "/tenants", SPEC)
+        assert status == 201
+        status, body = await http(port, "GET", "/state")
+        assert status == 200
+        assert body["tenants"]["a"]["minute"] == 0
+
+        status, text = await http(port, "GET", "/metrics")
+        assert status == 200
+        assert isinstance(text, str)  # Prometheus text, not JSON
+
+    assert drive(scenario, daemon) == 0
+
+
+def test_register_statuses():
+    daemon = make_daemon(max_tenants=1)
+
+    async def scenario(port):
+        status, body = await http(port, "POST", "/tenants", SPEC)
+        assert (status, body["ok"]) == (201, True)
+        status, body = await http(port, "POST", "/tenants", SPEC)
+        assert (status, body["reason"]) == (409, "duplicate")
+        status, body = await http(
+            port, "POST", "/tenants", {**SPEC, "tenant": "b"}
+        )
+        assert (status, body["reason"]) == (429, "capacity")
+        status, body = await http(
+            port, "POST", "/tenants", {"tenant": "Bad Name!"}
+        )
+        assert status == 400
+        assert "error" in body
+
+    assert drive(scenario, daemon) == 0
+
+
+def test_telemetry_tick_and_rejection_mapping():
+    daemon = make_daemon(global_sample_cap=6)
+
+    async def scenario(port):
+        await http(port, "POST", "/tenants", SPEC)
+        status, body = await http(
+            port, "POST", "/telemetry", {"tenant": "a", "samples": [3.0]}
+        )
+        assert status == 200
+        assert body["decisions"]["a"]["admitted"]
+
+        status, body = await http(
+            port, "POST", "/telemetry", {"tenant": "ghost", "samples": [1.0]}
+        )
+        assert status == 404
+        assert body["decisions"]["ghost"]["reason"] == "unknown-tenant"
+
+        # Global cap is 6: a projected net growth past it maps to 429.
+        status, body = await http(
+            port,
+            "POST",
+            "/telemetry",
+            {"batch": {"a": [1.0] * 4}},  # fills the queue to capacity
+        )
+        assert status == 200
+        status, body = await http(
+            port, "POST", "/tenants", {**SPEC, "tenant": "b"}
+        )
+        assert status == 201
+        status, body = await http(
+            port, "POST", "/telemetry", {"batch": {"b": [1.0] * 4}}
+        )
+        assert status == 429
+        assert body["decisions"]["b"]["reason"] == "saturated"
+
+        status, body = await http(port, "POST", "/tick")
+        assert status == 200
+        status, body = await http(port, "GET", "/healthz")
+        assert body["tick"] == 1
+
+        status, body = await http(port, "POST", "/telemetry", {})
+        assert status == 400
+
+    assert drive(scenario, daemon) == 0
+
+
+def test_readyz_reflects_open_breaker():
+    daemon = make_daemon()
+
+    async def scenario(port):
+        status, body = await http(port, "GET", "/readyz")
+        assert (status, body["ready"]) == (200, True)
+
+        await http(port, "POST", "/tenants", SPEC)
+        # Scenario shares the daemon's loop thread: force the breaker
+        # open directly instead of engineering consult failures.
+        breaker = daemon.plane.tenants["a"].breaker
+        for minute in range(3):
+            breaker.record_failure(minute)
+        status, body = await http(port, "GET", "/readyz")
+        assert status == 503
+        assert not body["ready"]
+        assert "breaker_open:a" in body["reasons"]
+
+    assert drive(scenario, daemon) == 0
+
+
+def test_unknown_routes_and_methods():
+    daemon = make_daemon()
+
+    async def scenario(port):
+        status, _ = await http(port, "GET", "/nope")
+        assert status == 404
+        status, _ = await http(port, "POST", "/nope")
+        assert status == 404
+        status, _ = await http(port, "PUT", "/healthz")
+        assert status == 405
+
+    assert drive(scenario, daemon) == 0
+
+
+def test_drain_endpoint_shuts_down_cleanly(tmp_path):
+    state_dir = str(tmp_path / "state")
+    daemon = make_daemon(state_dir=state_dir)
+
+    async def scenario(port):
+        await http(port, "POST", "/tenants", SPEC)
+        await http(
+            port, "POST", "/telemetry", {"tenant": "a", "samples": [2.0, 3.0]}
+        )
+        status, body = await http(port, "POST", "/drain")
+        assert (status, body["draining"]) == (202, True)
+
+    assert drive(scenario, daemon) == 0
+    # Drain consumed the queued samples and snapshotted before exit.
+    assert daemon.plane.drained
+    assert daemon.plane.admission.total_queued() == 0
+    recovered = ControlPlane(
+        ServeConfig(
+            queue_capacity=4,
+            global_sample_cap=8,
+            max_tenants=3,
+            fsync_journal=False,
+        ),
+        state_dir=state_dir,
+    )
+    assert recovered.recovery is not None
+    assert recovered.recovery["digest_verified"]
+    assert "a" in recovered.tenants
+
+
+def test_daemon_survives_garbage_requests():
+    daemon = make_daemon()
+
+    async def scenario(port):
+        # Raw garbage on the socket must not kill the daemon.
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(b"\x00\x01garbage\r\n\r\n")
+        await writer.drain()
+        await reader.read()
+        writer.close()
+
+        status, _ = await http(port, "POST", "/tenants", {"tenant": []})
+        assert status in (400, 500)
+        status, body = await http(port, "GET", "/healthz")
+        assert (status, body["ok"]) == (200, True)
+
+    assert drive(scenario, daemon) == 0
+
+
+def test_tick_loop_honours_max_ticks():
+    daemon = make_daemon()
+    daemon.tick_seconds = 0.005
+    daemon.max_ticks = 3
+
+    async def scenario(port):
+        await http(port, "POST", "/tenants", SPEC)
+        while not daemon._shutdown.is_set():
+            await asyncio.sleep(0.005)
+
+    assert drive(scenario, daemon) == 0
+    assert daemon.plane.tick >= 3

@@ -1,0 +1,169 @@
+"""Tests for the supervision tree (:mod:`repro.serve.supervisor`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.resilience import RetryPolicy
+from repro.errors import FaultError, ServeError
+from repro.obs import Observer
+from repro.serve.config import ServeConfig
+from repro.serve.supervisor import Supervisor
+
+
+@pytest.fixture(autouse=True)
+def _hard_timeout(hard_timeout):
+    yield
+
+
+def make_supervisor(observer=None, **overrides):
+    defaults = dict(
+        restart_policy=RetryPolicy(
+            base_delay_minutes=1.0,
+            multiplier=2.0,
+            max_delay_minutes=8.0,
+            jitter_fraction=0.0,
+            deadline_minutes=30,
+        ),
+        quarantine_restarts=3,
+        quarantine_window_ticks=50,
+        quarantine_release_ticks=20,
+    )
+    defaults.update(overrides)
+    supervisor = Supervisor(ServeConfig(**defaults), (lambda: observer))
+    supervisor.register("a")
+    return supervisor
+
+
+def crash(supervisor, tick):
+    return supervisor.on_crash("a", tick, FaultError("injected"))
+
+
+def test_running_tenant_polls_run():
+    supervisor = make_supervisor()
+    assert supervisor.poll("a", 0) == "run"
+
+
+def test_duplicate_registration_is_an_error():
+    supervisor = make_supervisor()
+    with pytest.raises(ServeError, match="already supervised"):
+        supervisor.register("a")
+
+
+def test_crash_schedules_backoff_then_resumes():
+    supervisor = make_supervisor()
+    assert crash(supervisor, 10) == "backoff"
+    assert supervisor.poll("a", 10) == "wait"
+    # base delay 1.0, no jitter -> resume one tick later.
+    assert supervisor.poll("a", 11) == "resume"
+    assert supervisor.poll("a", 12) == "run"
+
+
+def test_backoff_grows_exponentially_within_a_burst():
+    supervisor = make_supervisor(quarantine_restarts=10)
+    crash(supervisor, 10)
+    state = supervisor.states["a"]
+    assert state.resume_tick == 11  # 1 tick
+    crash(supervisor, 11)
+    assert state.resume_tick == 13  # 2 ticks
+    crash(supervisor, 13)
+    assert state.resume_tick == 17  # 4 ticks
+
+
+def test_fresh_burst_resets_attempt_and_budget():
+    supervisor = make_supervisor(quarantine_restarts=10)
+    crash(supervisor, 0)
+    crash(supervisor, 1)
+    state = supervisor.states["a"]
+    assert state.attempt == 2
+    # A crash far outside the window starts a new burst at attempt 1.
+    crash(supervisor, 500)
+    assert state.attempt == 1
+    assert state.resume_tick == 501
+
+
+def test_max_total_delay_budget_collapses_backoff():
+    supervisor = make_supervisor(
+        quarantine_restarts=100,
+        quarantine_window_ticks=10_000,
+        restart_policy=RetryPolicy(
+            base_delay_minutes=4.0,
+            multiplier=4.0,
+            max_delay_minutes=64.0,
+            jitter_fraction=0.0,
+            deadline_minutes=500,
+            max_total_delay_minutes=10.0,
+        ),
+    )
+    tick = 0
+    delays = []
+    for _ in range(5):
+        crash(supervisor, tick)
+        state = supervisor.states["a"]
+        delays.append(state.resume_tick - tick)
+        tick = state.resume_tick
+    # 4 + 6 (budget truncates 16) + then the budget is exhausted: the
+    # delay collapses to the 1-tick floor instead of stalling forever.
+    assert delays == [4, 6, 1, 1, 1]
+    assert supervisor.states["a"].backoff_spent == 10.0
+
+
+def test_quarantine_after_flapping():
+    supervisor = make_supervisor()
+    crash(supervisor, 0)
+    crash(supervisor, 1)
+    assert crash(supervisor, 2) == "quarantined"
+    assert supervisor.poll("a", 3) == "wait"
+    assert supervisor.quarantined() == ["a"]
+    assert supervisor.summary()["in_quarantine"] == 1
+
+
+def test_quarantine_release_gives_another_chance():
+    supervisor = make_supervisor(quarantine_release_ticks=20)
+    for tick in (0, 1, 2):
+        crash(supervisor, tick)
+    assert supervisor.poll("a", 21) == "wait"
+    assert supervisor.poll("a", 22) == "resume"
+    assert supervisor.poll("a", 23) == "run"
+    assert supervisor.quarantined() == []
+
+
+def test_quarantine_without_release_waits_forever():
+    supervisor = make_supervisor(quarantine_release_ticks=0)
+    for tick in (0, 1, 2):
+        crash(supervisor, tick)
+    assert supervisor.poll("a", 10_000) == "wait"
+
+
+def test_jitter_is_deterministic_per_tenant():
+    policy = RetryPolicy(jitter_fraction=0.25)
+    first = make_supervisor(restart_policy=policy, seed=7)
+    second = make_supervisor(restart_policy=policy, seed=7)
+    crash(first, 10)
+    crash(second, 10)
+    assert (
+        first.states["a"].resume_tick == second.states["a"].resume_tick
+    )
+
+
+def test_lifecycle_emits_typed_events():
+    observer = Observer()
+    observer.start_trace("serve:test", seed=0)
+    supervisor = make_supervisor(observer=observer)
+    crash(supervisor, 0)
+    supervisor.poll("a", 1)  # restart completes
+    crash(supervisor, 2)
+    crash(supervisor, 3)  # third crash in the window -> quarantine
+    supervisor.poll("a", 30)  # release
+    assert observer.ring is not None
+    restarts = observer.ring.of_kind("tenant_restart")
+    assert [event.action for event in restarts] == [
+        "scheduled",
+        "completed",
+        "scheduled",
+    ]
+    assert "FaultError" in restarts[0].error
+    quarantines = observer.ring.of_kind("tenant_quarantine")
+    assert [event.action for event in quarantines] == ["enter", "exit"]
+    assert quarantines[0].restarts == 3
+    assert all(event.trace_id for event in restarts + quarantines)
