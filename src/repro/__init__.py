@@ -41,6 +41,7 @@ from .errors import (
     FleetError,
     ForecastError,
     ReproError,
+    SanitizerError,
     SchedulingError,
     SimulationError,
     StoreError,
@@ -104,4 +105,5 @@ __all__ = [
     "FaultError",
     "FleetError",
     "StoreError",
+    "SanitizerError",
 ]

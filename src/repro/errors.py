@@ -117,3 +117,15 @@ class ServeError(ReproError):
     a run; the supervision tree captures them and restarts or
     quarantines the tenant instead.
     """
+
+
+class SanitizerError(ReproError):
+    """A runtime sanitizer observed a violated invariant.
+
+    Raised by :mod:`repro.sanitize` when an armed sanitizer catches a
+    forbidden call at the moment it happens — a wall-clock read from a
+    deterministic domain, an event-loop callback stalling past its
+    deterministic threshold, a fleet plan whose seeds change across a
+    process boundary. The message always names the offender (module,
+    function, target) so the report is actionable without a debugger.
+    """

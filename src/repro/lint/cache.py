@@ -1,0 +1,135 @@
+"""Incremental lint: per-module findings memoised in ``repro.store``.
+
+Most lint time is the per-module walk, and most modules do not change
+between runs — so warm ``caasper lint`` runs should skip them. The
+cache keys each module on *everything* that can change its local
+findings:
+
+- the module's path (domain scoping keys off the dotted module name)
+  and full source text (content-addressed, not mtime-based);
+- a signature over the *source code of every cacheable rule class* in
+  the active rule set, so editing a rule's logic — not just bumping a
+  version — invalidates every entry it produced;
+- :data:`LINT_CACHE_EPOCH`, a manual escape hatch for engine-level
+  changes that rule sources cannot see.
+
+Only local rules participate. Rules marked
+:attr:`~repro.lint.registry.Rule.project_scope` (API001, OBS001/2, the
+DET101/ASY001/EXC101 dataflow rules) read cross-module state, so an
+edit *anywhere* can change their findings for an unchanged module —
+they re-run on every lint, cache or not.
+
+Cached values are the module's **raw, pre-suppression** local
+findings: suppression comments live in the source text (so they key
+correctly), but the engine applies its suppression filter after
+collection either way, keeping the suppressed-count consistent
+between cold and warm runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from .findings import Finding, Severity
+from .registry import Rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..store.cas import ResultStore
+
+__all__ = ["LintCache", "ruleset_signature", "LINT_CACHE_EPOCH"]
+
+#: Bump to invalidate every cached lint result (engine-level changes).
+LINT_CACHE_EPOCH = 1
+
+#: The store namespace lint results live under.
+_KIND = "lint"
+
+
+def ruleset_signature(rules: Iterable[Rule]) -> str:
+    """sha256 over the source of every cacheable rule in the set.
+
+    Hashing ``inspect.getsource`` means any edit to a rule's logic
+    invalidates its cached findings without anyone remembering to bump
+    a version. Rules whose source is unavailable (defined in a REPL or
+    a test) fall back to their qualified name + title, which at least
+    distinguishes rule sets.
+    """
+    parts: list[str] = []
+    for rule in sorted(
+        (r for r in rules if not r.project_scope), key=lambda r: r.code
+    ):
+        cls = type(rule)
+        try:
+            body = inspect.getsource(cls)
+        except (OSError, TypeError):
+            body = f"{cls.__module__}.{cls.__qualname__}:{rule.title}"
+        parts.append(f"{rule.code}\n{body}")
+    digest = hashlib.sha256()
+    digest.update(str(LINT_CACHE_EPOCH).encode("utf-8"))
+    for part in parts:
+        digest.update(b"\x00")
+        digest.update(part.encode("utf-8"))
+    return digest.hexdigest()
+
+
+class LintCache:
+    """Memoises per-module local-rule findings in a :class:`ResultStore`."""
+
+    def __init__(self, store: "ResultStore", rules: Sequence[Rule]) -> None:
+        self.store = store
+        self.signature = ruleset_signature(rules)
+        self.hits = 0
+        self.lookups = 0
+
+    def key(self, path: str, source: str) -> str:
+        from ..store.keys import store_key
+
+        return store_key(
+            _KIND,
+            {
+                "epoch": LINT_CACHE_EPOCH,
+                "ruleset": self.signature,
+                "path": path,
+                "content": hashlib.sha256(
+                    source.encode("utf-8")
+                ).hexdigest(),
+            },
+        )
+
+    def get(self, path: str, source: str) -> list[Finding] | None:
+        """Cached raw findings for this exact (path, content), or None."""
+        self.lookups += 1
+        payload = self.store.get(self.key(path, source), _KIND)
+        if not isinstance(payload, dict) or "findings" not in payload:
+            return None
+        try:
+            findings = [
+                Finding(
+                    code=item["code"],
+                    message=item["message"],
+                    path=item["path"],
+                    line=int(item["line"]),
+                    column=int(item["column"]),
+                    severity=Severity(item["severity"]),
+                )
+                for item in payload["findings"]
+            ]
+        except (KeyError, TypeError, ValueError):
+            return None  # corrupt/foreign payload: fall through to a re-lint
+        self.hits += 1
+        return findings
+
+    def put(
+        self, path: str, source: str, findings: Sequence[Finding]
+    ) -> None:
+        self.store.put(
+            self.key(path, source),
+            _KIND,
+            {"findings": [finding.to_dict() for finding in findings]},
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0

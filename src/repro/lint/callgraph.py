@@ -1,0 +1,792 @@
+"""Project-wide call graph resolved from the :class:`ProjectIndex`.
+
+The per-node rules in :mod:`repro.lint.rules` are syntactic: they see
+one AST node at a time, so a wall-clock read or a blocking ``fsync``
+hidden one call deep escapes them. This module builds the structure the
+dataflow layer (:mod:`repro.lint.dataflow`) propagates taint over: one
+:class:`FunctionNode` per ``def``/``async def`` in the project, with
+
+- **project edges** — calls resolved to another project function:
+  bare-name calls to module-level functions and nested defs,
+  ``from``-imports (chased through package ``__init__`` re-exports,
+  relative imports resolved against the importing package),
+  ``module.func`` calls through import aliases, ``self.method()`` /
+  ``cls.method()`` through the enclosing class and its project-visible
+  ancestors, constructor calls (edges to ``__init__`` and
+  ``__post_init__``), and method calls on names whose class is evident
+  from a parameter annotation, a local ``x = ClassName(...)``
+  assignment, an ``x: ClassName`` annotation, or a ``self.attr``
+  assigned from any of those in ``__init__``;
+- **external calls** — dotted names that resolve outside the project
+  (``time.time``, ``os.fsync``, ``subprocess.run``), the ``open``
+  builtin, and unresolvable attribute calls recorded as ``?.name`` so
+  name-based sinks (``Path.write_text``) stay visible;
+- **direct raises** — ``raise ExcName(...)`` statements, feeding the
+  exception-flow analysis.
+
+Resolution is deliberately an *under*-approximation: a call the graph
+cannot resolve produces no edge (and at most a ``?.name`` external),
+never a guessed one, so taint findings point at real paths.
+
+Intentional blocking edges are declared in place with a
+``# lint: blocking-boundary`` comment — on the ``def`` line to stop all
+blocking taint from escaping the function (the serve journal's fsync
+discipline), or on a call line to exempt that one call site. Boundaries
+are structural facts of the graph, recorded here and honoured by every
+analysis built on top.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .context import ClassInfo, ModuleContext, ProjectIndex
+
+__all__ = [
+    "CallEdge",
+    "ExternalCall",
+    "FunctionNode",
+    "CallGraph",
+    "build_call_graph",
+    "call_graph_for",
+    "render_graph_json",
+]
+
+#: Matches the in-place marker declaring an intentional blocking edge.
+_BOUNDARY_RE = re.compile(r"#\s*lint:\s*blocking-boundary")
+
+#: Builtin callables treated as external calls worth recording.
+_RECORDED_BUILTINS = frozenset({"open", "input", "print", "exec", "eval"})
+
+#: Maximum ``from x import y`` re-export hops chased through package
+#: ``__init__`` modules before giving up (guards import cycles).
+_REEXPORT_DEPTH = 8
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One resolved project call: ``caller`` source line → ``callee``."""
+
+    callee: str
+    line: int
+
+
+@dataclass(frozen=True)
+class ExternalCall:
+    """A call that leaves the project (or cannot be resolved).
+
+    ``name`` is the resolved dotted target (``os.fsync``), a bare
+    builtin (``open``), or ``?.attr`` for an attribute call whose
+    receiver type is unknown. ``boundary`` is True when the call line
+    carries a ``# lint: blocking-boundary`` marker.
+    """
+
+    name: str
+    line: int
+    boundary: bool = False
+
+
+@dataclass
+class FunctionNode:
+    """One ``def``/``async def`` and everything the graph knows about it."""
+
+    qualname: str
+    module: str
+    path: str
+    name: str
+    cls: str | None
+    lineno: int
+    is_async: bool
+    #: ``# lint: blocking-boundary`` on the def line: blocking taint
+    #: inside this function is declared intentional and never escapes.
+    blocking_boundary: bool
+    calls: list[CallEdge] = field(default_factory=list)
+    external_calls: list[ExternalCall] = field(default_factory=list)
+    #: Exception class names raised directly (``raise X(...)`` / ``raise X``).
+    raises: tuple[str, ...] = ()
+
+
+class CallGraph:
+    """The resolved project graph: nodes by qualified name."""
+
+    def __init__(self) -> None:
+        self.nodes: dict[str, FunctionNode] = {}
+        self._callers: dict[str, list[str]] | None = None
+
+    def add(self, node: FunctionNode) -> None:
+        self.nodes[node.qualname] = node
+        self._callers = None
+
+    def get(self, qualname: str) -> FunctionNode | None:
+        return self.nodes.get(qualname)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[FunctionNode]:
+        return iter(self.nodes.values())
+
+    def functions_in(self, module_prefixes: tuple[str, ...]) -> list[FunctionNode]:
+        """Nodes whose module is under any dotted prefix, sorted."""
+        return sorted(
+            (
+                node
+                for node in self.nodes.values()
+                if any(
+                    node.module == prefix
+                    or node.module.startswith(prefix + ".")
+                    for prefix in module_prefixes
+                )
+            ),
+            key=lambda node: node.qualname,
+        )
+
+    def callers_of(self, qualname: str) -> list[str]:
+        """Qualified names of every node with an edge into ``qualname``."""
+        if self._callers is None:
+            callers: dict[str, list[str]] = {}
+            for node in self.nodes.values():
+                for edge in node.calls:
+                    callers.setdefault(edge.callee, []).append(node.qualname)
+            self._callers = {
+                callee: sorted(set(names))
+                for callee, names in callers.items()
+            }
+        return self._callers.get(qualname, [])
+
+
+# ---------------------------------------------------------------------------
+# Per-module symbol tables
+
+
+def _is_package(module: ModuleContext) -> bool:
+    return module.path.replace("\\", "/").endswith("/__init__.py")
+
+
+def _boundary_lines(module: ModuleContext) -> frozenset[int]:
+    """1-based line numbers carrying a blocking-boundary marker."""
+    return frozenset(
+        lineno
+        for lineno, text in enumerate(module.lines, start=1)
+        if "lint:" in text and _BOUNDARY_RE.search(text)
+    )
+
+
+def _absolute_from_imports(
+    module: ModuleContext,
+) -> dict[str, tuple[str, str]]:
+    """``local name -> (absolute module, original name)`` for from-imports.
+
+    Unlike :attr:`ModuleContext.from_imports` this resolves relative
+    imports (``from .state import ServeState`` inside ``repro.serve``)
+    against the importing package, so the target can be looked up in the
+    project index.
+    """
+    table: dict[str, tuple[str, str]] = {}
+    package_parts = module.module.split(".") if module.module else []
+    if not _is_package(module) and package_parts:
+        package_parts = package_parts[:-1]
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ImportFrom):
+            continue
+        if node.level == 0:
+            base = node.module or ""
+        else:
+            anchor = package_parts[: len(package_parts) - (node.level - 1)]
+            if node.module:
+                anchor = anchor + node.module.split(".")
+            base = ".".join(anchor)
+        if not base:
+            continue
+        for alias in node.names:
+            table[alias.asname or alias.name] = (base, alias.name)
+    return table
+
+
+def _annotation_class(expr: ast.expr | str | None) -> str | None:
+    """The single class name an annotation commits to, if any.
+
+    ``ControlPlane`` → ``ControlPlane``; ``ControlPlane | None`` and
+    ``Optional[ControlPlane]`` → ``ControlPlane``; string annotations
+    are parsed the same way; unions of two real classes resolve to
+    nothing (ambiguous).
+    """
+    if expr is None:
+        return None
+    if isinstance(expr, str):
+        text = expr.strip().strip("'\"")
+        try:
+            expr = ast.parse(text, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return _annotation_class(expr.value)
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.BitOr):
+        candidates = [
+            name
+            for name in (
+                _annotation_class(expr.left),
+                _annotation_class(expr.right),
+            )
+            if name is not None and name != "None"
+        ]
+        return candidates[0] if len(candidates) == 1 else None
+    if isinstance(expr, ast.Subscript):
+        head = _annotation_class(expr.value)
+        if head == "Optional":
+            return _annotation_class(expr.slice)
+        return None
+    return None
+
+
+def _dotted(node: ast.expr) -> str | None:
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _Builder:
+    """Two-pass construction: index every def, then resolve call sites."""
+
+    def __init__(self, project: ProjectIndex) -> None:
+        self.project = project
+        self.graph = CallGraph()
+        #: module name -> ModuleContext (project paths keyed by module).
+        self.modules: dict[str, ModuleContext] = {
+            ctx.module: ctx for ctx in project.modules.values()
+        }
+        #: module name -> {function name -> qualname} (module level only).
+        self.module_functions: dict[str, dict[str, str]] = {}
+        #: class simple name -> (module name, ClassInfo); ambiguous names
+        #: (defined in several modules) are dropped from resolution.
+        self.classes: dict[str, tuple[str, ClassInfo]] = {}
+        self._ambiguous_classes: set[str] = set()
+        #: class simple name -> {attr name -> class simple name}.
+        self.attr_types: dict[str, dict[str, str]] = {}
+        #: (module name, def node) -> qualname, for the resolve pass.
+        self._def_qualnames: dict[tuple[str, int, str], str] = {}
+        self._abs_imports: dict[str, dict[str, tuple[str, str]]] = {}
+        self._boundaries: dict[str, frozenset[int]] = {}
+
+    # -- pass 1: indexing -------------------------------------------------------
+
+    def index(self) -> None:
+        for ctx in sorted(
+            self.project.modules.values(), key=lambda c: c.path
+        ):
+            self._abs_imports[ctx.module] = _absolute_from_imports(ctx)
+            self._boundaries[ctx.module] = _boundary_lines(ctx)
+            self.module_functions[ctx.module] = {}
+            self._index_module(ctx)
+        self._index_attr_types()
+
+    def _index_module(self, ctx: ModuleContext) -> None:
+        boundaries = self._boundaries[ctx.module]
+
+        def walk(node: ast.AST, scope: tuple[str, ...], cls: str | None) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qualname = ".".join((ctx.module, *scope, child.name))
+                    key = (ctx.module, child.lineno, child.name)
+                    self._def_qualnames[key] = qualname
+                    if not scope:
+                        self.module_functions[ctx.module][child.name] = qualname
+                    boundary = child.lineno in boundaries or any(
+                        dec.lineno in boundaries
+                        for dec in child.decorator_list
+                    )
+                    self.graph.add(
+                        FunctionNode(
+                            qualname=qualname,
+                            module=ctx.module,
+                            path=ctx.path,
+                            name=child.name,
+                            cls=cls if len(scope) == 1 and cls else None,
+                            lineno=child.lineno,
+                            is_async=isinstance(child, ast.AsyncFunctionDef),
+                            blocking_boundary=boundary,
+                        )
+                    )
+                    walk(child, scope + (child.name,), cls)
+                elif isinstance(child, ast.ClassDef):
+                    info = ctx.classes.get(child.name)
+                    if info is not None and not scope:
+                        existing = self.classes.get(child.name)
+                        if existing is not None and existing[1] is not info:
+                            self._ambiguous_classes.add(child.name)
+                            self.classes.pop(child.name, None)
+                        elif child.name not in self._ambiguous_classes:
+                            self.classes[child.name] = (ctx.module, info)
+                    walk(child, scope + (child.name,), child.name)
+                else:
+                    walk(child, scope, cls)
+
+        walk(ctx.tree, (), None)
+
+    def _index_attr_types(self) -> None:
+        """``self.attr`` types, inferred from every method's assignments."""
+        for class_name, (module_name, info) in sorted(self.classes.items()):
+            ctx = self.modules.get(module_name)
+            if ctx is None:
+                continue
+            class_node = self._class_node(ctx, info)
+            if class_node is None:
+                continue
+            types: dict[str, str] = {}
+            for stmt in class_node.body:
+                if not isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                params = self._param_annotations(stmt)
+                for sub in ast.walk(stmt):
+                    target: ast.expr | None = None
+                    value: ast.expr | None = None
+                    annotation: ast.expr | None = None
+                    if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+                        target, value = sub.targets[0], sub.value
+                    elif isinstance(sub, ast.AnnAssign):
+                        target, value = sub.target, sub.value
+                        annotation = sub.annotation
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        continue
+                    inferred = _annotation_class(annotation)
+                    if inferred is None and isinstance(value, ast.Name):
+                        inferred = params.get(value.id)
+                    if inferred is None and isinstance(value, ast.Call):
+                        callee = value.func
+                        if (
+                            isinstance(callee, ast.Name)
+                            and callee.id in self.classes
+                        ):
+                            inferred = callee.id
+                    if inferred is not None and inferred in self.classes:
+                        types.setdefault(target.attr, inferred)
+            if types:
+                self.attr_types[class_name] = types
+
+    def _class_node(
+        self, ctx: ModuleContext, info: ClassInfo
+    ) -> ast.ClassDef | None:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) and node.lineno == info.lineno:
+                return node
+        return None
+
+    @staticmethod
+    def _param_annotations(
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> dict[str, str]:
+        params: dict[str, str] = {}
+        args = node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            inferred = _annotation_class(arg.annotation)
+            if inferred is not None:
+                params[arg.arg] = inferred
+        return params
+
+    # -- name resolution --------------------------------------------------------
+
+    def _chase_reexport(
+        self, module_name: str, symbol: str
+    ) -> tuple[str, str] | None:
+        """Follow ``from X import y`` through package re-exports.
+
+        Returns ``(defining module, symbol)`` when the symbol lands on a
+        project module that actually defines it, else None.
+        """
+        current_module, current_symbol = module_name, symbol
+        for _ in range(_REEXPORT_DEPTH):
+            if current_module not in self.modules:
+                # ``from repro.serve.state import X`` may name a module
+                # even though the symbol rides one level down.
+                candidate = f"{current_module}.{current_symbol}"
+                if candidate in self.modules:
+                    return (candidate, "")
+                return None
+            functions = self.module_functions.get(current_module, {})
+            ctx = self.modules[current_module]
+            if current_symbol in functions or current_symbol in ctx.classes:
+                return (current_module, current_symbol)
+            imported = self._abs_imports[current_module].get(current_symbol)
+            if imported is None:
+                return None
+            current_module, current_symbol = imported
+        return None
+
+    def _resolve_symbol(
+        self, ctx: ModuleContext, name: str
+    ) -> tuple[str, str] | str | None:
+        """What a bare ``name`` means at module scope.
+
+        Returns ``(module, symbol)`` for a project function/class,
+        a dotted string for an external target, or None.
+        """
+        if name in self.module_functions.get(ctx.module, {}):
+            return (ctx.module, name)
+        if name in ctx.classes:
+            return (ctx.module, name)
+        imported = self._abs_imports[ctx.module].get(name)
+        if imported is not None:
+            chased = self._chase_reexport(*imported)
+            if chased is not None:
+                return chased
+            return f"{imported[0]}.{imported[1]}"
+        if name in ctx.imports:
+            return ctx.imports[name]
+        return None
+
+    def _method_qualname(
+        self, class_name: str, method: str
+    ) -> str | None:
+        """Resolve ``method`` on ``class_name`` or its project ancestors."""
+        seen: set[str] = set()
+        frontier = [class_name]
+        while frontier:
+            current = frontier.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            entry = self.classes.get(current)
+            if entry is None:
+                continue
+            module_name, info = entry
+            if method in info.methods:
+                qualname = f"{module_name}.{info.name}.{method}"
+                if qualname in self.graph.nodes:
+                    return qualname
+            frontier.extend(info.base_names)
+        return None
+
+    def _constructor_edges(
+        self, class_name: str, line: int
+    ) -> list[CallEdge]:
+        edges = []
+        for hook in ("__init__", "__post_init__"):
+            qualname = self._method_qualname(class_name, hook)
+            if qualname is not None:
+                edges.append(CallEdge(callee=qualname, line=line))
+        return edges
+
+    # -- pass 2: call-site resolution ------------------------------------------
+
+    def resolve(self) -> None:
+        for ctx in sorted(
+            self.project.modules.values(), key=lambda c: c.path
+        ):
+            self._resolve_module(ctx)
+
+    def _resolve_module(self, ctx: ModuleContext) -> None:
+        boundaries = self._boundaries[ctx.module]
+
+        def split_scope(
+            node: ast.AST,
+        ) -> tuple[list[ast.AST], list[ast.AST]]:
+            """``(own statements, nested scope roots)`` under ``node``.
+
+            The own list is everything in the scope's body with nested
+            function/class subtrees pruned out, so a call is attributed
+            to exactly one owner.
+            """
+            own: list[ast.AST] = []
+            scopes: list[ast.AST] = []
+            stack = list(ast.iter_child_nodes(node))
+            while stack:
+                child = stack.pop(0)
+                if isinstance(
+                    child,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                ):
+                    scopes.append(child)
+                    continue
+                own.append(child)
+                stack.extend(ast.iter_child_nodes(child))
+            return own, scopes
+
+        def process_def(
+            def_node: ast.FunctionDef | ast.AsyncFunctionDef,
+            cls: str | None,
+            nested_outer: dict[str, str],
+        ) -> None:
+            qualname = self._def_qualnames[
+                (ctx.module, def_node.lineno, def_node.name)
+            ]
+            fn = self.graph.nodes[qualname]
+            fn_locals = dict(self._param_annotations(def_node))
+            self._infer_locals(def_node, fn_locals)
+            own, scopes = split_scope(def_node)
+            nested = dict(nested_outer)
+            nested[def_node.name] = qualname
+            for scope_node in scopes:
+                if isinstance(
+                    scope_node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    nested[scope_node.name] = self._def_qualnames[
+                        (ctx.module, scope_node.lineno, scope_node.name)
+                    ]
+            for stmt in own:
+                if isinstance(stmt, ast.Raise) and stmt.exc is not None:
+                    exc = stmt.exc
+                    name = _dotted(
+                        exc.func if isinstance(exc, ast.Call) else exc
+                    )
+                    if name is not None:
+                        fn.raises = (*fn.raises, name.rsplit(".", 1)[-1])
+                elif isinstance(stmt, ast.Call):
+                    self._resolve_call(
+                        stmt, ctx, cls, fn, fn_locals, nested, boundaries
+                    )
+            for scope_node in scopes:
+                if isinstance(
+                    scope_node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    process_def(scope_node, cls, nested)
+                elif isinstance(scope_node, ast.ClassDef):
+                    process_class(scope_node, nested)
+
+        def process_class(
+            class_node: ast.ClassDef, nested: dict[str, str]
+        ) -> None:
+            _, scopes = split_scope(class_node)
+            for scope_node in scopes:
+                if isinstance(
+                    scope_node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    process_def(scope_node, class_node.name, nested)
+                elif isinstance(scope_node, ast.ClassDef):
+                    process_class(scope_node, nested)
+
+        _, top_scopes = split_scope(ctx.tree)
+        for scope_node in top_scopes:
+            if isinstance(
+                scope_node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                process_def(scope_node, None, {})
+            elif isinstance(scope_node, ast.ClassDef):
+                process_class(scope_node, {})
+        for fn in self.graph.nodes.values():
+            if fn.module == ctx.module:
+                fn.raises = tuple(dict.fromkeys(fn.raises))
+
+    def _infer_locals(
+        self,
+        fn_node: ast.FunctionDef | ast.AsyncFunctionDef,
+        locals_: dict[str, str],
+    ) -> None:
+        """Fold ``x = ClassName(...)`` / ``x: ClassName`` into the scope."""
+        for sub in ast.walk(fn_node):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            annotation: ast.expr | None = None
+            if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+                target, value = sub.targets[0], sub.value
+            elif isinstance(sub, ast.AnnAssign):
+                target, value = sub.target, sub.value
+                annotation = sub.annotation
+            if not isinstance(target, ast.Name):
+                continue
+            inferred = _annotation_class(annotation)
+            if (
+                inferred is None
+                and isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in self.classes
+            ):
+                inferred = value.func.id
+            if inferred is not None and inferred in self.classes:
+                locals_.setdefault(target.id, inferred)
+
+    def _resolve_call(
+        self,
+        call: ast.Call,
+        ctx: ModuleContext,
+        cls: str | None,
+        owner: FunctionNode,
+        locals_: dict[str, str],
+        nested: dict[str, str],
+        boundaries: frozenset[int],
+    ) -> None:
+        line = call.lineno
+        boundary = line in boundaries
+        func = call.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in nested:
+                owner.calls.append(CallEdge(callee=nested[name], line=line))
+                return
+            resolved = self._resolve_symbol(ctx, name)
+            if isinstance(resolved, tuple):
+                module_name, symbol = resolved
+                self._project_edges(owner, module_name, symbol, line)
+                return
+            if isinstance(resolved, str):
+                owner.external_calls.append(
+                    ExternalCall(name=resolved, line=line, boundary=boundary)
+                )
+                return
+            if name in _RECORDED_BUILTINS:
+                owner.external_calls.append(
+                    ExternalCall(name=name, line=line, boundary=boundary)
+                )
+            return
+        if isinstance(func, ast.Attribute):
+            dotted = _dotted(func)
+            if dotted is None:
+                # A call on a call result (``x().y()``) or subscript.
+                owner.external_calls.append(
+                    ExternalCall(
+                        name=f"?.{func.attr}", line=line, boundary=boundary
+                    )
+                )
+                return
+            head, _, rest = dotted.partition(".")
+            receiver_cls: str | None = None
+            if head in ("self", "cls") and cls is not None:
+                if "." not in rest:
+                    qualname = self._method_qualname(cls, func.attr)
+                    if qualname is not None:
+                        owner.calls.append(
+                            CallEdge(callee=qualname, line=line)
+                        )
+                        return
+                    owner.external_calls.append(
+                        ExternalCall(
+                            name=f"?.{func.attr}",
+                            line=line,
+                            boundary=boundary,
+                        )
+                    )
+                    return
+                # ``self.attr.method()`` — one attribute hop.
+                attr = rest.split(".")[0]
+                receiver_cls = self.attr_types.get(cls, {}).get(attr)
+            elif head in locals_ and "." not in rest:
+                receiver_cls = locals_[head]
+            elif head in self.classes and "." not in rest:
+                receiver_cls = head
+            if receiver_cls is not None:
+                qualname = self._method_qualname(receiver_cls, func.attr)
+                if qualname is not None:
+                    owner.calls.append(CallEdge(callee=qualname, line=line))
+                    return
+                owner.external_calls.append(
+                    ExternalCall(
+                        name=f"?.{func.attr}", line=line, boundary=boundary
+                    )
+                )
+                return
+            # Module-alias call: ``state.helper()`` / ``os.fsync()``.
+            resolved = self._resolve_symbol(ctx, head)
+            if isinstance(resolved, tuple) and resolved[1] == "":
+                # The import names a project module; rest is its symbol.
+                self._project_edges(owner, resolved[0], rest, line)
+                return
+            if isinstance(resolved, str):
+                full = f"{resolved}.{rest}" if rest else resolved
+                target_module, _, symbol = full.rpartition(".")
+                if target_module in self.modules and symbol:
+                    self._project_edges(owner, target_module, symbol, line)
+                    return
+                owner.external_calls.append(
+                    ExternalCall(name=full, line=line, boundary=boundary)
+                )
+                return
+            owner.external_calls.append(
+                ExternalCall(
+                    name=f"?.{func.attr}", line=line, boundary=boundary
+                )
+            )
+
+    def _project_edges(
+        self, owner: FunctionNode, module_name: str, symbol: str, line: int
+    ) -> None:
+        """Edges for a resolved project symbol (function or class)."""
+        head = symbol.split(".")[0] if symbol else ""
+        functions = self.module_functions.get(module_name, {})
+        if head in functions and "." not in symbol:
+            owner.calls.append(CallEdge(callee=functions[head], line=line))
+            return
+        ctx = self.modules.get(module_name)
+        if ctx is not None and head in ctx.classes:
+            if "." in symbol:
+                method = symbol.split(".", 1)[1]
+                qualname = self._method_qualname(head, method.split(".")[0])
+                if qualname is not None:
+                    owner.calls.append(CallEdge(callee=qualname, line=line))
+                    return
+            else:
+                edges = self._constructor_edges(head, line)
+                if edges:
+                    owner.calls.extend(edges)
+                    return
+        # Resolved to a project module but not to a known def (e.g. a
+        # dataclass-generated __init__): drop rather than guess.
+
+
+def build_call_graph(project: ProjectIndex) -> CallGraph:
+    """Build the resolved call graph for an indexed project."""
+    builder = _Builder(project)
+    builder.index()
+    builder.resolve()
+    return builder.graph
+
+
+def call_graph_for(project: ProjectIndex) -> CallGraph:
+    """The project's call graph, built once and cached on the index.
+
+    Every dataflow rule shares one graph per lint run; the cache lives
+    on the :class:`ProjectIndex` instance so independent runs never see
+    stale nodes.
+    """
+    cached = getattr(project, "_callgraph_cache", None)
+    if cached is None:
+        cached = build_call_graph(project)
+        project._callgraph_cache = cached  # type: ignore[attr-defined]
+    return cached
+
+
+def render_graph_json(
+    graph: CallGraph, modules: Iterable[str] | None = None
+) -> str:
+    """Stable JSON dump of the graph (``caasper lint --graph``)."""
+    wanted = tuple(modules) if modules is not None else None
+    payload = {}
+    for qualname in sorted(graph.nodes):
+        node = graph.nodes[qualname]
+        if wanted is not None and not any(
+            node.module == prefix or node.module.startswith(prefix + ".")
+            for prefix in wanted
+        ):
+            continue
+        payload[qualname] = {
+            "path": node.path,
+            "line": node.lineno,
+            "async": node.is_async,
+            "blocking_boundary": node.blocking_boundary,
+            "calls": sorted({edge.callee for edge in node.calls}),
+            "external": sorted({ext.name for ext in node.external_calls}),
+            "raises": sorted(set(node.raises)),
+        }
+    return json.dumps(
+        {"functions": payload, "count": len(payload)},
+        indent=2,
+        sort_keys=True,
+    )

@@ -1,0 +1,265 @@
+"""Taint propagation over the project call graph.
+
+The analyses here answer one shape of question: *which functions
+transitively reach a dangerous external call?* Three source families
+feed the dataflow rules (:mod:`repro.lint.rules.taint`):
+
+- **nondeterminism** — wall-clock reads and process-global RNG, the
+  same tables DET001/DET002 use syntactically. A call site suppressed
+  with ``# lint: disable=DET001``/``DET002`` is a *declared boundary*:
+  the edge is intentional (the serve access log), so its taint does not
+  propagate to callers. DET101 reports the transitive paths those
+  per-node rules cannot see.
+- **blocking** — ``os.fsync``, file I/O, ``time.sleep``,
+  ``subprocess``: anything that stalls an event loop when reached from
+  an ``async def``. A ``# lint: blocking-boundary`` marker (def line or
+  call line) declares the edge intentional; ASY001 reports the rest.
+- **domain raises** — functions that can raise ``FaultError`` or
+  ``ServeError``, feeding EXC101's can-this-broad-handler-swallow-it
+  check.
+
+Propagation is a multi-source reverse BFS: seed every function with a
+direct (unmarked) source, then walk caller edges breadth-first. Each
+tainted function keeps one :class:`TaintWitness` — the shortest call
+path from it to a concrete source, used verbatim in finding messages so
+every report names a real chain, not just "reachable". BFS order is
+deterministic (sorted seeds, sorted caller lists), so lint output is
+byte-stable run to run. Cycles need no special casing: a function is
+witnessed at most once, so the frontier only shrinks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from .callgraph import CallGraph, FunctionNode
+
+__all__ = [
+    "TaintWitness",
+    "TaintAnalysis",
+    "propagate",
+    "wall_clock_sources",
+    "blocking_sources",
+    "raise_sources",
+    "WALL_CLOCK_EXTERNALS",
+    "RNG_EXTERNAL_PREFIXES",
+    "BLOCKING_EXTERNALS",
+    "BLOCKING_EXTERNAL_PREFIXES",
+    "BLOCKING_METHOD_NAMES",
+    "DOMAIN_ERROR_NAMES",
+]
+
+#: External dotted names that read the wall clock (mirrors DET001).
+WALL_CLOCK_EXTERNALS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "time.asctime",
+        "time.strftime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Prefixes of process-global RNG calls (mirrors DET002); exact names
+#: under these prefixes that construct *seeded* generators are allowed.
+RNG_EXTERNAL_PREFIXES = ("random.", "numpy.random.")
+
+_RNG_ALLOWED = frozenset(
+    {
+        "random.Random",
+        "random.SystemRandom",
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.BitGenerator",
+        "numpy.random.SeedSequence",
+        "numpy.random.PCG64",
+        "numpy.random.PCG64DXSM",
+        "numpy.random.Philox",
+        "numpy.random.MT19937",
+        "numpy.random.SFC64",
+    }
+)
+
+#: Exact external names that block the calling thread.
+BLOCKING_EXTERNALS = frozenset(
+    {
+        "open",
+        "input",
+        "time.sleep",
+        "os.fsync",
+        "os.fdatasync",
+        "os.replace",
+        "os.rename",
+        "socket.create_connection",
+    }
+)
+
+#: Prefixes under which *every* call blocks.
+BLOCKING_EXTERNAL_PREFIXES = ("subprocess.", "urllib.request.", "shutil.")
+
+#: Method names on unresolved receivers (``?.name``) that are file I/O
+#: in this codebase (``pathlib.Path`` readers/writers).
+BLOCKING_METHOD_NAMES = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+
+#: Exception class names whose silent swallowing EXC101 reports.
+DOMAIN_ERROR_NAMES = frozenset({"FaultError", "ServeError"})
+
+
+@dataclass(frozen=True)
+class TaintWitness:
+    """Why one function is tainted: the path from it to the source.
+
+    ``path`` is the chain of project qualnames starting at the tainted
+    function; ``source`` is the external call (or raised exception) the
+    last element reaches directly; ``line`` anchors the source call in
+    the last element's body.
+    """
+
+    source: str
+    path: tuple[str, ...]
+    line: int
+
+    def render(self) -> str:
+        """``a -> b -> source`` with modules elided after the first hop."""
+        return " -> ".join((*self.path, self.source))
+
+
+class TaintAnalysis:
+    """The result of one propagation: qualname → witness."""
+
+    def __init__(self, witnesses: dict[str, TaintWitness]) -> None:
+        self._witnesses = witnesses
+
+    def witness(self, qualname: str) -> TaintWitness | None:
+        return self._witnesses.get(qualname)
+
+    def tainted(self, qualname: str) -> bool:
+        return qualname in self._witnesses
+
+    def __len__(self) -> int:
+        return len(self._witnesses)
+
+
+SourceFn = Callable[[FunctionNode], "list[tuple[str, int]]"]
+
+
+def propagate(
+    graph: CallGraph,
+    sources: SourceFn,
+    stop_at_boundary: bool = False,
+) -> TaintAnalysis:
+    """Multi-source reverse BFS from direct sources to all callers.
+
+    ``sources`` returns the direct ``(source name, line)`` pairs of one
+    function. With ``stop_at_boundary`` a function whose def carries the
+    ``# lint: blocking-boundary`` marker still gets its own witness but
+    never propagates it upward — the declared-intentional edge.
+    """
+    witnesses: dict[str, TaintWitness] = {}
+    queue: deque[str] = deque()
+    for qualname in sorted(graph.nodes):
+        node = graph.nodes[qualname]
+        direct = sources(node)
+        if direct:
+            source, line = min(direct, key=lambda item: (item[1], item[0]))
+            witnesses[qualname] = TaintWitness(
+                source=source, path=(qualname,), line=line
+            )
+            queue.append(qualname)
+    while queue:
+        callee = queue.popleft()
+        node = graph.get(callee)
+        if (
+            stop_at_boundary
+            and node is not None
+            and node.blocking_boundary
+        ):
+            continue
+        base = witnesses[callee]
+        for caller in graph.callers_of(callee):
+            if caller in witnesses or caller in base.path:
+                continue
+            witnesses[caller] = TaintWitness(
+                source=base.source,
+                path=(caller, *base.path),
+                line=base.line,
+            )
+            queue.append(caller)
+    return TaintAnalysis(witnesses)
+
+
+# ---------------------------------------------------------------------------
+# Source functions
+
+
+def _is_rng_external(name: str) -> bool:
+    return (
+        any(name.startswith(prefix) for prefix in RNG_EXTERNAL_PREFIXES)
+        and name not in _RNG_ALLOWED
+    )
+
+
+def wall_clock_sources(
+    suppressed: Callable[[str, str, int], bool],
+) -> SourceFn:
+    """Direct wall-clock/global-RNG externals, minus declared edges.
+
+    ``suppressed(path, code, line)`` mirrors the engine's suppression
+    filter: a call site carrying ``# lint: disable=DET001`` (or
+    ``DET002`` for RNG) is a declared boundary and seeds nothing.
+    """
+
+    def sources(node: FunctionNode) -> list[tuple[str, int]]:
+        found: list[tuple[str, int]] = []
+        for ext in node.external_calls:
+            if ext.name in WALL_CLOCK_EXTERNALS:
+                if not suppressed(node.path, "DET001", ext.line):
+                    found.append((ext.name, ext.line))
+            elif _is_rng_external(ext.name):
+                if not suppressed(node.path, "DET002", ext.line):
+                    found.append((ext.name, ext.line))
+        return found
+
+    return sources
+
+
+def blocking_sources(node: FunctionNode) -> list[tuple[str, int]]:
+    """Direct blocking externals, minus call-site boundary markers."""
+    found: list[tuple[str, int]] = []
+    for ext in node.external_calls:
+        if ext.boundary:
+            continue
+        name = ext.name
+        blocking = (
+            name in BLOCKING_EXTERNALS
+            or any(
+                name.startswith(prefix)
+                for prefix in BLOCKING_EXTERNAL_PREFIXES
+            )
+            or (
+                name.startswith("?.")
+                and name[2:] in BLOCKING_METHOD_NAMES
+            )
+        )
+        if blocking:
+            found.append((name, ext.line))
+    return found
+
+
+def raise_sources(node: FunctionNode) -> list[tuple[str, int]]:
+    """Direct ``raise FaultError/ServeError`` statements."""
+    return [
+        (name, node.lineno)
+        for name in node.raises
+        if name in DOMAIN_ERROR_NAMES
+    ]

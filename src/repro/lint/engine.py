@@ -17,7 +17,10 @@ from __future__ import annotations
 import ast
 import os
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .cache import LintCache
 
 from .context import ModuleContext, ProjectIndex
 from .findings import Finding, Severity
@@ -47,6 +50,15 @@ class LintReport:
     suppressed: int = 0
     #: Files that failed to parse, as ``(path, error)`` pairs.
     parse_errors: tuple[tuple[str, str], ...] = ()
+    #: Incremental-cache counters (zero when no cache was supplied).
+    cache_hits: int = 0
+    cache_lookups: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return (
+            self.cache_hits / self.cache_lookups if self.cache_lookups else 0.0
+        )
 
     @property
     def errors(self) -> tuple[Finding, ...]:
@@ -101,7 +113,9 @@ class LintEngine:
 
     # -- running ----------------------------------------------------------------
 
-    def run(self, paths: Iterable[str]) -> LintReport:
+    def run(
+        self, paths: Iterable[str], cache: "LintCache | None" = None
+    ) -> LintReport:
         """Lint every python file under ``paths``."""
         files = self.discover(paths)
         sources: list[tuple[str, str]] = []
@@ -112,18 +126,27 @@ class LintEngine:
                     sources.append((path, handle.read()))
             except OSError as error:
                 parse_errors.append((path, str(error)))
-        report = self.run_sources(sources)
+        report = self.run_sources(sources, cache=cache)
         return LintReport(
             findings=report.findings,
             files_checked=report.files_checked,
             suppressed=report.suppressed,
             parse_errors=tuple(parse_errors) + report.parse_errors,
+            cache_hits=report.cache_hits,
+            cache_lookups=report.cache_lookups,
         )
 
     def run_sources(
-        self, sources: Iterable[tuple[str, str]]
+        self,
+        sources: Iterable[tuple[str, str]],
+        cache: "LintCache | None" = None,
     ) -> LintReport:
-        """Lint in-memory ``(path, source)`` pairs (tests, pre-commit)."""
+        """Lint in-memory ``(path, source)`` pairs (tests, pre-commit).
+
+        With a :class:`~repro.lint.cache.LintCache`, each module's
+        local-rule findings come from the store when its content and
+        the rule set are unchanged; project-scope rules always re-run.
+        """
         project = ProjectIndex()
         modules: list[ModuleContext] = []
         parse_errors: list[tuple[str, str]] = []
@@ -138,8 +161,23 @@ class LintEngine:
             project.add(module)
 
         raw: list[Finding] = []
-        for module in modules:
-            raw.extend(self._lint_module(module))
+        if cache is None:
+            for module in modules:
+                raw.extend(self._lint_module(module, self.rules))
+        else:
+            local = [r for r in self.rules if not r.project_scope]
+            shared = [r for r in self.rules if r.project_scope]
+            for module in modules:
+                hit = cache.get(module.path, module.source)
+                if hit is None:
+                    fresh = self._lint_module(module, local)
+                    cache.put(module.path, module.source, fresh)
+                    raw.extend(fresh)
+                else:
+                    raw.extend(hit)
+                # Project-scope rules accumulate cross-module state in
+                # their visit hooks; they see every module every run.
+                raw.extend(self._lint_module(module, shared))
         for rule in self.rules:
             raw.extend(rule.finish_project(project))
 
@@ -159,10 +197,15 @@ class LintEngine:
             files_checked=len(modules),
             suppressed=suppressed,
             parse_errors=tuple(parse_errors),
+            cache_hits=cache.hits if cache is not None else 0,
+            cache_lookups=cache.lookups if cache is not None else 0,
         )
 
-    def _lint_module(self, module: ModuleContext) -> list[Finding]:
-        active = [rule for rule in self.rules if rule.applies_to(module)]
+    def _lint_module(
+        self, module: ModuleContext, rules: Sequence[Rule] | None = None
+    ) -> list[Finding]:
+        pool = self.rules if rules is None else rules
+        active = [rule for rule in pool if rule.applies_to(module)]
         if not active:
             return []
         dispatch: dict[type, list[Rule]] = {}

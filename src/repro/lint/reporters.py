@@ -7,7 +7,12 @@ import json
 from .engine import LintReport
 from .registry import registered_rules
 
-__all__ = ["render_text", "render_json", "render_rule_list"]
+__all__ = [
+    "render_text",
+    "render_json",
+    "render_sarif",
+    "render_rule_list",
+]
 
 
 def render_text(report: LintReport) -> str:
@@ -28,6 +33,11 @@ def render_text(report: LintReport) -> str:
         summary += f", {report.suppressed} suppressed"
     if report.parse_errors:
         summary += f", {len(report.parse_errors)} unparseable"
+    if report.cache_lookups:
+        summary += (
+            f", cache {report.cache_hits}/{report.cache_lookups} hits "
+            f"({report.cache_hit_rate:.0%})"
+        )
     lines.append(summary)
     return "\n".join(lines)
 
@@ -44,6 +54,73 @@ def render_json(report: LintReport) -> str:
             for path, error in report.parse_errors
         ],
         "findings": [finding.to_dict() for finding in report.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(report: LintReport) -> str:
+    """SARIF 2.1.0 for GitHub code scanning (PR annotations).
+
+    One run, one ``caasper-lint`` driver, every registered rule in the
+    tool metadata so suppressed-to-zero codes still document
+    themselves, and one result per finding with a physical location.
+    """
+    rules = [
+        {
+            "id": code,
+            "name": rule_class.__name__,
+            "shortDescription": {"text": rule_class.title},
+            "defaultConfiguration": {
+                "level": (
+                    "error"
+                    if rule_class.severity.value == "error"
+                    else "warning"
+                ),
+            },
+        }
+        for code, rule_class in sorted(registered_rules().items())
+    ]
+    results = [
+        {
+            "ruleId": finding.code,
+            "level": finding.severity.value,
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.column + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in report.findings
+    ]
+    payload = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "caasper-lint",
+                        "informationUri": (
+                            "https://github.com/caasper/repro"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
 

@@ -7,6 +7,7 @@ from . import (  # noqa: F401  (import side effect: rule registration)
     numerics,
     observability,
     protocols,
+    taint,
 )
 
 __all__ = [
@@ -16,4 +17,5 @@ __all__ = [
     "numerics",
     "observability",
     "protocols",
+    "taint",
 ]

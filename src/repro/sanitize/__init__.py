@@ -1,0 +1,55 @@
+"""Runtime sanitizers: the dynamic half of the determinism contract.
+
+The static rules in :mod:`repro.lint` prove properties of the source;
+the sanitizers here enforce the same properties on the *running*
+process, where monkeypatches, plugins, C extensions and dynamic
+dispatch live. Three guards:
+
+- :class:`DeterminismSanitizer` — patches wall-clock and global-RNG
+  entry points (``time``, ``random``, ``numpy.random``) and raises
+  :class:`~repro.errors.SanitizerError` the moment a deterministic
+  domain touches one. The runtime twin of DET001/DET002/DET101.
+- :class:`LoopStallDetector` — times every event-loop callback through
+  ``asyncio.events.Handle._run`` against a deterministic
+  ``perf_counter`` threshold. The runtime twin of ASY001.
+- :func:`probe_plan` / :func:`probe_fork_safety` — round-trips fleet
+  plans through pickle and recomputes seeds/signatures in a cold spawn
+  interpreter, guarding the worker-boundary byte-identity the fleet
+  runner promises.
+
+All three are exercised by ``caasper sanitize`` (self-check plus a
+serve drill and a fleet sweep under guard) and by CI's
+``sanitize-smoke`` job.
+"""
+
+from .determinism import (
+    DEFAULT_ALLOWED_CALLERS,
+    DeterminismSanitizer,
+    SanitizerTrip,
+    invoke_as,
+)
+from .eventloop import (
+    DEFAULT_STALL_THRESHOLD,
+    LoopStall,
+    LoopStallDetector,
+)
+from .forksafety import (
+    ProbeCheck,
+    ProbeReport,
+    probe_fork_safety,
+    probe_plan,
+)
+
+__all__ = [
+    "DEFAULT_ALLOWED_CALLERS",
+    "DEFAULT_STALL_THRESHOLD",
+    "DeterminismSanitizer",
+    "LoopStall",
+    "LoopStallDetector",
+    "ProbeCheck",
+    "ProbeReport",
+    "SanitizerTrip",
+    "invoke_as",
+    "probe_fork_safety",
+    "probe_plan",
+]

@@ -1,0 +1,241 @@
+"""Runtime wall-clock/RNG guard for the deterministic domains.
+
+The static rules (DET001/DET002/DET101) prove the *project's own*
+source never reaches the wall clock from deterministic code — but they
+cannot see monkeypatches, plugins, or dynamic dispatch. This sanitizer
+closes the loop at runtime: while armed, every guarded entry point in
+``time``, ``random`` and ``numpy.random`` checks which project frame
+invoked it. If the nearest ``repro.*`` frame on the stack belongs to a
+deterministic domain (and is not explicitly allowlisted), the call
+raises :class:`~repro.errors.SanitizerError` *at the offending call
+site* — the traceback IS the bug report.
+
+Attribution walks the stack outward from the guard and decides on the
+first frame owned by this project: a domain frame is a violation, any
+other ``repro`` frame (CLI, obs sinks, serve access log plumbing)
+legitimises the call, and a stack with no project frame at all (pytest
+internals, asyncio bookkeeping) always passes. Frames inside
+``repro.sanitize`` itself are skipped so the guard never reports its
+own bookkeeping.
+
+``datetime.datetime.now`` cannot be intercepted (attributes of the C
+type are read-only); the static DET001/DET101 rules remain the only
+line of defence for it, which is why both layers ship together.
+
+Usage::
+
+    with DeterminismSanitizer():
+        run_sweep(plan)            # raises on any unseeded clock/RNG use
+
+    guard = DeterminismSanitizer(record_only=True)
+    with guard:
+        run_drill(...)             # collect without failing
+    assert not guard.trips
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..errors import SanitizerError
+from ..lint.rules.determinism import DETERMINISTIC_DOMAINS
+
+try:  # numpy is an optional guard target, not a dependency
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - numpy ships in this environment
+    _numpy = None
+
+__all__ = [
+    "DeterminismSanitizer",
+    "SanitizerTrip",
+    "DEFAULT_ALLOWED_CALLERS",
+    "invoke_as",
+]
+
+#: ``module.function`` callers allowed to touch the wall clock even
+#: from a deterministic domain: reviewed, suppressed edges in the
+#: static rules. The serve access log stamps real timestamps by design
+#: (it is operator telemetry, not replayed state).
+DEFAULT_ALLOWED_CALLERS = frozenset(
+    {
+        "repro.serve.server._wall_seconds",
+    }
+)
+
+#: Wall-clock functions patched on the ``time`` module (mirrors the
+#: DET001 table; monotonic clocks stay untouched).
+_TIME_TARGETS = (
+    "time",
+    "time_ns",
+    "localtime",
+    "gmtime",
+    "ctime",
+    "asctime",
+    "strftime",
+)
+
+#: Process-global RNG entry points on the ``random`` module.
+_RANDOM_TARGETS = (
+    "random",
+    "uniform",
+    "triangular",
+    "randint",
+    "randrange",
+    "randbytes",
+    "getrandbits",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "gauss",
+    "normalvariate",
+    "lognormvariate",
+    "expovariate",
+    "vonmisesvariate",
+    "gammavariate",
+    "betavariate",
+    "paretovariate",
+    "weibullvariate",
+    "seed",
+)
+
+#: Legacy global-state entry points on ``numpy.random``.
+_NUMPY_RANDOM_TARGETS = (
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "ranf",
+    "choice",
+    "shuffle",
+    "permutation",
+    "uniform",
+    "normal",
+    "standard_normal",
+    "exponential",
+    "poisson",
+    "binomial",
+    "beta",
+    "bytes",
+    "seed",
+)
+
+
+@dataclass(frozen=True)
+class SanitizerTrip:
+    """One caught violation: who called what."""
+
+    kind: str  #: ``"wall-clock"`` or ``"rng"``
+    target: str  #: the guarded entry point, e.g. ``"time.time"``
+    caller: str  #: offending domain frame, ``module.function``
+
+    def render(self) -> str:
+        return f"{self.kind}: {self.caller} called {self.target}"
+
+
+def invoke_as(module_name: str, fn: Callable[..., Any], *args: Any) -> Any:
+    """Call ``fn`` from a frame whose module is ``module_name``.
+
+    Test/self-check helper: compiles a one-line trampoline whose frame
+    globals carry the given ``__name__``, so the sanitizer attributes
+    the call to that module — a synthetic "domain code did this"
+    without importing or patching real domain modules.
+    """
+    code = compile(
+        "def _probe(fn, args):\n    return fn(*args)\n",
+        "<sanitize-probe>",
+        "exec",
+    )
+    globals_ns: dict[str, Any] = {"__name__": module_name}
+    exec(code, globals_ns)
+    return globals_ns["_probe"](fn, args)
+
+
+class DeterminismSanitizer:
+    """Context manager that arms the wall-clock/RNG guards."""
+
+    def __init__(
+        self,
+        domains: tuple[str, ...] = DETERMINISTIC_DOMAINS,
+        allow: frozenset[str] = DEFAULT_ALLOWED_CALLERS,
+        record_only: bool = False,
+    ) -> None:
+        self.domains = domains
+        self.allow = allow
+        self.record_only = record_only
+        self.trips: list[SanitizerTrip] = []
+        self._patched: list[tuple[Any, str, Any]] = []
+
+    # -- frame attribution -------------------------------------------------------
+
+    def _attribute(self) -> str | None:
+        """The offending domain caller, or None when the call is fine."""
+        frame = sys._getframe(2)  # skip _attribute and the guard wrapper
+        while frame is not None:
+            module = frame.f_globals.get("__name__", "")
+            if module.startswith("repro.sanitize"):
+                frame = frame.f_back
+                continue
+            if module.startswith("repro.") or module == "repro":
+                caller = f"{module}.{frame.f_code.co_name}"
+                in_domain = any(
+                    module == domain or module.startswith(domain + ".")
+                    for domain in self.domains
+                )
+                if not in_domain or caller in self.allow:
+                    return None
+                return caller
+            frame = frame.f_back
+        return None
+
+    # -- patching ----------------------------------------------------------------
+
+    def _guard(
+        self, kind: str, target: str, original: Callable[..., Any]
+    ) -> Callable[..., Any]:
+        def guarded(*args: Any, **kwargs: Any) -> Any:
+            caller = self._attribute()
+            if caller is not None:
+                trip = SanitizerTrip(kind=kind, target=target, caller=caller)
+                self.trips.append(trip)
+                if not self.record_only:
+                    raise SanitizerError(
+                        f"determinism sanitizer: {trip.render()}; thread a "
+                        "seeded clock/rng through instead, or allowlist the "
+                        "reviewed caller"
+                    )
+            return original(*args, **kwargs)
+
+        guarded.__name__ = getattr(original, "__name__", target)
+        guarded.__sanitizer_original__ = original  # type: ignore[attr-defined]
+        return guarded
+
+    def _patch(self, owner: Any, prefix: str, kind: str, names: tuple[str, ...]) -> None:
+        for name in names:
+            original = getattr(owner, name, None)
+            if original is None or hasattr(
+                original, "__sanitizer_original__"
+            ):
+                continue  # absent on this build, or already guarded
+            setattr(owner, name, self._guard(kind, f"{prefix}.{name}", original))
+            self._patched.append((owner, name, original))
+
+    def __enter__(self) -> "DeterminismSanitizer":
+        import random as random_module
+        import time as time_module
+
+        self._patch(time_module, "time", "wall-clock", _TIME_TARGETS)
+        self._patch(random_module, "random", "rng", _RANDOM_TARGETS)
+        if _numpy is not None:
+            self._patch(
+                _numpy.random, "numpy.random", "rng", _NUMPY_RANDOM_TARGETS
+            )
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        while self._patched:
+            owner, name, original = self._patched.pop()
+            setattr(owner, name, original)

@@ -1,0 +1,122 @@
+"""Event-loop stall detector for the serve daemon.
+
+The static ASY001 rule proves no *known* blocking call is reachable
+from the daemon's coroutines; this detector measures the thing the
+rule approximates. While armed, every callback the event loop runs
+(``asyncio.events.Handle._run`` — the single choke point through which
+all ready callbacks, including coroutine steps, pass) is timed with
+``perf_counter``, and any callback that holds the loop longer than a
+deterministic threshold is recorded as a :class:`LoopStall`.
+
+The threshold is compared against measured deltas of the *monotonic*
+clock, so the detector itself stays off the wall clock and out of the
+determinism sanitizer's way — the two compose::
+
+    with DeterminismSanitizer(), LoopStallDetector(0.25) as stalls:
+        asyncio.run(main())
+    stalls.check()   # raises SanitizerError naming the slowest callback
+
+Recording is always on; :meth:`check` turns the record into a verdict
+so callers choose between hard-fail (CI) and report-only (drills).
+"""
+
+from __future__ import annotations
+
+import asyncio.events
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import SanitizerError
+
+__all__ = ["LoopStallDetector", "LoopStall", "DEFAULT_STALL_THRESHOLD"]
+
+#: Default per-callback budget, in seconds. Generous on purpose: the
+#: daemon's tick callback does real per-tenant work, and the detector
+#: exists to catch *synchronous I/O and sleeps*, not honest CPU.
+DEFAULT_STALL_THRESHOLD = 0.25
+
+
+@dataclass(frozen=True)
+class LoopStall:
+    """One callback that held the event loop past the threshold."""
+
+    callback: str  #: best-effort callback repr (function or coroutine)
+    seconds: float
+    threshold: float
+
+    def render(self) -> str:
+        return (
+            f"event-loop stall: {self.callback} held the loop for "
+            f"{self.seconds:.3f}s (threshold {self.threshold:.3f}s)"
+        )
+
+
+def _describe(handle: "asyncio.events.Handle") -> str:
+    callback = getattr(handle, "_callback", None)
+    if callback is None:
+        return repr(handle)
+    self_obj = getattr(callback, "__self__", None)
+    if self_obj is not None and type(self_obj).__name__ == "Task":
+        coro = getattr(self_obj, "get_coro", lambda: None)()
+        name = getattr(coro, "__qualname__", None)
+        if name:
+            return name
+    return getattr(callback, "__qualname__", repr(callback))
+
+
+class LoopStallDetector:
+    """Context manager that times every event-loop callback."""
+
+    def __init__(
+        self,
+        threshold: float = DEFAULT_STALL_THRESHOLD,
+        max_stalls: int = 100,
+    ) -> None:
+        if threshold <= 0:
+            raise ValueError("stall threshold must be positive")
+        self.threshold = threshold
+        self.max_stalls = max_stalls
+        self.stalls: list[LoopStall] = []
+        self._original: Any = None
+
+    def __enter__(self) -> "LoopStallDetector":
+        detector = self
+        original = asyncio.events.Handle._run
+        self._original = original
+
+        def timed_run(handle: "asyncio.events.Handle") -> Any:
+            started = time.perf_counter()
+            try:
+                return original(handle)
+            finally:
+                elapsed = time.perf_counter() - started
+                if (
+                    elapsed > detector.threshold
+                    and len(detector.stalls) < detector.max_stalls
+                ):
+                    detector.stalls.append(
+                        LoopStall(
+                            callback=_describe(handle),
+                            seconds=elapsed,
+                            threshold=detector.threshold,
+                        )
+                    )
+
+        asyncio.events.Handle._run = timed_run  # type: ignore[method-assign]
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self._original is not None:
+            asyncio.events.Handle._run = self._original  # type: ignore[method-assign]
+            self._original = None
+
+    def check(self) -> None:
+        """Raise :class:`SanitizerError` if any callback stalled."""
+        if not self.stalls:
+            return
+        worst = max(self.stalls, key=lambda stall: stall.seconds)
+        raise SanitizerError(
+            f"{worst.render()} ({len(self.stalls)} stalled "
+            "callback(s) total)"
+        )

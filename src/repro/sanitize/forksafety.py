@@ -1,0 +1,178 @@
+"""Fleet pickle/fork-safety probe.
+
+The fleet runner's byte-identity guarantee rests on two properties the
+test suite can only verify indirectly:
+
+1. **pickle fidelity** — a job that crosses the process boundary must
+   describe the *same work* on the far side. The probe round-trips
+   every job through pickle and compares content digests, and does the
+   same for the plan signature.
+2. **seed process-independence** — ``derive_job_seed`` must be a pure
+   function of ``(plan seed, job id)``, never of interpreter state
+   (``PYTHONHASHSEED``, import order, pid). The probe recomputes every
+   job's seed and the plan signature inside a fresh **spawn** worker —
+   a cold interpreter, exactly what a fleet worker gets — and compares
+   against the parent.
+
+``probe_plan`` runs both against a real plan; ``probe_fork_safety``
+checks the seed derivation alone (no plan required). Both return a
+:class:`ProbeReport`; :meth:`ProbeReport.check` raises
+:class:`~repro.errors.SanitizerError` on the first failed check.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..errors import SanitizerError
+from ..fleet.jobs import derive_job_seed
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..fleet.jobs import FleetPlan
+
+__all__ = ["ProbeCheck", "ProbeReport", "probe_plan", "probe_fork_safety"]
+
+
+@dataclass(frozen=True)
+class ProbeCheck:
+    """One named pass/fail with a human-readable detail line."""
+
+    name: str
+    ok: bool
+    detail: str
+
+
+@dataclass(frozen=True)
+class ProbeReport:
+    """The probe verdict: every check, in execution order."""
+
+    checks: tuple[ProbeCheck, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    def render(self) -> str:
+        return "\n".join(
+            f"{'ok  ' if check.ok else 'FAIL'} {check.name}: {check.detail}"
+            for check in self.checks
+        )
+
+    def check(self) -> None:
+        for item in self.checks:
+            if not item.ok:
+                raise SanitizerError(
+                    f"fork-safety probe failed: {item.name}: {item.detail}"
+                )
+
+
+# -- spawn-side workers (must be importable, hence module level) ------------
+
+
+def _child_seeds(plan_seed: int, job_ids: list[str]) -> list[int]:
+    return [derive_job_seed(plan_seed, job_id) for job_id in job_ids]
+
+
+def _child_plan_facts(blob: bytes) -> dict[str, object]:
+    plan = pickle.loads(blob)
+    return {
+        "signature": plan.signature(),
+        "digests": [job.digest() for job in plan.jobs],
+        "seeds": [plan.seed_for(job) for job in plan.jobs],
+    }
+
+
+def _in_spawn_worker(fn, *args):  # type: ignore[no-untyped-def]
+    """Run ``fn(*args)`` in a cold spawn interpreter; return its result."""
+    context = multiprocessing.get_context("spawn")
+    with context.Pool(processes=1) as pool:
+        return pool.apply(fn, args)
+
+
+# -- probes -----------------------------------------------------------------
+
+
+def probe_fork_safety(
+    plan_seed: int = 2024, job_ids: tuple[str, ...] = ("a", "b", "c", "z/9")
+) -> ProbeReport:
+    """Seed derivation must match between this process and a cold spawn."""
+    parent = [derive_job_seed(plan_seed, job_id) for job_id in job_ids]
+    child = _in_spawn_worker(_child_seeds, plan_seed, list(job_ids))
+    ok = parent == child
+    detail = (
+        f"{len(job_ids)} seeds identical across spawn"
+        if ok
+        else f"parent {parent} != spawn {child}"
+    )
+    return ProbeReport(
+        checks=(ProbeCheck("seed-process-independence", ok, detail),)
+    )
+
+
+def probe_plan(plan: "FleetPlan") -> ProbeReport:
+    """Pickle fidelity + spawn-side recomputation for a real plan."""
+    checks: list[ProbeCheck] = []
+
+    try:
+        blob = pickle.dumps(plan)
+        clone = pickle.loads(blob)
+    except Exception as error:  # lint: disable=EXC001,EXC101 - verdict boundary: the failure IS the probe result
+        checks.append(
+            ProbeCheck(
+                "plan-pickles",
+                False,
+                f"{type(error).__name__}: {error}",
+            )
+        )
+        return ProbeReport(checks=tuple(checks))
+    checks.append(
+        ProbeCheck("plan-pickles", True, f"{len(blob)} bytes round-tripped")
+    )
+
+    same_digests = [job.digest() for job in plan.jobs] == [
+        job.digest() for job in clone.jobs
+    ]
+    checks.append(
+        ProbeCheck(
+            "job-digests-survive-pickle",
+            same_digests,
+            f"{len(plan.jobs)} job digest(s) compared",
+        )
+    )
+    same_signature = plan.signature() == clone.signature()
+    checks.append(
+        ProbeCheck(
+            "plan-signature-survives-pickle",
+            same_signature,
+            "signature identical after round-trip"
+            if same_signature
+            else "signature drifted across pickle",
+        )
+    )
+
+    facts = _in_spawn_worker(_child_plan_facts, blob)
+    spawn_signature = facts["signature"] == plan.signature()
+    checks.append(
+        ProbeCheck(
+            "plan-signature-spawn-stable",
+            spawn_signature,
+            "cold interpreter recomputed the same signature"
+            if spawn_signature
+            else f"spawn signature {facts['signature']!r} differs",
+        )
+    )
+    parent_seeds = [plan.seed_for(job) for job in plan.jobs]
+    spawn_seeds = facts["seeds"] == parent_seeds
+    checks.append(
+        ProbeCheck(
+            "job-seeds-spawn-stable",
+            spawn_seeds,
+            f"{len(parent_seeds)} seed(s) identical across spawn"
+            if spawn_seeds
+            else f"parent {parent_seeds} != spawn {facts['seeds']}",
+        )
+    )
+    return ProbeReport(checks=tuple(checks))

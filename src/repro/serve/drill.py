@@ -159,7 +159,7 @@ def run_drill(
                 f"tick {chaos.plane.tick}"
             )
         chaos.run(total_ticks - done)
-    except Exception as exc:  # lint: disable=EXC001 - drill verdict boundary
+    except Exception as exc:  # lint: disable=EXC001,EXC101 - drill verdict boundary: failures become audit entries
         unhandled.append(f"{type(exc).__name__}: {exc}")
     chaos_kcn = _canonical(chaos.kcn())
 

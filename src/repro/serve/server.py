@@ -36,7 +36,7 @@ import json
 import signal
 import time
 from pathlib import Path
-from typing import Any
+from typing import Any, TextIO
 
 from ..errors import ServeError
 from .config import TenantSpec
@@ -78,6 +78,7 @@ class ServeDaemon:
         self._shutdown = asyncio.Event()
         self._drain_reason = "shutdown"
         self._ticks_run = 0
+        self._log_fh: TextIO | None = None
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -117,6 +118,9 @@ class ServeDaemon:
         await self._server.wait_closed()
         result = self.plane.drain(self._drain_reason)
         self._log("drained", **result)
+        if self._log_fh is not None:
+            self._log_fh.close()
+            self._log_fh = None
         return self.exit_code
 
     def request_shutdown(self, reason: str = "shutdown") -> None:
@@ -143,7 +147,7 @@ class ServeDaemon:
     ) -> None:
         try:
             status, payload = await self._serve_one(reader)
-        except Exception as exc:  # lint: disable=EXC001 - daemon must outlive any request
+        except Exception as exc:  # lint: disable=EXC001,EXC101 - daemon must outlive any request; domain errors become HTTP 500
             status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         content_type = "application/json"
@@ -285,12 +289,23 @@ class ServeDaemon:
 
     # -- access log ----------------------------------------------------------------
 
+    # One append handle per daemon lifetime: the per-request open/close
+    # this replaced blocked the event loop on every access-log line.
+    def _open_log(self) -> TextIO:  # lint: blocking-boundary - one open per process
+        if self._log_fh is None:
+            assert self.jsonl_path is not None
+            self._log_fh = open(  # noqa: SIM115 - held across requests
+                self.jsonl_path, "a", encoding="utf-8"
+            )
+        return self._log_fh
+
     def _log(self, kind: str, **fields: Any) -> None:
         if self.jsonl_path is None:
             return
         line = {"ts": _wall_seconds(), "kind": kind, **fields}
-        with open(self.jsonl_path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(line, sort_keys=True) + "\n")
+        handle = self._open_log()
+        handle.write(json.dumps(line, sort_keys=True) + "\n")
+        handle.flush()
 
 
 def _reason(status: int) -> str:

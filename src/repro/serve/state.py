@@ -66,7 +66,7 @@ class RecoveredInputs:
         return not self.records
 
 
-def _fsync_dir(path: Path) -> None:
+def _fsync_dir(path: Path) -> None:  # lint: blocking-boundary - rename durability
     """Best-effort directory fsync (rename durability on POSIX)."""
     try:
         fd = os.open(path, os.O_RDONLY)
@@ -95,7 +95,7 @@ class ServeState:
 
     # -- recovery ------------------------------------------------------------------
 
-    def load(self) -> RecoveredInputs:
+    def load(self) -> RecoveredInputs:  # lint: blocking-boundary - startup-only recovery read
         """Read snapshot + journal into one deduplicated input sequence.
 
         Call before :meth:`open_append`. Raises
@@ -178,7 +178,7 @@ class ServeState:
 
     # -- appending -----------------------------------------------------------------
 
-    def open_append(self) -> None:
+    def open_append(self) -> None:  # lint: blocking-boundary - one open per process lifetime
         """Open the journal for appending, writing the header if fresh."""
         fresh = (
             not self.journal_path.exists()
@@ -205,7 +205,11 @@ class ServeState:
         self._write_line(stamped)
         return self.seq
 
-    def _write_line(self, payload: dict[str, Any]) -> None:
+    # The fsync below is the daemon's crash-safety contract: an input is
+    # acked only once it is durable, so a SIGKILL can never lose an acked
+    # record. The stall is bounded (one line) and single-threaded by
+    # design — the plane serialises every mutation through this journal.
+    def _write_line(self, payload: dict[str, Any]) -> None:  # lint: blocking-boundary
         assert self._fh is not None
         self._fh.write(json.dumps(payload, separators=(",", ":")) + "\n")
         self._fh.flush()
@@ -214,7 +218,7 @@ class ServeState:
 
     # -- compaction ----------------------------------------------------------------
 
-    def snapshot(
+    def snapshot(  # lint: blocking-boundary - atomic compaction must be durable
         self, tick: int, records: list[dict[str, Any]]
     ) -> None:
         """Atomically compact all inputs up to the current ``seq``.

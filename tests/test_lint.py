@@ -28,11 +28,14 @@ from repro.lint import (
 
 ALL_CODES = (
     "API001",
+    "ASY001",
     "CFG001",
     "DET001",
     "DET002",
     "DET003",
+    "DET101",
     "EXC001",
+    "EXC101",
     "NUM001",
     "OBS001",
     "OBS002",

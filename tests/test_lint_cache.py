@@ -1,0 +1,156 @@
+"""Incremental lint cache (:mod:`repro.lint.cache`) behaviour.
+
+Soundness first: a cached run must produce byte-identical findings to
+an uncached one, cold or warm. Then the economics: warm runs hit for
+every unchanged module, an edited module misses exactly once, and
+changing the rule set (or the epoch) invalidates everything.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint import LintEngine, make_rules
+from repro.lint.cache import LintCache, ruleset_signature
+from repro.store import ResultStore
+
+DIRTY = (
+    "src/repro/sim/dirty.py",
+    textwrap.dedent(
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """
+    ),
+)
+CLEAN = (
+    "src/repro/sim/clean.py",
+    textwrap.dedent(
+        """
+        def pure(x):
+            return x + 1
+        """
+    ),
+)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+def run(engine, store, sources):
+    cache = LintCache(store, engine.rules)
+    report = engine.run_sources(sources, cache=cache)
+    return report
+
+
+def test_cached_run_matches_uncached_run(store):
+    engine = LintEngine()
+    plain = engine.run_sources([DIRTY, CLEAN])
+    cold = run(engine, store, [DIRTY, CLEAN])
+    warm = run(engine, store, [DIRTY, CLEAN])
+    assert plain.findings == cold.findings == warm.findings
+    assert plain.suppressed == warm.suppressed
+    assert plain.findings  # the fixture really does have findings
+
+
+def test_warm_run_hits_every_module(store):
+    engine = LintEngine()
+    cold = run(engine, store, [DIRTY, CLEAN])
+    assert cold.cache_hits == 0
+    assert cold.cache_lookups == 2
+    warm = run(engine, store, [DIRTY, CLEAN])
+    assert warm.cache_hits == 2
+    assert warm.cache_lookups == 2
+    assert warm.cache_hit_rate == 1.0
+
+
+def test_edited_module_misses_once_then_hits(store):
+    engine = LintEngine()
+    run(engine, store, [DIRTY, CLEAN])
+    edited = (CLEAN[0], CLEAN[1] + "\n\ndef more(y):\n    return y\n")
+    second = run(engine, store, [DIRTY, edited])
+    assert second.cache_hits == 1  # dirty.py unchanged
+    third = run(engine, store, [DIRTY, edited])
+    assert third.cache_hits == 2
+
+
+def test_suppression_comment_edit_invalidates_content(store):
+    engine = LintEngine()
+    first = run(engine, store, [DIRTY])
+    assert any(f.code == "DET001" for f in first.findings)
+    suppressed_src = DIRTY[1].replace(
+        "time.time()", "time.time()  # lint: disable=DET001 - test edge"
+    )
+    second = run(engine, store, [(DIRTY[0], suppressed_src)])
+    assert second.cache_hits == 0  # content changed: no stale reuse
+    assert not any(f.code == "DET001" for f in second.findings)
+
+
+def test_ruleset_change_invalidates(store):
+    full = LintEngine()
+    run(full, store, [DIRTY, CLEAN])
+    subset = LintEngine(make_rules(select=("NUM001",)))
+    report = run(subset, store, [DIRTY, CLEAN])
+    assert report.cache_hits == 0  # different rule-set signature
+
+
+def test_project_scope_rules_not_in_signature():
+    rules = make_rules()
+    local_only = [r for r in rules if not r.project_scope]
+    assert ruleset_signature(rules) == ruleset_signature(local_only)
+
+
+def test_project_scope_rules_still_run_on_warm_hits(store):
+    """DET101 depends on *other* modules; a warm cache must not mute it."""
+    engine = LintEngine()
+    domain = (
+        "src/repro/sim/entry.py",
+        textwrap.dedent(
+            """
+            from repro.util.helper import stamp
+
+            def simulate(x):
+                return stamp()
+            """
+        ),
+    )
+    helper = (
+        "src/repro/util/helper.py",
+        textwrap.dedent(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        ),
+    )
+    cold = run(engine, store, [domain, helper])
+    warm = run(engine, store, [domain, helper])
+    assert warm.cache_hits == 2
+    assert any(f.code == "DET101" for f in cold.findings)
+    assert any(f.code == "DET101" for f in warm.findings)
+    assert cold.findings == warm.findings
+
+
+def test_cache_metrics_zero_without_cache():
+    report = LintEngine().run_sources([CLEAN])
+    assert report.cache_hits == 0
+    assert report.cache_lookups == 0
+    assert report.cache_hit_rate == 0.0
+
+
+def test_text_reporter_shows_hit_rate(store):
+    from repro.lint import render_text
+
+    engine = LintEngine()
+    run(engine, store, [CLEAN])
+    warm = run(engine, store, [CLEAN])
+    text = render_text(warm)
+    assert "cache 1/1 hits (100%)" in text

@@ -1,0 +1,278 @@
+"""Runtime sanitizers (:mod:`repro.sanitize`) trip exactly when they should.
+
+Three layers, three sections: the determinism sanitizer (wall-clock/RNG
+frame attribution), the event-loop stall detector, and the fleet
+pickle/fork-safety probe. Plus the regression that ASY001 bought us:
+the serve access log keeps one handle for the daemon's lifetime instead
+of opening the file on the event loop per request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import time
+
+import pytest
+
+from repro.errors import ReproError, SanitizerError
+from repro.sanitize import (
+    DeterminismSanitizer,
+    LoopStallDetector,
+    invoke_as,
+    probe_fork_safety,
+    probe_plan,
+)
+
+pytestmark = pytest.mark.usefixtures("hard_timeout")
+
+
+# ---------------------------------------------------------------------------
+# DeterminismSanitizer
+
+
+class TestDeterminismSanitizer:
+    def test_wall_clock_from_domain_trips(self):
+        with DeterminismSanitizer() as guard:
+            with pytest.raises(SanitizerError, match="time.time"):
+                invoke_as("repro.sim.simulator", time.time)
+        assert len(guard.trips) == 1
+        trip = guard.trips[0]
+        assert trip.kind == "wall-clock"
+        assert trip.caller == "repro.sim.simulator._probe"
+
+    def test_global_rng_from_domain_trips(self):
+        with DeterminismSanitizer():
+            with pytest.raises(SanitizerError, match="random.random"):
+                invoke_as("repro.core.policy", random.random)  # lint: disable=DET002 - the test injects this exact violation
+
+    def test_non_domain_caller_passes(self):
+        with DeterminismSanitizer():
+            value = invoke_as("repro.cli", time.time)
+        assert isinstance(value, float)
+
+    def test_frames_outside_the_project_pass(self):
+        with DeterminismSanitizer():
+            assert isinstance(time.time(), float)  # lint: disable=DET001 - asserting the guard ignores test frames
+
+    def test_allowlisted_caller_passes(self):
+        guard = DeterminismSanitizer(
+            allow=frozenset({"repro.sim.simulator._probe"})
+        )
+        with guard:
+            value = invoke_as("repro.sim.simulator", time.time)
+        assert isinstance(value, float)
+        assert guard.trips == []
+
+    def test_record_only_collects_without_raising(self):
+        guard = DeterminismSanitizer(record_only=True)
+        with guard:
+            invoke_as("repro.sim.simulator", time.time)
+            invoke_as("repro.core.policy", random.random)  # lint: disable=DET002 - the test injects this exact violation
+        assert [trip.kind for trip in guard.trips] == ["wall-clock", "rng"]
+        assert "repro.sim" in guard.trips[0].render()
+
+    def test_unpatches_on_exit(self):
+        original_time = time.time
+        original_random = random.random
+        with DeterminismSanitizer():
+            assert time.time is not original_time
+        assert time.time is original_time
+        assert random.random is original_random
+
+    def test_nested_arming_is_idempotent(self):
+        original = time.time
+        with DeterminismSanitizer():
+            patched = time.time
+            with DeterminismSanitizer():
+                assert time.time is patched  # no double wrap
+            assert time.time is patched
+        assert time.time is original
+
+    def test_seeded_generators_stay_usable(self):
+        with DeterminismSanitizer():
+            rng = random.Random(7)
+            assert isinstance(rng.random(), float)
+
+    def test_sanitizer_error_is_a_repro_error(self):
+        assert issubclass(SanitizerError, ReproError)
+
+
+# ---------------------------------------------------------------------------
+# LoopStallDetector
+
+
+class TestLoopStallDetector:
+    def test_blocking_callback_recorded(self):
+        async def main():
+            await asyncio.sleep(0)
+            time.sleep(0.08)  # the stall under test
+            await asyncio.sleep(0)
+
+        with LoopStallDetector(threshold=0.02) as detector:
+            asyncio.run(main())
+        assert detector.stalls
+        worst = max(detector.stalls, key=lambda stall: stall.seconds)
+        assert worst.seconds >= 0.02
+        assert "main" in worst.callback
+
+    def test_check_raises_on_stall(self):
+        async def main():
+            time.sleep(0.08)
+
+        with LoopStallDetector(threshold=0.02) as detector:
+            asyncio.run(main())
+        with pytest.raises(SanitizerError, match="event-loop stall"):
+            detector.check()
+
+    def test_clean_loop_stays_quiet(self):
+        async def main():
+            for _ in range(5):
+                await asyncio.sleep(0)
+
+        with LoopStallDetector(threshold=0.25) as detector:
+            asyncio.run(main())
+        assert detector.stalls == []
+        detector.check()  # must not raise
+
+    def test_restores_handle_run_on_exit(self):
+        import asyncio.events
+
+        original = asyncio.events.Handle._run
+        with LoopStallDetector(threshold=0.25):
+            assert asyncio.events.Handle._run is not original
+        assert asyncio.events.Handle._run is original
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ValueError):
+            LoopStallDetector(threshold=0.0)
+
+    def test_max_stalls_caps_recording(self):
+        async def main():
+            for _ in range(4):
+                time.sleep(0.03)
+                await asyncio.sleep(0)
+
+        with LoopStallDetector(threshold=0.01, max_stalls=2) as detector:
+            asyncio.run(main())
+        assert len(detector.stalls) == 2
+
+
+# ---------------------------------------------------------------------------
+# Fork-safety probe
+
+
+class TestForkSafetyProbe:
+    def test_seed_derivation_spawn_stable(self):
+        report = probe_fork_safety(plan_seed=11, job_ids=("x", "y"))
+        assert report.ok
+        report.check()  # must not raise
+        assert "seed-process-independence" in report.render()
+
+    def test_probe_plan_on_real_sweep_plan(self):
+        from repro.fleet.plans import sweep_plan
+        from repro.trace import CpuTrace
+        from repro.workloads.synthetic import noisy
+
+        traces = [
+            noisy(
+                CpuTrace.constant(2.0 + index, 90, f"probe-{index}"),
+                sigma=0.1,
+                seed=index + 1,
+            )
+            for index in range(2)
+        ]
+        plan = sweep_plan(traces, name="probe", seed=9)
+        report = probe_plan(plan)
+        assert report.ok, report.render()
+        names = [check.name for check in report.checks]
+        assert names == [
+            "plan-pickles",
+            "job-digests-survive-pickle",
+            "plan-signature-survives-pickle",
+            "plan-signature-spawn-stable",
+            "job-seeds-spawn-stable",
+        ]
+
+    def test_unpicklable_plan_reports_instead_of_crashing(self):
+        class Unpicklable:
+            def __reduce__(self):
+                raise TypeError("deliberately unpicklable")
+
+        report = probe_plan(Unpicklable())
+        assert not report.ok
+        assert report.checks[0].name == "plan-pickles"
+        with pytest.raises(SanitizerError, match="plan-pickles"):
+            report.check()
+
+
+# ---------------------------------------------------------------------------
+# Regression: serve access log holds one handle across requests
+
+
+class TestServeAccessLogHandle:
+    def _daemon(self, tmp_path):
+        from repro.serve.config import ServeConfig
+        from repro.serve.plane import ControlPlane
+        from repro.serve.server import ServeDaemon
+
+        plane = ControlPlane(
+            ServeConfig(max_tenants=2, fsync_journal=False)
+        )
+        return ServeDaemon(
+            plane, port=0, jsonl_path=str(tmp_path / "access.jsonl")
+        )
+
+    def test_log_reuses_one_handle_and_run_closes_it(self, tmp_path):
+        daemon = self._daemon(tmp_path)
+
+        async def scenario(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(
+                b"GET /healthz HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Length: 0\r\nConnection: close\r\n\r\n"
+            )
+            await writer.drain()
+            await reader.read()
+            writer.close()
+            assert daemon._log_fh is not None
+            first = daemon._log_fh
+            await asyncio.sleep(0)
+            assert daemon._log_fh is first  # cached, not reopened
+
+        async def main():
+            task = asyncio.ensure_future(daemon.run())
+            while daemon.bound_port is None:
+                if task.done():
+                    task.result()
+                await asyncio.sleep(0.005)
+            try:
+                await scenario(daemon.bound_port)
+            finally:
+                if not daemon._shutdown.is_set():
+                    daemon.request_shutdown("test_teardown")
+            return await task
+
+        assert asyncio.run(main()) == 0
+        assert daemon._log_fh is None  # run() closed the handle
+        lines = [
+            json.loads(line)
+            for line in (tmp_path / "access.jsonl").read_text().splitlines()
+        ]
+        kinds = [line["kind"] for line in lines]
+        assert kinds[0] == "listening"
+        assert "request" in kinds or any("healthz" in str(l) for l in lines)
+        assert kinds[-1] == "drained"
+
+    def test_no_jsonl_path_means_no_handle(self, tmp_path):
+        from repro.serve.config import ServeConfig
+        from repro.serve.plane import ControlPlane
+        from repro.serve.server import ServeDaemon
+
+        daemon = ServeDaemon(
+            ControlPlane(ServeConfig(max_tenants=2, fsync_journal=False)),
+            port=0,
+        )
+        daemon._log("ignored")
+        assert daemon._log_fh is None

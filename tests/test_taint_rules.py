@@ -1,0 +1,429 @@
+"""Fixture pairs for the dataflow rules DET101/ASY001/EXC101.
+
+Each rule gets a must-flag snippet and a must-stay-quiet twin, plus
+the ISSUE acceptance fixture: a depth-2 transitive wall-clock read in
+a deterministic domain that DET101 flags and DET001 does *not* (the
+read happens outside DET001's domains), and a transitive blocking call
+inside a serve ``async def`` that ASY001 flags.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import Finding, lint_sources
+
+SIM_PATH = "src/repro/sim/snippet.py"
+SERVE_PATH = "src/repro/serve/snippet.py"
+UTIL_PATH = "src/repro/util/snippet.py"  # outside the deterministic domains
+
+
+def run_project(*files: tuple[str, str], select=None):
+    sources = [(path, textwrap.dedent(body)) for path, body in files]
+    report = lint_sources(sources, select=select)
+    assert not report.parse_errors
+    return report.findings
+
+
+def codes(findings) -> set[str]:
+    return {finding.code for finding in findings}
+
+
+def only(findings, code: str) -> list[Finding]:
+    return [finding for finding in findings if finding.code == code]
+
+
+# ---------------------------------------------------------------------------
+# DET101 — transitive wall clock / RNG
+
+
+ACCEPTANCE_DOMAIN = (
+    SIM_PATH,
+    """
+    from repro.util.snippet import stamp_meta
+
+    def simulate(trace):
+        meta = stamp_meta()
+        return len(trace) + meta
+    """,
+)
+
+ACCEPTANCE_HELPERS = (
+    UTIL_PATH,
+    """
+    import time
+
+    def stamp_meta():
+        return _now()
+
+    def _now():
+        return time.time()
+    """,
+)
+
+
+def test_det101_flags_depth_two_wall_clock_but_det001_does_not():
+    """The ISSUE acceptance fixture: transitive read, depth >= 2."""
+    findings = run_project(ACCEPTANCE_DOMAIN, ACCEPTANCE_HELPERS)
+    assert "DET101" in codes(findings)
+    assert "DET001" not in codes(findings)
+    finding = only(findings, "DET101")[0]
+    assert finding.path == SIM_PATH
+    # the message carries the whole witness chain down to the source
+    assert "stamp_meta" in finding.message
+    assert "_now" in finding.message
+    assert "time.time" in finding.message
+
+
+def test_det101_quiet_when_helper_is_clean():
+    findings = run_project(
+        ACCEPTANCE_DOMAIN,
+        (
+            UTIL_PATH,
+            """
+            def stamp_meta():
+                return 7
+            """,
+        ),
+    )
+    assert "DET101" not in codes(findings)
+
+
+def test_det101_quiet_when_source_is_suppressed_boundary():
+    """A DET001-suppressed call site is a declared edge: no taint."""
+    findings = run_project(
+        ACCEPTANCE_DOMAIN,
+        (
+            UTIL_PATH,
+            """
+            import time
+
+            def stamp_meta():
+                return time.time()  # lint: disable=DET001 - operator metadata only
+            """,
+        ),
+    )
+    assert "DET101" not in codes(findings)
+
+
+def test_det101_flags_transitive_global_rng():
+    findings = run_project(
+        (
+            SIM_PATH,
+            """
+            from repro.util.snippet import jitter
+
+            def simulate(x):
+                return x + jitter()
+            """,
+        ),
+        (
+            UTIL_PATH,
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+        ),
+    )
+    det101 = only(findings, "DET101")
+    assert det101 and "random.random" in det101[0].message
+    # the un-suppressed source itself is DET002's finding, not DET101's
+    assert only(findings, "DET002")
+
+
+def test_det101_quiet_for_seeded_generator_construction():
+    findings = run_project(
+        (
+            SIM_PATH,
+            """
+            from repro.util.snippet import make_rng
+
+            def simulate(x):
+                return make_rng(x)
+            """,
+        ),
+        (
+            UTIL_PATH,
+            """
+            import random
+
+            def make_rng(seed):
+                return random.Random(seed)
+            """,
+        ),
+    )
+    assert "DET101" not in codes(findings)
+
+
+def test_det101_reports_frontier_not_every_domain_caller():
+    """One tainted helper, two domain hops: only the frontier reports."""
+    findings = run_project(
+        (
+            SIM_PATH,
+            """
+            from repro.util.snippet import stamp
+
+            def inner():
+                return stamp()
+
+            def outer():
+                return inner()
+            """,
+        ),
+        (
+            UTIL_PATH,
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+        ),
+    )
+    det101 = only(findings, "DET101")
+    assert len(det101) == 1  # inner's edge to stamp; outer stays quiet
+
+
+# ---------------------------------------------------------------------------
+# ASY001 — blocking reach from serve async defs
+
+
+def test_asy001_flags_transitive_blocking_call():
+    """The ISSUE acceptance fixture: async -> sync helper -> fsync."""
+    findings = run_project(
+        (
+            SERVE_PATH,
+            """
+            import os
+
+            def journal(fd):
+                os.fsync(fd)
+
+            async def handle(fd):
+                journal(fd)
+            """,
+        )
+    )
+    asy = only(findings, "ASY001")
+    assert len(asy) == 1
+    assert "handle" in asy[0].message
+    assert "os.fsync" in asy[0].message
+
+
+def test_asy001_quiet_with_blocking_boundary_marker():
+    findings = run_project(
+        (
+            SERVE_PATH,
+            """
+            import os
+
+            def journal(fd):  # lint: blocking-boundary - reviewed durability edge
+                os.fsync(fd)
+
+            async def handle(fd):
+                journal(fd)
+            """,
+        )
+    )
+    assert "ASY001" not in codes(findings)
+
+
+def test_asy001_quiet_for_asyncio_sleep():
+    findings = run_project(
+        (
+            SERVE_PATH,
+            """
+            import asyncio
+
+            async def handle():
+                await asyncio.sleep(0.1)
+            """,
+        )
+    )
+    assert "ASY001" not in codes(findings)
+
+
+def test_asy001_flags_direct_time_sleep():
+    findings = run_project(
+        (
+            SERVE_PATH,
+            """
+            import time
+
+            async def handle():
+                time.sleep(1)
+            """,
+        )
+    )
+    assert "ASY001" in codes(findings)
+
+
+def test_asy001_ignores_async_outside_serve():
+    findings = run_project(
+        (
+            SIM_PATH,
+            """
+            import time
+
+            async def handle():
+                time.sleep(1)
+            """,
+        ),
+        select=("ASY001",),
+    )
+    assert findings == ()
+
+
+# ---------------------------------------------------------------------------
+# EXC101 — broad handler swallowing domain errors
+
+
+def test_exc101_flags_swallowed_transitive_serve_error():
+    findings = run_project(
+        (
+            SERVE_PATH,
+            """
+            from repro.errors import ServeError
+
+            def might_fail(x):
+                if x < 0:
+                    raise ServeError("bad")
+                return x
+
+            def entry(x):
+                try:
+                    return might_fail(x)
+                except Exception:  # lint: disable=EXC001 - fixture
+                    return None
+            """,
+        )
+    )
+    exc = only(findings, "EXC101")
+    assert len(exc) == 1
+    assert "ServeError" in exc[0].message
+    assert "might_fail" in exc[0].message
+
+
+def test_exc101_flags_direct_raise_in_try_body():
+    findings = run_project(
+        (
+            SERVE_PATH,
+            """
+            from repro.errors import FaultError
+
+            def entry(x):
+                try:
+                    raise FaultError("injected")
+                except Exception:  # lint: disable=EXC001 - fixture
+                    return None
+            """,
+        )
+    )
+    assert "EXC101" in codes(findings)
+
+
+def test_exc101_quiet_when_domain_error_caught_first():
+    findings = run_project(
+        (
+            SERVE_PATH,
+            """
+            from repro.errors import ServeError
+
+            def might_fail(x):
+                raise ServeError("bad")
+
+            def entry(x):
+                try:
+                    return might_fail(x)
+                except ServeError:
+                    raise
+                except Exception:  # lint: disable=EXC001 - fixture
+                    return None
+            """,
+        )
+    )
+    assert "EXC101" not in codes(findings)
+
+
+def test_exc101_quiet_when_broad_handler_reraises():
+    findings = run_project(
+        (
+            SERVE_PATH,
+            """
+            from repro.errors import ServeError
+
+            def might_fail(x):
+                raise ServeError("bad")
+
+            def entry(x):
+                try:
+                    return might_fail(x)
+                except Exception:
+                    raise
+            """,
+        ),
+        select=("EXC101",),
+    )
+    assert findings == ()
+
+
+def test_exc101_quiet_when_try_body_cannot_raise_domain_errors():
+    findings = run_project(
+        (
+            SERVE_PATH,
+            """
+            def harmless(x):
+                return x + 1
+
+            def entry(x):
+                try:
+                    return harmless(x)
+                except Exception:  # lint: disable=EXC001 - fixture
+                    return None
+            """,
+        )
+    )
+    assert "EXC101" not in codes(findings)
+
+
+def test_exc101_suppressible_inline():
+    findings = run_project(
+        (
+            SERVE_PATH,
+            """
+            from repro.errors import ServeError
+
+            def might_fail(x):
+                raise ServeError("bad")
+
+            def entry(x):
+                try:
+                    return might_fail(x)
+                except Exception:  # lint: disable=EXC001,EXC101 - verdict boundary
+                    return None
+            """,
+        )
+    )
+    assert "EXC101" not in codes(findings)
+    assert "EXC001" not in codes(findings)
+
+
+def test_exc101_is_warning_severity():
+    findings = run_project(
+        (
+            SERVE_PATH,
+            """
+            from repro.errors import FaultError
+
+            def entry(x):
+                try:
+                    raise FaultError("injected")
+                except Exception:  # lint: disable=EXC001 - fixture
+                    return None
+            """,
+        )
+    )
+    finding = only(findings, "EXC101")[0]
+    assert finding.severity.value == "warning"
