@@ -1,0 +1,48 @@
+"""Cluster-wide capacity: bin-packing, node-pool autoscaling, economics.
+
+The paper evaluates CaaSPER against one stateful set; §7 notes that
+pod right-sizing is what lets the scheduler place pods well. This
+package asks the production-scale question: what happens when
+*thousands* of independently CaaSPER-resized pods share hundreds of
+nodes? It simulates the whole cluster — index-backed best-fit
+placement with pending queues and preemption-free migration
+(:mod:`.placement` over :mod:`.index`), a demand-driven node-pool
+autoscaler with per-node-hour billing (:mod:`.autoscaler`), max-min
+fair contention that feeds throttled usage back into each tenant's
+K metric (:mod:`.contention`), and fleet rollups (:mod:`.results`) —
+all as a pure function of a seeded scenario (:mod:`.scenarios`,
+:mod:`.engine`).
+"""
+
+from .autoscaler import NodePoolAutoscaler
+from .contention import water_fill
+from .engine import ClusterEngine, run_capacity
+from .index import FreeCapacityIndex
+from .model import CapacityConfig, NodeTemplate, TenantSpec
+from .placement import PlacementEngine, PlacementRecord
+from .results import CapacityResult, ClusterKcn
+from .scenarios import (
+    CAPACITY_SCENARIOS,
+    CapacityScenario,
+    capacity_scenario_names,
+    make_capacity_scenario,
+)
+
+__all__ = [
+    "CAPACITY_SCENARIOS",
+    "CapacityConfig",
+    "CapacityResult",
+    "CapacityScenario",
+    "ClusterEngine",
+    "ClusterKcn",
+    "FreeCapacityIndex",
+    "NodePoolAutoscaler",
+    "NodeTemplate",
+    "PlacementEngine",
+    "PlacementRecord",
+    "TenantSpec",
+    "capacity_scenario_names",
+    "make_capacity_scenario",
+    "run_capacity",
+    "water_fill",
+]

@@ -1,0 +1,163 @@
+"""Configuration for cluster-wide capacity simulation.
+
+Three immutable pieces: the node SKU the pool is built from
+(:class:`NodeTemplate`), one tenant's workload + guardrails
+(:class:`TenantSpec`), and the cluster-level knobs tying placement,
+autoscaling, contention and billing together (:class:`CapacityConfig`).
+Everything is plain data validated at construction, so a scenario is a
+pure value and every run over it is replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.resources import MILLICORES_PER_CORE
+from ..errors import ConfigError
+from ..trace import CpuTrace
+
+__all__ = ["NodeTemplate", "TenantSpec", "CapacityConfig"]
+
+
+@dataclass(frozen=True)
+class NodeTemplate:
+    """The single node SKU a pool scales with (§2.1 footnote 2).
+
+    Attributes
+    ----------
+    cpu_cores, memory_mb:
+        Node capacity; allocatable CPU is capacity minus
+        ``system_reserved_millicores`` (kubelet/OS reservation).
+    price_per_hour:
+        Node-hour price in dollars — the unit the fleet bill rolls up
+        from (billed per started minute, prorated).
+    """
+
+    cpu_cores: int = 16
+    memory_mb: int = 64 * 1024
+    system_reserved_millicores: int = 200
+    price_per_hour: float = 0.80
+
+    def __post_init__(self) -> None:
+        if self.cpu_cores < 1:
+            raise ConfigError(f"node template needs >= 1 core, got {self.cpu_cores}")
+        if self.memory_mb <= 0:
+            raise ConfigError(f"memory_mb must be positive, got {self.memory_mb}")
+        if self.system_reserved_millicores < 0:
+            raise ConfigError("system_reserved_millicores must be >= 0")
+        if self.price_per_hour < 0:
+            raise ConfigError(
+                f"price_per_hour must be >= 0, got {self.price_per_hour}"
+            )
+
+    @property
+    def allocatable_millicores(self) -> int:
+        """CPU available to pods on one such node."""
+        return self.cpu_cores * MILLICORES_PER_CORE - (
+            self.system_reserved_millicores
+        )
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: a demand trace plus its CaaSPER guardrails.
+
+    ``pod_memory_mb`` is fixed per tenant (the paper resizes CPU only,
+    R1 keeps limits == requests in whole cores).
+    """
+
+    name: str
+    trace: CpuTrace
+    initial_cores: int = 2
+    min_cores: int = 1
+    max_cores: int = 8
+    pod_memory_mb: int = 1024
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("tenant name must be non-empty")
+        if self.min_cores < 1:
+            raise ConfigError(f"min_cores must be >= 1, got {self.min_cores}")
+        if self.max_cores < self.min_cores:
+            raise ConfigError(
+                f"max_cores ({self.max_cores}) below min_cores "
+                f"({self.min_cores})"
+            )
+        if not self.min_cores <= self.initial_cores <= self.max_cores:
+            raise ConfigError(
+                f"initial_cores ({self.initial_cores}) outside "
+                f"[{self.min_cores}, {self.max_cores}]"
+            )
+        if self.pod_memory_mb <= 0:
+            raise ConfigError(
+                f"pod_memory_mb must be positive, got {self.pod_memory_mb}"
+            )
+
+
+@dataclass(frozen=True)
+class CapacityConfig:
+    """Cluster-level knobs for one capacity run.
+
+    Attributes
+    ----------
+    node_template:
+        The SKU every pool node is stamped from.
+    initial_nodes, min_nodes, max_nodes:
+        Pool size at start and the autoscaler's bounds.
+    decision_interval_minutes, resize_delay_minutes:
+        Per-tenant CaaSPER cadence: how often each loop consults its
+        recommender, and the rolling-update latency between a decision
+        and its enactment (§3.1: resizes take 5-15 minutes).
+    stagger_decisions:
+        Offset each tenant's decision minute by its index so consults
+        spread across the interval. Scenarios probing *correlated*
+        resize-ups turn this off to force simultaneity.
+    node_provision_minutes:
+        VM boot + join latency for a scale-out node.
+    scale_out_after_pending_minutes:
+        Consecutive minutes of unsatisfied demand (pending pods or
+        capacity-blocked resizes) before the pool scales out.
+    scale_in_below_utilization, scale_in_after_minutes:
+        Cluster requested/allocatable ratio below which — sustained for
+        the given minutes — the emptiest node is cordoned and drained.
+    """
+
+    node_template: NodeTemplate = field(default_factory=NodeTemplate)
+    initial_nodes: int = 3
+    min_nodes: int = 1
+    max_nodes: int = 12
+    decision_interval_minutes: int = 10
+    resize_delay_minutes: int = 5
+    stagger_decisions: bool = True
+    node_provision_minutes: int = 8
+    scale_out_after_pending_minutes: int = 3
+    scale_in_below_utilization: float = 0.45
+    scale_in_after_minutes: int = 30
+
+    def __post_init__(self) -> None:
+        if self.initial_nodes < 1:
+            raise ConfigError(
+                f"initial_nodes must be >= 1, got {self.initial_nodes}"
+            )
+        if self.min_nodes < 1:
+            raise ConfigError(f"min_nodes must be >= 1, got {self.min_nodes}")
+        if not self.min_nodes <= self.initial_nodes <= self.max_nodes:
+            raise ConfigError(
+                f"initial_nodes ({self.initial_nodes}) outside "
+                f"[{self.min_nodes}, {self.max_nodes}]"
+            )
+        if self.decision_interval_minutes < 1:
+            raise ConfigError("decision_interval_minutes must be >= 1")
+        if self.resize_delay_minutes < 1:
+            raise ConfigError("resize_delay_minutes must be >= 1")
+        if self.node_provision_minutes < 1:
+            raise ConfigError("node_provision_minutes must be >= 1")
+        if self.scale_out_after_pending_minutes < 1:
+            raise ConfigError("scale_out_after_pending_minutes must be >= 1")
+        if not 0.0 < self.scale_in_below_utilization < 1.0:
+            raise ConfigError(
+                "scale_in_below_utilization must be in (0, 1), got "
+                f"{self.scale_in_below_utilization}"
+            )
+        if self.scale_in_after_minutes < 1:
+            raise ConfigError("scale_in_after_minutes must be >= 1")

@@ -1,0 +1,231 @@
+"""Cluster-scale placement: best-fit-decreasing with an O(log n) index.
+
+Extends the paper-scale :class:`~repro.cluster.scheduler.Scheduler`
+(best-fit on free CPU, §2.1) with what a thousand-pod pool needs:
+
+- a :class:`~repro.capacity.index.FreeCapacityIndex` so each lookup is
+  a binary search instead of a full pool scan;
+- cordons (a cordoned node keeps its pods but accepts no new ones);
+- preemption-free migration — a pod is evicted only after a
+  destination that fits it has been found, so drains never strand a
+  pod in limbo;
+- an append-only placement log (every mutation, with minute and
+  reason) that becomes part of the run's canonical JSON.
+
+All mutations to pods and nodes flow through this class so the index
+never drifts from the ground truth the nodes hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..cluster.node import Node
+from ..cluster.pod import Pod
+from ..cluster.resources import ResourceSpec
+from ..cluster.scheduler import Scheduler
+from ..errors import CapacityError
+from .index import FreeCapacityIndex
+
+__all__ = ["PlacementEngine", "PlacementRecord"]
+
+
+@dataclass(frozen=True)
+class PlacementRecord:
+    """One placement-log entry: who moved where, when, and why."""
+
+    minute: int
+    pod: str
+    action: str  # "place" | "migrate" | "resize" | "remove"
+    from_node: str
+    to_node: str
+    reason: str
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "minute": self.minute,
+            "pod": self.pod,
+            "action": self.action,
+            "from_node": self.from_node,
+            "to_node": self.to_node,
+            "reason": self.reason,
+        }
+
+
+class PlacementEngine(Scheduler):
+    """Index-backed best-fit placement over a mutable node pool.
+
+    Unlike the fixed-pool base class, an empty pool is legal here: the
+    node-pool autoscaler populates (and later shrinks) it at runtime.
+    """
+
+    def __init__(self, nodes: Sequence[Node] = ()) -> None:
+        self.index = FreeCapacityIndex()
+        self.cordoned: set[str] = set()
+        self.log: list[PlacementRecord] = []
+        self.nodes: list[Node] = []
+        self._by_name: dict[str, Node] = {}
+        for node in nodes:
+            self.register_node(node)
+
+    # -- pool membership ----------------------------------------------------------
+
+    def register_node(self, node: Node) -> None:
+        super().register_node(node)
+        self.index.add(node.name, node.free_millicores)
+
+    def deregister_node(self, name: str) -> Node:
+        node = super().deregister_node(name)
+        self.index.remove(name)
+        self.cordoned.discard(name)
+        return node
+
+    def cordon(self, name: str) -> None:
+        """Stop scheduling onto a node (its pods stay until drained)."""
+        self.node_by_name(name)  # raises on unknown names
+        self.cordoned.add(name)
+
+    def uncordon(self, name: str) -> None:
+        self.node_by_name(name)
+        self.cordoned.discard(name)
+
+    def _refresh(self, name: str) -> None:
+        self.index.update(name, self.node_by_name(name).free_millicores)
+
+    # -- lookup -------------------------------------------------------------------
+
+    def find_node_for(
+        self, spec: ResourceSpec, ignore_pod: Pod | None = None
+    ) -> Node | None:
+        """Best-fit node for ``spec`` via the index, or None.
+
+        Matches the base class ordering exactly (least raw free CPU
+        among fitting, non-cordoned nodes): index candidates come back
+        fullest-first, and the one node the index can under-report —
+        ``ignore_pod``'s own, whose reservation would be released — is
+        checked explicitly when its raw free falls below the query.
+        """
+        required = spec.cpu_request_millicores
+        home: Node | None = None
+        if ignore_pod is not None and ignore_pod.node_name is not None:
+            candidate = self.node_by_name(ignore_pod.node_name)
+            if (
+                candidate.name not in self.cordoned
+                and candidate.free_millicores < required
+                and candidate.can_fit(spec, ignore_pod)
+            ):
+                home = candidate
+        if home is not None:
+            # Raw free below every indexed candidate ⇒ best fit already.
+            return home
+        for name in self.index.best_fit_candidates(required):
+            if name in self.cordoned:
+                continue
+            node = self.node_by_name(name)
+            if node.can_fit(spec, ignore_pod):
+                return node
+        return None
+
+    def total_free_millicores(self) -> int:
+        return self.index.total_free_millicores()
+
+    # -- mutations ----------------------------------------------------------------
+
+    def place(self, pod: Pod, minute: int, reason: str = "schedule") -> Node | None:
+        """Bind a Pending pod best-fit; None when nothing fits."""
+        node = self.find_node_for(pod.spec)
+        if node is None:
+            return None
+        node.add_pod(pod)
+        self._refresh(node.name)
+        self.log.append(
+            PlacementRecord(
+                minute=minute,
+                pod=pod.name,
+                action="place",
+                from_node="",
+                to_node=node.name,
+                reason=reason,
+            )
+        )
+        return node
+
+    def migrate(
+        self,
+        pod: Pod,
+        minute: int,
+        reason: str,
+        new_spec: ResourceSpec | None = None,
+    ) -> Node | None:
+        """Move a Running pod, preemption-free; optionally resize en route.
+
+        The destination is found *before* the pod leaves its node; when
+        nothing fits, the pod stays exactly where it is and None comes
+        back — callers retry a later minute rather than stranding it.
+        """
+        if pod.node_name is None:
+            raise CapacityError(f"pod {pod.name} is not bound; use place()")
+        spec = new_spec if new_spec is not None else pod.spec
+        source = self.node_by_name(pod.node_name)
+        destination = self.find_node_for(spec, ignore_pod=pod)
+        if destination is None:
+            return None
+        if destination is source:
+            if new_spec is not None:
+                return self.resize_in_place(pod, new_spec, minute, reason)
+            return source
+        source.remove_pod(pod)
+        pod.unbind()
+        if new_spec is not None:
+            pod.container.spec = new_spec
+        destination.add_pod(pod)
+        self._refresh(source.name)
+        self._refresh(destination.name)
+        self.log.append(
+            PlacementRecord(
+                minute=minute,
+                pod=pod.name,
+                action="migrate",
+                from_node=source.name,
+                to_node=destination.name,
+                reason=reason,
+            )
+        )
+        return destination
+
+    def resize_in_place(
+        self,
+        pod: Pod,
+        new_spec: ResourceSpec,
+        minute: int,
+        reason: str,
+        force: bool = False,
+    ) -> Node:
+        """Swap a bound pod's spec on its current node.
+
+        Must fit unless ``force`` — the engine forces commits that
+        passed a tenant's *stale* (minute-start) capacity check, which
+        is how simultaneous co-located resize-ups overcommit a node and
+        surface as contention instead of a scheduling error.
+        """
+        if pod.node_name is None:
+            raise CapacityError(f"pod {pod.name} is not bound")
+        node = self.node_by_name(pod.node_name)
+        if not force and not node.can_fit(new_spec, ignore_pod=pod):
+            raise CapacityError(
+                f"pod {pod.name}: resize does not fit on {node.name}"
+            )
+        pod.container.spec = new_spec
+        self._refresh(node.name)
+        self.log.append(
+            PlacementRecord(
+                minute=minute,
+                pod=pod.name,
+                action="resize",
+                from_node=node.name,
+                to_node=node.name,
+                reason=reason,
+            )
+        )
+        return node

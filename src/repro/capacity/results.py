@@ -1,0 +1,141 @@
+"""Fleet-wide rollups for one capacity run.
+
+A :class:`CapacityResult` is pure data: cluster-level K/C/N, per-tenant
+triples, node-pool economics (node-minutes → dollars at the template's
+hourly price), a node-utilization histogram (node-minutes per 10%
+utilization decile), pending-minutes, and the full placement log.
+:meth:`CapacityResult.canonical_json` is the byte-identity surface the
+determinism tests and the ``capacity-smoke`` CI job diff — two runs of
+the same seeded scenario must serialise to identical bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from .placement import PlacementRecord
+
+__all__ = ["CapacityResult", "ClusterKcn"]
+
+
+def _rounded(value: float) -> float:
+    """Stabilise float text without losing anything that matters."""
+    return round(value, 9)
+
+
+@dataclass(frozen=True)
+class ClusterKcn:
+    """The paper's triple, rolled up across tenants (core-minutes / count)."""
+
+    total_slack: float = 0.0
+    total_insufficient_cpu: float = 0.0
+    num_scalings: int = 0
+
+    def to_payload(self) -> dict[str, float | int]:
+        return {
+            "K": _rounded(self.total_slack),
+            "C": _rounded(self.total_insufficient_cpu),
+            "N": self.num_scalings,
+        }
+
+
+@dataclass(frozen=True)
+class CapacityResult:
+    """Everything one capacity run produced, replay-comparable."""
+
+    scenario: str
+    seed: int
+    minutes: int
+    tenants: int
+    metrics: ClusterKcn
+    per_tenant: dict[str, ClusterKcn]
+    throttled_minutes: int
+    contention_core_minutes: float
+    pending_pod_minutes: int
+    deferred_resizes: int
+    node_minutes: int
+    dollars: float
+    final_nodes: int
+    peak_nodes: int
+    utilization_histogram: tuple[int, ...]
+    scale_out_events: int
+    scale_in_events: int
+    drains_completed: int
+    faults_fired: int
+    placement_log: tuple[PlacementRecord, ...] = field(default_factory=tuple)
+
+    def to_payload(self) -> dict[str, Any]:
+        """Nested plain-data form, ready for canonical JSON."""
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "minutes": self.minutes,
+            "tenants": self.tenants,
+            "cluster": self.metrics.to_payload(),
+            "per_tenant": {
+                name: kcn.to_payload()
+                for name, kcn in sorted(self.per_tenant.items())
+            },
+            "contention": {
+                "throttled_minutes": self.throttled_minutes,
+                "contention_core_minutes": _rounded(
+                    self.contention_core_minutes
+                ),
+            },
+            "pending": {
+                "pod_minutes": self.pending_pod_minutes,
+                "deferred_resizes": self.deferred_resizes,
+            },
+            "nodes": {
+                "final": self.final_nodes,
+                "peak": self.peak_nodes,
+                "node_minutes": self.node_minutes,
+                "dollars": _rounded(self.dollars),
+                "dollars_per_day": _rounded(
+                    self.dollars * 1440.0 / self.minutes if self.minutes else 0.0
+                ),
+                "utilization_histogram": list(self.utilization_histogram),
+            },
+            "autoscaler": {
+                "scale_out_events": self.scale_out_events,
+                "scale_in_events": self.scale_in_events,
+                "drains_completed": self.drains_completed,
+            },
+            "faults_fired": self.faults_fired,
+            "placement_log": [
+                record.to_payload() for record in self.placement_log
+            ],
+        }
+
+    def canonical_json(self) -> str:
+        """Byte-stable serialisation (the replay-identity surface)."""
+        return json.dumps(
+            self.to_payload(), sort_keys=True, separators=(",", ":")
+        )
+
+    def render_text(self) -> str:
+        """Human-readable run summary for the CLI's text format."""
+        kcn = self.metrics
+        histogram = " ".join(str(count) for count in self.utilization_histogram)
+        lines = [
+            f"scenario {self.scenario} · seed {self.seed} · "
+            f"{self.minutes} min · {self.tenants} tenants",
+            f"  K={kcn.total_slack:.1f} core-min  "
+            f"C={kcn.total_insufficient_cpu:.1f} core-min  "
+            f"N={kcn.num_scalings}",
+            f"  contention: {self.contention_core_minutes:.1f} core-min "
+            f"throttled over {self.throttled_minutes} min",
+            f"  pending: {self.pending_pod_minutes} pod-min, "
+            f"{self.deferred_resizes} capacity-deferred resizes",
+            f"  nodes: final {self.final_nodes}, peak {self.peak_nodes}, "
+            f"{self.node_minutes} node-min → ${self.dollars:.2f} "
+            f"(${self.dollars * 1440.0 / self.minutes if self.minutes else 0.0:.2f}/day)",
+            f"  autoscaler: +{self.scale_out_events} out, "
+            f"-{self.scale_in_events} in, {self.drains_completed} drains done",
+            f"  utilization deciles (node-min): {histogram}",
+            f"  placements: {len(self.placement_log)} log entries, "
+            f"faults fired: {self.faults_fired}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,389 @@
+"""Seeded capacity scenarios: whole-cluster situations worth replaying.
+
+Each factory is a pure function ``(seed, minutes, pods) -> scenario``
+(zeros mean "scenario default"), so a scenario value fully determines a
+run — the same bar :mod:`repro.faults.scenarios` sets for chaos plans.
+Per-tenant workloads derive their RNG seeds from the scenario seed via
+the same integer mixer the fault plans use; no global RNG anywhere.
+
+The catalog:
+
+- ``hotspot-node`` — best-fit packing concentrates a few surging
+  tenants, and their correlated resize-ups turn one node into a
+  contention hotspot;
+- ``correlated-surge`` — every tenant surges in phase with decision
+  staggering off: simultaneous scale-ups, capacity deferrals, pool
+  scale-out, then scale-in after the trough;
+- ``drain-during-resize`` — a scheduled node drain lands mid rolling
+  resize; migration must wait out in-flight rollouts and never strand
+  a pod;
+- ``capacity-chaos`` — the kitchen-sink analogue: scoped and
+  pool-wide :class:`~repro.faults.plan.NodeFault` pressure plus a
+  scheduled drain on top of surging tenants;
+- ``cluster-day`` — the benchmark fleet: a mixed 1k-tenant day on a
+  large pool (sized by ``pods``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..faults.plan import FaultPlan, NodeFault, _mix
+from ..trace import CpuTrace
+from .model import CapacityConfig, NodeTemplate, TenantSpec
+
+__all__ = [
+    "CapacityScenario",
+    "CAPACITY_SCENARIOS",
+    "make_capacity_scenario",
+    "capacity_scenario_names",
+]
+
+
+@dataclass(frozen=True)
+class CapacityScenario:
+    """One replayable capacity run: config, tenants, drains, faults."""
+
+    name: str
+    seed: int
+    minutes: int
+    config: CapacityConfig = field(default_factory=CapacityConfig)
+    tenants: tuple[TenantSpec, ...] = ()
+    #: Scheduled node drains: ``(minute, node_name)`` pairs.
+    drains: tuple[tuple[int, str], ...] = ()
+    faults: FaultPlan | None = None
+
+    def __post_init__(self) -> None:
+        if self.minutes < 10:
+            raise ConfigError(f"minutes must be >= 10, got {self.minutes}")
+        if not self.tenants:
+            raise ConfigError("a capacity scenario needs at least one tenant")
+        names = [tenant.name for tenant in self.tenants]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate tenant names: {names}")
+
+
+def _tenant_rng(seed: int, index: int) -> np.random.Generator:
+    return np.random.default_rng(_mix(seed, index) & 0xFFFFFFFF)
+
+
+def _steady_trace(
+    minutes: int, rng: np.random.Generator, base: float, name: str
+) -> CpuTrace:
+    """Flat demand around ``base`` cores with multiplicative noise."""
+    samples = base * (1.0 + 0.12 * rng.standard_normal(minutes))
+    return CpuTrace(np.clip(samples, 0.05, None), name=name)
+
+
+def _surge_trace(
+    minutes: int,
+    rng: np.random.Generator,
+    low: float,
+    high: float,
+    start_frac: float,
+    end_frac: float,
+    name: str,
+) -> CpuTrace:
+    """``low`` cores outside a surge window, ``high`` inside, plus noise."""
+    start = int(minutes * start_frac)
+    end = max(int(minutes * end_frac), start + 1)
+    samples = np.full(minutes, low, dtype=float)
+    samples[start:end] = high
+    samples *= 1.0 + 0.10 * rng.standard_normal(minutes)
+    return CpuTrace(np.clip(samples, 0.05, None), name=name)
+
+
+def _diurnal_trace(
+    minutes: int, rng: np.random.Generator, base: float, peak: float, name: str
+) -> CpuTrace:
+    """One-day sine between ``base`` and ``peak`` with noise."""
+    phase = 2.0 * np.pi * np.arange(minutes) / 1440.0
+    samples = base + (peak - base) * 0.5 * (1.0 - np.cos(phase))
+    samples *= 1.0 + 0.08 * rng.standard_normal(minutes)
+    return CpuTrace(np.clip(samples, 0.05, None), name=name)
+
+
+def hotspot_node(seed: int, minutes: int = 0, pods: int = 0) -> CapacityScenario:
+    """A few surging tenants get packed together; one node runs hot.
+
+    The surgers sit at indexes ≡ 0 (mod the decision interval), so with
+    staggered decisions they all share offset 0: their resize-ups enact
+    the *same* minute against the same stale capacity view, and best-fit
+    packing has already co-located them — one node overcommits while the
+    rest of the pool idles.
+    """
+    minutes = minutes or 240
+    pods = pods or 12
+    interval = 3
+    tenants = []
+    for index in range(pods):
+        rng = _tenant_rng(seed, index)
+        if index % interval == 0:
+            trace = _surge_trace(
+                minutes, rng, 1.0, 6.0, 0.25, 0.75, f"surge-{index:03d}"
+            )
+            tenants.append(
+                TenantSpec(
+                    name=f"surge-{index:03d}",
+                    trace=trace,
+                    initial_cores=2,
+                    min_cores=1,
+                    max_cores=8,
+                )
+            )
+        else:
+            trace = _steady_trace(minutes, rng, 1.0, f"steady-{index:03d}")
+            tenants.append(
+                TenantSpec(
+                    name=f"steady-{index:03d}",
+                    trace=trace,
+                    initial_cores=2,
+                    min_cores=1,
+                    max_cores=4,
+                )
+            )
+    config = CapacityConfig(
+        node_template=NodeTemplate(cpu_cores=16),
+        initial_nodes=3,
+        min_nodes=2,
+        max_nodes=6,
+        decision_interval_minutes=interval,
+    )
+    return CapacityScenario(
+        name="hotspot-node",
+        seed=seed,
+        minutes=minutes,
+        config=config,
+        tenants=tuple(tenants),
+    )
+
+
+def correlated_surge(
+    seed: int, minutes: int = 0, pods: int = 0
+) -> CapacityScenario:
+    """Every tenant surges in phase; resize-ups land simultaneously."""
+    minutes = minutes or 360
+    pods = pods or 16
+    tenants = []
+    for index in range(pods):
+        rng = _tenant_rng(seed, index)
+        trace = _surge_trace(
+            minutes, rng, 0.8, 5.0, 0.20, 0.55, f"tenant-{index:03d}"
+        )
+        tenants.append(
+            TenantSpec(
+                name=f"tenant-{index:03d}",
+                trace=trace,
+                initial_cores=2,
+                min_cores=1,
+                max_cores=8,
+            )
+        )
+    config = CapacityConfig(
+        node_template=NodeTemplate(cpu_cores=16),
+        initial_nodes=3,
+        min_nodes=2,
+        max_nodes=10,
+        stagger_decisions=False,
+        scale_in_after_minutes=20,
+    )
+    return CapacityScenario(
+        name="correlated-surge",
+        seed=seed,
+        minutes=minutes,
+        config=config,
+        tenants=tuple(tenants),
+    )
+
+
+def drain_during_resize(
+    seed: int, minutes: int = 0, pods: int = 0
+) -> CapacityScenario:
+    """A scheduled drain lands while rolling resizes are in flight."""
+    minutes = minutes or 240
+    pods = pods or 10
+    tenants = []
+    for index in range(pods):
+        rng = _tenant_rng(seed, index)
+        trace = _surge_trace(
+            minutes,
+            rng,
+            1.0,
+            4.5,
+            0.40,
+            0.90,
+            f"tenant-{index:03d}",
+        )
+        tenants.append(
+            TenantSpec(
+                name=f"tenant-{index:03d}",
+                trace=trace,
+                initial_cores=2,
+                min_cores=1,
+                max_cores=6,
+            )
+        )
+    config = CapacityConfig(
+        node_template=NodeTemplate(cpu_cores=16),
+        initial_nodes=4,
+        min_nodes=2,
+        max_nodes=8,
+        resize_delay_minutes=8,
+    )
+    return CapacityScenario(
+        name="drain-during-resize",
+        seed=seed,
+        minutes=minutes,
+        config=config,
+        tenants=tuple(tenants),
+        # Right inside the surge ramp, when rollouts are in flight.
+        drains=((int(minutes * 0.45), "node-001"),),
+    )
+
+
+def capacity_chaos(seed: int, minutes: int = 0, pods: int = 0) -> CapacityScenario:
+    """The kitchen-sink of the capacity layer: node chaos on a busy pool."""
+    minutes = minutes or 300
+    pods = pods or 12
+    tenants = []
+    for index in range(pods):
+        rng = _tenant_rng(seed, index)
+        if index % 3 == 0:
+            trace = _surge_trace(
+                minutes, rng, 1.0, 5.0, 0.30, 0.70, f"tenant-{index:03d}"
+            )
+        else:
+            trace = _steady_trace(minutes, rng, 1.4, f"tenant-{index:03d}")
+        tenants.append(
+            TenantSpec(
+                name=f"tenant-{index:03d}",
+                trace=trace,
+                initial_cores=2,
+                min_cores=1,
+                max_cores=8,
+            )
+        )
+    config = CapacityConfig(
+        node_template=NodeTemplate(cpu_cores=16),
+        initial_nodes=3,
+        min_nodes=2,
+        max_nodes=8,
+    )
+    hot = (int(minutes * 0.20), int(minutes * 0.50))
+    broad = (int(minutes * 0.55), int(minutes * 0.75))
+    faults = FaultPlan(
+        seed=seed,
+        faults=(
+            NodeFault(
+                pressure_cores=6.0,
+                target_nodes=1,
+                start_minute=hot[0],
+                end_minute=hot[1],
+                probability=0.7,
+            ),
+            NodeFault(
+                pressure_cores=2.0,
+                start_minute=broad[0],
+                end_minute=broad[1],
+                probability=0.3,
+            ),
+        ),
+    )
+    return CapacityScenario(
+        name="capacity-chaos",
+        seed=seed,
+        minutes=minutes,
+        config=config,
+        tenants=tuple(tenants),
+        drains=((int(minutes * 0.80), "node-002"),),
+        faults=faults,
+    )
+
+
+def cluster_day(seed: int, minutes: int = 0, pods: int = 0) -> CapacityScenario:
+    """The benchmark fleet: a mixed multi-archetype day at scale."""
+    minutes = minutes or 1440
+    pods = pods or 1000
+    tenants = []
+    for index in range(pods):
+        rng = _tenant_rng(seed, index)
+        archetype = index % 4
+        name = f"tenant-{index:04d}"
+        if archetype == 0:
+            trace = _steady_trace(minutes, rng, 0.8, name)
+            max_cores = 4
+        elif archetype == 1:
+            trace = _diurnal_trace(minutes, rng, 0.6, 3.0, name)
+            max_cores = 6
+        elif archetype == 2:
+            start = 0.1 + 0.6 * (index % 7) / 7.0
+            trace = _surge_trace(
+                minutes, rng, 0.6, 3.5, start, start + 0.2, name
+            )
+            max_cores = 6
+        else:
+            trace = _steady_trace(minutes, rng, 1.6, name)
+            max_cores = 6
+        tenants.append(
+            TenantSpec(
+                name=name,
+                trace=trace,
+                initial_cores=2,
+                min_cores=1,
+                max_cores=max_cores,
+            )
+        )
+    template = NodeTemplate(cpu_cores=32, memory_mb=128 * 1024)
+    # Size the pool for the initial reservation with ~25% headroom.
+    requested = pods * 2000
+    per_node = template.allocatable_millicores
+    initial = max(-(-requested * 5 // (4 * per_node)), 1)
+    config = CapacityConfig(
+        node_template=template,
+        initial_nodes=initial,
+        min_nodes=max(initial // 2, 1),
+        max_nodes=initial * 2,
+    )
+    return CapacityScenario(
+        name="cluster-day",
+        seed=seed,
+        minutes=minutes,
+        config=config,
+        tenants=tuple(tenants),
+    )
+
+
+CAPACITY_SCENARIOS: dict[str, Callable[[int, int, int], CapacityScenario]] = {
+    "hotspot-node": hotspot_node,
+    "correlated-surge": correlated_surge,
+    "drain-during-resize": drain_during_resize,
+    "capacity-chaos": capacity_chaos,
+    "cluster-day": cluster_day,
+}
+
+
+def capacity_scenario_names() -> list[str]:
+    """Registered capacity scenario names, sorted."""
+    return sorted(CAPACITY_SCENARIOS)
+
+
+def make_capacity_scenario(
+    name: str, seed: int = 0, minutes: int = 0, pods: int = 0
+) -> CapacityScenario:
+    """Build a named capacity scenario (zeros pick scenario defaults)."""
+    try:
+        factory = CAPACITY_SCENARIOS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown capacity scenario {name!r} (expected one of "
+            f"{capacity_scenario_names()})"
+        ) from None
+    if minutes and minutes < 10:
+        raise ConfigError(f"minutes must be >= 10, got {minutes}")
+    if pods and pods < 1:
+        raise ConfigError(f"pods must be >= 1, got {pods}")
+    return factory(seed, minutes, pods)

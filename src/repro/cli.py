@@ -252,6 +252,57 @@ def build_parser() -> argparse.ArgumentParser:
         "matching degradation in the audit trail",
     )
 
+    from .capacity import capacity_scenario_names
+
+    capacity_parser = sub.add_parser(
+        "capacity",
+        help="run a cluster-wide capacity scenario (bin-packing, "
+        "node-pool autoscaling, contention, fleet economics)",
+    )
+    capacity_parser.add_argument(
+        "--scenario",
+        default="hotspot-node",
+        choices=capacity_scenario_names(),
+        help="named capacity scenario (default: hotspot-node)",
+    )
+    capacity_parser.add_argument(
+        "--seed", type=int, default=0, help="scenario seed (replayable)"
+    )
+    capacity_parser.add_argument(
+        "--minutes",
+        type=int,
+        default=0,
+        help="run length in simulated minutes (0: scenario default)",
+    )
+    capacity_parser.add_argument(
+        "--pods",
+        type=int,
+        default=0,
+        help="tenant count (0: scenario default)",
+    )
+    capacity_parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="text summary or the run's canonical JSON (byte-identical "
+        "across same-seed runs)",
+    )
+    capacity_parser.add_argument(
+        "--kcn-out",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write the cluster + per-tenant K/C/N ledger as canonical "
+        "JSON",
+    )
+    capacity_parser.add_argument(
+        "--jsonl",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write every observability event to this JSONL file",
+    )
+
     fleet_parser = sub.add_parser(
         "fleet",
         help="shard a multi-trace evaluation across worker processes "
@@ -831,6 +882,54 @@ def _run_chaos(args: argparse.Namespace) -> int:
         return 1
     if not violations:
         print("degradation check: every fired fault kind was absorbed")
+    return 0
+
+
+def _run_capacity(args: argparse.Namespace) -> int:
+    """Run one cluster-capacity scenario and render its fleet rollup."""
+    import json as json_module
+
+    from .capacity import make_capacity_scenario, run_capacity
+    from .obs import JsonlSink, Observer
+
+    scenario = make_capacity_scenario(
+        args.scenario, seed=args.seed, minutes=args.minutes, pods=args.pods
+    )
+    observer: Observer | None = None
+    sinks: list[JsonlSink] = []
+    if args.jsonl:
+        sinks.append(JsonlSink(args.jsonl))
+        observer = Observer(sinks=sinks)
+    result = run_capacity(scenario, observer=observer)
+    if observer is not None:
+        observer.close()
+
+    if args.format == "json":
+        print(result.canonical_json())
+    else:
+        print(result.render_text())
+    if args.kcn_out:
+        ledger = {
+            "cluster": result.metrics.to_payload(),
+            "per_tenant": {
+                name: kcn.to_payload()
+                for name, kcn in sorted(result.per_tenant.items())
+            },
+        }
+        with open(args.kcn_out, "w", encoding="utf-8") as handle:
+            handle.write(
+                json_module.dumps(
+                    ledger, sort_keys=True, separators=(",", ":")
+                )
+            )
+        # Status goes to stderr so `--format json` stdout stays a single
+        # canonical payload (byte-comparable across runs).
+        print(f"wrote K/C/N ledger to {args.kcn_out}", file=sys.stderr)
+    if args.jsonl:
+        print(
+            f"wrote {sinks[0].events_written} events to {args.jsonl}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -1539,6 +1638,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "chaos":
         return _run_chaos(args)
+
+    if args.command == "capacity":
+        return _run_capacity(args)
 
     if args.command == "serve":
         return _run_serve(args)

@@ -81,6 +81,21 @@ class Pod:
         self.node_name = node_name
         self.phase = PodPhase.RUNNING
 
+    def unbind(self) -> None:
+        """Release a Running pod back to Pending (eviction / node drain).
+
+        The preemption-free migration path in :mod:`repro.capacity`
+        evicts a pod only once a destination is known, so the Pending
+        hop is transient — but it keeps the phase machine honest:
+        ``bind`` still only accepts Pending pods.
+        """
+        if self.phase is not PodPhase.RUNNING:
+            raise ClusterStateError(
+                f"pod {self.name}: cannot unbind from phase {self.phase.value}"
+            )
+        self.phase = PodPhase.PENDING
+        self.node_name = None
+
     def begin_restart(self, new_spec: ResourceSpec, duration_minutes: int) -> None:
         """Start a resize restart: the pod stops serving for the duration.
 

@@ -28,17 +28,36 @@ class Scheduler:
     def __init__(self, nodes: Sequence[Node]) -> None:
         if not nodes:
             raise SchedulingError("scheduler needs at least one node")
-        names = [node.name for node in nodes]
-        if len(set(names)) != len(names):
-            raise SchedulingError(f"duplicate node names: {names}")
-        self.nodes = list(nodes)
+        self.nodes: list[Node] = []
+        self._by_name: dict[str, Node] = {}
+        for node in nodes:
+            self.register_node(node)
+
+    def register_node(self, node: Node) -> None:
+        """Add a node to the pool; duplicate names are a hard error."""
+        if node.name in self._by_name:
+            raise SchedulingError(f"duplicate node name: {node.name!r}")
+        self.nodes.append(node)
+        self._by_name[node.name] = node
+
+    def deregister_node(self, name: str) -> Node:
+        """Remove an *empty* node from the pool and return it."""
+        node = self.node_by_name(name)
+        if node.pods:
+            raise SchedulingError(
+                f"node {name!r} still hosts {len(node.pods)} pod(s); "
+                "drain it before deregistering"
+            )
+        self.nodes.remove(node)
+        del self._by_name[name]
+        return node
 
     def node_by_name(self, name: str) -> Node:
-        """Look up a node by name."""
-        for node in self.nodes:
-            if node.name == name:
-                return node
-        raise SchedulingError(f"unknown node {name!r}")
+        """Look up a node by name (O(1) via the name index)."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchedulingError(f"unknown node {name!r}") from None
 
     def find_node_for(
         self, spec: ResourceSpec, ignore_pod: Pod | None = None

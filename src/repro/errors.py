@@ -129,3 +129,15 @@ class SanitizerError(ReproError):
     process boundary. The message always names the offender (module,
     function, target) so the report is actionable without a debugger.
     """
+
+
+class CapacityError(ReproError):
+    """The cluster-capacity layer was misconfigured or its state broke.
+
+    Raised by :mod:`repro.capacity` for operator-side problems — a node
+    indexed twice, a drain requested for an unknown node, a scenario
+    whose tenants cannot ever fit the configured pool. Placement
+    *pressure* (a pod that does not fit right now) never raises during a
+    run; it queues as pending demand and feeds the node-pool autoscaler
+    instead.
+    """

@@ -182,17 +182,28 @@ class NodeFault(FaultSpec):
     that resized specs become unschedulable — the scaler's node-capacity
     safety check starts rejecting scale-ups, which the resilient loop
     must absorb via retry/backoff rather than queueing forever.
+
+    ``target_nodes`` scopes the pressure for multi-node substrates
+    (:mod:`repro.capacity`): ``None`` (the default, and the only thing
+    the single-set live substrate understands) presses every node, while
+    ``n`` presses a deterministic per-minute selection of ``n`` nodes —
+    chaos that hits whole nodes rather than the entire pool.
     """
 
     kind = "node"
 
     pressure_cores: float = 4.0
+    target_nodes: int | None = None
 
     def __post_init__(self) -> None:
         super().__post_init__()
         if self.pressure_cores <= 0:
             raise ConfigError(
                 f"pressure_cores must be positive, got {self.pressure_cores}"
+            )
+        if self.target_nodes is not None and self.target_nodes < 1:
+            raise ConfigError(
+                f"target_nodes must be >= 1 when set, got {self.target_nodes}"
             )
 
 

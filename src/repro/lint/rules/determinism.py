@@ -41,6 +41,7 @@ DETERMINISTIC_DOMAINS = (
     "repro.fleet",
     "repro.store",
     "repro.serve",
+    "repro.capacity",
 )
 
 #: (resolved module, attribute) pairs that read the wall clock.

@@ -43,6 +43,18 @@ store events are not tied to a simulated minute, so ``minute`` is 0:
 - :class:`CacheMissEvent` — a key absent from (or corrupt in) the store;
 - :class:`CacheEvictedEvent` — a blob removed by size-budgeted GC.
 
+Five more cover the cluster-capacity layer (:mod:`repro.capacity`):
+
+- :class:`PodScheduledEvent` — a pod bound to a node (fresh placement
+  or preemption-free migration);
+- :class:`PodPendingEvent` — a pod (or capacity-blocked resize) that
+  found no node this minute and queued as pressure;
+- :class:`NodePoolEvent` — the node pool changing shape (scale-out
+  requested, VM provisioned, scale-in chosen, node removed);
+- :class:`NodeDrainEvent` — cordon-and-drain lifecycle on one node;
+- :class:`NodeContentionEvent` — one node-minute in which co-located
+  demand exceeded effective allocatable CPU and was water-filled.
+
 One more anchors causal traces (:mod:`repro.obs.tracing`):
 
 - :class:`TraceStartedEvent` — a run-scoped trace opened; every event
@@ -112,6 +124,11 @@ __all__ = [
     "TenantQuarantineEvent",
     "DrainEvent",
     "StateRecoveredEvent",
+    "PodScheduledEvent",
+    "PodPendingEvent",
+    "NodePoolEvent",
+    "NodeDrainEvent",
+    "NodeContentionEvent",
     "EventBus",
     "RingBufferSink",
     "LoggingSink",
@@ -590,6 +607,94 @@ class StateRecoveredEvent(ObsEvent):
     snapshot_tick: int = 0
 
 
+@dataclass(frozen=True)
+class PodScheduledEvent(ObsEvent):
+    """A pod bound to a node by the capacity placement engine.
+
+    ``outcome`` is ``"placed"`` (fresh placement off the pending queue)
+    or ``"migrated"`` (preemption-free move — drain or a resize that no
+    longer fit its node).
+    """
+
+    kind: ClassVar[str] = "pod_scheduled"
+
+    pod: str = ""
+    node: str = ""
+    outcome: str = "placed"
+    requested_millicores: int = 0
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class PodPendingEvent(ObsEvent):
+    """A pod found no node this minute and queued as pending pressure.
+
+    ``reason`` is ``"no-fit"`` for an unplaceable pod. Sustained
+    pending pressure is what drives the node-pool autoscaler's
+    scale-out decision.
+    """
+
+    kind: ClassVar[str] = "pod_pending"
+
+    pod: str = ""
+    requested_millicores: int = 0
+    reason: str = "no-fit"
+
+
+@dataclass(frozen=True)
+class NodePoolEvent(ObsEvent):
+    """The node pool changed shape.
+
+    ``action`` is ``"scale_out"`` (a VM was requested), ``"provisioned"``
+    (its boot completed and it joined the pool), ``"scale_in"`` (a node
+    was chosen for drain by low utilization) or ``"removed"`` (a drained
+    node released). ``node_count`` is the ready-pool size after the
+    action.
+    """
+
+    kind: ClassVar[str] = "node_pool"
+
+    action: str = "scale_out"
+    node: str = ""
+    node_count: int = 0
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class NodeDrainEvent(ObsEvent):
+    """Cordon-and-drain lifecycle on one node.
+
+    ``action`` is ``"cordon"`` (drain requested; no new pods admitted),
+    ``"waiting"`` (pods still aboard — mid-rollout tenants and pods
+    without a destination are never evicted) or ``"complete"``.
+    """
+
+    kind: ClassVar[str] = "node_drain"
+
+    node: str = ""
+    action: str = "cordon"
+    remaining_pods: int = 0
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class NodeContentionEvent(ObsEvent):
+    """One node-minute of co-located demand above allocatable CPU.
+
+    ``throttled_cores`` is the overage water-filled away across the
+    node's ``pods`` serving pods — CPU each affected tenant demanded
+    but did not receive, which its recommender then mis-reads as slack.
+    """
+
+    kind: ClassVar[str] = "node_contention"
+
+    node: str = ""
+    demand_cores: float = 0.0
+    capacity_cores: float = 0.0
+    throttled_cores: float = 0.0
+    pods: int = 0
+
+
 _EVENT_TYPES: dict[str, type[ObsEvent]] = {
     cls.kind: cls
     for cls in (
@@ -617,6 +722,11 @@ _EVENT_TYPES: dict[str, type[ObsEvent]] = {
         TenantQuarantineEvent,
         DrainEvent,
         StateRecoveredEvent,
+        PodScheduledEvent,
+        PodPendingEvent,
+        NodePoolEvent,
+        NodeDrainEvent,
+        NodeContentionEvent,
     )
 }
 

@@ -39,6 +39,7 @@ SPAN_NAME_PREFIXES = (
     "sweep.trace.",
     "forecast.",
     "serve.",
+    "capacity.",
 )
 
 #: Exact trace names usable as literals in ``observer.trace(...)``.
@@ -51,6 +52,7 @@ TRACE_NAME_PREFIXES = (
     "live:",
     "fleet:",
     "serve:",
+    "capacity:",
 )
 
 

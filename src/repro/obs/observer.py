@@ -43,6 +43,12 @@ metric                          meaning
 ``serve_quarantines_total{action=}``  tenant quarantine enters/exits
 ``serve_drains_total{action=}``  graceful drains begun/completed
 ``serve_recovered_tenants``     tenants rebuilt by last state recovery
+``capacity_placements_total{outcome=}``  pods bound (placed vs migrated)
+``capacity_pending_pod_minutes_total``  pod-minutes spent unschedulable
+``capacity_node_pool_total{action=}``  node-pool shape changes
+``capacity_nodes``              ready nodes in the pool (gauge)
+``capacity_drains_total{action=}``  node cordon/drain lifecycle steps
+``capacity_contention_core_minutes_total``  CPU water-filled away
 ==============================  ======================================
 """
 
@@ -61,6 +67,11 @@ from .events import (
     DrainEvent,
     EventBus,
     FaultInjectedEvent,
+    NodeContentionEvent,
+    NodeDrainEvent,
+    NodePoolEvent,
+    PodPendingEvent,
+    PodScheduledEvent,
     FleetJobFailedEvent,
     FleetJobFinishedEvent,
     FleetJobStartedEvent,
@@ -767,6 +778,140 @@ class Observer:
             "serve_recovered_tenants",
             "Tenants rebuilt by the most recent state recovery",
         ).set(float(recovered_tenants))
+        return event
+
+    # -- cluster-capacity layer --------------------------------------------------
+
+    def pod_scheduled(
+        self,
+        minute: int,
+        pod: str,
+        node: str,
+        outcome: str = "placed",
+        requested_millicores: int = 0,
+        reason: str = "",
+    ) -> PodScheduledEvent:
+        """Record a pod bound to a node (placement or migration)."""
+        event = PodScheduledEvent(
+            minute=minute,
+            **self._trace_fields(
+                "pod_scheduled", minute, None, f"{pod}:{outcome}"
+            ),
+            pod=pod,
+            node=node,
+            outcome=outcome,
+            requested_millicores=requested_millicores,
+            reason=reason,
+        )
+        self.bus.emit(event)
+        self.metrics.counter(
+            "capacity_placements_total",
+            "Pods bound by the capacity placement engine",
+            labelnames=("outcome",),
+        ).inc(outcome=outcome)
+        return event
+
+    def pod_pending(
+        self,
+        minute: int,
+        pod: str,
+        requested_millicores: int = 0,
+        reason: str = "no-fit",
+    ) -> PodPendingEvent:
+        """Record one pod-minute of unschedulable pending pressure."""
+        event = PodPendingEvent(
+            minute=minute,
+            **self._trace_fields("pod_pending", minute, None, pod),
+            pod=pod,
+            requested_millicores=requested_millicores,
+            reason=reason,
+        )
+        self.bus.emit(event)
+        self.metrics.counter(
+            "capacity_pending_pod_minutes_total",
+            "Pod-minutes spent waiting for capacity",
+        ).inc()
+        return event
+
+    def node_pool(
+        self,
+        minute: int,
+        action: str,
+        node: str,
+        node_count: int = 0,
+        reason: str = "",
+    ) -> NodePoolEvent:
+        """Record a node-pool shape change; keeps the node-count gauge."""
+        event = NodePoolEvent(
+            minute=minute,
+            **self._trace_fields("node_pool", minute, None, f"{node}:{action}"),
+            action=action,
+            node=node,
+            node_count=node_count,
+            reason=reason,
+        )
+        self.bus.emit(event)
+        self.metrics.counter(
+            "capacity_node_pool_total",
+            "Node-pool shape changes by action",
+            labelnames=("action",),
+        ).inc(action=action)
+        self.metrics.gauge(
+            "capacity_nodes", "Ready nodes in the capacity pool"
+        ).set(float(node_count))
+        return event
+
+    def node_drain(
+        self,
+        minute: int,
+        node: str,
+        action: str,
+        remaining_pods: int = 0,
+        reason: str = "",
+    ) -> NodeDrainEvent:
+        """Record one cordon/drain lifecycle step on a node."""
+        event = NodeDrainEvent(
+            minute=minute,
+            **self._trace_fields(
+                "node_drain", minute, None, f"{node}:{action}"
+            ),
+            node=node,
+            action=action,
+            remaining_pods=remaining_pods,
+            reason=reason,
+        )
+        self.bus.emit(event)
+        self.metrics.counter(
+            "capacity_drains_total",
+            "Node cordon/drain lifecycle steps",
+            labelnames=("action",),
+        ).inc(action=action)
+        return event
+
+    def node_contention(
+        self,
+        minute: int,
+        node: str,
+        demand_cores: float,
+        capacity_cores: float,
+        throttled_cores: float,
+        pods: int = 0,
+    ) -> NodeContentionEvent:
+        """Record one node-minute of water-filled CPU contention."""
+        event = NodeContentionEvent(
+            minute=minute,
+            **self._trace_fields("node_contention", minute, None, node),
+            node=node,
+            demand_cores=demand_cores,
+            capacity_cores=capacity_cores,
+            throttled_cores=throttled_cores,
+            pods=pods,
+        )
+        self.bus.emit(event)
+        self.metrics.counter(
+            "capacity_contention_core_minutes_total",
+            "CPU core-minutes water-filled away by node contention",
+        ).inc(throttled_cores)
         return event
 
     def store_bytes(self, nbytes: int) -> None:

@@ -60,8 +60,11 @@ _CAUSE_PRIORITY = {
     "quarantine": 3,
     "safe_mode": 4,
     "fault_injected": 5,
-    "resize_deferred": 6,
-    "decision": 7,
+    "node_contention": 6,
+    "resize_deferred": 7,
+    "pod_pending": 8,
+    "node_drain": 9,
+    "decision": 10,
 }
 
 #: Branch label for minutes governed by no decision yet (run warm-up).
@@ -325,6 +328,12 @@ def _is_candidate_cause(event: ObsEvent) -> bool:
     kind = event.kind
     if kind in ("rollback", "quarantine", "fault_injected", "resize_deferred"):
         return True
+    # Capacity-layer causes: a contended node or unschedulable pod is a
+    # direct explanation for cluster-level throttling minutes.
+    if kind in ("node_contention", "pod_pending"):
+        return True
+    if kind == "node_drain":
+        return payload.get("action") == "cordon"
     if kind == "retry":
         return payload.get("outcome") == "abandoned"
     if kind == "safe_mode":

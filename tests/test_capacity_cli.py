@@ -1,0 +1,94 @@
+"""Tests for the ``caasper capacity`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["capacity"])
+        assert args.command == "capacity"
+        assert args.scenario == "hotspot-node"
+        assert args.seed == 0
+        assert args.minutes == 0
+        assert args.pods == 0
+        assert args.format == "text"
+        assert args.kcn_out is None
+        assert args.jsonl is None
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["capacity", "--scenario", "nope"])
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["capacity", "--format", "yaml"])
+
+
+class TestRun:
+    def test_text_summary(self, capsys):
+        rc = main(
+            ["capacity", "--scenario", "hotspot-node", "--seed", "3",
+             "--minutes", "60"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "scenario hotspot-node" in out
+        assert "nodes:" in out
+        assert "$" in out
+
+    def test_json_output_is_canonical(self, capsys):
+        rc = main(
+            ["capacity", "--scenario", "capacity-chaos", "--seed", "3",
+             "--minutes", "60", "--format", "json"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out.strip()
+        payload = json.loads(out)
+        assert payload["scenario"] == "capacity-chaos"
+        assert payload["seed"] == 3
+        canonical = json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        )
+        assert out == canonical
+
+    def test_two_runs_byte_identical(self, tmp_path, capsys):
+        argv = [
+            "capacity", "--scenario", "drain-during-resize", "--seed", "7",
+            "--minutes", "120", "--format", "json",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_kcn_out_ledger(self, tmp_path, capsys):
+        out_a = tmp_path / "a.json"
+        out_b = tmp_path / "b.json"
+        for path in (out_a, out_b):
+            rc = main(
+                ["capacity", "--scenario", "hotspot-node", "--seed", "3",
+                 "--minutes", "60", "--kcn-out", str(path)]
+            )
+            assert rc == 0
+        assert out_a.read_bytes() == out_b.read_bytes()
+        ledger = json.loads(out_a.read_text())
+        assert set(ledger) == {"cluster", "per_tenant"}
+        assert set(ledger["cluster"]) == {"K", "C", "N"}
+        assert len(ledger["per_tenant"]) == 12
+
+    def test_jsonl_event_trail(self, tmp_path, capsys):
+        trail = tmp_path / "events.jsonl"
+        rc = main(
+            ["capacity", "--scenario", "capacity-chaos", "--seed", "3",
+             "--minutes", "90", "--jsonl", str(trail)]
+        )
+        assert rc == 0
+        lines = trail.read_text().strip().splitlines()
+        assert lines
+        kinds = {json.loads(line)["kind"] for line in lines}
+        assert "pod_scheduled" in kinds

@@ -1,0 +1,85 @@
+"""Tests for the max-min fair (water-filling) contention model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.capacity import water_fill
+from repro.errors import CapacityError
+
+
+class TestShape:
+    def test_empty_demands(self):
+        assert water_fill([], 4.0) == []
+
+    def test_all_satisfied_under_capacity(self):
+        assert water_fill([1.0, 2.0], 8.0) == [1.0, 2.0]
+
+    def test_zero_capacity_delivers_nothing(self):
+        assert water_fill([1.0, 2.0], 0.0) == [0.0, 0.0]
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(CapacityError):
+            water_fill([1.0, -0.5], 4.0)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(CapacityError):
+            water_fill([1.0], -1.0)
+
+    def test_equal_split_when_all_exceed(self):
+        assert water_fill([5.0, 5.0], 6.0) == pytest.approx([3.0, 3.0])
+
+    def test_small_demand_fully_served(self):
+        # 0.5 is under the fair share, so it is untouched; the two big
+        # demands split the rest evenly.
+        delivered = water_fill([0.5, 5.0, 5.0], 6.5)
+        assert delivered == pytest.approx([0.5, 3.0, 3.0])
+
+    def test_order_preserved(self):
+        # Results come back positionally, not sorted.
+        delivered = water_fill([5.0, 0.5, 5.0], 6.5)
+        assert delivered == pytest.approx([3.0, 0.5, 3.0])
+
+
+_demands = st.lists(
+    st.floats(min_value=0.0, max_value=64.0, allow_nan=False), max_size=24
+)
+_capacity = st.floats(min_value=0.0, max_value=128.0, allow_nan=False)
+
+
+class TestInvariants:
+    @given(demands=_demands, capacity=_capacity)
+    @settings(max_examples=200, deadline=None)
+    def test_conserves_demand(self, demands, capacity):
+        """Delivery equals min(total demand, capacity) — nothing vanishes."""
+        delivered = water_fill(demands, capacity)
+        assert sum(delivered) == pytest.approx(
+            min(sum(demands), capacity), abs=1e-6
+        )
+
+    @given(demands=_demands, capacity=_capacity)
+    @settings(max_examples=200, deadline=None)
+    def test_never_exceeds_demand(self, demands, capacity):
+        delivered = water_fill(demands, capacity)
+        for got, asked in zip(delivered, demands):
+            assert 0.0 <= got <= asked + 1e-9
+
+    @given(demands=_demands, capacity=_capacity)
+    @settings(max_examples=200, deadline=None)
+    def test_max_min_fairness(self, demands, capacity):
+        """A throttled pod never gets less than any other pod's delivery.
+
+        Max-min fairness: if pod i is throttled (delivered < demanded),
+        no pod j receives more than pod i plus tolerance — you cannot
+        raise a throttled pod without lowering someone poorer.
+        """
+        delivered = water_fill(demands, capacity)
+        throttled = [
+            got
+            for got, asked in zip(delivered, demands)
+            if got < asked - 1e-6
+        ]
+        if not throttled:
+            return
+        floor = min(throttled)
+        assert max(delivered) <= floor + 1e-6

@@ -1,0 +1,110 @@
+"""Tests for the O(log n) free-capacity index behind placement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.capacity.index import FreeCapacityIndex
+from repro.errors import CapacityError
+
+
+class TestBasics:
+    def test_add_and_lookup(self):
+        index = FreeCapacityIndex()
+        index.add("a", 4000)
+        assert "a" in index
+        assert len(index) == 1
+        assert index.free_of("a") == 4000
+        assert index.total_free_millicores() == 4000
+
+    def test_duplicate_add_rejected(self):
+        index = FreeCapacityIndex()
+        index.add("a", 4000)
+        with pytest.raises(CapacityError):
+            index.add("a", 2000)
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(CapacityError):
+            FreeCapacityIndex().remove("ghost")
+
+    def test_update_moves_entry(self):
+        index = FreeCapacityIndex()
+        index.add("a", 4000)
+        index.add("b", 2000)
+        index.update("a", 1000)
+        assert index.free_of("a") == 1000
+        assert index.emptiest() == "b"
+
+    def test_emptiest_breaks_ties_by_name(self):
+        index = FreeCapacityIndex()
+        index.add("b", 3000)
+        index.add("a", 3000)
+        # (3000, "a") < (3000, "b") so "b" is the last (emptiest) entry.
+        assert index.emptiest() == "b"
+
+    def test_emptiest_on_empty_index(self):
+        assert FreeCapacityIndex().emptiest() is None
+
+
+class TestBestFit:
+    def test_candidates_fullest_first(self):
+        index = FreeCapacityIndex()
+        index.add("roomy", 8000)
+        index.add("snug", 2100)
+        index.add("tight", 2000)
+        assert index.best_fit_candidates(2000) == ["tight", "snug", "roomy"]
+
+    def test_candidates_exclude_too_small(self):
+        index = FreeCapacityIndex()
+        index.add("small", 1000)
+        index.add("big", 4000)
+        assert index.best_fit_candidates(2000) == ["big"]
+
+    def test_candidates_empty_when_nothing_fits(self):
+        index = FreeCapacityIndex()
+        index.add("small", 500)
+        assert index.best_fit_candidates(2000) == []
+
+
+#: Bounded op streams: (op, name, millicores).
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "remove", "update"]),
+        st.sampled_from(["n0", "n1", "n2", "n3", "n4"]),
+        st.integers(min_value=-2000, max_value=16000),
+    ),
+    max_size=60,
+)
+
+
+class TestAgainstOracle:
+    @given(ops=_ops, query=st.integers(min_value=0, max_value=16000))
+    @settings(max_examples=120, deadline=None)
+    def test_matches_brute_force(self, ops, query):
+        """The index agrees with a plain dict under any op stream."""
+        index = FreeCapacityIndex()
+        oracle: dict[str, int] = {}
+        for op, name, free in ops:
+            if op == "add" and name not in oracle:
+                index.add(name, free)
+                oracle[name] = free
+            elif op == "remove" and name in oracle:
+                index.remove(name)
+                del oracle[name]
+            elif op == "update" and name in oracle:
+                index.update(name, free)
+                oracle[name] = free
+        assert len(index) == len(oracle)
+        assert index.total_free_millicores() == sum(oracle.values())
+        assert index.snapshot() == sorted(
+            ((name, free) for name, free in oracle.items()),
+            key=lambda item: (item[1], item[0]),
+        )
+        expected = [
+            name
+            for free, name in sorted(
+                (free, name) for name, free in oracle.items()
+            )
+            if free >= query
+        ]
+        assert index.best_fit_candidates(query) == expected

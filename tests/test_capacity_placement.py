@@ -1,0 +1,253 @@
+"""Tests for the placement engine, node registry, and autoscaler rules."""
+
+import pytest
+
+from repro.capacity import (
+    CapacityConfig,
+    NodePoolAutoscaler,
+    NodeTemplate,
+    PlacementEngine,
+)
+from repro.cluster import Node, Pod, Scheduler
+from repro.cluster.pod import Container, PodPhase
+from repro.cluster.resources import ResourceSpec
+from repro.errors import CapacityError, ClusterStateError, SchedulingError
+
+
+def make_node(name, cores=8):
+    return Node(name=name, cpu_cores=cores, memory_mb=32 * 1024)
+
+
+def make_pod(name, cores=2):
+    return Pod(
+        name=name,
+        ordinal=0,
+        container=Container("db", ResourceSpec.whole_cores(cores, 1024)),
+    )
+
+
+class TestSchedulerRegistry:
+    def test_duplicate_node_name_rejected(self):
+        scheduler = Scheduler([make_node("a")])
+        with pytest.raises(SchedulingError):
+            scheduler.register_node(make_node("a"))
+
+    def test_duplicate_in_constructor_rejected(self):
+        with pytest.raises(SchedulingError):
+            Scheduler([make_node("a"), make_node("a")])
+
+    def test_node_by_name_unknown_rejected(self):
+        scheduler = Scheduler([make_node("a")])
+        with pytest.raises(SchedulingError):
+            scheduler.node_by_name("ghost")
+
+    def test_deregister_returns_node(self):
+        scheduler = Scheduler([make_node("a"), make_node("b")])
+        node = scheduler.deregister_node("b")
+        assert node.name == "b"
+        with pytest.raises(SchedulingError):
+            scheduler.node_by_name("b")
+
+    def test_deregister_nonempty_node_rejected(self):
+        scheduler = Scheduler([make_node("a")])
+        scheduler.node_by_name("a").add_pod(make_pod("p"))
+        with pytest.raises(SchedulingError):
+            scheduler.deregister_node("a")
+
+
+class TestPodUnbind:
+    def test_unbind_returns_pod_to_pending(self):
+        node = make_node("a")
+        pod = make_pod("p")
+        node.add_pod(pod)
+        node.remove_pod(pod)
+        pod.unbind()
+        assert pod.phase is PodPhase.PENDING
+        assert pod.node_name is None
+
+    def test_unbind_requires_running(self):
+        with pytest.raises(ClusterStateError):
+            make_pod("p").unbind()
+
+
+class TestPlacementParity:
+    def test_matches_base_scheduler_best_fit(self):
+        """Index-backed find_node_for picks what the O(n) scan picks."""
+        loads = {"a": 3, "b": 5, "c": 1}
+        base_nodes = [make_node(name) for name in loads]
+        fast_nodes = [make_node(name) for name in loads]
+        base = Scheduler(base_nodes)
+        fast = PlacementEngine(fast_nodes)
+        for name, cores in loads.items():
+            base.node_by_name(name).add_pod(make_pod(f"pb-{name}", cores))
+            pod = make_pod(f"pf-{name}", cores)
+            fast.node_by_name(name).add_pod(pod)
+            fast._refresh(name)
+        for cores in (1, 2, 3, 4, 7, 9):
+            spec = ResourceSpec.whole_cores(cores, 1024)
+            want = base.find_node_for(spec)
+            got = fast.find_node_for(spec)
+            assert (want.name if want else None) == (
+                got.name if got else None
+            ), f"cores={cores}"
+
+    def test_empty_pool_is_legal(self):
+        engine = PlacementEngine()
+        assert engine.find_node_for(ResourceSpec.whole_cores(1, 64)) is None
+
+    def test_cordoned_node_not_chosen(self):
+        engine = PlacementEngine([make_node("a"), make_node("b")])
+        engine.cordon("a")
+        node = engine.place(make_pod("p"), minute=0)
+        assert node is not None and node.name == "b"
+
+    def test_place_logs_and_updates_index(self):
+        engine = PlacementEngine([make_node("a")])
+        engine.place(make_pod("p", cores=3), minute=5)
+        assert engine.index.free_of("a") == engine.node_by_name("a").free_millicores
+        record = engine.log[-1]
+        assert (record.action, record.to_node, record.minute) == ("place", "a", 5)
+
+
+class TestMigration:
+    def test_migration_is_preemption_free(self):
+        """No destination -> the pod never leaves its node."""
+        engine = PlacementEngine([make_node("a", cores=4)])
+        pod = make_pod("p", cores=3)
+        engine.place(pod, minute=0)
+        engine.cordon("a")
+        assert engine.migrate(pod, minute=1, reason="drain:a") is None
+        assert pod.node_name == "a"
+        assert pod.phase is PodPhase.RUNNING
+
+    def test_migrate_moves_pod_and_index(self):
+        engine = PlacementEngine([make_node("a", cores=4), make_node("b")])
+        pod = make_pod("p", cores=3)
+        engine.place(pod, minute=0)
+        assert pod.node_name == "a"  # best fit: a is smaller
+        engine.cordon("a")
+        destination = engine.migrate(pod, minute=1, reason="drain:a")
+        assert destination is not None and destination.name == "b"
+        assert pod.node_name == "b"
+        assert (
+            engine.index.free_of("a")
+            == engine.node_by_name("a").allocatable_millicores
+        )
+        assert engine.log[-1].action == "migrate"
+
+    def test_resize_in_place_checks_fit_unless_forced(self):
+        engine = PlacementEngine([make_node("a", cores=4)])
+        pod = make_pod("p", cores=3)
+        engine.place(pod, minute=0)
+        big = ResourceSpec.whole_cores(6, 1024)
+        with pytest.raises(CapacityError):
+            engine.resize_in_place(pod, big, minute=1, reason="up")
+        engine.resize_in_place(pod, big, minute=1, reason="up", force=True)
+        assert engine.node_by_name("a").free_millicores < 0
+        assert engine.index.free_of("a") < 0
+
+
+def _autoscaler(engine, initial_nodes=2):
+    config = CapacityConfig(
+        node_template=NodeTemplate(cpu_cores=8, memory_mb=32 * 1024),
+        initial_nodes=initial_nodes,
+        min_nodes=1,
+        max_nodes=4,
+        scale_out_after_pending_minutes=2,
+        scale_in_after_minutes=3,
+        node_provision_minutes=2,
+    )
+    return NodePoolAutoscaler(config, engine)
+
+
+class TestAutoscaler:
+    def test_sustained_pressure_scales_out(self):
+        engine = PlacementEngine()
+        autoscaler = _autoscaler(engine)
+        autoscaler.bootstrap()
+        never = lambda pod: False  # noqa: E731
+        autoscaler.evaluate(0, 4000, never)
+        assert not autoscaler.provisioning  # streak too short
+        autoscaler.evaluate(1, 4000, never)
+        assert len(autoscaler.provisioning) == 1
+        assert autoscaler.tick_provisioning(2) == []  # still booting
+        assert autoscaler.tick_provisioning(3) == ["node-002"]
+        assert autoscaler.ready_count == 3
+
+    def test_blip_pressure_resets_streak(self):
+        engine = PlacementEngine()
+        autoscaler = _autoscaler(engine)
+        autoscaler.bootstrap()
+        never = lambda pod: False  # noqa: E731
+        autoscaler.evaluate(0, 4000, never)
+        autoscaler.evaluate(1, 0, never)
+        autoscaler.evaluate(2, 4000, never)
+        assert not autoscaler.provisioning
+
+    def test_scale_in_drains_emptiest_eligible_node(self):
+        engine = PlacementEngine()
+        autoscaler = _autoscaler(engine)
+        autoscaler.bootstrap()
+        pod = make_pod("p", cores=1)
+        engine.place(pod, minute=0)
+        never = lambda p: False  # noqa: E731
+        for minute in range(3):
+            autoscaler.evaluate(minute, 0, never)
+        # The empty node (not the pod's) is the victim.
+        empty = "node-001" if pod.node_name == "node-000" else "node-000"
+        assert autoscaler.draining == [empty]
+        assert autoscaler.tick_drains(4, never) == [empty]
+        assert autoscaler.ready_count == 1
+
+    def test_scale_in_never_picks_mid_rollout_node(self):
+        engine = PlacementEngine()
+        autoscaler = _autoscaler(engine)
+        autoscaler.bootstrap()
+        pod = make_pod("p", cores=1)
+        engine.place(pod, minute=0)
+        rolling = lambda p: True  # noqa: E731
+        # The pod's node is ineligible (mid-rollout); the empty one still
+        # drains, but the busy node must never be chosen even afterwards.
+        for minute in range(12):
+            autoscaler.tick_drains(minute, rolling)
+            autoscaler.evaluate(minute, 0, rolling)
+        assert pod.node_name is not None
+        assert pod.node_name not in autoscaler.draining
+        assert engine.node_by_name(pod.node_name).pods == [pod]
+
+    def test_drain_waits_for_rollout_then_completes(self):
+        engine = PlacementEngine()
+        autoscaler = _autoscaler(engine)
+        autoscaler.bootstrap()
+        pod = make_pod("p", cores=1)
+        engine.place(pod, minute=0)
+        source = pod.node_name
+        assert autoscaler.request_drain(source, 1, reason="test")
+        rolling = lambda p: True  # noqa: E731
+        assert autoscaler.tick_drains(2, rolling) == []
+        assert pod.node_name == source  # stalled, not stranded
+        settled = lambda p: False  # noqa: E731
+        assert autoscaler.tick_drains(3, settled) == [source]
+        assert pod.node_name is not None and pod.node_name != source
+        assert pod.phase is PodPhase.RUNNING
+
+    def test_min_nodes_floor_blocks_scale_in(self):
+        engine = PlacementEngine()
+        autoscaler = _autoscaler(engine, initial_nodes=1)
+        autoscaler.bootstrap()
+        never = lambda p: False  # noqa: E731
+        for minute in range(10):
+            autoscaler.evaluate(minute, 0, never)
+        assert autoscaler.draining == []
+
+    def test_billing_charges_booting_nodes(self):
+        engine = PlacementEngine()
+        autoscaler = _autoscaler(engine)
+        autoscaler.bootstrap()
+        never = lambda p: False  # noqa: E731
+        autoscaler.evaluate(0, 4000, never)
+        autoscaler.evaluate(1, 4000, never)
+        autoscaler.charge()  # 2 ready + 1 provisioning
+        assert autoscaler.node_minutes == 3
+        price = autoscaler.config.node_template.price_per_hour
+        assert autoscaler.dollars == pytest.approx(3 / 60.0 * price)
