@@ -7,7 +7,12 @@ engine, the node-pool autoscaler, and the contention model for a full
 simulated day, then proves the run replays byte-identically. The wall
 clock is the claim: a production-sized fleet day must stay cheap enough
 to sweep (the CI acceptance bound is five minutes; typical hardware
-lands well under one).
+lands well under one). The main run times its three phases —
+recommender decisions, placement/pool mechanics, contention — so a
+regression names its layer instead of just moving one big number.
+
+``--pods`` and ``--minutes`` (see ``benchmarks/conftest.py``) scale the
+day down for smoke runs without editing this file.
 """
 
 import time
@@ -15,28 +20,34 @@ import time
 from conftest import kcn_of, write_bench_json
 
 from repro.capacity import make_capacity_scenario, run_capacity
+from repro.capacity.engine import ClusterEngine
 
 MINUTES = 1440
 PODS = 1000
 SEED = 3
 
 
-def test_capacity_cluster_day(once):
+def test_capacity_cluster_day(once, request):
+    pods = request.config.getoption("--pods") or PODS
+    minutes = request.config.getoption("--minutes") or MINUTES
     walls = {}
+    phases = {}
 
     def run_day():
         start = time.perf_counter()
         scenario = make_capacity_scenario(
-            "cluster-day", seed=SEED, minutes=MINUTES, pods=PODS
+            "cluster-day", seed=SEED, minutes=minutes, pods=pods
         )
         walls["build"] = time.perf_counter() - start
         start = time.perf_counter()
-        result = run_capacity(scenario)
+        engine = ClusterEngine(scenario, time_phases=True)
+        result = engine.run()
         walls["run"] = time.perf_counter() - start
+        phases.update(engine.phase_seconds)
         start = time.perf_counter()
         replay = run_capacity(
             make_capacity_scenario(
-                "cluster-day", seed=SEED, minutes=MINUTES, pods=PODS
+                "cluster-day", seed=SEED, minutes=minutes, pods=pods
             )
         )
         walls["replay"] = time.perf_counter() - start
@@ -46,17 +57,24 @@ def test_capacity_cluster_day(once):
 
     # Scale claims: the full fleet day ran, every tenant is accounted
     # for, and the pool actually flexed.
-    assert result.tenants == PODS
-    assert result.minutes == MINUTES
+    assert result.tenants == pods
+    assert result.minutes == minutes
     assert result.node_minutes > 0
     assert result.dollars > 0
-    assert len(result.per_tenant) == PODS
+    assert len(result.per_tenant) == pods
     # Billing covers provisioning boot minutes the utilization histogram
     # (ready nodes only) never sees, so billed >= histogrammed.
     assert 0 < sum(result.utilization_histogram) <= result.node_minutes
 
-    # Replay claim: the run is a pure function of the seeded scenario.
+    # Replay claim: the run is a pure function of the seeded scenario —
+    # and phase timing (plus its vector decide path) never changes it.
     assert result.canonical_json() == replay.canonical_json()
+
+    # Phase accounting claim: the timers ran and roughly partition the
+    # minute loop (setup/teardown outside the phases stays small).
+    assert set(phases) == {"recommender", "placement", "contention"}
+    assert all(seconds >= 0.0 for seconds in phases.values())
+    assert 0.0 < sum(phases.values()) <= walls["run"]
 
     # The acceptance bound; typical hardware is ~10x under it.
     assert walls["run"] < 300.0
@@ -66,9 +84,10 @@ def test_capacity_cluster_day(once):
         walls,
         kcn={"cluster-day": kcn_of(result), "replay": kcn_of(replay)},
         extra={
-            "pods": PODS,
-            "minutes": MINUTES,
+            "pods": pods,
+            "minutes": minutes,
             "seed": SEED,
+            "phase_seconds": dict(phases),
             "final_nodes": result.final_nodes,
             "peak_nodes": result.peak_nodes,
             "node_minutes": result.node_minutes,

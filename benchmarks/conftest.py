@@ -30,6 +30,30 @@ from repro.obs import SpanCollector, activate
 BENCH_SCHEMA_VERSION = 1
 
 
+def pytest_addoption(parser):
+    """Scale knobs for the fleet-sized benchmarks.
+
+    ``--pods`` and ``--minutes`` override the cluster-day defaults
+    (1000 pods, 1440 minutes) so a laptop smoke run — or a CI runner on
+    a budget — can time a scaled-down day without editing the file::
+
+        pytest benchmarks/bench_capacity_cluster_day.py --pods 100 --minutes 240
+    """
+    group = parser.getgroup("caasper", "CaaSPER benchmark scale")
+    group.addoption(
+        "--pods",
+        type=int,
+        default=None,
+        help="override the cluster-day pod count (default: 1000)",
+    )
+    group.addoption(
+        "--minutes",
+        type=int,
+        default=None,
+        help="override the cluster-day simulated minutes (default: 1440)",
+    )
+
+
 def write_bench_json(
     name: str,
     wall_seconds: dict[str, float],

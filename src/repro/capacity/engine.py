@@ -29,7 +29,10 @@ throughout — two runs serialise byte-identically.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+
+import numpy as np
 
 from ..cluster.pod import Container, Pod, PodPhase
 from ..cluster.resources import MILLICORES_PER_CORE, ResourceSpec
@@ -87,14 +90,42 @@ class _TenantState:
 
 
 class ClusterEngine:
-    """One seeded capacity run over a :class:`CapacityScenario`."""
+    """One seeded capacity run over a :class:`CapacityScenario`.
+
+    Parameters
+    ----------
+    scenario, observer:
+        The seeded scenario and optional telemetry sink.
+    vector_decide:
+        Step all same-shaped tenant recommenders due at a minute through
+        the vectorized Algorithm 1 kernels (:mod:`repro.engine.kernel`)
+        instead of one scalar ``recommend`` each — byte-identical
+        decisions, certified at import. Only active without an observer
+        (the scalar path emits per-decision derivations the kernels do
+        not materialise).
+    time_phases:
+        Accumulate per-phase wall time into :attr:`phase_seconds`
+        (``recommender`` / ``placement`` / ``contention``). Off by
+        default so unobserved runs read no clocks.
+    """
 
     def __init__(
-        self, scenario: CapacityScenario, observer: Observer | None = None
+        self,
+        scenario: CapacityScenario,
+        observer: Observer | None = None,
+        vector_decide: bool = True,
+        time_phases: bool = False,
     ) -> None:
         self.scenario = scenario
         self.config: CapacityConfig = scenario.config
         self.observer = observer
+        self.vector_decide = vector_decide
+        self.time_phases = time_phases
+        self.phase_seconds: dict[str, float] = {
+            "recommender": 0.0,
+            "placement": 0.0,
+            "contention": 0.0,
+        }
         self.placement = PlacementEngine()
         self.autoscaler: NodePoolAutoscaler
         self.tenants: list[_TenantState] = []
@@ -339,6 +370,7 @@ class ClusterEngine:
         interval = self.config.decision_interval_minutes
         drains = dict(self.scenario.drains)
         for minute in range(minutes):
+            mark = time.perf_counter() if self.time_phases else 0.0
             self.autoscaler.tick_provisioning(minute)
             self.autoscaler.tick_drains(minute, self._in_rollout)
             if minute in drains:
@@ -348,8 +380,18 @@ class ClusterEngine:
             pressure = self._node_pressure(minute)
             self._tick_resizes(minute)
             self._tick_pending(minute)
+            if self.time_phases:
+                now = time.perf_counter()
+                self.phase_seconds["placement"] += now - mark
+                mark = now
             throttled_now = self._observe_minute(minute, pressure)
+            if self.time_phases:
+                now = time.perf_counter()
+                self.phase_seconds["contention"] += now - mark
+                mark = now
             self._decide(minute, interval)
+            if self.time_phases:
+                self.phase_seconds["recommender"] += time.perf_counter() - mark
             # Unschedulable pods, capacity-blocked resizes, and demand
             # lost to contention all read as "the pool is too small".
             pending_millicores = self._pending_millicores() + int(
@@ -425,15 +467,26 @@ class ClusterEngine:
         return throttled_now
 
     def _decide(self, minute: int, interval: int) -> None:
+        due: list[_TenantState] = []
         for state in self.tenants:
             offset = state.index % interval if self.config.stagger_decisions else 0
             if minute % interval != offset:
                 continue
             if not state.pod.is_serving or state.in_rollout:
                 continue
-            target = state.recommender.recommend(minute, state.limit_cores)
+            due.append(state)
+        if not due:
+            return
+        if self.vector_decide and self.observer is None:
+            targets = self._decide_vector(minute, due)
+        else:
+            targets = [
+                int(state.recommender.recommend(minute, state.limit_cores))
+                for state in due
+            ]
+        for state, raw_target in zip(due, targets):
             target = max(
-                state.spec.min_cores, min(state.spec.max_cores, int(target))
+                state.spec.min_cores, min(state.spec.max_cores, raw_target)
             )
             if target == state.limit_cores:
                 continue
@@ -451,6 +504,87 @@ class ClusterEngine:
                 target,
                 minute + self.config.resize_delay_minutes,
             )
+
+    def _decide_vector(
+        self, minute: int, due: list[_TenantState]
+    ) -> list[int]:
+        """One batched Algorithm 1 decision per due tenant.
+
+        Byte-identical to consulting each recommender in turn: lanes
+        sharing curve geometry (core ceiling, history length) step
+        through :func:`~repro.engine.kernel.decide_batch` together,
+        singletons and uncertified builds use
+        :func:`~repro.engine.kernel.decide_lane`, and a tenant with no
+        observed history yet falls back to its own scalar ``recommend``
+        (the hold-current-allocation rule).
+        """
+        from ..engine.kernel import (
+            LaneParams,
+            axis_reductions_certified,
+            decide_batch,
+            decide_lane,
+            replications_certified,
+            rounding_code,
+        )
+
+        targets = [0] * len(due)
+        windows: list[np.ndarray] = []
+        groups: dict[tuple[int, int, float, float], list[int]] = {}
+        for position, state in enumerate(due):
+            window = state.recommender.usage_window()
+            windows.append(window)
+            if window.size == 0:
+                targets[position] = int(
+                    state.recommender.recommend(minute, state.limit_cores)
+                )
+                continue
+            config = state.recommender.config
+            key = (
+                config.max_cores,
+                window.size,
+                config.slope_scale,
+                config.quantile,
+            )
+            groups.setdefault(key, []).append(position)
+        fast = replications_certified()
+        for (max_cores, _n, slope_scale, quantile), members in groups.items():
+            ks = np.arange(1, max_cores + 1)
+            if len(members) == 1 or not axis_reductions_certified():
+                for position in members:
+                    config = due[position].recommender.config
+                    targets[position] = decide_lane(
+                        windows[position],
+                        due[position].limit_cores,
+                        config.s_high,
+                        config.s_low,
+                        config.m_high,
+                        config.m_low,
+                        float(config.sf_max_up),
+                        float(config.sf_max_down),
+                        config.c_min,
+                        config.scale_down_headroom,
+                        rounding_code(config.rounding.value),
+                        max_cores,
+                        slope_scale,
+                        quantile,
+                        ks,
+                        fast=fast,
+                    )
+                continue
+            params = LaneParams.from_configs(
+                [due[position].recommender.config for position in members]
+            )
+            cur = np.array(
+                [due[position].limit_cores for position in members],
+                dtype=np.int64,
+            )
+            stacked = np.stack([windows[position] for position in members])
+            out = decide_batch(
+                stacked, cur, params, max_cores, slope_scale, quantile, fast=fast
+            )
+            for offset, position in enumerate(members):
+                targets[position] = int(out[offset])
+        return targets
 
     def _pending_millicores(self) -> int:
         pending = 0

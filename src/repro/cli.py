@@ -154,6 +154,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="memoise per-trace results in this result store "
         "(warm re-runs short-circuit; see `caasper store`)",
     )
+    sweep_parser.add_argument(
+        "--engine",
+        choices=("scalar", "vector"),
+        default="scalar",
+        help="simulation engine: 'scalar' loops each trace through the "
+        "reference simulator; 'vector' batches all traces through the "
+        "SoA kernels (byte-identical results, see docs/ENGINE.md)",
+    )
 
     obs_parser = sub.add_parser(
         "obs",
@@ -1609,11 +1617,17 @@ def main(argv: Sequence[str] | None = None) -> int:
             from .store import ResultStore
 
             store = ResultStore(args.store_dir)
+        engine = None
+        if args.engine == "vector":
+            from .engine import BatchEngine
+
+            engine = BatchEngine()
         outcome = run_sweep(
             traces,
             sweep_config,
             default_recommender_factory(base, sweep_config),
             store=store,
+            engine=engine,
         )
         print(outcome.table())
         aggregate = outcome.aggregate()

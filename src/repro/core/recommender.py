@@ -134,6 +134,25 @@ class CaasperRecommender(Recommender):
             start_minute=self._first_minute or 0,
         )
 
+    def batchable_snapshot(self) -> CaasperConfig | None:
+        """The config driving this recommender, if a batch engine may
+        replay it from scratch.
+
+        Returns ``None`` when this instance cannot be reproduced from its
+        configuration alone: a custom forecaster was injected, or history
+        has already been observed (a mid-flight recommender has state the
+        engine would have to replicate minute-by-minute anyway).
+        """
+        if self._custom_forecaster:
+            return None
+        if self._usage or self._last_minute is not None:
+            return None
+        return self.config
+
+    def usage_window(self) -> np.ndarray:
+        """The retained usage history as a flat float array (oldest first)."""
+        return np.asarray(self._usage, dtype=float)
+
     def decide(self, current_cores: int) -> ReactiveDecision:
         """Run one full CaaSPER decision against the retained history."""
         combined = self._window_builder.build(self.history())

@@ -80,6 +80,19 @@ class SimulationError(ReproError):
     """
 
 
+class EngineError(ReproError):
+    """The vectorized batch engine cannot run on this host.
+
+    Raised by :mod:`repro.engine` at import time when the installed numpy
+    is older than the tested floor, and at call time for caller-side
+    problems (a job batch mixing incompatible shapes). Numerical trouble
+    never raises: when the engine's self-check cannot certify that a
+    vectorized kernel reproduces the scalar oracle bit-for-bit on this
+    numpy build, it silently falls back to the scalar path, because an
+    uncertifiable fast path must degrade to slow, not to wrong.
+    """
+
+
 class TuningError(ReproError):
     """Parameter search was configured with an empty or invalid space."""
 

@@ -42,6 +42,7 @@ DETERMINISTIC_DOMAINS = (
     "repro.store",
     "repro.serve",
     "repro.capacity",
+    "repro.engine",
 )
 
 #: (resolved module, attribute) pairs that read the wall clock.

@@ -35,6 +35,7 @@ NUMERIC_DOMAINS = (
     "repro.sim",
     "repro.cluster",
     "repro.tuning",
+    "repro.engine",
 )
 
 _FLOAT_ANNOTATIONS = frozenset(

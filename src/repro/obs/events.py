@@ -55,6 +55,12 @@ Five more cover the cluster-capacity layer (:mod:`repro.capacity`):
 - :class:`NodeContentionEvent` — one node-minute in which co-located
   demand exceeded effective allocatable CPU and was water-filled.
 
+One more covers the vectorized batch engine (:mod:`repro.engine`):
+
+- :class:`EngineBatchEvent` — one batch run completed, with its lane
+  split (vector kernels / scalar fallback / store hits) and cohort
+  count.
+
 One more anchors causal traces (:mod:`repro.obs.tracing`):
 
 - :class:`TraceStartedEvent` — a run-scoped trace opened; every event
@@ -129,6 +135,7 @@ __all__ = [
     "NodePoolEvent",
     "NodeDrainEvent",
     "NodeContentionEvent",
+    "EngineBatchEvent",
     "EventBus",
     "RingBufferSink",
     "LoggingSink",
@@ -695,6 +702,28 @@ class NodeContentionEvent(ObsEvent):
     pods: int = 0
 
 
+@dataclass(frozen=True)
+class EngineBatchEvent(ObsEvent):
+    """One :class:`~repro.engine.batch.BatchEngine` batch completed.
+
+    Not tied to a simulated minute (``minute`` is 0). ``vector_lanes``
+    ran on the SoA kernels, ``scalar_lanes`` fell back to the scalar
+    oracle (non-vectorizable configs), and ``cache_hits`` were served
+    from the result store without simulating at all; the three sum to
+    ``lanes``. ``cohorts`` is how many kernel groups the vector lanes
+    split into (lanes sharing curve geometry step together).
+    """
+
+    kind: ClassVar[str] = "engine_batch"
+
+    lanes: int = 0
+    vector_lanes: int = 0
+    scalar_lanes: int = 0
+    cache_hits: int = 0
+    cohorts: int = 0
+    elapsed_seconds: float = 0.0
+
+
 _EVENT_TYPES: dict[str, type[ObsEvent]] = {
     cls.kind: cls
     for cls in (
@@ -727,6 +756,7 @@ _EVENT_TYPES: dict[str, type[ObsEvent]] = {
         NodePoolEvent,
         NodeDrainEvent,
         NodeContentionEvent,
+        EngineBatchEvent,
     )
 }
 

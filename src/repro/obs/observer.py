@@ -65,6 +65,7 @@ from .events import (
     CacheMissEvent,
     DecisionEvent,
     DrainEvent,
+    EngineBatchEvent,
     EventBus,
     FaultInjectedEvent,
     NodeContentionEvent,
@@ -912,6 +913,43 @@ class Observer:
             "capacity_contention_core_minutes_total",
             "CPU core-minutes water-filled away by node contention",
         ).inc(throttled_cores)
+        return event
+
+    # -- vectorized batch engine -----------------------------------------------
+
+    def engine_batch(
+        self,
+        lanes: int,
+        vector_lanes: int,
+        scalar_lanes: int,
+        cache_hits: int,
+        cohorts: int,
+        elapsed_seconds: float,
+    ) -> EngineBatchEvent:
+        """Record one completed :class:`~repro.engine.batch.BatchEngine` run."""
+        event = EngineBatchEvent(
+            minute=0,
+            **self._trace_fields("engine_batch", 0, None, str(lanes)),
+            lanes=lanes,
+            vector_lanes=vector_lanes,
+            scalar_lanes=scalar_lanes,
+            cache_hits=cache_hits,
+            cohorts=cohorts,
+            elapsed_seconds=elapsed_seconds,
+        )
+        self.bus.emit(event)
+        self.metrics.counter(
+            "engine_lanes_total",
+            "Traces simulated by the batch engine (any path)",
+        ).inc(float(lanes))
+        self.metrics.counter(
+            "engine_vector_lanes_total",
+            "Traces simulated on the vectorized SoA kernels",
+        ).inc(float(vector_lanes))
+        self.metrics.counter(
+            "engine_scalar_fallback_lanes_total",
+            "Batch lanes that fell back to the scalar oracle",
+        ).inc(float(scalar_lanes))
         return event
 
     def store_bytes(self, nbytes: int) -> None:

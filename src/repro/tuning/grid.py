@@ -19,6 +19,7 @@ from ..trace import CpuTrace
 from .search import RandomSearch, SearchOutcome
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.batch import BatchEngine
     from ..fleet.runner import FleetRunner
     from ..store.cas import ResultStore
 
@@ -85,6 +86,7 @@ class GridSearch:
         self,
         executor: "FleetRunner | None" = None,
         store: "ResultStore | None" = None,
+        engine: "BatchEngine | None" = None,
     ) -> SearchOutcome:
         """Evaluate every grid point (deterministic, no seed needed).
 
@@ -92,7 +94,11 @@ class GridSearch:
         the grid points shard across worker processes; the outcome is
         bit-identical to the serial run. A ``store`` memoises grid
         points across invocations — re-running a grid that overlaps a
-        previous one only simulates the new cells.
+        previous one only simulates the new cells. An ``engine`` (a
+        :class:`~repro.engine.batch.BatchEngine`) steps every grid
+        point as one vectorized batch — byte-identical again, and
+        composable with ``store``; ``executor`` wins when both are
+        given.
         """
         if executor is not None:
             from .search import _trial_outcome
@@ -103,6 +109,16 @@ class GridSearch:
                 self._driver.demand,
                 executor,
                 prefix="grid",
+                store=store,
+            )
+        if engine is not None:
+            from .search import _engine_outcome
+
+            return _engine_outcome(
+                self.configs,
+                self._driver.simulator_config,
+                self._driver.demand,
+                engine,
                 store=store,
             )
         return SearchOutcome(

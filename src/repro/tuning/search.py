@@ -27,6 +27,7 @@ from .pareto import pareto_frontier
 from .space import ParameterSpace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.batch import BatchEngine
     from ..fleet.runner import FleetRunner
     from ..store.cas import ResultStore
 
@@ -76,6 +77,69 @@ def _trial_outcome(
             )
         trials.append(trial)
     return SearchOutcome(trials=tuple(trials))
+
+
+def _engine_outcome(
+    configs: list[CaasperConfig],
+    simulator_config: SimulatorConfig,
+    demand: CpuTrace,
+    engine: "BatchEngine",
+    store: "ResultStore | None" = None,
+) -> SearchOutcome:
+    """Step every trial config as lanes of one engine batch, in order.
+
+    Shared by the random and grid drivers. Replicates
+    :func:`~repro.store.memo.cached_trial`'s store protocol around the
+    batch — previously evaluated (config, demand, simulator) triples
+    decode under the same ``trial`` key instead of simulating, and
+    fresh trials are written back for the scalar paths to hit later.
+    """
+    from ..engine.jobs import EngineJob
+
+    trials: list[TrialResult | None] = [None] * len(configs)
+    jobs: list[EngineJob] = []
+    slots: list[int] = []
+    keys: list[object] = [None] * len(configs)
+    if store is not None:
+        from ..store.keys import trial_key
+
+        for index, config in enumerate(configs):
+            keys[index] = trial_key(config, demand, simulator_config)
+            hit = store.get(keys[index], "trial")
+            if hit is not None:
+                trials[index] = hit
+                continue
+            jobs.append(EngineJob.from_config(demand, config, simulator_config))
+            slots.append(index)
+    else:
+        for index, config in enumerate(configs):
+            jobs.append(EngineJob.from_config(demand, config, simulator_config))
+            slots.append(index)
+
+    # No store handed to the engine: trials memoise as ``trial`` blobs
+    # (K, C, N + config), not full ``simulate`` results.
+    results = engine.run(jobs)
+    for job, slot, result in zip(jobs, slots, results):
+        metrics = result.metrics
+        trial = TrialResult(
+            config=configs[slot],
+            total_slack=metrics.total_slack,
+            total_insufficient_cpu=metrics.total_insufficient_cpu,
+            num_scalings=metrics.num_scalings,
+        )
+        trials[slot] = trial
+        if store is not None:
+            from ..obs.tracing import derive_trace_id, simulate_trace_name
+
+            store.put(
+                keys[slot],
+                "trial",
+                trial,
+                producer_trace_id=derive_trace_id(
+                    0, simulate_trace_name(demand.name, job.name)
+                ),
+            )
+    return SearchOutcome(trials=tuple(trials))  # type: ignore[arg-type]
 
 
 @dataclass(frozen=True)
@@ -201,6 +265,7 @@ class RandomSearch:
         seed: int = 0,
         executor: "FleetRunner | None" = None,
         store: "ResultStore | None" = None,
+        engine: "BatchEngine | None" = None,
     ) -> SearchOutcome:
         """Evaluate ``trials`` sampled configurations (deterministic).
 
@@ -208,7 +273,12 @@ class RandomSearch:
         the trials shard across worker processes; the outcome is
         bit-identical to the serial run for any worker count. A
         ``store`` memoises trials across invocations (and, with an
-        executor, short-circuits cached trials before dispatch).
+        executor, short-circuits cached trials before dispatch). An
+        ``engine`` (a :class:`~repro.engine.batch.BatchEngine`) steps
+        every sampled config as one vectorized batch over the shared
+        demand trace — again byte-identical — and composes with
+        ``store`` under the same ``trial`` keys; ``executor`` wins when
+        both are given.
         """
         if trials < 1:
             raise TuningError(f"trials must be >= 1, got {trials}")
@@ -220,6 +290,14 @@ class RandomSearch:
                 self.demand,
                 executor,
                 prefix="trial",
+                store=store,
+            )
+        if engine is not None:
+            return _engine_outcome(
+                list(configs),
+                self.simulator_config,
+                self.demand,
+                engine,
                 store=store,
             )
         return SearchOutcome(

@@ -1,0 +1,332 @@
+"""Unit and seam tests for the vectorized batch engine.
+
+test_engine_parity.py owns the randomized byte-identity property; this
+file covers everything around it — degenerate batches, the numpy-floor
+guard, certification fallbacks, engine/scalar store interop, the
+batch-level observability event, and parity at each integration seam
+(sweep, tuning, fleet, capacity).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+import repro.engine as engine_pkg
+import repro.engine.kernel as kernel
+from repro.baselines import MovingAverageRecommender
+from repro.capacity import make_capacity_scenario
+from repro.capacity.engine import ClusterEngine
+from repro.core.config import CaasperConfig
+from repro.core.recommender import CaasperRecommender
+from repro.engine import (
+    BatchEngine,
+    EngineError,
+    EngineJob,
+    engine_job_for,
+    vectorizable,
+)
+from repro.fleet.codec import canonical_json
+from repro.fleet.jobs import FleetPlan, SimulateJob, TrialJob
+from repro.fleet.runner import FleetRunner
+from repro.obs import JsonlSink, Observer, RingBufferSink, read_events
+from repro.obs.events import EngineBatchEvent
+from repro.sim import SimulatorConfig, simulate_trace
+from repro.sim.sweep import SweepConfig, default_recommender_factory, run_sweep
+from repro.store import ResultStore
+from repro.store.keys import simulate_key
+from repro.trace import CpuTrace
+from repro.tuning import GridSearch, RandomSearch
+
+
+def blob(result) -> bytes:
+    return canonical_json(
+        {
+            "name": result.name,
+            "demand": result.demand.tolist(),
+            "usage": result.usage.tolist(),
+            "limits": result.limits.tolist(),
+            "events": [list(dataclasses.astuple(e)) for e in result.events],
+            "metrics": dataclasses.asdict(result.metrics),
+        }
+    )
+
+
+def bumpy_trace(minutes: int, seed: int, name: str) -> CpuTrace:
+    rng = np.random.default_rng(seed)
+    t = np.arange(minutes)
+    samples = 3.0 + 2.5 * np.sin(2 * np.pi * t / 97.0) + rng.uniform(0, 2, minutes)
+    return CpuTrace(np.maximum(samples, 0.0), name)
+
+
+def oracle(trace, config, sim):
+    return simulate_trace(
+        trace, CaasperRecommender(config, keep_decisions=False), sim
+    )
+
+
+CONFIG = CaasperConfig(max_cores=16)
+SIM = SimulatorConfig(initial_cores=4, max_cores=16)
+
+
+def jobs_for(traces, config=CONFIG, sim=SIM):
+    return [EngineJob.from_config(t, config, sim) for t in traces]
+
+
+class TestEdgeCases:
+    def test_empty_batch(self):
+        assert BatchEngine().run([]) == []
+
+    def test_batch_of_one(self):
+        trace = bumpy_trace(240, 1, "one")
+        [got] = BatchEngine().run(jobs_for([trace]))
+        assert blob(got) == blob(oracle(trace, CONFIG, SIM))
+
+    def test_single_minute_traces(self):
+        # No decision minute ever fires: usage is min(demand, initial).
+        traces = [CpuTrace(np.array([v]), f"m{i}") for i, v in enumerate((0.5, 7.0))]
+        results = BatchEngine().run(jobs_for(traces))
+        for trace, got in zip(traces, results):
+            assert blob(got) == blob(oracle(trace, CONFIG, SIM))
+            assert got.events == ()
+            assert got.limits.tolist() == [float(SIM.initial_cores)]
+
+    def test_ragged_batch_with_degenerate_lanes(self):
+        traces = [
+            bumpy_trace(1, 2, "len-1"),
+            bumpy_trace(2, 3, "len-2"),
+            bumpy_trace(301, 4, "len-301"),
+        ]
+        results = BatchEngine().run(jobs_for(traces))
+        for trace, got in zip(traces, results):
+            assert blob(got) == blob(oracle(trace, CONFIG, SIM))
+
+
+class TestNumpyFloorGuard:
+    def test_old_numpy_rejected(self, monkeypatch):
+        monkeypatch.setattr(np, "__version__", "1.21.5")
+        with pytest.raises(EngineError, match="requires numpy >= 1.24"):
+            engine_pkg._check_numpy()
+
+    def test_current_numpy_accepted(self):
+        engine_pkg._check_numpy()
+
+    def test_floor_matches_certified_probes(self):
+        # The import-time certification ran and the probes report it.
+        replica, axis = kernel.certify()
+        assert replica == engine_pkg.replications_certified()
+        assert axis == engine_pkg.axis_reductions_certified()
+
+
+class TestCertificationFallbacks:
+    def test_uncertified_axis_reductions_stay_identical(self, monkeypatch):
+        # With axis reductions decertified the batch degrades to the
+        # single-lane path — the contract must not move an inch.
+        monkeypatch.setattr(kernel, "_AXIS_OK", False)
+        traces = [bumpy_trace(200, s, f"ax{s}") for s in range(3)]
+        for trace, got in zip(traces, BatchEngine().run(jobs_for(traces))):
+            assert blob(got) == blob(oracle(trace, CONFIG, SIM))
+
+    def test_uncertified_replications_stay_identical(self, monkeypatch):
+        # Without the fast single-lane reductions the kernels use the
+        # oracle's own numpy calls. Slower, still byte-identical.
+        monkeypatch.setattr(kernel, "_REPLICA_OK", False)
+        traces = [bumpy_trace(200, s + 10, f"rep{s}") for s in range(3)]
+        for trace, got in zip(traces, BatchEngine().run(jobs_for(traces))):
+            assert blob(got) == blob(oracle(trace, CONFIG, SIM))
+
+    def test_unexpressible_config_falls_back_to_scalar(self):
+        config = CaasperConfig(
+            max_cores=16, proactive=True, forecast_confidence=0.9
+        )
+        assert not vectorizable(config)
+        trace = bumpy_trace(1500, 5, "conf")
+        [got] = BatchEngine().run(jobs_for([trace], config=config))
+        assert blob(got) == blob(oracle(trace, config, SIM))
+
+
+class TestEligibility:
+    def test_fresh_caasper_recommender_qualifies(self):
+        trace = bumpy_trace(60, 6, "fresh")
+        recommender = CaasperRecommender(CONFIG, keep_decisions=False)
+        job = engine_job_for(trace, recommender, SIM)
+        assert job is not None
+        assert job.config == CONFIG
+        assert job.name == recommender.name
+
+    def test_subclass_and_baselines_stay_scalar(self):
+        trace = bumpy_trace(60, 7, "other")
+
+        class Tweaked(CaasperRecommender):
+            pass
+
+        assert engine_job_for(trace, Tweaked(CONFIG), SIM) is None
+        assert engine_job_for(trace, MovingAverageRecommender(), SIM) is None
+
+    def test_observed_history_disqualifies(self):
+        trace = bumpy_trace(60, 8, "warm")
+        recommender = CaasperRecommender(CONFIG, keep_decisions=False)
+        recommender.observe(0, 2.0, 4)
+        assert engine_job_for(trace, recommender, SIM) is None
+
+
+class TestStoreInterop:
+    def test_engine_writes_what_the_scalar_path_reads(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        trace = bumpy_trace(240, 9, "interop")
+        BatchEngine().run(jobs_for([trace]), store=store)
+        probe = CaasperRecommender(CONFIG, keep_decisions=False)
+        key = simulate_key(trace, probe, SIM)
+        hit = store.get(key, "simulate")
+        assert hit is not None
+        assert blob(hit) == blob(oracle(trace, CONFIG, SIM))
+        # And the scalar entry point decodes it transparently.
+        scalar = simulate_trace(trace, probe, SIM, store=store)
+        assert blob(scalar) == blob(hit)
+
+    def test_engine_hits_scalar_written_entries(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        traces = [bumpy_trace(240, 10 + s, f"hit{s}") for s in range(3)]
+        for trace in traces:
+            simulate_trace(
+                trace, CaasperRecommender(CONFIG, keep_decisions=False), SIM,
+                store=store,
+            )
+        ring = RingBufferSink(capacity=8)
+        engine = BatchEngine(observer=Observer(sinks=[ring]))
+        results = engine.run(jobs_for(traces), store=store)
+        [event] = ring.of_kind("engine_batch")
+        assert event.cache_hits == len(traces)
+        assert event.vector_lanes == 0
+        for trace, got in zip(traces, results):
+            assert blob(got) == blob(oracle(trace, CONFIG, SIM))
+
+
+class TestObservability:
+    def test_engine_batch_event_and_counters(self):
+        ring = RingBufferSink(capacity=8)
+        observer = Observer(sinks=[ring])
+        engine = BatchEngine(observer=observer)
+        scalar_config = CaasperConfig(
+            max_cores=16, proactive=True, forecast_confidence=0.9
+        )
+        traces = [bumpy_trace(120, 20 + s, f"obs{s}") for s in range(3)]
+        jobs = jobs_for(traces[:2]) + jobs_for([traces[2]], config=scalar_config)
+        engine.run(jobs)
+        [event] = ring.of_kind("engine_batch")
+        assert event.lanes == 3
+        assert event.vector_lanes == 2
+        assert event.scalar_lanes == 1
+        assert event.cohorts == 1
+        assert event.elapsed_seconds >= 0.0
+        metrics = observer.metrics
+        assert metrics.counter("engine_lanes_total").value() == 3.0
+        assert metrics.counter("engine_vector_lanes_total").value() == 2.0
+        assert metrics.counter("engine_scalar_fallback_lanes_total").value() == 1.0
+
+    def test_engine_batch_event_roundtrips_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        original = EngineBatchEvent(
+            minute=0,
+            lanes=5,
+            vector_lanes=4,
+            scalar_lanes=1,
+            cache_hits=2,
+            cohorts=3,
+            elapsed_seconds=0.125,
+        )
+        with JsonlSink(path) as sink:
+            sink.accept(original)
+        [restored] = read_events(path)
+        assert restored == original
+
+
+class TestIntegrationSeams:
+    def test_run_sweep_engine_parity(self):
+        traces = [bumpy_trace(300, 30 + s, f"sweep{s}") for s in range(3)]
+        config = SweepConfig(min_cores=1)
+        factory = default_recommender_factory(CaasperConfig(), config)
+        serial = run_sweep(traces, config, factory)
+        vector = run_sweep(traces, config, factory, engine=BatchEngine())
+        assert sorted(serial.results) == sorted(vector.results)
+        for name in serial.results:
+            assert blob(vector.results[name]) == blob(serial.results[name])
+
+    def test_random_search_engine_parity(self):
+        search = RandomSearch(bumpy_trace(300, 33, "tune"), SimulatorConfig(4))
+        serial = search.run(12, seed=7)
+        vector = search.run(12, seed=7, engine=BatchEngine())
+        assert vector.trials == serial.trials
+
+    def test_grid_search_engine_parity(self):
+        grid = GridSearch(
+            bumpy_trace(300, 34, "grid"),
+            SimulatorConfig(4),
+            CaasperConfig(),
+            {"window_minutes": [20, 40], "quantile": [0.9, 0.95]},
+        )
+        serial = grid.run()
+        vector = grid.run(engine=BatchEngine())
+        assert vector.trials == serial.trials
+
+    def test_fleet_runner_engine_parity(self):
+        traces = [bumpy_trace(240, 35 + s, f"fleet{s}") for s in range(2)]
+        plan = FleetPlan(
+            jobs=tuple(
+                SimulateJob(
+                    job_id=f"sim-{i}",
+                    trace=trace,
+                    recommender=CaasperRecommender(CONFIG, keep_decisions=False),
+                    simulator=SIM,
+                )
+                for i, trace in enumerate(traces)
+            )
+            + tuple(
+                TrialJob(
+                    job_id=f"trial-{i}",
+                    config=CaasperConfig(window_minutes=20 + 10 * i),
+                    demand=traces[0],
+                    simulator=SIM,
+                )
+                for i in range(2)
+            ),
+            name="engine-seam",
+        )
+        serial = FleetRunner().run(plan).require_success().results()
+        vector = (
+            FleetRunner(engine=BatchEngine()).run(plan).require_success().results()
+        )
+        assert sorted(serial) == sorted(vector)
+        for i in range(2):
+            assert blob(vector[f"sim-{i}"]) == blob(serial[f"sim-{i}"])
+            assert vector[f"trial-{i}"] == serial[f"trial-{i}"]
+
+    def test_capacity_vector_decide_parity(self):
+        def result(**kwargs):
+            scenario = make_capacity_scenario(
+                "cluster-day", seed=11, minutes=120, pods=16
+            )
+            return ClusterEngine(scenario, **kwargs).run()
+
+        vector = result()
+        scalar = result(vector_decide=False)
+        assert vector.canonical_json() == scalar.canonical_json()
+
+    def test_capacity_phase_timers(self):
+        scenario = make_capacity_scenario(
+            "cluster-day", seed=12, minutes=60, pods=8
+        )
+        engine = ClusterEngine(scenario, time_phases=True)
+        untimed = ClusterEngine(
+            make_capacity_scenario("cluster-day", seed=12, minutes=60, pods=8)
+        )
+        timed_result = engine.run()
+        assert set(engine.phase_seconds) == {
+            "recommender",
+            "placement",
+            "contention",
+        }
+        assert sum(engine.phase_seconds.values()) > 0.0
+        # Timing never perturbs the run.
+        assert timed_result.canonical_json() == untimed.run().canonical_json()
+        assert sum(untimed.phase_seconds.values()) == 0.0

@@ -45,6 +45,7 @@ SIM_PATH = "src/repro/sim/snippet.py"
 CORE_PATH = "src/repro/core/snippet.py"
 FLEET_PATH = "src/repro/fleet/snippet.py"
 SERVE_PATH = "src/repro/serve/snippet.py"
+ENGINE_PATH = "src/repro/engine/snippet.py"
 TEST_PATH = "tests/snippet.py"
 
 
@@ -208,6 +209,36 @@ def test_det001_allows_perf_counter_in_serve():
     assert "DET001" not in codes(findings)
 
 
+def test_det001_covers_engine_domain():
+    # The batch engine's byte-identity contract makes it exactly as
+    # deterministic as the simulator it replaces.
+    findings = run_lint(
+        """
+        import time
+
+        def stamp() -> float:
+            return time.time()
+        """,
+        path=ENGINE_PATH,
+    )
+    assert "DET001" in codes(findings)
+
+
+def test_det001_allows_perf_counter_in_engine():
+    # BatchEngine times its batch for the engine_batch event; elapsed
+    # measurement is sanctioned, absolute time is not.
+    findings = run_lint(
+        """
+        import time
+
+        def elapsed(start: float) -> float:
+            return time.perf_counter() - start
+        """,
+        path=ENGINE_PATH,
+    )
+    assert "DET001" not in codes(findings)
+
+
 # ---------------------------------------------------------------------------
 # DET002: unseeded randomness
 
@@ -247,6 +278,21 @@ def test_det002_covers_fleet_domain():
             return random.random()
         """,
         path=FLEET_PATH,
+    )
+    assert "DET002" in codes(findings)
+
+
+def test_det002_covers_engine_domain():
+    # A batch lane drawing from ambient RNG could never be
+    # byte-identical to its scalar twin.
+    findings = run_lint(
+        """
+        import numpy as np
+
+        def jitter(lanes: int):
+            return np.random.rand(lanes)
+        """,
+        path=ENGINE_PATH,
     )
     assert "DET002" in codes(findings)
 
@@ -333,6 +379,32 @@ def test_num001_flags_annotated_float_field():
         path=CORE_PATH,
     )
     assert "NUM001" in codes(findings)
+
+
+def test_num001_covers_engine_domain():
+    # The kernels compare decision thresholds; an exact float == there
+    # is exactly the bug class NUM001 exists for.
+    findings = run_lint(
+        """
+        def flat_top(slope: float) -> bool:
+            return slope == 0.5
+        """,
+        path=ENGINE_PATH,
+    )
+    assert "NUM001" in codes(findings)
+
+
+def test_num001_allows_engine_branch_gates():
+    # The kernel's real comparisons are inequalities against thresholds
+    # and integer lane state — neither may flag.
+    findings = run_lint(
+        """
+        def gates(slope: float, s_high: float, cur: int, c_min: int) -> bool:
+            return slope >= s_high and cur == c_min
+        """,
+        path=ENGINE_PATH,
+    )
+    assert "NUM001" not in codes(findings)
 
 
 def test_num001_allows_integer_equality():

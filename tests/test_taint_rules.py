@@ -106,6 +106,48 @@ def test_det101_quiet_when_source_is_suppressed_boundary():
     assert "DET101" not in codes(findings)
 
 
+def test_det101_covers_engine_domain():
+    # repro.engine carries the byte-identity contract, so a transitive
+    # wall-clock reach through a helper outside the deterministic
+    # domains must flag there too.
+    findings = run_project(
+        (
+            "src/repro/engine/snippet.py",
+            """
+            from repro.util.snippet import stamp_meta
+
+            def decide_batch(window):
+                return len(window) + stamp_meta()
+            """,
+        ),
+        ACCEPTANCE_HELPERS,
+    )
+    assert "DET101" in codes(findings)
+    assert only(findings, "DET101")[0].path == "src/repro/engine/snippet.py"
+
+
+def test_det101_quiet_on_clean_engine_helper():
+    findings = run_project(
+        (
+            "src/repro/engine/snippet.py",
+            """
+            from repro.util.snippet import lane_count
+
+            def decide_batch(window):
+                return len(window) + lane_count()
+            """,
+        ),
+        (
+            UTIL_PATH,
+            """
+            def lane_count():
+                return 3
+            """,
+        ),
+    )
+    assert "DET101" not in codes(findings)
+
+
 def test_det101_flags_transitive_global_rng():
     findings = run_project(
         (
